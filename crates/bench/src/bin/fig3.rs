@@ -1,0 +1,45 @@
+//! Regenerates **Figure 3**: percentage increase in cache misses caused by
+//! instrumentation (10-way search; sampling at 1k/10k/100k/1M-miss
+//! periods), per application, over identical application work.
+//!
+//! Also prints each application's baseline miss rate, checking the values
+//! section 3.2 quotes (ijpeg 144 misses/Mcycle, compress 361, mgrid 6,827).
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin fig3 [--quick]`
+
+use cachescope_bench::overhead::{sweep, SAMPLE_PERIODS};
+use cachescope_bench::paper;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Application-work budget in cycles; identical for baseline and
+    // instrumented runs ("the same number of application instructions").
+    let app_cycles = if quick { 800_000_000 } else { 4_000_000_000 };
+    let apps = sweep(app_cycles);
+
+    println!("Figure 3: Increase in Cache Misses Due to Instrumentation");
+    println!("(percent increase over uninstrumented run, log-scale in the paper)\n");
+    print!("{:<10} {:>12}", "app", "search");
+    for p in SAMPLE_PERIODS {
+        print!(" {:>13}", format!("sample({p})"));
+    }
+    println!(" {:>16}", "misses/Mcycle");
+    for a in &apps {
+        print!("{:<10}", a.app);
+        for i in 0..a.runs.len() {
+            print!(" {:>12.4}%", a.miss_increase_pct(i));
+        }
+        let rate = a.baseline.misses_per_mcycle();
+        let paper_rate = paper::MISS_RATES
+            .iter()
+            .find(|&&(n, _)| n == a.app)
+            .map(|&(_, r)| format!(" (paper {r:.0})"))
+            .unwrap_or_default();
+        println!(" {:>9.0}{paper_rate}", rate);
+    }
+    println!(
+        "\nPaper's headline: perturbation is near-negligible everywhere —\n\
+         worst non-ijpeg case ~0.14% (compress, 10-way search); ijpeg reaches\n\
+         ~2.4% only because its baseline miss rate (144/Mcycle) is tiny."
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figure 4**: percentage slowdown due to instrumentation
+//! (10-way search; sampling at 1k/10k/100k/1M-miss periods), plus the
+//! section 3.3 cost accounting: cycles per interrupt and interrupts per
+//! Gcycle for each technique.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin fig4 [--quick]`
+
+use cachescope_bench::overhead::{sweep, SAMPLE_PERIODS};
+use cachescope_bench::paper::costs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Application-work budget in cycles; identical for baseline and
+    // instrumented runs ("the same number of application instructions").
+    let app_cycles = if quick { 800_000_000 } else { 4_000_000_000 };
+    let apps = sweep(app_cycles);
+
+    println!("Figure 4: Instrumentation Cost");
+    println!("(percent slowdown over uninstrumented run, log-scale in the paper)\n");
+    print!("{:<10} {:>12}", "app", "search");
+    for p in SAMPLE_PERIODS {
+        print!(" {:>13}", format!("sample({p})"));
+    }
+    println!();
+    for a in &apps {
+        print!("{:<10}", a.app);
+        for i in 0..a.runs.len() {
+            print!(" {:>12.4}%", a.slowdown_pct(i));
+        }
+        println!();
+    }
+
+    println!("\nSection 3.3 cost accounting (per technique, per app):");
+    println!(
+        "{:<10} {:<14} {:>16} {:>18}",
+        "app", "technique", "cycles/interrupt", "interrupts/Gcycle"
+    );
+    for a in &apps {
+        for (label, stats) in &a.runs {
+            if stats.interrupts == 0 {
+                continue;
+            }
+            let cpi = stats.instr_cycles as f64 / stats.interrupts as f64;
+            let ipg = stats.interrupts as f64 / (stats.cycles as f64 / 1e9);
+            println!("{:<10} {:<14} {:>16.0} {:>18.1}", a.app, label, cpi, ipg);
+        }
+    }
+    println!(
+        "\nPaper reference points: interrupt delivery {} cycles; sampling\n\
+         ~{} cycles/interrupt; search {}-{} cycles/interrupt at {:.1}-{:.1}\n\
+         interrupts/Gcycle; worst sampling slowdowns {:.0}% (1/1,000, tomcatv)\n\
+         and {:.1}% (1/10,000, tomcatv).",
+        costs::INTERRUPT_CYCLES,
+        costs::SAMPLING_CYCLES_PER_INTERRUPT,
+        costs::SEARCH_CYCLES_PER_INTERRUPT.0,
+        costs::SEARCH_CYCLES_PER_INTERRUPT.1,
+        costs::SEARCH_INTERRUPTS_PER_GCYCLE.0,
+        costs::SEARCH_INTERRUPTS_PER_GCYCLE.1,
+        costs::WORST_SAMPLING_1K_SLOWDOWN_PCT,
+        costs::WORST_SAMPLING_10K_SLOWDOWN_PCT,
+    );
+}

@@ -1,0 +1,76 @@
+//! Cache replacement-policy sensitivity study.
+//!
+//! The paper does not specify its simulator's replacement policy. This
+//! study re-runs the attribution protocol under exact LRU, FIFO and a
+//! deterministic pseudo-random policy to show the conclusions do not
+//! depend on that choice: for the streaming scientific workloads, misses
+//! are capacity misses and per-object shares are policy-invariant.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin policy_study`
+
+use cachescope_bench::run_parallel;
+use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
+use cachescope_sim::{CacheConfig, ReplacementPolicy, RunLimit};
+use cachescope_workloads::spec::{self, Scale};
+use cachescope_workloads::SpecWorkload;
+
+fn run(w: SpecWorkload, policy: ReplacementPolicy) -> ExperimentReport {
+    Experiment::new(w)
+        // Jittered period: keeps tomcatv's periodic pattern from
+        // resonating, so only the policy varies across rows.
+        .technique(TechniqueConfig::Sampling(SamplerConfig::jittered(2_000, 200, 7)))
+        .cache(CacheConfig {
+            policy,
+            ..Default::default()
+        })
+        .limit(RunLimit::AppMisses(4_000_000))
+        .run()
+}
+
+fn main() {
+    let policies = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::PseudoRandom,
+    ];
+    type Job = Box<dyn FnOnce() -> (String, ReplacementPolicy, ExperimentReport) + Send>;
+    let mut jobs: Vec<Job> = Vec::new();
+    for make in [
+        (|| spec::mgrid(Scale::Paper)) as fn() -> SpecWorkload,
+        || spec::tomcatv(Scale::Paper),
+        || spec::ijpeg(Scale::Paper),
+    ] {
+        for &policy in &policies {
+            jobs.push(Box::new(move || {
+                let w = make();
+                let app = {
+                    use cachescope_sim::Program;
+                    w.name().to_string()
+                };
+                (app, policy, run(w, policy))
+            }));
+        }
+    }
+    let results = run_parallel(jobs);
+
+    println!("Replacement-policy sensitivity (jittered sampling around 1/2,000)\n");
+    println!(
+        "{:<10} {:<14} {:>14} {:>12} {:>18}",
+        "app", "policy", "misses/Mcycle", "max err %", "top object"
+    );
+    for (app, policy, rep) in &results {
+        println!(
+            "{:<10} {:<14} {:>14.0} {:>12.2} {:>18}",
+            app,
+            format!("{policy:?}"),
+            rep.stats.misses_per_mcycle(),
+            rep.max_abs_error(),
+            rep.rows()[0].name,
+        );
+    }
+    println!(
+        "\nExpected shape: shares and rankings are policy-invariant for\n\
+         streaming workloads (capacity misses dominate); only ijpeg's tiny\n\
+         cache-resident table shifts slightly under random replacement."
+    );
+}

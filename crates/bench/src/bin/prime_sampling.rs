@@ -1,0 +1,92 @@
+//! Regenerates the **section 3.1 prime-period study**: sampling tomcatv
+//! every 50,000 misses resonates with its periodic access pattern (the
+//! paper measures RX at 37.1% against an actual 22.5%, and Y starved at
+//! 0.2%), while the nearby prime 50,111 — or a pseudo-random interval —
+//! samples fairly. The paper also notes that raising the frequency (1 in
+//! 100) does not fix the bias.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin prime_sampling [--quick]`
+
+use cachescope_bench::{pct, run_parallel};
+use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
+use cachescope_sim::RunLimit;
+use cachescope_workloads::spec::{self, Scale, PAPER_PRIME_PERIOD, PAPER_SAMPLING_PERIOD};
+
+type Job = Box<dyn FnOnce() -> (String, ExperimentReport) + Send>;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let misses = if quick { 20_000_000u64 } else { 100_000_000 };
+
+    let configs: Vec<(String, SamplerConfig)> = vec![
+        (
+            format!("fixed {PAPER_SAMPLING_PERIOD} (resonant)"),
+            SamplerConfig::fixed(PAPER_SAMPLING_PERIOD),
+        ),
+        (
+            "fixed 100 (still resonant)".into(),
+            SamplerConfig::fixed(100),
+        ),
+        (
+            format!("fixed {PAPER_PRIME_PERIOD} (prime)"),
+            SamplerConfig::fixed(PAPER_PRIME_PERIOD),
+        ),
+        (
+            "jittered 50000±5000".into(),
+            SamplerConfig::jittered(50_000, 5_000, 0xD1CE),
+        ),
+    ];
+
+    let jobs: Vec<Job> = configs
+        .into_iter()
+        .map(|(label, cfg)| {
+            Box::new(move || {
+                // 1-in-100 sampling is expensive; shorten that run.
+                let m = if label.starts_with("fixed 100 ") {
+                    misses / 10
+                } else {
+                    misses
+                };
+                let rep = Experiment::new(spec::tomcatv(Scale::Paper))
+                    .technique(TechniqueConfig::Sampling(cfg))
+                    .limit(RunLimit::AppMisses(m))
+                    .run();
+                (label, rep)
+            }) as Job
+        })
+        .collect();
+    let results = run_parallel(jobs);
+
+    println!("Section 3.1: sampling-interval resonance on tomcatv");
+    println!(
+        "(actual shares: RX/RY 22.5 each, AA 15.0, DD/X/Y/D 10.0 each;\n\
+         paper's resonant estimates: RX 37.1, RY 17.6, Y 0.2)\n"
+    );
+    let objects = ["RX", "RY", "AA", "DD", "X", "Y", "D"];
+    print!("{:<28}", "period");
+    for o in objects {
+        print!(" {:>6}", o);
+    }
+    println!(" {:>10} {:>9}", "samples", "max err");
+    for (label, rep) in &results {
+        print!("{:<28}", label);
+        for o in objects {
+            let est = rep
+                .row(o)
+                .and_then(|r| r.est_pct)
+                .map_or_else(|| "-".into(), pct);
+            print!(" {:>6}", est);
+        }
+        println!(
+            " {:>10} {:>8.1}%",
+            rep.stats.interrupts,
+            rep.max_abs_error()
+        );
+    }
+    println!(
+        "\nThe fixed 50,000 interval shares a factor of 8 with tomcatv's\n\
+         50,008-miss access period, so every sample lands in the same\n\
+         residue class of the pattern; the prime and jittered intervals\n\
+         walk all positions and recover the true distribution."
+    );
+}

@@ -1,0 +1,72 @@
+//! The **section 5 measurement-aware allocator study**: the paper's plan
+//! for making the n-way search work on dynamically allocated data —
+//! "replacing the standard memory allocation functions with specialized
+//! ones that arrange memory for measurement" so that "related blocks of
+//! memory \[are\] in contiguous regions ... considered as a unit".
+//!
+//! On standard mcf, the churning `tree_node` site (hundreds of 8 KiB
+//! blocks, ~20% of all misses, wandering through a 512 MiB window) is
+//! invisible to the search: no region it can isolate is individually
+//! significant, and the search cannot even terminate. With the
+//! measurement-aware allocator (compact arena, immediate slot reuse) plus
+//! site coalescing in the object map, the site is one contiguous logical
+//! object and the search finds it like any array.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin site_allocator`
+
+use cachescope_core::{Experiment, ExperimentReport, SearchConfig, TechniqueConfig};
+use cachescope_sim::RunLimit;
+use cachescope_workloads::spec::Scale;
+use cachescope_workloads::spec2000::Mcf;
+
+fn run(workload: Mcf, coalesce: bool) -> ExperimentReport {
+    Experiment::new(workload)
+        .technique(TechniqueConfig::Search(SearchConfig {
+            coalesce_sites: coalesce,
+            ..Default::default()
+        }))
+        .limit(RunLimit::AppMisses(16_000_000))
+        .run()
+}
+
+fn print_outcome(label: &str, rep: &ExperimentReport) {
+    let site = rep
+        .row("tree_node")
+        .and_then(|r| r.est_pct)
+        .map_or_else(|| "NOT FOUND".to_string(), |p| format!("{p:.1}%"));
+    println!("{label}");
+    println!("  search outcome: {}", rep.technique.label);
+    println!("  tree_node site (actual ~18.6%): {site}");
+    for name in ["arcs", "nodes", "dummy_arcs"] {
+        if let Some(r) = rep.row(name) {
+            let est = r
+                .est_pct
+                .map_or_else(|| "-".into(), |p| format!("{p:.1}%"));
+            println!("  {name}: actual {:.1}%, search {est}", r.actual_pct);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("Section 5: measurement-aware allocation for the n-way search\n");
+
+    let standard = run(Mcf::new(Scale::Paper), false);
+    print_outcome("standard allocator (blocks scattered over a 512 MiB window):", &standard);
+
+    let compact = run(Mcf::with_measurement_allocator(Scale::Paper), true);
+    print_outcome(
+        "measurement-aware allocator + site coalescing (compact arena):",
+        &compact,
+    );
+
+    let found = compact.row("tree_node").and_then(|r| r.est_pct);
+    match found {
+        Some(p) => println!(
+            "The allocator turns an unfindable site into a first-class search\n\
+             result ({p:.1}% vs ~18.6% actual) — the paper's future-work claim,\n\
+             demonstrated."
+        ),
+        None => println!("unexpected: site still not found"),
+    }
+}

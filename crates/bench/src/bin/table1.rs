@@ -1,0 +1,83 @@
+//! Regenerates **Table 1**: per-object miss shares as measured by the
+//! simulator ("Actual"), by 1-in-50,000 miss sampling, and by the 10-way
+//! search, for all seven applications — side by side with the paper's
+//! published values.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin table1 [--quick]`
+
+use cachescope_bench::{
+    paper, pct, rank, run_parallel, search_config_for, search_run_misses, whole_cycles,
+};
+use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
+use cachescope_sim::{Program, RunLimit};
+use cachescope_workloads::spec::{self, Scale, PAPER_SAMPLING_PERIOD};
+
+type Job = Box<dyn FnOnce() -> (ExperimentReport, ExperimentReport) + Send>;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sample_misses, search_misses) = if quick {
+        (4_000_000u64, 4_000_000u64)
+    } else {
+        (40_000_000, 20_000_000)
+    };
+
+    let jobs: Vec<Job> = spec::all(Scale::Paper)
+        .into_iter()
+        .map(|w| {
+            Box::new(move || {
+                let cycle = w.cycle_misses();
+                let search_cfg = search_config_for(w.name());
+                let sample = Experiment::new(w.clone())
+                    .technique(TechniqueConfig::Sampling(SamplerConfig::fixed(
+                        PAPER_SAMPLING_PERIOD,
+                    )))
+                    .limit(RunLimit::AppMisses(whole_cycles(sample_misses, cycle)))
+                    .run();
+                let search = Experiment::new(w)
+                    .technique(TechniqueConfig::Search(search_cfg))
+                    .limit(RunLimit::AppMisses(search_run_misses(cycle, search_misses)))
+                    .run();
+                (sample, search)
+            }) as Job
+        })
+        .collect();
+    let results = run_parallel(jobs);
+
+    println!("Table 1: Results for Sampling and Search");
+    println!("(measured by this reproduction; paper's values in parentheses)\n");
+    for ((sample, search), paper_app) in results.iter().zip(paper::TABLE1) {
+        println!("== {} ==", sample.app);
+        println!(
+            "{:<28} {:>14} | {:>16} | {:>16}",
+            "object", "actual rk/%", "sample rk/%", "search rk/%"
+        );
+        for row in sample.rows().iter().take(8) {
+            let search_row = search.row(&row.name);
+            let paper_row = paper_app.rows.iter().find(|r| r.object == row.name);
+            let fmt_pair = |r: Option<usize>, p: Option<f64>| {
+                format!("{}/{}", rank(r), p.map_or_else(|| "-".into(), pct))
+            };
+            let fmt_paper = |v: Option<(usize, f64)>| {
+                v.map_or_else(|| "(-)".into(), |(r, p)| format!("({r}/{})", pct(p)))
+            };
+            println!(
+                "{:<28} {:>6} {:>7} | {:>8} {:>7} | {:>8} {:>7}",
+                row.name,
+                fmt_pair(Some(row.actual_rank), Some(row.actual_pct)),
+                fmt_paper(paper_row.map(|r| r.actual)),
+                fmt_pair(row.est_rank, row.est_pct),
+                fmt_paper(paper_row.and_then(|r| r.sample)),
+                fmt_pair(
+                    search_row.and_then(|r| r.est_rank),
+                    search_row.and_then(|r| r.est_pct)
+                ),
+                fmt_paper(paper_row.and_then(|r| r.search)),
+            );
+        }
+        println!(
+            "   [{} samples taken; search label: {}]\n",
+            sample.stats.interrupts, search.technique.label
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The **section 3.4 timesharing study**: the paper notes that an n-way
+//! search needs n+1 counters, that "an alternative is to timeshare fewer
+//! registers to measure n regions, but this may lead to increased
+//! inaccuracy". This binary quantifies that trade-off: a logical 10-way
+//! search on 10, 5, 2 and 1 physical counters, on a steady application
+//! (mgrid — timesharing is nearly free) and a phased one (applu — rotation
+//! slots alias with the program's phases and the scaled counts degrade).
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin timeshare`
+
+use cachescope_bench::run_parallel;
+use cachescope_core::{Experiment, ExperimentReport, SearchConfig, TechniqueConfig};
+use cachescope_sim::{Program, RunLimit};
+use cachescope_workloads::spec::{self, Scale};
+use cachescope_workloads::SpecWorkload;
+
+fn run(w: SpecWorkload, physical: usize) -> ExperimentReport {
+    let cycle = w.cycle_misses();
+    Experiment::new(w)
+        .technique(TechniqueConfig::Search(SearchConfig {
+            logical_ways: Some(10),
+            ..Default::default()
+        }))
+        .counters(physical)
+        .limit(RunLimit::AppMisses((20_000_000 / cycle).max(2) * cycle))
+        .run()
+}
+
+fn main() {
+    let physicals = [10usize, 5, 2, 1];
+    type Job = Box<dyn FnOnce() -> (String, usize, ExperimentReport) + Send>;
+    let mut jobs: Vec<Job> = Vec::new();
+    for make in [
+        (|| spec::mgrid(Scale::Paper)) as fn() -> SpecWorkload,
+        || spec::applu(Scale::Paper),
+    ] {
+        for &k in &physicals {
+            jobs.push(Box::new(move || {
+                let w = make();
+                let app = w.name().to_string();
+                (app, k, run(w, k))
+            }));
+        }
+    }
+    let results = run_parallel(jobs);
+
+    println!("Section 3.4 extension: timesharing a logical 10-way search");
+    println!("(max |estimate - actual| over reported objects; found/expected)\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>14}",
+        "app", "physical", "max err %", "found", "interrupts"
+    );
+    for (app, k, rep) in &results {
+        let expected = if app == "mgrid" { 3 } else { 5 };
+        let found = rep.rows().iter().filter(|r| r.est_rank.is_some()).count();
+        println!(
+            "{:<10} {:>10} {:>12.2} {:>7}/{:<2} {:>14}",
+            app,
+            k,
+            rep.max_abs_error(),
+            found,
+            expected,
+            rep.stats.interrupts
+        );
+    }
+    println!(
+        "\nExpected shape: on the steady mgrid, timesharing is nearly free\n\
+         (scaled counts are unbiased); on the phased applu, rotation slots\n\
+         alias with the phase structure and accuracy degrades as counters\n\
+         shrink — the paper's predicted 'increased inaccuracy'."
+    );
+}

@@ -1,0 +1,74 @@
+//! Sampling-variance study: how estimate error scales with the number of
+//! samples.
+//!
+//! The paper picks 1-in-50,000 sampling and states it is "sufficient"
+//! (section 3.3); this study quantifies the underlying statistics. For a
+//! fixed run length, the number of samples is inversely proportional to
+//! the period, and multinomial theory predicts the estimate error scales
+//! as 1/sqrt(samples) — i.e. halving the period should shrink the error
+//! by ~sqrt(2). Eight independent jitter seeds per period give a mean and
+//! spread.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin variance_study`
+
+use cachescope_bench::run_parallel;
+use cachescope_core::{Experiment, SamplerConfig, TechniqueConfig};
+use cachescope_sim::RunLimit;
+use cachescope_workloads::spec::{self, Scale};
+
+const MISSES: u64 = 4_000_000;
+const SEEDS: u64 = 8;
+
+fn main() {
+    let periods = [1_000u64, 4_000, 16_000, 64_000];
+    type Job = Box<dyn FnOnce() -> (u64, f64) + Send>;
+    let mut jobs: Vec<Job> = Vec::new();
+    for &period in &periods {
+        for seed in 0..SEEDS {
+            jobs.push(Box::new(move || {
+                let rep = Experiment::new(spec::mgrid(Scale::Paper))
+                    .technique(TechniqueConfig::Sampling(SamplerConfig::jittered(
+                        period,
+                        period / 10,
+                        seed,
+                    )))
+                    .limit(RunLimit::AppMisses(MISSES))
+                    .run();
+                (period, rep.max_abs_error())
+            }));
+        }
+    }
+    let results = run_parallel(jobs);
+
+    println!("Sampling-variance study: estimate error vs sample count");
+    println!("(mgrid, {MISSES} misses, {SEEDS} jitter seeds per period)\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>16}",
+        "period", "samples", "mean err %", "max err %", "err*sqrt(n)"
+    );
+    let mut normalised = Vec::new();
+    for &period in &periods {
+        let errs: Vec<f64> = results
+            .iter()
+            .filter(|&&(p, _)| p == period)
+            .map(|&(_, e)| e)
+            .collect();
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().copied().fold(0.0f64, f64::max);
+        let samples = MISSES / period;
+        let norm = mean * (samples as f64).sqrt();
+        normalised.push(norm);
+        println!(
+            "{:>8} {:>10} {:>12.3} {:>12.3} {:>16.2}",
+            period, samples, mean, max, norm
+        );
+    }
+    let spread = normalised.iter().copied().fold(0.0f64, f64::max)
+        / normalised.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nerr*sqrt(n) is constant to within a factor of {spread:.2} across a\n\
+         64x range of sample counts — the 1/sqrt(n) scaling that makes the\n\
+         paper's 1-in-50,000 rate 'sufficient' for percent-level estimates\n\
+         on long runs."
+    );
+}

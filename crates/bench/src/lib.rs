@@ -1,0 +1,122 @@
+//! Evaluation harness: shared reference data and helpers for the binaries
+//! that regenerate each table and figure of the paper.
+//!
+//! One binary per experiment (see DESIGN.md's experiment index):
+//!
+//! | binary           | reproduces |
+//! |------------------|-----------|
+//! | `table1`         | Table 1 — actual vs sampling vs 10-way search |
+//! | `table2`         | Table 2 — 2-way vs 10-way search |
+//! | `fig3`           | Figure 3 — % increase in misses from instrumentation |
+//! | `fig4`           | Figure 4 — % slowdown from instrumentation |
+//! | `fig5`           | Figure 5 — applu per-array misses over time |
+//! | `prime_sampling` | Section 3.1 — resonant vs prime sampling periods |
+//! | `fig2_ablation`  | Figure 2 — greedy search vs priority-queue search |
+//!
+//! Run with `cargo run --release -p cachescope-bench --bin <name>`.
+
+pub mod overhead;
+pub mod paper;
+
+use std::sync::Mutex;
+
+use cachescope_core::SearchConfig;
+use cachescope_workloads::spec;
+
+/// The n-way search configuration used for an application's table runs.
+///
+/// su2cor needs the longer interval documented at
+/// [`spec::su2cor::SEARCH_INTERVAL`]; every other application uses the
+/// default.
+pub fn search_config_for(app: &str) -> SearchConfig {
+    let interval = if app == "su2cor" {
+        spec::su2cor::SEARCH_INTERVAL
+    } else {
+        SearchConfig::default().interval
+    };
+    SearchConfig {
+        interval,
+        ..Default::default()
+    }
+}
+
+/// Run length (application misses) for a search experiment on `app`:
+/// whole phase cycles, at least two, covering at least `base` misses.
+pub fn search_run_misses(app_cycle: u64, base: u64) -> u64 {
+    whole_cycles(base, app_cycle).max(2 * app_cycle)
+}
+
+/// Run `jobs` across `std::thread::available_parallelism()` workers and
+/// return results in submission order. Each simulation is single-threaded
+/// and deterministic; sweeps across apps and configurations are
+/// embarrassingly parallel.
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().unwrap().pop();
+                match job {
+                    Some((i, f)) => {
+                        let r = f();
+                        results.lock().unwrap()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("job completed"))
+        .collect()
+}
+
+/// Round `misses` down to a whole number of the workload's phase cycles
+/// (at least one cycle), so phased applications run their designed mix.
+pub fn whole_cycles(misses: u64, cycle: u64) -> u64 {
+    (misses / cycle).max(1) * cycle
+}
+
+/// Format `v` as the paper prints percentages (one decimal).
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format an optional rank.
+pub fn rank(r: Option<usize>) -> String {
+    r.map_or_else(|| "-".into(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn whole_cycles_rounds_down_but_never_to_zero() {
+        assert_eq!(whole_cycles(10_000, 3_000), 9_000);
+        assert_eq!(whole_cycles(1_000, 3_000), 3_000);
+        assert_eq!(whole_cycles(6_000, 3_000), 6_000);
+    }
+}

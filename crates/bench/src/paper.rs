@@ -1,0 +1,237 @@
+//! The paper's published numbers, transcribed for side-by-side reporting.
+//!
+//! Source: Buck & Hollingsworth, "Using Hardware Performance Monitors to
+//! Isolate Memory Bottlenecks", SC 2000 — Tables 1 and 2 and the values
+//! quoted in sections 3.2–3.3.
+
+/// One row of Table 1: object name, then (rank, pct) per column where
+/// available. `None` means the technique did not report the object.
+pub struct Table1Row {
+    pub object: &'static str,
+    pub actual: (usize, f64),
+    pub sample: Option<(usize, f64)>,
+    pub search: Option<(usize, f64)>,
+}
+
+/// One application's block of Table 1.
+pub struct Table1App {
+    pub app: &'static str,
+    pub rows: &'static [Table1Row],
+}
+
+macro_rules! row {
+    ($name:expr, ($ar:expr, $ap:expr), $sam:expr, $sea:expr) => {
+        Table1Row {
+            object: $name,
+            actual: ($ar, $ap),
+            sample: $sam,
+            search: $sea,
+        }
+    };
+}
+
+/// Table 1 as printed in the paper (sampling at 1 in 50,000; 10-way
+/// search). Only the rows the paper shows.
+pub const TABLE1: &[Table1App] = &[
+    Table1App {
+        app: "tomcatv",
+        rows: &[
+            row!("RY", (1, 22.5), Some((2, 17.6)), Some((1, 22.5))),
+            row!("RX", (2, 22.5), Some((1, 37.1)), Some((2, 22.5))),
+            row!("AA", (3, 15.0), Some((5, 10.1)), Some((3, 15.1))),
+            row!("DD", (4, 10.0), Some((3, 15.0)), Some((5, 10.1))),
+            row!("X", (5, 10.0), Some((6, 9.8)), Some((7, 9.9))),
+            row!("Y", (6, 10.0), Some((7, 0.2)), Some((6, 9.9))),
+            row!("D", (7, 10.0), Some((4, 10.2)), Some((4, 10.1))),
+        ],
+    },
+    Table1App {
+        app: "swim",
+        rows: &[
+            row!("CU", (1, 7.7), Some((3, 8.2)), Some((3, 7.7))),
+            row!("H", (2, 7.7), Some((4, 8.1)), None),
+            row!("P", (3, 7.7), None, None),
+            row!("V", (4, 7.7), Some((2, 8.4)), Some((1, 7.7))),
+            row!("U", (5, 7.7), Some((5, 7.8)), Some((2, 7.7))),
+            row!("CV", (6, 7.7), Some((13, 6.7)), Some((4, 7.7))),
+            row!("Z", (7, 7.7), Some((12, 6.8)), Some((5, 7.7))),
+        ],
+    },
+    Table1App {
+        app: "su2cor",
+        rows: &[
+            row!("U", (1, 57.1), Some((1, 57.5)), Some((1, 56.8))),
+            row!("R", (2, 6.9), Some((3, 6.8)), Some((2, 7.2))),
+            row!("S", (3, 6.6), Some((2, 7.2)), Some((3, 6.8))),
+            row!("W2 - intact", (4, 3.9), Some((4, 4.1)), Some((4, 3.8))),
+            row!("W2 - sweep", (5, 3.7), Some((5, 3.8)), None),
+            row!("B", (6, 2.3), Some((7, 2.6)), Some((5, 2.3))),
+        ],
+    },
+    Table1App {
+        app: "mgrid",
+        rows: &[
+            row!("U", (1, 40.8), Some((1, 40.7)), Some((1, 40.8))),
+            row!("R", (2, 40.4), Some((2, 39.8)), Some((2, 40.6))),
+            row!("V", (3, 18.8), Some((3, 19.5)), Some((3, 18.6))),
+        ],
+    },
+    Table1App {
+        app: "applu",
+        rows: &[
+            row!("a", (1, 22.9), Some((2, 23.0)), Some((1, 22.7))),
+            row!("b", (2, 22.9), Some((3, 19.9)), Some((2, 22.6))),
+            row!("c", (3, 22.6), Some((1, 25.8)), Some((3, 22.4))),
+            row!("d", (4, 17.4), Some((4, 16.7)), Some((4, 17.4))),
+            row!("rsd", (5, 6.9), Some((5, 7.7)), Some((5, 7.2))),
+        ],
+    },
+    Table1App {
+        app: "compress",
+        rows: &[
+            row!("orig_text_buffer", (1, 63.0), Some((1, 67.4)), Some((1, 63.6))),
+            row!("comp_text_buffer", (2, 35.6), Some((2, 30.2)), Some((2, 35.9))),
+            row!("htab", (3, 1.3), Some((3, 2.3)), None),
+            row!("codetab", (4, 0.2), None, None),
+        ],
+    },
+    Table1App {
+        app: "ijpeg",
+        rows: &[
+            row!("0x141020000", (1, 84.7), Some((1, 95.8)), Some((1, 85.2))),
+            row!("jpeg_compressed_data", (2, 12.5), Some((2, 4.2)), Some((2, 12.7))),
+            row!("0x14101e000", (3, 0.5), None, Some((3, 0.0))),
+            row!("std_chrominance_quant_tbl", (4, 0.0), None, None),
+        ],
+    },
+];
+
+/// One row of Table 2: object, actual, 2-way, 10-way.
+pub struct Table2Row {
+    pub object: &'static str,
+    pub actual: (usize, f64),
+    pub two_way: Option<(usize, f64)>,
+    pub ten_way: Option<(usize, f64)>,
+}
+
+/// One application's block of Table 2.
+pub struct Table2App {
+    pub app: &'static str,
+    pub rows: &'static [Table2Row],
+}
+
+macro_rules! row2 {
+    ($name:expr, ($ar:expr, $ap:expr), $two:expr, $ten:expr) => {
+        Table2Row {
+            object: $name,
+            actual: ($ar, $ap),
+            two_way: $two,
+            ten_way: $ten,
+        }
+    };
+}
+
+/// Table 2 as printed in the paper (selected headline rows: the paper's
+/// full table repeats Table 1's 10-way column).
+pub const TABLE2: &[Table2App] = &[
+    Table2App {
+        app: "tomcatv",
+        rows: &[
+            row2!("RY", (1, 22.5), Some((2, 22.4)), Some((1, 22.5))),
+            row2!("RX", (2, 22.5), Some((1, 22.4)), Some((2, 22.5))),
+        ],
+    },
+    Table2App {
+        app: "swim",
+        rows: &[
+            row2!("CU", (1, 7.7), Some((1, 7.8)), Some((3, 7.7))),
+            row2!("VOLD", (8, 7.7), Some((2, 7.6)), Some((6, 7.7))),
+        ],
+    },
+    Table2App {
+        app: "su2cor",
+        rows: &[
+            row2!("U", (1, 57.1), None, Some((1, 56.8))),
+            row2!("R", (2, 6.9), Some((1, 0.0)), Some((2, 7.2))),
+        ],
+    },
+    Table2App {
+        app: "mgrid",
+        rows: &[
+            row2!("U", (1, 40.8), Some((1, 40.6)), Some((1, 40.8))),
+            row2!("R", (2, 40.4), Some((2, 40.3)), Some((2, 40.6))),
+        ],
+    },
+    Table2App {
+        app: "applu",
+        rows: &[
+            row2!("b", (2, 22.9), Some((1, 22.7)), Some((2, 22.6))),
+            row2!("c", (3, 22.6), Some((2, 22.4)), Some((3, 22.4))),
+        ],
+    },
+    Table2App {
+        app: "compress",
+        rows: &[
+            row2!("orig_text_buffer", (1, 63.0), Some((1, 63.6)), Some((1, 63.6))),
+            row2!("comp_text_buffer", (2, 35.6), Some((2, 36.0)), Some((2, 35.9))),
+        ],
+    },
+    Table2App {
+        app: "ijpeg",
+        rows: &[
+            row2!("0x141020000", (1, 84.7), Some((1, 84.9)), Some((1, 85.2))),
+            row2!("jpeg_compressed_data", (2, 12.5), Some((2, 12.6)), Some((2, 12.7))),
+        ],
+    },
+];
+
+/// Section 3.2's application miss rates (misses per million cycles) for
+/// the three the paper quotes exactly.
+pub const MISS_RATES: &[(&str, f64)] = &[("ijpeg", 144.0), ("compress", 361.0), ("mgrid", 6_827.0)];
+
+/// Section 3.3's cost facts.
+pub mod costs {
+    /// Measured interrupt delivery cost on the SGI Octane.
+    pub const INTERRUPT_CYCLES: u64 = 8_800;
+    /// Sampling handler cost per interrupt (approximate).
+    pub const SAMPLING_CYCLES_PER_INTERRUPT: u64 = 9_000;
+    /// Search handler cost range per interrupt, including delivery.
+    pub const SEARCH_CYCLES_PER_INTERRUPT: (u64, u64) = (26_000, 64_000);
+    /// Search interrupt rate range across the applications (per Gcycle).
+    pub const SEARCH_INTERRUPTS_PER_GCYCLE: (f64, f64) = (1.6, 4.1);
+    /// Worst observed sampling slowdown at 1 in 1,000 (tomcatv).
+    pub const WORST_SAMPLING_1K_SLOWDOWN_PCT: f64 = 16.0;
+    /// Worst observed sampling slowdown at 1 in 10,000 (tomcatv).
+    pub const WORST_SAMPLING_10K_SLOWDOWN_PCT: f64 = 1.6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_seven_apps() {
+        let apps: Vec<&str> = TABLE1.iter().map(|a| a.app).collect();
+        assert_eq!(
+            apps,
+            ["tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg"]
+        );
+    }
+
+    #[test]
+    fn actual_percentages_are_plausible_shares() {
+        for app in TABLE1 {
+            let sum: f64 = app.rows.iter().map(|r| r.actual.1).sum();
+            assert!(sum <= 101.0, "{}: actual sums to {sum}", app.app);
+        }
+    }
+
+    #[test]
+    fn table2_su2cor_encodes_the_pathology() {
+        let su2 = TABLE2.iter().find(|a| a.app == "su2cor").unwrap();
+        let u = su2.rows.iter().find(|r| r.object == "U").unwrap();
+        assert!(u.two_way.is_none(), "2-way never finds U");
+        let r = su2.rows.iter().find(|r| r.object == "R").unwrap();
+        assert_eq!(r.two_way, Some((1, 0.0)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Machine-readable export of experiment results (CSV, no dependencies).
+//!
+//! The evaluation binaries print human tables; downstream analysis
+//! (plotting Figure 3/4/5 equivalents, regression tracking) wants flat
+//! files. Fields containing commas, quotes or newlines are quoted per
+//! RFC 4180.
+
+use std::fmt::Write as _;
+
+use cachescope_sim::RunStats;
+
+use crate::results::ExperimentReport;
+
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The joined actual-vs-estimated table as CSV with a header row.
+pub fn report_to_csv(report: &ExperimentReport) -> String {
+    let mut out = String::from("app,object,actual_rank,actual_pct,est_rank,est_pct\n");
+    for r in report.rows() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{},{}",
+            field(&report.app),
+            field(&r.name),
+            r.actual_rank,
+            r.actual_pct,
+            r.est_rank.map_or_else(String::new, |v| v.to_string()),
+            r.est_pct.map_or_else(String::new, |v| format!("{v:.4}")),
+        );
+    }
+    out
+}
+
+/// Run-level cost metrics as a one-row CSV (plus header).
+pub fn costs_to_csv(report: &ExperimentReport) -> String {
+    let s = &report.stats;
+    let mut out = String::from(
+        "app,technique,app_misses,app_accesses,instr_misses,instr_accesses,\
+         cycles,instr_cycles,interrupts,writebacks,unmapped_misses,misses_per_mcycle\n",
+    );
+    let _ = writeln!(
+        out,
+        "{},{},{},{},{},{},{},{},{},{},{},{:.2}",
+        field(&report.app),
+        field(&report.technique.label),
+        s.app.misses,
+        s.app.accesses,
+        s.instr.misses,
+        s.instr.accesses,
+        s.cycles,
+        s.instr_cycles,
+        s.interrupts,
+        s.writebacks,
+        s.unmapped_misses,
+        s.misses_per_mcycle(),
+    );
+    out
+}
+
+/// The per-interval miss timeline as long-format CSV
+/// (`object,bucket,misses`), if one was recorded.
+pub fn timeline_to_csv(stats: &RunStats) -> Option<String> {
+    let t = stats.timeline.as_ref()?;
+    let mut out = String::from("object,bucket,bucket_cycles,misses\n");
+    for (id, obj) in stats.objects.iter().enumerate() {
+        for (bucket, &misses) in t.series(id as u32).iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                field(&obj.name),
+                bucket,
+                t.bucket_cycles(),
+                misses
+            );
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::{Estimate, TechniqueReport};
+    use cachescope_sim::{Counts, ObjectKind, ObjectStats};
+
+    fn sample_report() -> ExperimentReport {
+        let stats = RunStats {
+            app: Counts {
+                accesses: 1000,
+                misses: 1000,
+            },
+            l1: None,
+            instr: Counts {
+                accesses: 10,
+                misses: 2,
+            },
+            cycles: 100_000,
+            instr_cycles: 500,
+            interrupts: 4,
+            writebacks: 1,
+            objects: vec![
+                ObjectStats {
+                    name: "A,weird\"name".into(),
+                    base: 0,
+                    size: 64,
+                    kind: ObjectKind::Global,
+                    misses: 600,
+                },
+                ObjectStats {
+                    name: "B".into(),
+                    base: 64,
+                    size: 64,
+                    kind: ObjectKind::Global,
+                    misses: 400,
+                },
+            ],
+            unmapped_misses: 0,
+            timeline: None,
+        };
+        let tech = TechniqueReport {
+            estimates: vec![Estimate {
+                name: "B".into(),
+                pct: 39.5,
+                weight: 40,
+            }],
+            label: "sampling(10)".into(),
+            unattributed_weight: 0,
+        };
+        ExperimentReport::new("toy".into(), stats, tech, 0.01)
+    }
+
+    #[test]
+    fn report_csv_has_header_and_quoting() {
+        let csv = report_to_csv(&sample_report());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "app,object,actual_rank,actual_pct,est_rank,est_pct"
+        );
+        let first = lines.next().unwrap();
+        assert!(
+            first.starts_with("toy,\"A,weird\"\"name\",1,60.0000,,"),
+            "quoting: {first}"
+        );
+        let second = lines.next().unwrap();
+        assert!(second.contains("B,2,40.0000,1,39.5000"), "{second}");
+    }
+
+    #[test]
+    fn costs_csv_single_row() {
+        let csv = costs_to_csv(&sample_report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("sampling(10)"));
+        assert!(lines[1].ends_with("10000.00"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn timeline_csv_absent_without_timeline() {
+        assert!(timeline_to_csv(&sample_report().stats).is_none());
+    }
+
+    #[test]
+    fn timeline_csv_long_format() {
+        use cachescope_sim::{Timeline, TimelineConfig};
+        let mut report = sample_report();
+        let mut t = Timeline::new(TimelineConfig { bucket_cycles: 100 });
+        t.record(0, 50);
+        t.record(1, 150);
+        report.stats.timeline = Some(t);
+        let csv = timeline_to_csv(&report.stats).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "object,bucket,bucket_cycles,misses");
+        // 2 objects x 2 buckets.
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().any(|l| l.ends_with("0,100,1")));
+    }
+}

@@ -1,0 +1,315 @@
+//! Report types: what a technique estimated, joined against ground truth.
+
+use std::fmt;
+
+use cachescope_sim::RunStats;
+
+/// One object's estimate as produced by a measurement technique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Object name (hexadecimal base address for anonymous heap blocks).
+    pub name: String,
+    /// Estimated percentage of all application cache misses.
+    pub pct: f64,
+    /// Raw evidence behind the estimate: sample hits for the sampler,
+    /// measured misses for the search.
+    pub weight: u64,
+}
+
+/// The ranked output of one technique run.
+#[derive(Debug, Clone, Default)]
+pub struct TechniqueReport {
+    /// Estimates ranked most-misses-first (the technique's own ranking).
+    pub estimates: Vec<Estimate>,
+    /// Technique name for display ("sampling(50000)", "search(10-way)").
+    pub label: String,
+    /// Evidence that fell outside every identifiable object (stack
+    /// frames and other unattributable memory).
+    pub unattributed_weight: u64,
+}
+
+impl TechniqueReport {
+    /// The technique's rank (1-based) and estimated percentage for `name`.
+    pub fn rank_of(&self, name: &str) -> Option<(usize, f64)> {
+        self.estimates
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| (i + 1, self.estimates[i].pct))
+    }
+}
+
+/// One row of the final actual-vs-estimated table (one program object).
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    pub name: String,
+    /// Ground-truth rank by misses (1-based).
+    pub actual_rank: usize,
+    /// Ground-truth percentage of application misses.
+    pub actual_pct: f64,
+    /// Technique rank, if the technique reported this object at all.
+    pub est_rank: Option<usize>,
+    /// Technique estimated percentage.
+    pub est_pct: Option<f64>,
+}
+
+/// Everything an [`crate::Experiment`] run produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Application name.
+    pub app: String,
+    /// Simulator ground truth and cost accounting.
+    pub stats: RunStats,
+    /// The technique's own output (empty label if no technique ran).
+    pub technique: TechniqueReport,
+    /// The search's per-iteration progress log, when the technique was a
+    /// search run with [`crate::SearchConfig::log_progress`] enabled.
+    pub search_log: Option<crate::search::SearchLog>,
+    rows: Vec<ReportRow>,
+}
+
+impl ExperimentReport {
+    /// Build the joined table from ground truth and a technique report.
+    /// Rows are ordered by actual rank; objects below `min_pct` of actual
+    /// misses are omitted (the paper excludes objects under 0.01%).
+    /// Same-named objects (instances from one allocation site) pool into
+    /// a single row.
+    pub fn new(
+        app: String,
+        stats: RunStats,
+        technique: TechniqueReport,
+        min_pct: f64,
+    ) -> Self {
+        // Pool ground truth by name (duplicate names = one site).
+        let mut by_name: Vec<(String, u64)> = Vec::new();
+        for o in &stats.objects {
+            match by_name.iter_mut().find(|(n, _)| *n == o.name) {
+                Some((_, m)) => *m += o.misses,
+                None => by_name.push((o.name.clone(), o.misses)),
+            }
+        }
+        by_name.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total = stats.app.misses.max(1) as f64;
+
+        let mut rows = Vec::new();
+        for (rank, (name, misses)) in by_name.into_iter().enumerate() {
+            let pct = misses as f64 * 100.0 / total;
+            if pct < min_pct && rank > 0 {
+                continue;
+            }
+            let est = technique.rank_of(&name);
+            rows.push(ReportRow {
+                name,
+                actual_rank: rank + 1,
+                actual_pct: pct,
+                est_rank: est.map(|(r, _)| r),
+                est_pct: est.map(|(_, p)| p),
+            });
+        }
+        ExperimentReport {
+            app,
+            stats,
+            technique,
+            search_log: None,
+            rows,
+        }
+    }
+
+    /// The joined rows, ordered by actual rank.
+    pub fn rows(&self) -> &[ReportRow] {
+        &self.rows
+    }
+
+    /// The row for object `name`, if listed.
+    pub fn row(&self, name: &str) -> Option<&ReportRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Largest absolute error between estimated and actual percentage over
+    /// objects the technique reported.
+    pub fn max_abs_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter_map(|r| r.est_pct.map(|e| (e - r.actual_pct).abs()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Percentage increase in total cache misses relative to a baseline
+    /// (uninstrumented) run — Figure 3's metric.
+    pub fn miss_increase_pct(&self, baseline: &RunStats) -> f64 {
+        let base = baseline.total_misses() as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.stats.total_misses() as f64 - base) / base * 100.0
+    }
+
+    /// Percentage slowdown in virtual cycles relative to a baseline run
+    /// over the same application work — Figure 4's metric.
+    pub fn slowdown_pct(&self, baseline: &RunStats) -> f64 {
+        let base = baseline.cycles as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.stats.cycles as f64 - base) / base * 100.0
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} — {} ({} app misses, {:.0} misses/Mcycle)",
+            self.app,
+            if self.technique.label.is_empty() {
+                "uninstrumented"
+            } else {
+                &self.technique.label
+            },
+            self.stats.app.misses,
+            self.stats.misses_per_mcycle(),
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>6} {:>8}   {:>6} {:>8}",
+            "object", "rank", "actual%", "rank", "est%"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<28} {:>6} {:>8.1}   {:>6} {:>8}",
+                r.name,
+                r.actual_rank,
+                r.actual_pct,
+                r.est_rank.map_or_else(|| "-".into(), |v| v.to_string()),
+                r.est_pct
+                    .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachescope_sim::{Counts, ObjectKind, ObjectStats};
+
+    fn stats(objs: &[(&str, u64)]) -> RunStats {
+        let misses: u64 = objs.iter().map(|&(_, m)| m).sum();
+        RunStats {
+            app: Counts {
+                accesses: misses,
+                misses,
+            },
+            l1: None,
+            instr: Counts::default(),
+            cycles: 1_000_000,
+            instr_cycles: 0,
+            interrupts: 0,
+            writebacks: 0,
+            objects: objs
+                .iter()
+                .map(|&(n, m)| ObjectStats {
+                    name: n.into(),
+                    base: 0,
+                    size: 1,
+                    kind: ObjectKind::Global,
+                    misses: m,
+                })
+                .collect(),
+            unmapped_misses: 0,
+            timeline: None,
+        }
+    }
+
+    fn tech(est: &[(&str, f64)]) -> TechniqueReport {
+        TechniqueReport {
+            estimates: est
+                .iter()
+                .map(|&(n, p)| Estimate {
+                    name: n.into(),
+                    pct: p,
+                    weight: (p * 10.0) as u64,
+                })
+                .collect(),
+            label: "test".into(),
+            unattributed_weight: 0,
+        }
+    }
+
+    #[test]
+    fn rows_join_actual_and_estimated_by_name() {
+        let r = ExperimentReport::new(
+            "app".into(),
+            stats(&[("A", 600), ("B", 400)]),
+            tech(&[("B", 39.0), ("A", 61.0)]),
+            0.01,
+        );
+        let a = r.row("A").unwrap();
+        assert_eq!(a.actual_rank, 1);
+        assert!((a.actual_pct - 60.0).abs() < 1e-9);
+        assert_eq!(a.est_rank, Some(2));
+        assert_eq!(a.est_pct, Some(61.0));
+        let b = r.row("B").unwrap();
+        assert_eq!(b.est_rank, Some(1));
+    }
+
+    #[test]
+    fn missing_estimates_show_as_none() {
+        let r = ExperimentReport::new(
+            "app".into(),
+            stats(&[("A", 600), ("B", 400)]),
+            tech(&[("A", 60.0)]),
+            0.01,
+        );
+        assert_eq!(r.row("B").unwrap().est_rank, None);
+    }
+
+    #[test]
+    fn max_abs_error_over_reported_objects() {
+        let r = ExperimentReport::new(
+            "app".into(),
+            stats(&[("A", 600), ("B", 400)]),
+            tech(&[("A", 75.0), ("B", 38.0)]),
+            0.01,
+        );
+        assert!((r.max_abs_error() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbation_and_slowdown_metrics() {
+        let base = stats(&[("A", 1000)]);
+        let mut inst = stats(&[("A", 1000)]);
+        inst.instr.misses = 10;
+        inst.cycles = 1_100_000;
+        let r = ExperimentReport::new("app".into(), inst, tech(&[]), 0.01);
+        assert!((r.miss_increase_pct(&base) - 1.0).abs() < 1e-9);
+        assert!((r.slowdown_pct(&base) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_objects_are_filtered() {
+        let r = ExperimentReport::new(
+            "app".into(),
+            stats(&[("A", 99_999), ("B", 1)]),
+            tech(&[]),
+            0.01,
+        );
+        assert!(r.row("B").is_none());
+        assert!(r.row("A").is_some());
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let r = ExperimentReport::new(
+            "app".into(),
+            stats(&[("A", 600), ("B", 400)]),
+            tech(&[("A", 60.0)]),
+            0.01,
+        );
+        let s = format!("{r}");
+        assert!(s.contains("A"));
+        assert!(s.contains("60.0"));
+        assert!(s.contains('-'), "missing estimate renders as dash");
+    }
+}

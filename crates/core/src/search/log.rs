@@ -1,0 +1,151 @@
+//! Optional per-iteration progress log for the n-way search.
+//!
+//! The search is a closed loop of measure → rank → split decisions; when
+//! it surprises you (an object missing, an estimate off), the question is
+//! always "what did it measure and decide, iteration by iteration?". With
+//! [`crate::SearchConfig::log_progress`] enabled, the searcher records
+//! exactly that, at zero simulated cost (the log is tool-side state, like
+//! a debugger's, not part of the measured instrumentation).
+
+use cachescope_sim::{Addr, Cycle};
+
+/// What happened to one measured region in one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionFate {
+    /// Nonzero count: re-queued (and later possibly split).
+    Requeued,
+    /// Zero count but retained by the phase heuristic.
+    RetainedZero,
+    /// Zero count, discarded.
+    Dropped,
+}
+
+/// One region's measurement within an iteration.
+#[derive(Debug, Clone)]
+pub struct MeasuredRegion {
+    pub lo: Addr,
+    pub hi: Addr,
+    /// Scaled miss count for the interval.
+    pub count: u64,
+    pub atomic: bool,
+    /// Object name, if the region has been narrowed to one.
+    pub object: Option<String>,
+    pub fate: RegionFate,
+}
+
+/// One search iteration's record.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Virtual time at which the iteration's interrupt was handled.
+    pub now: Cycle,
+    /// Interval length that produced these measurements.
+    pub interval: Cycle,
+    /// Global misses over the interval.
+    pub total: u64,
+    pub regions: Vec<MeasuredRegion>,
+    /// The iteration ended the search (termination rules met).
+    pub terminated: bool,
+}
+
+/// The full progress log.
+#[derive(Debug, Clone, Default)]
+pub struct SearchLog {
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl SearchLog {
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.iterations.is_empty()
+    }
+
+    /// Render the log as an indented text report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, it) in self.iterations.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "iteration {:>3} @ {:>12} cycles  interval {:>11}  total {:>9} misses{}",
+                i + 1,
+                it.now,
+                it.interval,
+                it.total,
+                if it.terminated { "  [terminated]" } else { "" }
+            );
+            for r in &it.regions {
+                let share = if it.total == 0 {
+                    0.0
+                } else {
+                    r.count as f64 * 100.0 / it.total as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "    [{:#012x}, {:#012x}) {:>9} misses {:>6.2}% {}{}{}",
+                    r.lo,
+                    r.hi,
+                    r.count,
+                    share,
+                    if r.atomic { "atomic " } else { "" },
+                    match r.fate {
+                        RegionFate::Requeued => "requeued",
+                        RegionFate::RetainedZero => "retained(zero)",
+                        RegionFate::Dropped => "dropped",
+                    },
+                    r.object
+                        .as_deref()
+                        .map(|n| format!("  <{n}>"))
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_every_region_and_termination() {
+        let log = SearchLog {
+            iterations: vec![IterationRecord {
+                now: 1000,
+                interval: 500,
+                total: 100,
+                regions: vec![
+                    MeasuredRegion {
+                        lo: 0x1000,
+                        hi: 0x2000,
+                        count: 60,
+                        atomic: false,
+                        object: None,
+                        fate: RegionFate::Requeued,
+                    },
+                    MeasuredRegion {
+                        lo: 0x2000,
+                        hi: 0x3000,
+                        count: 0,
+                        atomic: true,
+                        object: Some("RX".into()),
+                        fate: RegionFate::RetainedZero,
+                    },
+                ],
+                terminated: true,
+            }],
+        };
+        let text = log.render();
+        assert!(text.contains("iteration   1"));
+        assert!(text.contains("[terminated]"));
+        assert!(text.contains("60.00%"));
+        assert!(text.contains("retained(zero)"));
+        assert!(text.contains("<RX>"));
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! The priority queue of measured regions.
+//!
+//! The paper's key algorithmic fix (Figure 2): regions are not discarded
+//! after losing one round — they stay in a priority queue ranked by their
+//! measured share of total misses, so the search can *back up* to a
+//! previously examined region when the current branch turns out to contain
+//! nothing better.
+//!
+//! A plain binary max-heap over `(share, region)` pairs, with an explicit
+//! simulated-memory footprint: slot `i` lives at `sim_base + i * 16`, and
+//! every sift records the slots it touched so the searcher can replay them
+//! through the simulated cache.
+
+use cachescope_objmap::AccessTrace;
+use cachescope_sim::Addr;
+
+/// Simulated bytes per heap slot (key + region index).
+pub const SLOT_BYTES: u64 = 16;
+
+/// Max-heap of regions keyed by measured miss share.
+#[derive(Debug, Clone)]
+pub struct RegionQueue {
+    heap: Vec<(f64, u32)>,
+    sim_base: Addr,
+}
+
+impl RegionQueue {
+    pub fn new(sim_base: Addr) -> Self {
+        RegionQueue {
+            heap: Vec::new(),
+            sim_base,
+        }
+    }
+
+    /// Number of queued regions.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[inline]
+    fn sim_addr(&self, i: usize) -> Addr {
+        self.sim_base + i as u64 * SLOT_BYTES
+    }
+
+    /// Insert a region with ranking key `key`.
+    pub fn push(&mut self, key: f64, region: u32, trace: &mut AccessTrace) {
+        self.heap.push((key, region));
+        let mut i = self.heap.len() - 1;
+        trace.write(self.sim_addr(i));
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            trace.read(self.sim_addr(parent));
+            if self.heap[parent].0.total_cmp(&self.heap[i].0).is_ge() {
+                break;
+            }
+            self.heap.swap(parent, i);
+            trace.write(self.sim_addr(parent));
+            trace.write(self.sim_addr(i));
+            i = parent;
+        }
+    }
+
+    /// Remove and return the region with the largest key.
+    pub fn pop(&mut self, trace: &mut AccessTrace) -> Option<(f64, u32)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        trace.read(self.sim_addr(0));
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let top = self.heap.pop().unwrap();
+        let mut i = 0usize;
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < n {
+                trace.read(self.sim_addr(l));
+                if self.heap[l].0.total_cmp(&self.heap[best].0).is_gt() {
+                    best = l;
+                }
+            }
+            if r < n {
+                trace.read(self.sim_addr(r));
+                if self.heap[r].0.total_cmp(&self.heap[best].0).is_gt() {
+                    best = r;
+                }
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            trace.write(self.sim_addr(i));
+            trace.write(self.sim_addr(best));
+            i = best;
+        }
+        Some(top)
+    }
+
+    /// The largest key and its region, without removing.
+    pub fn peek(&self) -> Option<(f64, u32)> {
+        self.heap.first().copied()
+    }
+
+    /// The top `k` entries in descending key order (non-destructive;
+    /// no simulated cost — used only for termination checks, which the
+    /// searcher charges separately).
+    pub fn top_k(&self, k: usize) -> Vec<(f64, u32)> {
+        let mut copy = self.heap.clone();
+        copy.sort_by(|a, b| b.0.total_cmp(&a.0));
+        copy.truncate(k);
+        copy
+    }
+
+    /// Remove every entry, returning them unordered.
+    pub fn drain(&mut self) -> Vec<(f64, u32)> {
+        std::mem::take(&mut self.heap)
+    }
+
+    /// Sum of all keys currently queued (coverage accounting).
+    pub fn key_sum(&self) -> f64 {
+        self.heap.iter().map(|&(k, _)| k).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> AccessTrace {
+        AccessTrace::new()
+    }
+
+    fn q() -> RegionQueue {
+        RegionQueue::new(0x7_0100_0000)
+    }
+
+    #[test]
+    fn pops_in_descending_key_order() {
+        let mut pq = q();
+        for (k, r) in [(5.0, 0), (60.0, 1), (15.0, 2), (30.0, 3)] {
+            pq.push(k, r, &mut t());
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| pq.pop(&mut t()).map(|(_, r)| r)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut pq = q();
+        pq.push(1.0, 7, &mut t());
+        assert_eq!(pq.peek(), Some((1.0, 7)));
+        assert_eq!(pq.len(), 1);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_non_destructive() {
+        let mut pq = q();
+        for (k, r) in [(5.0, 0), (60.0, 1), (15.0, 2)] {
+            pq.push(k, r, &mut t());
+        }
+        let top = pq.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 1);
+        assert_eq!(top[1].1, 2);
+        assert_eq!(pq.len(), 3);
+        // k larger than the queue returns everything.
+        assert_eq!(pq.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_are_fine() {
+        let mut pq = q();
+        pq.push(10.0, 0, &mut t());
+        pq.push(10.0, 1, &mut t());
+        let a = pq.pop(&mut t()).unwrap();
+        let b = pq.pop(&mut t()).unwrap();
+        assert_eq!(a.0, 10.0);
+        assert_eq!(b.0, 10.0);
+        assert_ne!(a.1, b.1);
+    }
+
+    #[test]
+    fn traces_record_heap_slot_addresses() {
+        let mut pq = q();
+        let mut trace = t();
+        for i in 0..20 {
+            pq.push(i as f64, i, &mut trace);
+        }
+        for &a in trace.reads.iter().chain(trace.writes.iter()) {
+            assert!(a >= 0x7_0100_0000);
+            assert!(a < 0x7_0100_0000 + 20 * SLOT_BYTES);
+        }
+    }
+
+    #[test]
+    fn key_sum_tracks_total_coverage() {
+        let mut pq = q();
+        pq.push(40.0, 0, &mut t());
+        pq.push(25.0, 1, &mut t());
+        assert!((pq.key_sum() - 65.0).abs() < 1e-9);
+        pq.pop(&mut t());
+        assert!((pq.key_sum() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let mut pq = q();
+        pq.push(1.0, 0, &mut t());
+        pq.push(2.0, 1, &mut t());
+        let all = pq.drain();
+        assert_eq!(all.len(), 2);
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn heap_property_under_stress() {
+        let mut pq = q();
+        // Deterministic pseudo-random keys.
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let mut keys = Vec::new();
+        for i in 0..500u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x % 10_000) as f64 / 100.0;
+            keys.push(k);
+            pq.push(k, i, &mut t());
+        }
+        keys.sort_by(|a, b| b.total_cmp(a));
+        let popped: Vec<f64> =
+            std::iter::from_fn(|| pq.pop(&mut t()).map(|(k, _)| k)).collect();
+        assert_eq!(popped, keys);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BinaryHeap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u32),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u32..10_000).prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_binary_heap_model(ops in prop::collection::vec(op(), 1..400)) {
+            let mut pq = RegionQueue::new(0x7_0000_0000);
+            let mut model: BinaryHeap<u32> = BinaryHeap::new();
+            let mut trace = AccessTrace::new();
+            let mut next_region = 0u32;
+            for o in ops {
+                match o {
+                    Op::Push(key) => {
+                        pq.push(key as f64, next_region, &mut trace);
+                        model.push(key);
+                        next_region += 1;
+                    }
+                    Op::Pop => {
+                        let got = pq.pop(&mut trace).map(|(k, _)| k as u32);
+                        let want = model.pop();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(pq.len(), model.len());
+                prop_assert_eq!(pq.peek().map(|(k, _)| k as u32), model.peek().copied());
+                // key_sum matches the model's sum.
+                let sum: u64 = model.iter().map(|&k| k as u64).sum();
+                prop_assert!((pq.key_sum() - sum as f64).abs() < 1e-6);
+            }
+            // Drain the rest: full descending agreement.
+            while let Some((k, _)) = pq.pop(&mut trace) {
+                prop_assert_eq!(Some(k as u32), model.pop());
+            }
+            prop_assert!(model.is_empty());
+        }
+
+        #[test]
+        fn top_k_agrees_with_sorted_keys(
+            keys in prop::collection::vec(0u32..1000, 0..64),
+            k in 0usize..80,
+        ) {
+            let mut pq = RegionQueue::new(0x7_0000_0000);
+            let mut trace = AccessTrace::new();
+            for (i, &key) in keys.iter().enumerate() {
+                pq.push(key as f64, i as u32, &mut trace);
+            }
+            let top: Vec<u32> = pq.top_k(k).iter().map(|&(key, _)| key as u32).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted.truncate(k);
+            prop_assert_eq!(top, sorted);
+        }
+    }
+}

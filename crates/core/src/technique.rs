@@ -1,0 +1,69 @@
+//! Technique selection and shared instrumentation helpers.
+
+use cachescope_objmap::AccessTrace;
+use cachescope_sim::{EngineCtx, MemRef};
+
+use crate::sampler::SamplerConfig;
+use crate::search::SearchConfig;
+
+/// Which measurement technique an [`crate::Experiment`] runs.
+#[derive(Debug, Clone)]
+pub enum TechniqueConfig {
+    /// No instrumentation: the baseline run.
+    None,
+    /// Cache-miss address sampling (section 2.1).
+    Sampling(SamplerConfig),
+    /// The n-way search (section 2.2).
+    Search(SearchConfig),
+}
+
+impl TechniqueConfig {
+    /// Sampling with a fixed period of one interrupt per `period` misses.
+    pub fn sampling(period: u64) -> Self {
+        TechniqueConfig::Sampling(SamplerConfig::fixed(period))
+    }
+
+    /// An n-way search using every available PMU region counter.
+    pub fn search() -> Self {
+        TechniqueConfig::Search(SearchConfig::default())
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            TechniqueConfig::None => String::new(),
+            TechniqueConfig::Sampling(c) => c.label(),
+            TechniqueConfig::Search(c) => c.label(),
+        }
+    }
+}
+
+/// Replay an [`AccessTrace`] (recorded by the object map or another
+/// instrumentation structure) through the simulated cache, charging
+/// `cycles_per_access` of compute per touched word on top of the cache
+/// cost. Clears the trace for reuse.
+pub fn replay_trace(ctx: &mut EngineCtx, trace: &mut AccessTrace, cycles_per_access: u64) {
+    for &a in &trace.reads {
+        ctx.touch(MemRef::read(a, 8));
+    }
+    for &a in &trace.writes {
+        ctx.touch(MemRef::write(a, 8));
+    }
+    let n = trace.len() as u64;
+    if n > 0 {
+        ctx.charge(n * cycles_per_access);
+    }
+    trace.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_eq!(TechniqueConfig::None.label(), "");
+        assert!(TechniqueConfig::sampling(50_000).label().contains("50000"));
+        assert!(TechniqueConfig::search().label().contains("search"));
+    }
+}

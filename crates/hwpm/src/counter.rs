@@ -1,0 +1,193 @@
+//! Region-qualified cache-miss counters.
+//!
+//! Each counter has a pair of *base/bounds* registers describing a
+//! half-open address interval `[base, bound)`. While enabled, the counter
+//! increments for every cache miss whose data address falls inside the
+//! interval. This models the conditional-counting support of the Intel
+//! Itanium (and the rumoured R12000/21364 equivalents) that the paper's
+//! n-way search technique relies on.
+
+use crate::Addr;
+
+/// Identifies one of the PMU's region counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CounterId(pub u32);
+
+impl CounterId {
+    /// Index into the PMU's counter file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One hardware miss counter with base/bounds qualification.
+#[derive(Debug, Clone)]
+pub struct RegionCounter {
+    base: Addr,
+    bound: Addr,
+    count: u64,
+    enabled: bool,
+}
+
+impl Default for RegionCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegionCounter {
+    /// A disabled counter covering the empty interval.
+    pub fn new() -> Self {
+        RegionCounter {
+            base: 0,
+            bound: 0,
+            count: 0,
+            enabled: false,
+        }
+    }
+
+    /// Program the base/bounds registers and clear the count.
+    ///
+    /// The interval is half-open: an address `a` is counted iff
+    /// `base <= a < bound`. Programming an empty or inverted interval
+    /// (`bound <= base`) yields a counter that never increments.
+    pub fn program(&mut self, base: Addr, bound: Addr) {
+        self.base = base;
+        self.bound = bound;
+        self.count = 0;
+        self.enabled = true;
+    }
+
+    /// Disable the counter (it retains its last count until reprogrammed).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Is the counter currently counting?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The programmed base register.
+    #[inline]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The programmed bound register (exclusive).
+    #[inline]
+    pub fn bound(&self) -> Addr {
+        self.bound
+    }
+
+    /// Current count value.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Reset the count to zero without touching base/bounds.
+    pub fn clear(&mut self) {
+        self.count = 0;
+    }
+
+    /// Feed one cache miss to the counter. Returns `true` if it was counted.
+    #[inline]
+    pub fn observe(&mut self, addr: Addr) -> bool {
+        if self.enabled && addr >= self.base && addr < self.bound {
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the programmed interval contain `addr`?
+    #[inline]
+    pub fn covers(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counter_is_disabled_and_zero() {
+        let c = RegionCounter::new();
+        assert!(!c.enabled());
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn disabled_counter_never_counts() {
+        let mut c = RegionCounter::new();
+        assert!(!c.observe(0));
+        assert!(!c.observe(u64::MAX));
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn counts_only_inside_half_open_interval() {
+        let mut c = RegionCounter::new();
+        c.program(100, 200);
+        assert!(!c.observe(99));
+        assert!(c.observe(100));
+        assert!(c.observe(199));
+        assert!(!c.observe(200));
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn program_clears_count() {
+        let mut c = RegionCounter::new();
+        c.program(0, 10);
+        c.observe(5);
+        assert_eq!(c.count(), 1);
+        c.program(0, 10);
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn empty_interval_counts_nothing() {
+        let mut c = RegionCounter::new();
+        c.program(100, 100);
+        assert!(!c.observe(100));
+        c.program(200, 100);
+        assert!(!c.observe(150));
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn disable_freezes_count() {
+        let mut c = RegionCounter::new();
+        c.program(0, 1000);
+        c.observe(1);
+        c.disable();
+        assert!(!c.observe(2));
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn clear_preserves_bounds() {
+        let mut c = RegionCounter::new();
+        c.program(50, 60);
+        c.observe(55);
+        c.clear();
+        assert_eq!(c.count(), 0);
+        assert!(c.observe(55));
+        assert_eq!((c.base(), c.bound()), (50, 60));
+    }
+
+    #[test]
+    fn full_address_space_interval() {
+        let mut c = RegionCounter::new();
+        c.program(0, u64::MAX);
+        assert!(c.observe(0));
+        assert!(c.observe(u64::MAX - 1));
+        assert!(!c.observe(u64::MAX));
+    }
+}

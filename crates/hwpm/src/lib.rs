@@ -1,0 +1,39 @@
+//! Simulated hardware performance-monitor unit (PMU).
+//!
+//! The paper ("Using Hardware Performance Monitors to Isolate Memory
+//! Bottlenecks", Buck & Hollingsworth, SC 2000) assumes hardware support in
+//! the style of the MIPS R10000/R12000, Compaq Alpha and Intel Itanium:
+//!
+//! * cache-miss **counters** that can generate an **overflow interrupt**
+//!   after a user-chosen number of misses,
+//! * a **last-miss-address** register reporting the data address of the most
+//!   recent cache miss (Itanium-style),
+//! * **conditional counting**: miss counters qualified by *base/bounds*
+//!   registers so that only misses falling inside a chosen region of the
+//!   address space are counted,
+//! * a cycle **timer** interrupt.
+//!
+//! This crate models exactly that register-level interface, nothing more.
+//! The cache itself and the machinery that feeds misses into the PMU live in
+//! `cachescope-sim`; the measurement *techniques* that program these
+//! registers live in `cachescope-core`.
+//!
+//! The model is deliberately synchronous and deterministic: the simulation
+//! engine calls [`Pmu::record_miss`] for every cache miss and
+//! [`Pmu::take_pending`] at event boundaries, and the PMU reports pending
+//! interrupts which the engine then "delivers" (charging the configured
+//! delivery cost in virtual cycles, see [`CostModel`]).
+
+pub mod cost;
+pub mod counter;
+pub mod pmu;
+
+pub use cost::CostModel;
+pub use counter::{CounterId, RegionCounter};
+pub use pmu::{Interrupt, Pmu, PmuConfig};
+
+/// A simulated (virtual) memory address.
+pub type Addr = u64;
+
+/// A virtual cycle count.
+pub type Cycle = u64;

@@ -1,0 +1,329 @@
+//! The performance-monitoring unit: counter file, global miss counter,
+//! last-miss-address register, overflow and timer interrupt logic.
+
+use crate::counter::{CounterId, RegionCounter};
+use crate::{Addr, Cycle};
+
+/// Static configuration of the simulated PMU.
+#[derive(Debug, Clone)]
+pub struct PmuConfig {
+    /// Number of region-qualified miss counters (the paper's experiments
+    /// assume ten for the 10-way search, two for the 2-way search).
+    pub region_counters: usize,
+}
+
+impl Default for PmuConfig {
+    fn default() -> Self {
+        PmuConfig { region_counters: 10 }
+    }
+}
+
+/// An interrupt raised by the PMU, to be delivered by the simulation engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The global miss counter reached its programmed overflow threshold.
+    MissOverflow,
+    /// The virtual-cycle timer expired.
+    Timer,
+}
+
+/// The simulated PMU register file.
+///
+/// The engine feeds every cache miss to [`Pmu::record_miss`] and polls for
+/// pending interrupts with [`Pmu::take_pending`] at instruction boundaries.
+/// Instrumentation code (running inside a delivered interrupt) reads and
+/// reprograms the registers through the same struct; the engine charges the
+/// access costs separately via the [`crate::CostModel`].
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    counters: Vec<RegionCounter>,
+    /// Counts every cache miss regardless of address (the paper's extra
+    /// "global" counter used to compute each region's percentage).
+    global: u64,
+    last_miss: Option<Addr>,
+    /// Interrupt after this many further misses, if armed.
+    overflow_remaining: Option<u64>,
+    /// Absolute virtual cycle at which the timer fires, if armed.
+    timer_deadline: Option<Cycle>,
+    pending: Option<Interrupt>,
+    /// While frozen (during interrupt handler execution) misses are not
+    /// counted and do not update the last-miss register.
+    frozen: bool,
+}
+
+impl Pmu {
+    /// Create a PMU with `cfg.region_counters` disabled counters.
+    pub fn new(cfg: &PmuConfig) -> Self {
+        Pmu {
+            counters: vec![RegionCounter::new(); cfg.region_counters],
+            global: 0,
+            last_miss: None,
+            overflow_remaining: None,
+            timer_deadline: None,
+            pending: None,
+            frozen: false,
+        }
+    }
+
+    /// Number of region counters available.
+    pub fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Program region counter `id` to count misses in `[base, bound)`.
+    pub fn program_counter(&mut self, id: CounterId, base: Addr, bound: Addr) {
+        self.counters[id.index()].program(base, bound);
+    }
+
+    /// Disable region counter `id`.
+    pub fn disable_counter(&mut self, id: CounterId) {
+        self.counters[id.index()].disable();
+    }
+
+    /// Read region counter `id`'s current value.
+    pub fn read_counter(&self, id: CounterId) -> u64 {
+        self.counters[id.index()].count()
+    }
+
+    /// Access the raw counter (for inspection in tests and reports).
+    pub fn counter(&self, id: CounterId) -> &RegionCounter {
+        &self.counters[id.index()]
+    }
+
+    /// Read and reset the global (unqualified) miss counter.
+    pub fn read_and_clear_global(&mut self) -> u64 {
+        std::mem::take(&mut self.global)
+    }
+
+    /// Read the global miss counter without clearing it.
+    pub fn read_global(&self) -> u64 {
+        self.global
+    }
+
+    /// The address of the most recent counted cache miss, if any.
+    pub fn last_miss_addr(&self) -> Option<Addr> {
+        self.last_miss
+    }
+
+    /// Arm a miss-overflow interrupt `period` misses from now.
+    ///
+    /// `period` must be nonzero.
+    pub fn arm_miss_overflow(&mut self, period: u64) {
+        assert!(period > 0, "overflow period must be nonzero");
+        self.overflow_remaining = Some(period);
+    }
+
+    /// Disarm the miss-overflow interrupt.
+    pub fn disarm_miss_overflow(&mut self) {
+        self.overflow_remaining = None;
+    }
+
+    /// Arm the cycle timer to fire at absolute virtual cycle `deadline`.
+    pub fn arm_timer(&mut self, deadline: Cycle) {
+        self.timer_deadline = Some(deadline);
+    }
+
+    /// Disarm the cycle timer.
+    pub fn disarm_timer(&mut self) {
+        self.timer_deadline = None;
+    }
+
+    /// The currently armed timer deadline, if any.
+    pub fn timer_deadline(&self) -> Option<Cycle> {
+        self.timer_deadline
+    }
+
+    /// Freeze counting while instrumentation runs (models counters being
+    /// suspended during handler execution so the handler does not count its
+    /// own misses).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Resume counting after handler execution.
+    pub fn unfreeze(&mut self) {
+        self.frozen = false;
+    }
+
+    /// Is the PMU currently frozen?
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Feed one cache miss at `addr` into the PMU.
+    ///
+    /// Updates the global counter, the last-miss-address register and every
+    /// enabled region counter covering `addr`; decrements the overflow
+    /// countdown and latches a pending [`Interrupt::MissOverflow`] when it
+    /// reaches zero. No-op while frozen.
+    #[inline]
+    pub fn record_miss(&mut self, addr: Addr) {
+        if self.frozen {
+            return;
+        }
+        self.global += 1;
+        self.last_miss = Some(addr);
+        for c in &mut self.counters {
+            c.observe(addr);
+        }
+        if let Some(rem) = &mut self.overflow_remaining {
+            *rem -= 1;
+            if *rem == 0 {
+                self.overflow_remaining = None;
+                // An already-pending timer interrupt is not displaced; the
+                // overflow is simply latched after it is handled. With a
+                // single pending slot we prioritise the overflow, matching
+                // hardware where the miss-overflow is the precise event.
+                self.pending = Some(Interrupt::MissOverflow);
+            }
+        }
+    }
+
+    /// Latch a timer interrupt if the deadline has passed at `now`.
+    #[inline]
+    pub fn check_timer(&mut self, now: Cycle) {
+        if let Some(deadline) = self.timer_deadline {
+            if now >= deadline && self.pending.is_none() {
+                self.timer_deadline = None;
+                self.pending = Some(Interrupt::Timer);
+            }
+        }
+    }
+
+    /// Take the pending interrupt, if any (the engine delivers it).
+    #[inline]
+    pub fn take_pending(&mut self) -> Option<Interrupt> {
+        self.pending.take()
+    }
+
+    /// Is an interrupt currently latched?
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmu(n: usize) -> Pmu {
+        Pmu::new(&PmuConfig { region_counters: n })
+    }
+
+    #[test]
+    fn global_counter_counts_everything() {
+        let mut p = pmu(2);
+        p.record_miss(10);
+        p.record_miss(1 << 40);
+        assert_eq!(p.read_global(), 2);
+        assert_eq!(p.read_and_clear_global(), 2);
+        assert_eq!(p.read_global(), 0);
+    }
+
+    #[test]
+    fn region_counters_are_address_qualified() {
+        let mut p = pmu(2);
+        p.program_counter(CounterId(0), 0, 100);
+        p.program_counter(CounterId(1), 100, 200);
+        p.record_miss(50);
+        p.record_miss(150);
+        p.record_miss(250);
+        assert_eq!(p.read_counter(CounterId(0)), 1);
+        assert_eq!(p.read_counter(CounterId(1)), 1);
+        assert_eq!(p.read_global(), 3);
+    }
+
+    #[test]
+    fn last_miss_register_tracks_most_recent() {
+        let mut p = pmu(1);
+        assert_eq!(p.last_miss_addr(), None);
+        p.record_miss(123);
+        p.record_miss(456);
+        assert_eq!(p.last_miss_addr(), Some(456));
+    }
+
+    #[test]
+    fn overflow_fires_after_exact_period() {
+        let mut p = pmu(1);
+        p.arm_miss_overflow(3);
+        p.record_miss(1);
+        p.record_miss(2);
+        assert!(!p.has_pending());
+        p.record_miss(3);
+        assert_eq!(p.take_pending(), Some(Interrupt::MissOverflow));
+        // One-shot until rearmed.
+        p.record_miss(4);
+        p.record_miss(5);
+        p.record_miss(6);
+        assert!(!p.has_pending());
+    }
+
+    #[test]
+    fn timer_fires_at_or_after_deadline() {
+        let mut p = pmu(1);
+        p.arm_timer(1000);
+        p.check_timer(999);
+        assert!(!p.has_pending());
+        p.check_timer(1000);
+        assert_eq!(p.take_pending(), Some(Interrupt::Timer));
+        // Disarmed after firing.
+        p.check_timer(2000);
+        assert!(!p.has_pending());
+    }
+
+    #[test]
+    fn freeze_suppresses_counting_and_last_miss() {
+        let mut p = pmu(1);
+        p.program_counter(CounterId(0), 0, 1000);
+        p.record_miss(1);
+        p.freeze();
+        p.record_miss(2);
+        assert_eq!(p.read_global(), 1);
+        assert_eq!(p.last_miss_addr(), Some(1));
+        p.unfreeze();
+        p.record_miss(3);
+        assert_eq!(p.read_global(), 2);
+        assert_eq!(p.read_counter(CounterId(0)), 2);
+    }
+
+    #[test]
+    fn frozen_pmu_does_not_advance_overflow() {
+        let mut p = pmu(1);
+        p.arm_miss_overflow(1);
+        p.freeze();
+        p.record_miss(9);
+        assert!(!p.has_pending());
+        p.unfreeze();
+        p.record_miss(9);
+        assert_eq!(p.take_pending(), Some(Interrupt::MissOverflow));
+    }
+
+    #[test]
+    fn pending_timer_not_displaced_by_second_check() {
+        let mut p = pmu(1);
+        p.arm_timer(10);
+        p.check_timer(10);
+        p.arm_timer(20);
+        p.check_timer(30);
+        // First pending still there; second deadline stays armed.
+        assert_eq!(p.take_pending(), Some(Interrupt::Timer));
+        p.check_timer(30);
+        assert_eq!(p.take_pending(), Some(Interrupt::Timer));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_overflow_period_panics() {
+        pmu(1).arm_miss_overflow(0);
+    }
+
+    #[test]
+    fn disable_counter_stops_counting() {
+        let mut p = pmu(1);
+        p.program_counter(CounterId(0), 0, 100);
+        p.record_miss(5);
+        p.disable_counter(CounterId(0));
+        p.record_miss(6);
+        assert_eq!(p.read_counter(CounterId(0)), 1);
+    }
+}

@@ -1,0 +1,469 @@
+//! The combined object map: globals (sorted array) + heap (red-black tree).
+//!
+//! This is the structure a measurement technique consults on every sample
+//! or region-split decision. It is built from the program's symbol table
+//! before execution and maintained from instrumented allocator events, and
+//! it supports the two queries the paper's techniques need:
+//!
+//! * **address → object** (sampling: attribute a miss address),
+//! * **object-extent boundaries within a region** (n-way search: "adjust
+//!   the extents of the regions each time they are split so that objects
+//!   do not span region boundaries", section 2.2).
+
+use cachescope_sim::{AddressSpace, ObjectDecl, ObjectKind};
+
+use crate::object::{MemoryObject, ObjectId};
+use crate::rbtree::RbTree;
+use crate::symtab::SymTab;
+use crate::trace::AccessTrace;
+use crate::Addr;
+
+/// Address-to-object map with explicit simulated-memory footprint.
+#[derive(Debug, Clone)]
+pub struct ObjectMap {
+    symtab: SymTab,
+    heap: RbTree,
+    objects: Vec<MemoryObject>,
+    /// Coalesce same-named contiguous heap blocks into one logical
+    /// object (see [`ObjectMap::with_site_coalescing`]).
+    coalesce_sites: bool,
+    /// Live block count per object id (used to retire coalesced sites).
+    live_blocks: Vec<u32>,
+}
+
+impl ObjectMap {
+    /// Build a map from the program's static declarations. The symbol-table
+    /// array and the heap tree's node arena are placed in the
+    /// instrumentation segment of `aspace`, so their cache footprint is
+    /// part of the simulation.
+    pub fn new(decls: &[ObjectDecl], aspace: &mut AddressSpace) -> Self {
+        Self::build(decls, aspace, false)
+    }
+
+    /// Like [`ObjectMap::new`], but same-named heap blocks that are
+    /// contiguous with (or inside) an existing site's extent merge into
+    /// **one logical object** spanning the whole site. This is the
+    /// paper's section 5 plan for the search technique: "we would need to
+    /// move related blocks of memory into contiguous regions in order to
+    /// allow them to be considered as a unit" — which a measurement-aware
+    /// allocator guarantees, and this map then exploits.
+    pub fn with_site_coalescing(decls: &[ObjectDecl], aspace: &mut AddressSpace) -> Self {
+        Self::build(decls, aspace, true)
+    }
+
+    fn build(decls: &[ObjectDecl], aspace: &mut AddressSpace, coalesce_sites: bool) -> Self {
+        let mut objects = Vec::with_capacity(decls.len());
+        let mut extents = Vec::with_capacity(decls.len());
+        for decl in decls {
+            let id = ObjectId(objects.len() as u32);
+            objects.push(MemoryObject {
+                id,
+                name: decl.name.clone(),
+                base: decl.base,
+                size: decl.size,
+                kind: decl.kind,
+                live: true,
+            });
+            extents.push((decl.base, decl.end(), id));
+        }
+        let symtab_base = aspace.alloc_instr(extents.len().max(1) as u64 * crate::symtab::ENTRY_BYTES);
+        // Reserve a fixed arena for the heap tree (supports 64Ki blocks).
+        let heap_base = aspace.alloc_instr(64 * 1024 * crate::rbtree::NODE_BYTES);
+        let live_blocks = vec![1; objects.len()];
+        ObjectMap {
+            symtab: SymTab::new(extents, symtab_base),
+            heap: RbTree::new(heap_base),
+            objects,
+            coalesce_sites,
+            live_blocks,
+        }
+    }
+
+    /// Number of objects ever registered (live or freed).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// All registered objects.
+    pub fn objects(&self) -> &[MemoryObject] {
+        &self.objects
+    }
+
+    /// The object with id `id`.
+    pub fn object(&self, id: ObjectId) -> &MemoryObject {
+        &self.objects[id.index()]
+    }
+
+    /// Register a heap allocation (instrumented `malloc`).
+    ///
+    /// With site coalescing enabled, a named block that touches (or lies
+    /// inside) the extent of an existing live site of the same name joins
+    /// that site's logical object instead of creating a new one.
+    pub fn on_alloc(
+        &mut self,
+        base: Addr,
+        size: u64,
+        name: Option<&str>,
+        trace: &mut AccessTrace,
+    ) -> ObjectId {
+        let end = base + size.max(1);
+        if self.coalesce_sites {
+            if let Some(n) = name {
+                let site = self.objects.iter().position(|o| {
+                    o.live
+                        && o.kind == ObjectKind::Heap
+                        && o.name == n
+                        && base <= o.end()
+                        && end >= o.base
+                });
+                if let Some(i) = site {
+                    let o = &mut self.objects[i];
+                    let new_base = o.base.min(base);
+                    let new_end = o.end().max(end);
+                    o.base = new_base;
+                    o.size = new_end - new_base;
+                    let id = o.id;
+                    self.live_blocks[i] += 1;
+                    self.heap.insert(base, end, id, trace);
+                    return id;
+                }
+            }
+        }
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(MemoryObject {
+            id,
+            name: name
+                .map(String::from)
+                .unwrap_or_else(|| MemoryObject::anon_name(base)),
+            base,
+            size,
+            kind: ObjectKind::Heap,
+            live: true,
+        });
+        self.live_blocks.push(1);
+        self.heap.insert(base, end, id, trace);
+        id
+    }
+
+    /// Register a heap free (instrumented `free`). Returns the freed
+    /// block's object id if the base was known. A coalesced site stays
+    /// live until its last block is freed.
+    pub fn on_free(&mut self, base: Addr, trace: &mut AccessTrace) -> Option<ObjectId> {
+        let (_, id) = self.heap.remove(base, trace)?;
+        let i = id.index();
+        self.live_blocks[i] = self.live_blocks[i].saturating_sub(1);
+        if self.live_blocks[i] == 0 {
+            self.objects[i].live = false;
+        }
+        Some(id)
+    }
+
+    /// Resolve an address to the live object containing it.
+    ///
+    /// Checks the (static, cheap) symbol table first, then the heap tree —
+    /// the segments are disjoint so order only affects the recorded trace.
+    pub fn lookup(&self, addr: Addr, trace: &mut AccessTrace) -> Option<ObjectId> {
+        if let Some((_, _, id)) = self.symtab.lookup(addr, trace) {
+            return Some(id);
+        }
+        self.heap.lookup(addr, trace).map(|(_, _, id)| id)
+    }
+
+    /// The smallest base and largest end over all *live* objects.
+    pub fn extent(&self) -> Option<(Addr, Addr)> {
+        let mut lo = Addr::MAX;
+        let mut hi = 0;
+        if let Some((b, e)) = self.symtab.extent() {
+            lo = lo.min(b);
+            hi = hi.max(e);
+        }
+        for &(b, e, _) in &self.heap.iter_all() {
+            lo = lo.min(b);
+            hi = hi.max(e);
+        }
+        (lo < hi).then_some((lo, hi))
+    }
+
+    /// Ids of live objects whose extents intersect `[lo, hi)`, in ascending
+    /// base order.
+    pub fn objects_intersecting(
+        &self,
+        lo: Addr,
+        hi: Addr,
+        trace: &mut AccessTrace,
+    ) -> Vec<ObjectId> {
+        let mut globals = Vec::new();
+        // A straddler starting before `lo` is found by address lookup.
+        if lo > 0 {
+            if let Some((b, _, id)) = self.symtab.lookup(lo, trace) {
+                if b < lo {
+                    globals.push(id);
+                }
+            }
+        }
+        self.symtab.for_each_in(lo, hi, trace, |_, _, id| globals.push(id));
+
+        let mut heaps: Vec<ObjectId> = Vec::new();
+        if lo > 0 {
+            if let Some((b, _, id)) = self.heap.lookup(lo, trace) {
+                if b < lo {
+                    heaps.push(id);
+                }
+            }
+        }
+        // Coalesced sites own many blocks; report each site id once.
+        self.heap.for_each_in(lo, hi, trace, |_, _, id| {
+            if !heaps.contains(&id) {
+                heaps.push(id);
+            }
+        });
+
+        // Segments are disjoint and ordered (static below heap), so simple
+        // concatenation preserves ascending base order.
+        globals.extend(heaps);
+        globals
+    }
+
+    /// Object-extent boundaries strictly inside `(lo, hi)`: candidate
+    /// split points that no object spans.
+    pub fn boundaries_in(&self, lo: Addr, hi: Addr, trace: &mut AccessTrace) -> Vec<Addr> {
+        let mut out = Vec::new();
+        for id in self.objects_intersecting(lo, hi, trace) {
+            let o = self.object(id);
+            if o.base > lo && o.base < hi {
+                out.push(o.base);
+            }
+            if o.end() > lo && o.end() < hi {
+                out.push(o.end());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The split point for region `[lo, hi)`: the object boundary closest
+    /// to the midpoint (ties resolved downward). Returns `None` when there
+    /// is no interior boundary — the region lies within a single object
+    /// (or exactly covers one), so it cannot usefully be split. Note that a
+    /// region holding one object *plus surrounding gap* is still splittable
+    /// at the object's own extent, which lets the search trim dead space.
+    pub fn snap_split(&self, lo: Addr, hi: Addr, trace: &mut AccessTrace) -> Option<Addr> {
+        let mid = lo + (hi - lo) / 2;
+        let boundaries = self.boundaries_in(lo, hi, trace);
+        boundaries
+            .into_iter()
+            .min_by_key(|&b| (b.abs_diff(mid), b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls() -> Vec<ObjectDecl> {
+        vec![
+            ObjectDecl::global("A", 0x1000_0000, 0x1000),
+            ObjectDecl::global("B", 0x1000_2000, 0x1000),
+            ObjectDecl::global("C", 0x1000_4000, 0x2000),
+        ]
+    }
+
+    fn map() -> ObjectMap {
+        ObjectMap::new(&decls(), &mut AddressSpace::new(64))
+    }
+
+    fn t() -> AccessTrace {
+        AccessTrace::new()
+    }
+
+    #[test]
+    fn resolves_globals_by_name() {
+        let m = map();
+        let id = m.lookup(0x1000_2080, &mut t()).unwrap();
+        assert_eq!(m.object(id).name, "B");
+        assert!(m.lookup(0x1000_1000, &mut t()).is_none(), "gap");
+    }
+
+    #[test]
+    fn heap_lifecycle() {
+        let mut m = map();
+        let heap = 0x1_4102_0000u64;
+        let id = m.on_alloc(heap, 0x1000, None, &mut t());
+        assert_eq!(m.object(id).name, "0x141020000");
+        assert_eq!(m.lookup(heap + 0x800, &mut t()), Some(id));
+        assert_eq!(m.on_free(heap, &mut t()), Some(id));
+        assert_eq!(m.lookup(heap + 0x800, &mut t()), None);
+        assert!(!m.object(id).live);
+        // Freed object remains in the registry for reporting.
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.on_free(heap, &mut t()), None, "double free");
+    }
+
+    #[test]
+    fn named_heap_blocks_keep_their_name() {
+        let mut m = map();
+        let id = m.on_alloc(0x1_4100_0000, 64, Some("jpeg_compressed_data"), &mut t());
+        assert_eq!(m.object(id).name, "jpeg_compressed_data");
+    }
+
+    #[test]
+    fn extent_covers_globals_and_heap() {
+        let mut m = map();
+        assert_eq!(m.extent(), Some((0x1000_0000, 0x1000_6000)));
+        m.on_alloc(0x1_4100_0000, 0x100, None, &mut t());
+        assert_eq!(m.extent(), Some((0x1000_0000, 0x1_4100_0100)));
+    }
+
+    #[test]
+    fn intersecting_includes_straddlers() {
+        let m = map();
+        // Query starts in the middle of A.
+        let ids = m.objects_intersecting(0x1000_0800, 0x1000_3000, &mut t());
+        let names: Vec<&str> = ids.iter().map(|&i| m.object(i).name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn intersecting_is_half_open() {
+        let m = map();
+        // hi == B.base excludes B; lo == A.end excludes A.
+        let ids = m.objects_intersecting(0x1000_1000, 0x1000_2000, &mut t());
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn boundaries_are_strictly_interior() {
+        let m = map();
+        let bs = m.boundaries_in(0x1000_0000, 0x1000_6000, &mut t());
+        // A.end, B.base, B.end, C.base (A.base and C.end are endpoints).
+        assert_eq!(bs, vec![0x1000_1000, 0x1000_2000, 0x1000_3000, 0x1000_4000]);
+    }
+
+    #[test]
+    fn snap_split_picks_boundary_nearest_midpoint() {
+        let m = map();
+        // Region [A.base, C.end): midpoint 0x10003000 is exactly B.end.
+        let split = m.snap_split(0x1000_0000, 0x1000_6000, &mut t()).unwrap();
+        assert_eq!(split, 0x1000_3000);
+    }
+
+    #[test]
+    fn snap_split_none_inside_single_object() {
+        let m = map();
+        // Region exactly covering one object: endpoints are not interior.
+        assert_eq!(m.snap_split(0x1000_0000, 0x1000_1000, &mut t()), None);
+        // Region strictly inside one object.
+        assert_eq!(m.snap_split(0x1000_0100, 0x1000_0800, &mut t()), None);
+    }
+
+    #[test]
+    fn snap_split_trims_gap_around_single_object() {
+        let m = map();
+        // One object plus gap on both sides: splittable at the object's
+        // own boundaries so the search can discard the dead space.
+        let split = m.snap_split(0x0fff_f000, 0x1000_1800, &mut t()).unwrap();
+        assert!(split == 0x1000_0000 || split == 0x1000_1000);
+    }
+
+    #[test]
+    fn snap_split_with_heap_blocks() {
+        let mut m = map();
+        m.on_alloc(0x1_4100_0000, 0x1000, None, &mut t());
+        m.on_alloc(0x1_4100_2000, 0x1000, None, &mut t());
+        let split = m
+            .snap_split(0x1_4100_0000, 0x1_4100_3000, &mut t())
+            .unwrap();
+        // Boundaries: 0x141001000 (end of 1st), 0x141002000 (base of 2nd);
+        // midpoint 0x141001800 is equidistant; tie resolves downward.
+        assert_eq!(split, 0x1_4100_1000);
+    }
+
+    #[test]
+    fn site_coalescing_merges_contiguous_named_blocks() {
+        let mut m = ObjectMap::with_site_coalescing(&decls(), &mut AddressSpace::new(64));
+        let a = m.on_alloc(0x1_4100_0000, 0x1000, Some("node"), &mut t());
+        let b = m.on_alloc(0x1_4100_1000, 0x1000, Some("node"), &mut t());
+        let c = m.on_alloc(0x1_4100_2000, 0x1000, Some("node"), &mut t());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        let site = m.object(a);
+        assert_eq!(site.base, 0x1_4100_0000);
+        assert_eq!(site.size, 0x3000);
+        // The whole site resolves to one id; its interior boundaries are
+        // invisible to the search.
+        assert_eq!(m.lookup(0x1_4100_1800, &mut t()), Some(a));
+        let bs = m.boundaries_in(0x1_4100_0000 - 0x1000, 0x1_4100_4000, &mut t());
+        assert_eq!(bs, vec![0x1_4100_0000, 0x1_4100_3000]);
+        assert_eq!(
+            m.objects_intersecting(0x1_4100_0000, 0x1_4100_3000, &mut t()),
+            vec![a],
+            "site reported once"
+        );
+    }
+
+    #[test]
+    fn site_coalescing_requires_contiguity() {
+        let mut m = ObjectMap::with_site_coalescing(&decls(), &mut AddressSpace::new(64));
+        let a = m.on_alloc(0x1_4100_0000, 0x1000, Some("node"), &mut t());
+        // A gap: a separate site fragment.
+        let b = m.on_alloc(0x1_4200_0000, 0x1000, Some("node"), &mut t());
+        assert_ne!(a, b);
+        // Anonymous blocks never merge.
+        let c = m.on_alloc(0x1_4100_1000, 0x1000, None, &mut t());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn coalesced_site_survives_partial_frees() {
+        let mut m = ObjectMap::with_site_coalescing(&decls(), &mut AddressSpace::new(64));
+        let a = m.on_alloc(0x1_4100_0000, 0x1000, Some("node"), &mut t());
+        m.on_alloc(0x1_4100_1000, 0x1000, Some("node"), &mut t());
+        assert_eq!(m.on_free(0x1_4100_0000, &mut t()), Some(a));
+        assert!(m.object(a).live, "site lives while a block remains");
+        // The freed hole no longer resolves, but the live block does.
+        assert_eq!(m.lookup(0x1_4100_0800, &mut t()), None);
+        assert_eq!(m.lookup(0x1_4100_1800, &mut t()), Some(a));
+        assert_eq!(m.on_free(0x1_4100_1000, &mut t()), Some(a));
+        assert!(!m.object(a).live, "site retired with its last block");
+    }
+
+    #[test]
+    fn freed_slot_reuse_rejoins_the_site() {
+        let mut m = ObjectMap::with_site_coalescing(&decls(), &mut AddressSpace::new(64));
+        let a = m.on_alloc(0x1_4100_0000, 0x1000, Some("node"), &mut t());
+        m.on_alloc(0x1_4100_1000, 0x1000, Some("node"), &mut t());
+        m.on_free(0x1_4100_0000, &mut t());
+        // A measurement-aware allocator hands the slot back out; it lies
+        // inside the site extent and merges again.
+        let again = m.on_alloc(0x1_4100_0000, 0x1000, Some("node"), &mut t());
+        assert_eq!(again, a);
+        assert_eq!(m.object(a).size, 0x2000);
+    }
+
+    #[test]
+    fn without_coalescing_each_block_is_separate() {
+        let mut m = map();
+        let a = m.on_alloc(0x1_4100_0000, 0x1000, Some("node"), &mut t());
+        let b = m.on_alloc(0x1_4100_1000, 0x1000, Some("node"), &mut t());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_trace_covers_both_structures_on_heap_hit() {
+        let mut m = map();
+        let mut trace = t();
+        m.on_alloc(0x1_4100_0000, 64, None, &mut trace);
+        trace.clear();
+        m.lookup(0x1_4100_0000, &mut trace);
+        assert!(
+            !trace.reads.is_empty(),
+            "heap lookup must probe the symbol table first, then the tree"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Recording of the simulated memory an instrumentation query touches.
+
+use crate::Addr;
+
+/// The simulated addresses an object-map operation read or wrote.
+///
+/// Measurement code replays these through the simulated cache (via
+/// `EngineCtx::touch`) so the map's cache footprint perturbs the
+/// application under measurement, as in the paper's perturbation study.
+#[derive(Debug, Default, Clone)]
+pub struct AccessTrace {
+    /// Addresses read, in order.
+    pub reads: Vec<Addr>,
+    /// Addresses written, in order.
+    pub writes: Vec<Addr>,
+}
+
+impl AccessTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of simulated address `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: Addr) {
+        self.reads.push(addr);
+    }
+
+    /// Record a write of simulated address `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: Addr) {
+        self.writes.push(addr);
+    }
+
+    /// Total number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Were any accesses recorded?
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Forget all recorded accesses (reuse the buffers).
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_clears() {
+        let mut t = AccessTrace::new();
+        assert!(t.is_empty());
+        t.read(1);
+        t.read(2);
+        t.write(3);
+        assert_eq!(t.reads, vec![1, 2]);
+        assert_eq!(t.writes, vec![3]);
+        assert_eq!(t.len(), 3);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,939 @@
+//! The simulation engine.
+//!
+//! Interleaves application execution with instrumentation: every
+//! application access goes through the cache and (on a miss) into the PMU;
+//! PMU interrupts are delivered to a [`Handler`] whose work is charged in
+//! virtual cycles and whose memory traffic goes through the *same* cache.
+//! This reproduces the paper's methodology: "This code runs inside the
+//! simulation, so it can be timed using the virtual cycle counter, and it
+//! can affect the cache, making it possible to study perturbation of the
+//! results" (section 3).
+
+use cachescope_hwpm::{CounterId, Interrupt, Pmu};
+
+use crate::cache::SetAssocCache;
+use crate::config::SimConfig;
+use crate::memref::MemRef;
+use crate::program::{Event, ObjectDecl, ObjectKind, Program};
+use crate::stats::{Counts, ObjectStats, RunStats, Timeline};
+use crate::{Addr, Cycle};
+
+/// When to stop a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Stop after this many application cache misses.
+    AppMisses(u64),
+    /// Stop after this many application memory references.
+    AppAccesses(u64),
+    /// Stop after this many virtual cycles (application + instrumentation).
+    Cycles(Cycle),
+    /// Stop after this many *application* virtual cycles, excluding all
+    /// instrumentation cost — "the same number of application
+    /// instructions" held constant across instrumented and baseline runs,
+    /// as in the paper's perturbation and overhead studies (sections
+    /// 3.2-3.3).
+    AppCycles(Cycle),
+    /// Run until the program's event stream ends.
+    Exhausted,
+}
+
+/// Ground-truth object registry maintained by the simulator itself,
+/// independent of any instrumentation (the source of the "Actual" columns).
+#[derive(Debug, Default)]
+struct GroundTruth {
+    objects: Vec<ObjectStats>,
+    /// Live extents sorted by base: `(base, end, object_id)`.
+    index: Vec<(Addr, Addr, u32)>,
+}
+
+impl GroundTruth {
+    fn insert(&mut self, name: String, base: Addr, size: u64, kind: ObjectKind) -> u32 {
+        let id = self.objects.len() as u32;
+        self.objects.push(ObjectStats {
+            name,
+            base,
+            size,
+            kind,
+            misses: 0,
+        });
+        let end = base + size;
+        let pos = self.index.partition_point(|&(b, _, _)| b < base);
+        if let Some(&(_, prev_end, _)) = pos.checked_sub(1).and_then(|p| self.index.get(p)) {
+            assert!(prev_end <= base, "overlapping object at {base:#x}");
+        }
+        if let Some(&(next_base, _, _)) = self.index.get(pos) {
+            assert!(end <= next_base, "overlapping object at {base:#x}");
+        }
+        self.index.insert(pos, (base, end, id));
+        id
+    }
+
+    fn remove(&mut self, base: Addr) -> Option<u32> {
+        let pos = self.index.partition_point(|&(b, _, _)| b < base);
+        if self.index.get(pos).map(|&(b, _, _)| b) == Some(base) {
+            Some(self.index.remove(pos).2)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn resolve(&self, addr: Addr) -> Option<u32> {
+        let pos = self.index.partition_point(|&(b, _, _)| b <= addr);
+        let &(_, end, id) = pos.checked_sub(1).and_then(|p| self.index.get(p))?;
+        (addr < end).then_some(id)
+    }
+}
+
+/// Instrumentation that runs inside the simulation.
+///
+/// All interaction with the simulated machine goes through [`EngineCtx`],
+/// which charges virtual cycles for PMU register access and plays the
+/// handler's own memory traffic through the cache.
+pub trait Handler {
+    /// Called once before execution begins; program the PMU here.
+    fn init(&mut self, ctx: &mut EngineCtx);
+
+    /// Called for every delivered PMU interrupt (delivery cost has already
+    /// been charged by the engine).
+    fn on_interrupt(&mut self, intr: Interrupt, ctx: &mut EngineCtx);
+
+    /// The instrumented allocator observed an allocation.
+    fn on_alloc(&mut self, base: Addr, size: u64, name: Option<&str>, ctx: &mut EngineCtx) {
+        let _ = (base, size, name, ctx);
+    }
+
+    /// The instrumented allocator observed a free.
+    fn on_free(&mut self, base: Addr, ctx: &mut EngineCtx) {
+        let _ = (base, ctx);
+    }
+
+    /// Called once when the run ends (limit reached or program exhausted).
+    fn on_finish(&mut self, ctx: &mut EngineCtx) {
+        let _ = ctx;
+    }
+}
+
+/// A handler that does nothing: the uninstrumented baseline run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHandler;
+
+impl Handler for NullHandler {
+    fn init(&mut self, _ctx: &mut EngineCtx) {}
+    fn on_interrupt(&mut self, _intr: Interrupt, _ctx: &mut EngineCtx) {}
+}
+
+/// The simulated machine: cache, PMU, virtual clock, ground truth.
+pub struct Engine {
+    cfg: SimConfig,
+    cache: SetAssocCache,
+    /// Optional first-level cache filtering traffic to the monitored one.
+    l1: Option<SetAssocCache>,
+    l1_counts: Counts,
+    pmu: Pmu,
+    clock: Cycle,
+    truth: GroundTruth,
+    app: Counts,
+    instr: Counts,
+    instr_cycles: Cycle,
+    interrupts: u64,
+    writebacks: u64,
+    unmapped_misses: u64,
+    timeline: Option<Timeline>,
+}
+
+impl Engine {
+    /// Build a fresh machine from the configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let cache = SetAssocCache::new(cfg.cache.clone());
+        let l1 = cfg.l1.clone().map(SetAssocCache::new);
+        let pmu = Pmu::new(&cfg.pmu);
+        let timeline = cfg.timeline.map(Timeline::new);
+        Engine {
+            cache,
+            l1,
+            l1_counts: Counts::default(),
+            pmu,
+            clock: 0,
+            truth: GroundTruth::default(),
+            app: Counts::default(),
+            instr: Counts::default(),
+            instr_cycles: 0,
+            interrupts: 0,
+            writebacks: 0,
+            unmapped_misses: 0,
+            timeline,
+            cfg,
+        }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Cycle {
+        self.clock
+    }
+
+    fn limit_reached(&self, limit: RunLimit) -> bool {
+        match limit {
+            RunLimit::AppMisses(n) => self.app.misses >= n,
+            RunLimit::AppAccesses(n) => self.app.accesses >= n,
+            RunLimit::Cycles(n) => self.clock >= n,
+            RunLimit::AppCycles(n) => self.clock - self.instr_cycles >= n,
+            RunLimit::Exhausted => false,
+        }
+    }
+
+    /// Execute `program` under instrumentation `handler` until `limit`.
+    ///
+    /// The engine is single-shot: it accumulates state, so create a fresh
+    /// `Engine` per run when comparing configurations.
+    pub fn run<P: Program + ?Sized, H: Handler + ?Sized>(
+        &mut self,
+        program: &mut P,
+        handler: &mut H,
+        limit: RunLimit,
+    ) -> RunStats {
+        for decl in program.static_objects() {
+            self.truth.insert(decl.name, decl.base, decl.size, decl.kind);
+        }
+        handler.init(&mut EngineCtx { e: self });
+
+        while !self.limit_reached(limit) {
+            let Some(event) = program.next_event() else {
+                break;
+            };
+            match event {
+                Event::Access(r) => self.app_access(r),
+                Event::Compute(c) => self.clock += c,
+                Event::Alloc { base, size, name } => {
+                    let display = name
+                        .clone()
+                        .unwrap_or_else(|| format!("{base:#x}"));
+                    self.truth.insert(display, base, size, ObjectKind::Heap);
+                    handler.on_alloc(base, size, name.as_deref(), &mut EngineCtx { e: self });
+                }
+                Event::Free { base } => {
+                    self.truth.remove(base);
+                    handler.on_free(base, &mut EngineCtx { e: self });
+                }
+                Event::Phase(_) => {}
+            }
+            self.pmu.check_timer(self.clock);
+            // Deliver latched interrupts. A handler may arm a timer that is
+            // already due; bound the cascade to keep forward progress.
+            let mut budget = 4;
+            while budget > 0 {
+                let Some(intr) = self.pmu.take_pending() else {
+                    break;
+                };
+                self.deliver(intr, handler);
+                self.pmu.check_timer(self.clock);
+                budget -= 1;
+            }
+        }
+
+        handler.on_finish(&mut EngineCtx { e: self });
+        self.collect()
+    }
+
+    /// Route one reference through the (optional) L1 and then the
+    /// monitored cache. Returns the monitored-level outcome, or `None`
+    /// if the L1 absorbed the reference. Charges memory-system cycles.
+    #[inline]
+    fn hierarchy_access(&mut self, r: MemRef) -> Option<crate::cache::AccessOutcome> {
+        if let Some(l1) = &mut self.l1 {
+            let cfg = self.cfg.l1.as_ref().expect("l1 cache implies l1 config");
+            let out = l1.access(r);
+            self.l1_counts.accesses += 1;
+            self.clock += cfg.hit_cycles;
+            if out.hit {
+                return None;
+            }
+            self.l1_counts.misses += 1;
+            // Miss in L1: the reference proceeds to the monitored level.
+        }
+        let out = self.cache.access(r);
+        self.clock += self.cfg.cache.hit_cycles;
+        if out.wrote_back {
+            self.writebacks += 1;
+            self.clock += self.cfg.cache.writeback_penalty;
+        }
+        if !out.hit {
+            self.clock += self.cfg.cache.miss_penalty;
+        }
+        Some(out)
+    }
+
+    #[inline]
+    fn app_access(&mut self, r: MemRef) {
+        self.app.accesses += 1;
+        let Some(out) = self.hierarchy_access(r) else {
+            return;
+        };
+        if !out.hit {
+            self.app.misses += 1;
+            match self.truth.resolve(r.addr) {
+                Some(id) => {
+                    self.truth.objects[id as usize].misses += 1;
+                    if let Some(t) = &mut self.timeline {
+                        t.record(id, self.clock);
+                    }
+                }
+                None => self.unmapped_misses += 1,
+            }
+            self.pmu.record_miss(r.addr);
+        }
+    }
+
+    fn deliver<H: Handler + ?Sized>(&mut self, intr: Interrupt, handler: &mut H) {
+        self.interrupts += 1;
+        let cost = self.cfg.costs.interrupt_delivery;
+        self.clock += cost;
+        self.instr_cycles += cost;
+        self.pmu.freeze();
+        handler.on_interrupt(intr, &mut EngineCtx { e: self });
+        self.pmu.unfreeze();
+    }
+
+    fn collect(&self) -> RunStats {
+        RunStats {
+            app: self.app,
+            l1: self.l1.is_some().then_some(self.l1_counts),
+            instr: self.instr,
+            cycles: self.clock,
+            instr_cycles: self.instr_cycles,
+            interrupts: self.interrupts,
+            writebacks: self.writebacks,
+            objects: self.truth.objects.clone(),
+            unmapped_misses: self.unmapped_misses,
+            timeline: self.timeline.clone(),
+        }
+    }
+}
+
+/// The instrumentation's window onto the simulated machine.
+///
+/// Every operation charges its virtual-cycle cost (per the configured
+/// [`cachescope_hwpm::CostModel`]) and instrumentation memory traffic is
+/// played through the simulated cache, perturbing it exactly as real
+/// measurement code would.
+pub struct EngineCtx<'a> {
+    e: &'a mut Engine,
+}
+
+impl EngineCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Cycle {
+        self.e.clock
+    }
+
+    /// Charge `cycles` of pure instrumentation compute.
+    pub fn charge(&mut self, cycles: Cycle) {
+        self.e.clock += cycles;
+        self.e.instr_cycles += cycles;
+    }
+
+    /// Issue one instrumentation memory reference through the cache
+    /// hierarchy (instrumentation data is filtered by the L1 too).
+    pub fn touch(&mut self, r: MemRef) {
+        self.e.instr.accesses += 1;
+        let before = self.e.clock;
+        let out = self.e.hierarchy_access(r);
+        if matches!(out, Some(o) if !o.hit) {
+            self.e.instr.misses += 1;
+        }
+        // hierarchy_access charged the clock; mirror it into the
+        // instrumentation account.
+        self.e.instr_cycles += self.e.clock - before;
+    }
+
+    /// Read instrumentation memory at `addr`.
+    pub fn touch_read(&mut self, addr: Addr) {
+        self.touch(MemRef::read(addr, 8));
+    }
+
+    /// Write instrumentation memory at `addr`.
+    pub fn touch_write(&mut self, addr: Addr) {
+        self.touch(MemRef::write(addr, 8));
+    }
+
+    /// Number of PMU region counters available.
+    pub fn num_counters(&self) -> usize {
+        self.e.pmu.num_counters()
+    }
+
+    /// Read a region counter (charges the register-read cost).
+    pub fn read_counter(&mut self, id: CounterId) -> u64 {
+        self.charge(self.e.cfg.costs.counter_read);
+        self.e.pmu.read_counter(id)
+    }
+
+    /// Program a region counter's base/bounds (charges the program cost).
+    pub fn program_counter(&mut self, id: CounterId, base: Addr, bound: Addr) {
+        self.charge(self.e.cfg.costs.counter_program);
+        self.e.pmu.program_counter(id, base, bound);
+    }
+
+    /// Disable a region counter.
+    pub fn disable_counter(&mut self, id: CounterId) {
+        self.charge(self.e.cfg.costs.counter_program);
+        self.e.pmu.disable_counter(id);
+    }
+
+    /// Read the global (unqualified) miss counter.
+    pub fn read_global(&mut self) -> u64 {
+        self.charge(self.e.cfg.costs.counter_read);
+        self.e.pmu.read_global()
+    }
+
+    /// Read and clear the global miss counter.
+    pub fn read_and_clear_global(&mut self) -> u64 {
+        self.charge(self.e.cfg.costs.counter_read);
+        self.e.pmu.read_and_clear_global()
+    }
+
+    /// Read the last-miss-address register.
+    pub fn last_miss_addr(&mut self) -> Option<Addr> {
+        self.charge(self.e.cfg.costs.last_miss_read);
+        self.e.pmu.last_miss_addr()
+    }
+
+    /// Arm a miss-overflow interrupt `period` misses from now.
+    pub fn arm_miss_overflow(&mut self, period: u64) {
+        self.charge(self.e.cfg.costs.arm_interrupt);
+        self.e.pmu.arm_miss_overflow(period);
+    }
+
+    /// Arm the cycle timer to fire `delta` cycles from now.
+    pub fn arm_timer_in(&mut self, delta: Cycle) {
+        self.charge(self.e.cfg.costs.arm_interrupt);
+        let deadline = self.e.clock + delta;
+        self.e.pmu.arm_timer(deadline);
+    }
+
+    /// Disarm the cycle timer.
+    pub fn disarm_timer(&mut self) {
+        self.e.pmu.disarm_timer();
+    }
+}
+
+/// Convenience: build static object declarations into a program-independent
+/// extent list (used by tests and by technique constructors).
+pub fn decl_extents(decls: &[ObjectDecl]) -> Vec<(Addr, Addr)> {
+    decls.iter().map(|d| (d.base, d.end())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::program::TraceProgram;
+    use cachescope_hwpm::{CostModel, PmuConfig};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            cache: CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                assoc: 2,
+                hit_cycles: 1,
+                miss_penalty: 10,
+                writeback_penalty: 0,
+                policy: Default::default(),
+            },
+            l1: None,
+            pmu: PmuConfig { region_counters: 2 },
+            costs: CostModel::free(),
+            timeline: None,
+        }
+    }
+
+    fn line_reads(base: Addr, lines: u64) -> Vec<Event> {
+        (0..lines)
+            .map(|k| Event::Access(MemRef::read(base + k * 64, 8)))
+            .collect()
+    }
+
+    #[test]
+    fn attributes_misses_to_declared_objects() {
+        let decls = vec![
+            ObjectDecl::global("A", 0x1000_0000, 64 * 10),
+            ObjectDecl::global("B", 0x1000_1000, 64 * 10),
+        ];
+        let mut events = line_reads(0x1000_0000, 10);
+        events.extend(line_reads(0x1000_1000, 4));
+        let mut p = TraceProgram::new("t", decls, events);
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        assert_eq!(stats.app.misses, 14);
+        assert_eq!(stats.objects[0].misses, 10);
+        assert_eq!(stats.objects[1].misses, 4);
+        assert_eq!(stats.unmapped_misses, 0);
+    }
+
+    #[test]
+    fn unmapped_misses_are_counted_separately() {
+        let mut p = TraceProgram::new("t", vec![], line_reads(0x1000_0000, 3));
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        assert_eq!(stats.unmapped_misses, 3);
+    }
+
+    #[test]
+    fn compute_events_advance_clock_without_accesses() {
+        let mut p = TraceProgram::new("t", vec![], vec![Event::Compute(1234)]);
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        assert_eq!(stats.cycles, 1234);
+        assert_eq!(stats.app.accesses, 0);
+    }
+
+    #[test]
+    fn cycle_accounting_hit_vs_miss() {
+        // Two references to the same line: one miss (1+10), one hit (1).
+        let events = vec![
+            Event::Access(MemRef::read(0x1000_0000, 8)),
+            Event::Access(MemRef::read(0x1000_0008, 8)),
+        ];
+        let mut p = TraceProgram::new("t", vec![], events);
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        assert_eq!(stats.cycles, 12);
+    }
+
+    #[test]
+    fn run_limit_app_misses_stops_early() {
+        let mut p = TraceProgram::new("t", vec![], line_reads(0x1000_0000, 100));
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::AppMisses(5));
+        assert_eq!(stats.app.misses, 5);
+        assert_eq!(stats.app.accesses, 5);
+    }
+
+    #[test]
+    fn app_cycles_limit_excludes_instrumentation_cost() {
+        // With an 8,800-cycle delivery cost, an AppCycles limit must not
+        // count instrumentation time toward the application budget.
+        let mut c = cfg();
+        c.costs = CostModel {
+            interrupt_delivery: 8_800,
+            ..CostModel::free()
+        };
+        let mut p = TraceProgram::new("t", vec![], line_reads(0x1000_0000, 100));
+        let mut h = CountingHandler {
+            interrupts: 0,
+            last_addr: None,
+            period: 5,
+        };
+        let mut e = Engine::new(c);
+        // Each miss costs 11 app cycles; limit 110 = 10 accesses.
+        let stats = e.run(&mut p, &mut h, RunLimit::AppCycles(110));
+        assert_eq!(stats.app.accesses, 10);
+        assert_eq!(stats.interrupts, 2);
+        assert_eq!(stats.cycles, 110 + 2 * 8_800);
+    }
+
+    #[test]
+    fn run_limit_cycles_stops_early() {
+        let mut p = TraceProgram::new(
+            "t",
+            vec![],
+            vec![Event::Compute(10); 100],
+        );
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Cycles(55));
+        // Stops at the first boundary where clock >= 55.
+        assert_eq!(stats.cycles, 60);
+    }
+
+    #[test]
+    fn alloc_and_free_update_ground_truth() {
+        let heap = 0x1_4100_0000u64;
+        let mut events = vec![Event::Alloc {
+            base: heap,
+            size: 64 * 4,
+            name: None,
+        }];
+        events.extend(line_reads(heap, 4));
+        events.push(Event::Free { base: heap });
+        events.extend(line_reads(heap + 0x10000, 2)); // now unmapped
+        let mut p = TraceProgram::new("t", vec![], events);
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        assert_eq!(stats.objects.len(), 1);
+        assert_eq!(stats.objects[0].name, "0x141000000");
+        assert_eq!(stats.objects[0].misses, 4);
+        assert_eq!(stats.unmapped_misses, 2);
+    }
+
+    struct CountingHandler {
+        interrupts: u64,
+        last_addr: Option<Addr>,
+        period: u64,
+    }
+
+    impl Handler for CountingHandler {
+        fn init(&mut self, ctx: &mut EngineCtx) {
+            ctx.arm_miss_overflow(self.period);
+        }
+        fn on_interrupt(&mut self, intr: Interrupt, ctx: &mut EngineCtx) {
+            assert_eq!(intr, Interrupt::MissOverflow);
+            self.interrupts += 1;
+            self.last_addr = ctx.last_miss_addr();
+            ctx.arm_miss_overflow(self.period);
+        }
+    }
+
+    #[test]
+    fn overflow_interrupts_are_delivered_every_period() {
+        let mut p = TraceProgram::new("t", vec![], line_reads(0x1000_0000, 20));
+        let mut h = CountingHandler {
+            interrupts: 0,
+            last_addr: None,
+            period: 5,
+        };
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut h, RunLimit::Exhausted);
+        assert_eq!(h.interrupts, 4);
+        assert_eq!(stats.interrupts, 4);
+        // The 20th miss was at line 19.
+        assert_eq!(h.last_addr, Some(0x1000_0000 + 19 * 64));
+    }
+
+    #[test]
+    fn interrupt_delivery_cost_is_charged() {
+        let mut c = cfg();
+        c.costs = CostModel {
+            interrupt_delivery: 8_800,
+            ..CostModel::free()
+        };
+        let mut p = TraceProgram::new("t", vec![], line_reads(0x1000_0000, 10));
+        let mut h = CountingHandler {
+            interrupts: 0,
+            last_addr: None,
+            period: 5,
+        };
+        let mut e = Engine::new(c);
+        let stats = e.run(&mut p, &mut h, RunLimit::Exhausted);
+        assert_eq!(stats.interrupts, 2);
+        assert_eq!(stats.instr_cycles, 2 * 8_800);
+        // App cost: 10 misses * 11 cycles.
+        assert_eq!(stats.cycles, 110 + 2 * 8_800);
+    }
+
+    struct TouchingHandler;
+
+    impl Handler for TouchingHandler {
+        fn init(&mut self, ctx: &mut EngineCtx) {
+            ctx.arm_miss_overflow(1);
+        }
+        fn on_interrupt(&mut self, _intr: Interrupt, ctx: &mut EngineCtx) {
+            // Touch a fixed instrumentation line: first time misses,
+            // afterwards hits (unless evicted).
+            ctx.touch_read(crate::address_space::INSTR_BASE);
+            ctx.arm_miss_overflow(1);
+        }
+    }
+
+    #[test]
+    fn handler_memory_traffic_goes_through_cache() {
+        let mut p = TraceProgram::new("t", vec![], line_reads(0x1000_0000, 3));
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut TouchingHandler, RunLimit::Exhausted);
+        assert_eq!(stats.instr.accesses, 3);
+        // 4 KiB cache: no conflict between 3 app lines and the instr line,
+        // so only the first instrumentation access misses.
+        assert_eq!(stats.instr.misses, 1);
+        assert_eq!(stats.total_misses(), 4);
+    }
+
+    #[test]
+    fn handler_misses_do_not_feed_pmu() {
+        struct H {
+            seen_global: u64,
+        }
+        impl Handler for H {
+            fn init(&mut self, ctx: &mut EngineCtx) {
+                ctx.arm_miss_overflow(3);
+            }
+            fn on_interrupt(&mut self, _intr: Interrupt, ctx: &mut EngineCtx) {
+                // This instrumentation miss must not bump the global counter.
+                ctx.touch_read(crate::address_space::INSTR_BASE + 4096);
+                self.seen_global = ctx.read_global();
+            }
+        }
+        let mut p = TraceProgram::new("t", vec![], line_reads(0x1000_0000, 3));
+        let mut h = H { seen_global: 0 };
+        let mut e = Engine::new(cfg());
+        e.run(&mut p, &mut h, RunLimit::Exhausted);
+        assert_eq!(h.seen_global, 3);
+    }
+
+    struct TimerHandler {
+        fires: Vec<Cycle>,
+        interval: Cycle,
+    }
+
+    impl Handler for TimerHandler {
+        fn init(&mut self, ctx: &mut EngineCtx) {
+            ctx.arm_timer_in(self.interval);
+        }
+        fn on_interrupt(&mut self, intr: Interrupt, ctx: &mut EngineCtx) {
+            assert_eq!(intr, Interrupt::Timer);
+            self.fires.push(ctx.now());
+            ctx.arm_timer_in(self.interval);
+        }
+    }
+
+    #[test]
+    fn timer_interrupts_fire_repeatedly() {
+        let mut p = TraceProgram::new("t", vec![], vec![Event::Compute(10); 100]);
+        let mut h = TimerHandler {
+            fires: vec![],
+            interval: 100,
+        };
+        let mut e = Engine::new(cfg());
+        let stats = e.run(&mut p, &mut h, RunLimit::Exhausted);
+        assert_eq!(stats.cycles, 1000);
+        assert_eq!(h.fires.len(), 10, "fires at 100,200,...,1000");
+    }
+
+    #[test]
+    fn timeline_records_per_object_series() {
+        let mut c = cfg();
+        c.timeline = Some(crate::stats::TimelineConfig { bucket_cycles: 50 });
+        let decls = vec![ObjectDecl::global("A", 0x1000_0000, 64 * 100)];
+        let mut p = TraceProgram::new("t", decls, line_reads(0x1000_0000, 8));
+        let mut e = Engine::new(c);
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        let t = stats.timeline.expect("timeline present");
+        let series = t.series(0);
+        assert_eq!(series.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping object")]
+    fn overlapping_declarations_are_rejected() {
+        let decls = vec![
+            ObjectDecl::global("A", 0x1000_0000, 128),
+            ObjectDecl::global("B", 0x1000_0040, 128),
+        ];
+        let mut p = TraceProgram::new("t", decls, vec![]);
+        Engine::new(cfg()).run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::program::TraceProgram;
+    use cachescope_hwpm::{CostModel, PmuConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn every_app_miss_is_attributed_exactly_once(
+            // Random line indices across three declared objects plus a
+            // gap region.
+            picks in prop::collection::vec(0u64..64, 1..400),
+        ) {
+            let decls = vec![
+                ObjectDecl::global("A", 0x1000_0000, 64 * 16),
+                ObjectDecl::global("B", 0x1000_0400, 64 * 16),
+                ObjectDecl::global("C", 0x1000_0800, 64 * 16),
+                // lines 48..64 (0x1000_0C00..) are unmapped gap space
+            ];
+            let events: Vec<Event> = picks
+                .iter()
+                .map(|&k| Event::Access(MemRef::read(0x1000_0000 + k * 64, 8)))
+                .collect();
+            let mut p = TraceProgram::new("t", decls, events);
+            let mut e = Engine::new(SimConfig {
+                cache: CacheConfig {
+                    size_bytes: 512,
+                    line_bytes: 64,
+                    assoc: 2,
+                    hit_cycles: 1,
+                    miss_penalty: 7,
+                    writeback_penalty: 0,
+                    policy: Default::default(),
+                },
+                l1: None,
+                pmu: PmuConfig { region_counters: 1 },
+                costs: CostModel::free(),
+                timeline: None,
+            });
+            let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+
+            // Conservation: per-object misses + unmapped == app misses.
+            let attributed: u64 = stats.objects.iter().map(|o| o.misses).sum();
+            prop_assert_eq!(attributed + stats.unmapped_misses, stats.app.misses);
+            prop_assert_eq!(stats.app.accesses, picks.len() as u64);
+            prop_assert!(stats.app.misses <= stats.app.accesses);
+            // Cycle accounting: hits cost 1, misses cost 8.
+            let expect = stats.app.accesses + 7 * stats.app.misses;
+            prop_assert_eq!(stats.cycles, expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod writeback_engine_tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::program::TraceProgram;
+    use cachescope_hwpm::{CostModel, PmuConfig};
+
+    #[test]
+    fn writeback_penalty_is_charged_and_counted() {
+        let cfg = SimConfig {
+            cache: CacheConfig {
+                size_bytes: 256,
+                line_bytes: 64,
+                assoc: 1,
+                hit_cycles: 1,
+                miss_penalty: 10,
+                writeback_penalty: 100,
+                policy: Default::default(),
+            },
+            l1: None,
+            pmu: PmuConfig { region_counters: 1 },
+            costs: CostModel::free(),
+            timeline: None,
+        };
+        // Direct-mapped, 4 sets: 0 and 256 collide. Write 0, then read
+        // 256 (evicts dirty 0 -> write-back), then read 0 (evicts clean
+        // 256 -> no write-back).
+        let events = vec![
+            Event::Access(MemRef::write(0, 8)),
+            Event::Access(MemRef::read(256, 8)),
+            Event::Access(MemRef::read(0, 8)),
+        ];
+        let mut p = TraceProgram::new("wb", vec![], events);
+        let mut e = Engine::new(cfg);
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        assert_eq!(stats.writebacks, 1);
+        // 3 misses x 11 cycles + 1 write-back x 100.
+        assert_eq!(stats.cycles, 33 + 100);
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::program::TraceProgram;
+    use cachescope_hwpm::{CostModel, PmuConfig};
+
+    fn two_level_cfg() -> SimConfig {
+        SimConfig {
+            cache: CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                assoc: 2,
+                hit_cycles: 10,
+                miss_penalty: 100,
+                writeback_penalty: 0,
+                policy: Default::default(),
+            },
+            // Tiny L1: 2 sets x 2 ways = 256 B.
+            l1: Some(CacheConfig {
+                size_bytes: 256,
+                line_bytes: 64,
+                assoc: 2,
+                hit_cycles: 1,
+                miss_penalty: 0,
+                writeback_penalty: 0,
+                policy: Default::default(),
+            }),
+            pmu: PmuConfig { region_counters: 1 },
+            costs: CostModel::free(),
+            timeline: None,
+        }
+    }
+
+    fn reads(addrs: &[u64]) -> Vec<Event> {
+        addrs
+            .iter()
+            .map(|&a| Event::Access(MemRef::read(a, 8)))
+            .collect()
+    }
+
+    #[test]
+    fn l1_hits_never_reach_the_monitored_cache() {
+        // Same line four times: first access misses both levels, the
+        // rest hit the L1 and are invisible to the monitored level.
+        let decls = vec![ObjectDecl::global("A", 0x1000_0000, 4096)];
+        let mut p = TraceProgram::new(
+            "t",
+            decls,
+            reads(&[0x1000_0000, 0x1000_0008, 0x1000_0010, 0x1000_0018]),
+        );
+        let mut e = Engine::new(two_level_cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        let l1 = stats.l1.expect("l1 stats present");
+        assert_eq!(l1.accesses, 4);
+        assert_eq!(l1.misses, 1);
+        assert_eq!(stats.app.accesses, 4, "app counts all references");
+        assert_eq!(stats.app.misses, 1, "only the cold miss is attributed");
+        assert_eq!(stats.objects[0].misses, 1);
+        // Cycles: 4 x 1 (L1) + 1 x (10 + 100) at the monitored level.
+        assert_eq!(stats.cycles, 4 + 110);
+    }
+
+    #[test]
+    fn l1_capacity_misses_flow_through() {
+        // 8 distinct lines overflow the 4-line L1 but fit in the 4 KiB
+        // monitored cache: second pass misses L1 but hits the big cache.
+        let lines: Vec<u64> = (0..8).map(|k| 0x1000_0000 + k * 64).collect();
+        let mut seq = lines.clone();
+        seq.extend(&lines);
+        let decls = vec![ObjectDecl::global("A", 0x1000_0000, 4096)];
+        let mut p = TraceProgram::new("t", decls, reads(&seq));
+        let mut e = Engine::new(two_level_cfg());
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        let l1 = stats.l1.unwrap();
+        assert_eq!(l1.misses, 16, "L1 thrashes on both passes");
+        assert_eq!(stats.app.misses, 8, "monitored cache holds the set");
+    }
+
+    #[test]
+    fn pmu_sees_only_monitored_level_misses() {
+        struct H {
+            observed: u64,
+        }
+        impl Handler for H {
+            fn init(&mut self, _ctx: &mut EngineCtx) {}
+            fn on_interrupt(&mut self, _i: Interrupt, _ctx: &mut EngineCtx) {}
+            fn on_finish(&mut self, ctx: &mut EngineCtx) {
+                self.observed = ctx.read_global();
+            }
+        }
+        let decls = vec![ObjectDecl::global("A", 0x1000_0000, 4096)];
+        let mut p = TraceProgram::new(
+            "t",
+            decls,
+            reads(&[0x1000_0000, 0x1000_0000, 0x1000_0000]),
+        );
+        let mut h = H { observed: 99 };
+        let mut e = Engine::new(two_level_cfg());
+        e.run(&mut p, &mut h, RunLimit::Exhausted);
+        assert_eq!(h.observed, 1, "L1 hits do not reach the miss counter");
+    }
+
+    #[test]
+    fn no_l1_stats_without_l1() {
+        let mut cfg = two_level_cfg();
+        cfg.l1 = None;
+        let mut p = TraceProgram::new("t", vec![], reads(&[0x1000_0000]));
+        let mut e = Engine::new(cfg);
+        let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
+        assert!(stats.l1.is_none());
+    }
+}

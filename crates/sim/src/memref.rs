@@ -1,0 +1,59 @@
+//! Memory references: the unit of work the cache simulator consumes.
+
+use crate::Addr;
+
+/// Whether a reference reads or writes memory.
+///
+/// The simulated cache is write-allocate with no write-back cost modelling,
+/// so reads and writes behave identically with respect to misses; the kind
+/// is carried for statistics and for future write-penalty models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// One memory reference issued by a program or by instrumentation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Starting (byte) address of the access.
+    pub addr: Addr,
+    /// Access size in bytes. Accesses are assumed not to straddle cache
+    /// lines (the simulator only looks at the line containing `addr`);
+    /// workload generators emit line-aligned accesses.
+    pub size: u32,
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// A read of `size` bytes at `addr`.
+    pub fn read(addr: Addr, size: u32) -> Self {
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write of `size` bytes at `addr`.
+    pub fn write(addr: Addr, size: u32) -> Self {
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemRef::read(16, 8).kind, AccessKind::Read);
+        assert_eq!(MemRef::write(16, 8).kind, AccessKind::Write);
+        assert_eq!(MemRef::read(16, 8).addr, 16);
+        assert_eq!(MemRef::write(16, 4).size, 4);
+    }
+}

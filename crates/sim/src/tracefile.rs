@@ -1,0 +1,419 @@
+//! Reference-trace recording and replay.
+//!
+//! The paper's substrate is ATOM binary rewriting: instrument once, then
+//! feed the reference stream to the simulator. This module provides the
+//! equivalent capture/replay workflow: wrap any [`Program`] in a
+//! [`RecordingProgram`] to tee its event stream to a writer, and replay
+//! the file later with [`TraceReader`] — which is itself a `Program`, so
+//! a recorded trace can drive any experiment, bit-identically.
+//!
+//! The format is line-oriented text (deterministic, diffable, no external
+//! dependencies):
+//!
+//! ```text
+//! cachescope-trace 1
+//! N <program name>
+//! O <base-hex> <size> <object name>       (one per static object)
+//! A <addr-hex> <size> <R|W>               (memory access)
+//! C <cycles>                              (compute block)
+//! M <base-hex> <size> [name]              (heap allocation)
+//! F <base-hex>                            (heap free)
+//! P <id>                                  (phase marker)
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use crate::memref::{AccessKind, MemRef};
+use crate::program::{Event, ObjectDecl, Program};
+
+const MAGIC: &str = "cachescope-trace 1";
+
+/// Serialise one event as a trace line.
+fn write_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
+    match ev {
+        Event::Access(r) => {
+            let kind = match r.kind {
+                AccessKind::Read => 'R',
+                AccessKind::Write => 'W',
+            };
+            writeln!(w, "A {:x} {} {}", r.addr, r.size, kind)
+        }
+        Event::Compute(c) => writeln!(w, "C {c}"),
+        Event::Alloc { base, size, name } => match name {
+            Some(n) => writeln!(w, "M {base:x} {size} {n}"),
+            None => writeln!(w, "M {base:x} {size}"),
+        },
+        Event::Free { base } => writeln!(w, "F {base:x}"),
+        Event::Phase(p) => writeln!(w, "P {p}"),
+    }
+}
+
+/// Wraps a program and tees every event it produces to a writer.
+pub struct RecordingProgram<P: Program, W: Write> {
+    inner: P,
+    out: W,
+    header_written: bool,
+}
+
+impl<P: Program, W: Write> RecordingProgram<P, W> {
+    pub fn new(inner: P, out: W) -> Self {
+        RecordingProgram {
+            inner,
+            out,
+            header_written: false,
+        }
+    }
+
+    /// Finish recording and recover the writer.
+    pub fn into_writer(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    fn write_header(&mut self) {
+        let mut emit = || -> io::Result<()> {
+            writeln!(self.out, "{MAGIC}")?;
+            writeln!(self.out, "N {}", self.inner.name())?;
+            for o in self.inner.static_objects() {
+                writeln!(self.out, "O {:x} {} {}", o.base, o.size, o.name)?;
+            }
+            Ok(())
+        };
+        emit().expect("trace header write failed");
+        self.header_written = true;
+    }
+}
+
+impl<P: Program, W: Write> Program for RecordingProgram<P, W> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn static_objects(&self) -> Vec<ObjectDecl> {
+        self.inner.static_objects()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        if !self.header_written {
+            self.write_header();
+        }
+        let ev = self.inner.next_event()?;
+        write_event(&mut self.out, &ev).expect("trace event write failed");
+        Some(ev)
+    }
+}
+
+/// Streams a recorded trace back as a [`Program`].
+pub struct TraceReader<R: BufRead> {
+    name: String,
+    objects: Vec<ObjectDecl>,
+    lines: io::Lines<R>,
+    line_no: usize,
+}
+
+/// A malformed trace line.
+#[derive(Debug)]
+pub struct TraceError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Parse the header (magic, name, static objects); the body streams
+    /// lazily through [`Program::next_event`].
+    pub fn new(reader: R) -> Result<Self, TraceError> {
+        let mut lines = reader.lines();
+        let mut line_no = 0usize;
+        let mut next = |no: &mut usize| -> Result<Option<String>, TraceError> {
+            *no += 1;
+            match lines.next() {
+                Some(Ok(l)) => Ok(Some(l)),
+                Some(Err(e)) => Err(TraceError {
+                    line: *no,
+                    message: e.to_string(),
+                }),
+                None => Ok(None),
+            }
+        };
+        let magic = next(&mut line_no)?.unwrap_or_default();
+        if magic != MAGIC {
+            return Err(TraceError {
+                line: 1,
+                message: format!("bad magic {magic:?}"),
+            });
+        }
+        let name_line = next(&mut line_no)?.unwrap_or_default();
+        let name = name_line
+            .strip_prefix("N ")
+            .ok_or(TraceError {
+                line: line_no,
+                message: "expected program name (N ...)".into(),
+            })?
+            .to_string();
+        // Object lines are contiguous; we cannot peek with io::Lines, so
+        // static objects are instead re-parsed permissively: read lines
+        // until a non-`O` line appears and stash it as the first event.
+        Ok(TraceReader {
+            name,
+            objects: Vec::new(),
+            lines,
+            line_no,
+        })
+    }
+
+    fn parse_event(line: &str, line_no: usize) -> Result<Option<Event>, TraceError> {
+        let err = |m: String| TraceError {
+            line: line_no,
+            message: m,
+        };
+        let mut parts = line.split_whitespace();
+        let Some(tag) = parts.next() else {
+            return Ok(None); // blank line
+        };
+        let ev = match tag {
+            "A" => {
+                let addr = u64::from_str_radix(parts.next().ok_or_else(|| err("A: missing addr".into()))?, 16)
+                    .map_err(|e| err(format!("A: bad addr: {e}")))?;
+                let size: u32 = parts
+                    .next()
+                    .ok_or_else(|| err("A: missing size".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("A: bad size: {e}")))?;
+                let kind = match parts.next() {
+                    Some("R") => AccessKind::Read,
+                    Some("W") => AccessKind::Write,
+                    other => return Err(err(format!("A: bad kind {other:?}"))),
+                };
+                Event::Access(MemRef { addr, size, kind })
+            }
+            "C" => Event::Compute(
+                parts
+                    .next()
+                    .ok_or_else(|| err("C: missing cycles".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("C: bad cycles: {e}")))?,
+            ),
+            "M" => {
+                let base = u64::from_str_radix(parts.next().ok_or_else(|| err("M: missing base".into()))?, 16)
+                    .map_err(|e| err(format!("M: bad base: {e}")))?;
+                let size: u64 = parts
+                    .next()
+                    .ok_or_else(|| err("M: missing size".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("M: bad size: {e}")))?;
+                let rest: Vec<&str> = parts.collect();
+                let name = if rest.is_empty() {
+                    None
+                } else {
+                    Some(rest.join(" "))
+                };
+                Event::Alloc { base, size, name }
+            }
+            "F" => Event::Free {
+                base: u64::from_str_radix(parts.next().ok_or_else(|| err("F: missing base".into()))?, 16)
+                    .map_err(|e| err(format!("F: bad base: {e}")))?,
+            },
+            "P" => Event::Phase(
+                parts
+                    .next()
+                    .ok_or_else(|| err("P: missing id".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("P: bad id: {e}")))?,
+            ),
+            other => return Err(err(format!("unknown tag {other:?}"))),
+        };
+        Ok(Some(ev))
+    }
+}
+
+impl<R: BufRead> Program for TraceReader<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn static_objects(&self) -> Vec<ObjectDecl> {
+        self.objects.clone()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        loop {
+            self.line_no += 1;
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => panic!("trace read error at line {}: {e}", self.line_no),
+            };
+            // Header object lines (parsed here because the engine calls
+            // static_objects() before the first event — see `load`).
+            if let Some(rest) = line.strip_prefix("O ") {
+                let mut p = rest.splitn(3, ' ');
+                let base = u64::from_str_radix(p.next().unwrap_or(""), 16)
+                    .unwrap_or_else(|e| panic!("trace line {}: bad object base: {e}", self.line_no));
+                let size: u64 = p
+                    .next()
+                    .unwrap_or("")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("trace line {}: bad object size: {e}", self.line_no));
+                let name = p.next().unwrap_or("").to_string();
+                self.objects.push(ObjectDecl::global(name, base, size));
+                continue;
+            }
+            match Self::parse_event(&line, self.line_no) {
+                Ok(Some(ev)) => return Some(ev),
+                Ok(None) => continue,
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+}
+
+/// Materialise an entire trace into a [`crate::program::TraceProgram`]
+/// (objects and events fully parsed up front). Use for small traces and
+/// tests; use [`TraceReader`] directly to stream large ones.
+pub fn load_eager<R: BufRead>(reader: R) -> Result<crate::program::TraceProgram, TraceError> {
+    let mut tr = TraceReader::new(reader)?;
+    let mut events = Vec::new();
+    while let Some(ev) = tr.next_event() {
+        events.push(ev);
+    }
+    Ok(crate::program::TraceProgram::new(
+        tr.name.clone(),
+        tr.objects.clone(),
+        events,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::{Engine, NullHandler, RunLimit};
+    use crate::program::TraceProgram;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Phase(0),
+            Event::Compute(100),
+            Event::Access(MemRef::read(0x1000_0000, 8)),
+            Event::Access(MemRef::write(0x1000_0040, 4)),
+            Event::Alloc {
+                base: 0x1_4100_0000,
+                size: 4096,
+                name: Some("tree node".into()),
+            },
+            Event::Access(MemRef::read(0x1_4100_0080, 8)),
+            Event::Alloc {
+                base: 0x1_4200_0000,
+                size: 64,
+                name: None,
+            },
+            Event::Free { base: 0x1_4100_0000 },
+            Event::Compute(7),
+        ]
+    }
+
+    fn sample_program() -> TraceProgram {
+        TraceProgram::new(
+            "roundtrip",
+            vec![
+                ObjectDecl::global("A", 0x1000_0000, 64),
+                ObjectDecl::global("B C", 0x1000_0040, 64),
+            ],
+            sample_events(),
+        )
+    }
+
+    fn record_to_string(p: impl Program) -> String {
+        let mut rec = RecordingProgram::new(p, Vec::new());
+        while rec.next_event().is_some() {}
+        String::from_utf8(rec.into_writer()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let text = record_to_string(sample_program());
+        assert!(text.starts_with(MAGIC));
+        let replayed = load_eager(text.as_bytes()).expect("parse");
+        assert_eq!(replayed.name(), "roundtrip");
+        assert_eq!(replayed.static_objects(), sample_program().static_objects());
+        let mut a = replayed;
+        let mut b = TraceProgram::new("x", vec![], sample_events());
+        loop {
+            let ea = a.next_event();
+            let eb = b.next_event();
+            assert_eq!(ea, eb);
+            if ea.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn replay_produces_identical_simulation_results() {
+        let text = record_to_string(sample_program());
+        let mut original = sample_program();
+        let mut replayed = load_eager(text.as_bytes()).unwrap();
+        let s1 = Engine::new(SimConfig::default()).run(
+            &mut original,
+            &mut NullHandler,
+            RunLimit::Exhausted,
+        );
+        let s2 = Engine::new(SimConfig::default()).run(
+            &mut replayed,
+            &mut NullHandler,
+            RunLimit::Exhausted,
+        );
+        assert_eq!(s1.app, s2.app);
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.unmapped_misses, s2.unmapped_misses);
+        assert_eq!(s1.objects.len(), s2.objects.len());
+        for (a, b) in s1.objects.iter().zip(&s2.objects) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.misses, b.misses);
+        }
+    }
+
+    #[test]
+    fn names_with_spaces_survive() {
+        let text = record_to_string(sample_program());
+        let replayed = load_eager(text.as_bytes()).unwrap();
+        assert!(replayed
+            .static_objects()
+            .iter()
+            .any(|o| o.name == "B C"));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_eager("not a trace\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = format!("{MAGIC}\nN x\nA zz 8 R\n");
+        let result = std::panic::catch_unwind(|| {
+            let _ = load_eager(text.as_bytes());
+        });
+        assert!(result.is_err(), "bad hex addr must fail loudly");
+    }
+
+    #[test]
+    fn streaming_reader_works_without_eager_load() {
+        let text = record_to_string(sample_program());
+        let mut tr = TraceReader::new(text.as_bytes()).unwrap();
+        let mut count = 0;
+        while tr.next_event().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, sample_events().len());
+        assert_eq!(tr.static_objects().len(), 2, "objects parsed in passing");
+    }
+}

@@ -1,0 +1,35 @@
+//! SPEC95-analogue synthetic workloads.
+//!
+//! The paper evaluates its techniques on seven SPEC95 applications run
+//! under an ATOM-instrumented cache simulator. We do not have SPEC95
+//! sources or ATOM, so this crate provides *reference-stream generators*
+//! whose observable behaviour matches what the techniques under test can
+//! see: per-object cache-miss shares (Table 1's "Actual" column),
+//! application miss rates (section 3.2: ijpeg 144 misses/Mcycle, compress
+//! 361, mgrid 6,827, ...), heap-allocation behaviour (ijpeg's anonymous
+//! blocks at Alpha-style addresses), *periodic* access structure (tomcatv —
+//! required to reproduce the sampling-resonance result of section 3.1) and
+//! *phase* structure (applu's Figure 5 dips; su2cor's pattern change that
+//! defeats the 2-way search in Table 2).
+//!
+//! Every generator is deterministic: stochastic mixes use a seeded PRNG,
+//! and the periodic generator is exactly reproducible by construction.
+//!
+//! See [`spec`] for the seven paper applications and [`builder`] for
+//! constructing custom workloads.
+
+pub mod builder;
+pub mod pattern;
+pub mod spec;
+pub mod spec2000;
+pub mod wrr;
+
+pub use builder::{PhaseBuilder, SpecWorkload, WorkloadBuilder};
+pub use pattern::PatternGen;
+
+/// Bytes in one simulated cache line; workload access strides are
+/// line-granular so that every planned access touches a fresh line.
+pub const LINE: u64 = 64;
+
+/// One mebibyte.
+pub const MIB: u64 = 1024 * 1024;

@@ -1,0 +1,56 @@
+//! `129.compress` — LZW text compression analogue.
+//!
+//! Two dominant buffers (the uncompressed input at 63.0% and the
+//! compressed output at 35.6%) plus the small hash and code tables. The
+//! defining property is the **low miss rate** — 361 misses per million
+//! cycles, second-lowest after ijpeg — which is why compress (with ijpeg)
+//! is the app where search overhead exceeds low-frequency sampling
+//! overhead in the paper's Figure 4 discussion.
+
+use crate::builder::{PhaseBuilder, WorkloadBuilder};
+use crate::{SpecWorkload, MIB};
+
+use super::Scale;
+
+/// The paper's measured per-object miss percentages (Table 1, "Actual").
+pub const ACTUAL: [(&str, f64); 4] = [
+    ("orig_text_buffer", 63.0),
+    ("comp_text_buffer", 35.6),
+    ("htab", 1.3),
+    ("codetab", 0.2),
+];
+
+/// Build the compress analogue (361 misses/Mcycle).
+pub fn compress(scale: Scale) -> SpecWorkload {
+    WorkloadBuilder::new("compress")
+        .global("orig_text_buffer", 8 * MIB)
+        .global("comp_text_buffer", 8 * MIB)
+        .global("htab", MIB)
+        .global("codetab", MIB)
+        .phase(
+            PhaseBuilder::new()
+                .misses(scale.misses(20_000_000))
+                .weight("orig_text_buffer", 63.0)
+                .weight("comp_text_buffer", 35.6)
+                .weight("htab", 1.3)
+                .weight("codetab", 0.2)
+                .compute_per_miss(2_719)
+                .stochastic(0xC0DE),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_match_paper_actual() {
+        let w = compress(Scale::Test);
+        // Weights sum to 100.1 (as the paper's do); shares are normalised.
+        for &(name, pct) in &ACTUAL {
+            let got = w.expected_share(name).unwrap();
+            assert!((got - pct / 1.001).abs() < 0.05, "{name}: {got}");
+        }
+    }
+}

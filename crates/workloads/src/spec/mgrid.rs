@@ -1,0 +1,43 @@
+//! `107.mgrid` — multigrid solver analogue.
+//!
+//! Three arrays: U (40.8%) and R (40.4%) nearly tied, V (18.8%) behind.
+//! Miss rate 6,827 misses/Mcycle — the value the paper quotes explicitly
+//! in section 3.2.
+
+use crate::builder::{PhaseBuilder, WorkloadBuilder};
+use crate::{SpecWorkload, MIB};
+
+use super::Scale;
+
+/// The paper's measured per-object miss percentages (Table 1, "Actual").
+pub const ACTUAL: [(&str, f64); 3] = [("U", 40.8), ("R", 40.4), ("V", 18.8)];
+
+/// Build the mgrid analogue (6,827 misses/Mcycle).
+pub fn mgrid(scale: Scale) -> SpecWorkload {
+    let mut b = WorkloadBuilder::new("mgrid");
+    for &(name, _) in &ACTUAL {
+        b = b.global(name, 8 * MIB);
+    }
+    let mut phase = PhaseBuilder::new()
+        .misses(scale.misses(20_000_000))
+        .compute_per_miss(95)
+        .stochastic(0x6419);
+    for &(name, pct) in &ACTUAL {
+        phase = phase.weight(name, pct);
+    }
+    b.phase(phase).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_match_paper_actual() {
+        let w = mgrid(Scale::Test);
+        for &(name, pct) in &ACTUAL {
+            let got = w.expected_share(name).unwrap();
+            assert!((got - pct).abs() < 0.01, "{name}: {got}");
+        }
+    }
+}

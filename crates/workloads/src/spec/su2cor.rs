@@ -1,0 +1,118 @@
+//! `103.su2cor` — quantum-physics Monte Carlo analogue.
+//!
+//! The app whose *changing access patterns* defeat the 2-way search
+//! (Table 2): Monte Carlo sweeps alternate a segment that hammers R, S
+//! and the two halves of W2 (U nearly idle at 2%) with a three-times
+//! longer update segment dominated by U (75%+ of misses). Overall, U
+//! causes 57.1% of all misses — but a narrow search whose individual
+//! measurement intervals see only one mix can rank U's region low from a
+//! sweep-segment measurement and terminate on R before ever refining it,
+//! and R's post-discovery measurements land mostly in update segments
+//! where R is cold — the paper's "R, rank 1, 0.0%" pathology.
+//!
+//! W2 appears as two named halves ("W2 - intact", "W2 - sweep"), exactly
+//! as the paper's tables list them. A fifth of all misses land in
+//! undeclared memory (stack frames), modelled by an anonymous region.
+
+use crate::builder::{PhaseBuilder, WorkloadBuilder};
+use crate::{SpecWorkload, MIB};
+
+use super::Scale;
+
+/// The paper's measured per-object miss percentages (Table 1, "Actual").
+pub const ACTUAL: [(&str, f64); 6] = [
+    ("U", 57.1),
+    ("R", 6.9),
+    ("S", 6.6),
+    ("W2 - intact", 3.9),
+    ("W2 - sweep", 3.7),
+    ("B", 2.3),
+];
+
+/// Planned misses per sweep (R/S/W2-dominated) segment at paper scale
+/// (0.5 Gcycle at ~12,000 misses/Mcycle). The segment spans several
+/// search intervals, so a narrow search can fully converge on the sweep
+/// mix — and terminate on R — before the update segment reveals U, while
+/// a 10-way search is still mid-flight at the change and averages across
+/// it. Use a search interval of ~[`SEARCH_INTERVAL`] with this workload.
+pub const SWEEP_MISSES: u64 = 6_000_000;
+
+/// Planned misses per update (U-dominated) segment at paper scale.
+pub const UPDATE_MISSES: u64 = 18_000_000;
+
+/// The search measurement interval (virtual cycles) that reproduces the
+/// paper's su2cor results: long enough that one sweep segment holds about
+/// eight iterations, matching the paper's 1.6–4.1 interrupts per Gcycle.
+pub const SEARCH_INTERVAL: u64 = 60_000_000;
+
+/// Build the su2cor analogue (~12,000 misses/Mcycle).
+///
+/// Phase weights solve `overall = 0.25 * sweep + 0.75 * update` for the
+/// ACTUAL shares with `update` concentrated on U:
+///
+/// | object       | sweep | update | overall |
+/// |--------------|-------|--------|---------|
+/// | U            |  2.0  | 75.47  | 57.10   |
+/// | R            | 27.6  |  0     |  6.90   |
+/// | S            | 26.4  |  0     |  6.60   |
+/// | W2 - intact  | 15.6  |  0     |  3.90   |
+/// | W2 - sweep   | 14.8  |  0     |  3.70   |
+/// | B            |  9.2  |  0     |  2.30   |
+/// | stack        |  4.4  | 24.53  | 19.50   |
+pub fn su2cor(scale: Scale) -> SpecWorkload {
+    WorkloadBuilder::new("su2cor")
+        .global("U", 8 * MIB)
+        .global("R", 8 * MIB)
+        .global("S", 8 * MIB)
+        .global("W2 - intact", 4 * MIB)
+        .global("W2 - sweep", 4 * MIB)
+        .global("B", 4 * MIB)
+        .anonymous("stack", 8 * MIB)
+        .phase(
+            PhaseBuilder::new()
+                .misses(scale.misses(SWEEP_MISSES))
+                .weight("U", 2.0)
+                .weight("R", 27.6)
+                .weight("S", 26.4)
+                .weight("W2 - intact", 15.6)
+                .weight("W2 - sweep", 14.8)
+                .weight("B", 9.2)
+                .weight("stack", 4.4)
+                .compute_per_miss(32)
+                .stochastic(0x52C0),
+        )
+        .phase(
+            PhaseBuilder::new()
+                .misses(scale.misses(UPDATE_MISSES))
+                .weight("U", 75.4667)
+                .weight("stack", 24.5333)
+                .compute_per_miss(32)
+                .stochastic(0x52C1),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_shares_match_paper_actual() {
+        let w = su2cor(Scale::Test);
+        for &(name, pct) in &ACTUAL {
+            let got = w.expected_share(name).unwrap();
+            assert!((got - pct).abs() < 0.05, "{name}: {got:.2} vs {pct}");
+        }
+        // Residual unattributable share.
+        let stack = w.expected_share("stack").unwrap();
+        assert!((stack - 19.5).abs() < 0.1, "stack: {stack:.2}");
+    }
+
+    #[test]
+    fn sweep_phase_is_a_quarter_of_the_cycle() {
+        let w = su2cor(Scale::Paper);
+        assert_eq!(w.cycle_misses(), SWEEP_MISSES + UPDATE_MISSES);
+        assert_eq!(w.num_phases(), 2);
+        assert_eq!(SWEEP_MISSES * 3, UPDATE_MISSES);
+    }
+}

@@ -1,0 +1,61 @@
+//! `179.art` analogue — adaptive-resonance neural network.
+//!
+//! Image recognition alternates long *scan* phases (sweeping the F1-layer
+//! weight matrix) with *compare* phases (bus/top-down traffic). Miss rate
+//! is high (~8,000 misses/Mcycle); shares below are representative of
+//! published data-centric profiles of art, where the weight matrix
+//! dominates.
+
+use crate::builder::{PhaseBuilder, WorkloadBuilder};
+use crate::spec::Scale;
+use crate::{SpecWorkload, MIB};
+
+/// Designed long-run miss shares.
+pub const ACTUAL: [(&str, f64); 3] = [("f1_layer", 52.0), ("bus", 28.0), ("tds", 12.0)];
+
+/// Build the art analogue (~8,000 misses/Mcycle).
+pub fn art(scale: Scale) -> SpecWorkload {
+    WorkloadBuilder::new("art")
+        .global("f1_layer", 16 * MIB)
+        .global("bus", 8 * MIB)
+        .global("tds", 8 * MIB)
+        .anonymous("stack", 4 * MIB)
+        .phase(
+            // Scan: hammer the weight matrix.
+            PhaseBuilder::new()
+                .misses(scale.misses(1_200_000))
+                .weight("f1_layer", 75.0)
+                .weight("bus", 10.0)
+                .weight("tds", 7.0)
+                .weight("stack", 8.0)
+                .compute_per_miss(74)
+                .stochastic(0xA127),
+        )
+        .phase(
+            // Compare: bus/top-down dominate.
+            PhaseBuilder::new()
+                .misses(scale.misses(800_000))
+                .weight("f1_layer", 17.5)
+                .weight("bus", 55.0)
+                .weight("tds", 19.5)
+                .weight("stack", 8.0)
+                .compute_per_miss(74)
+                .stochastic(0xA128),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_shares_match_design() {
+        let w = art(Scale::Test);
+        for &(name, pct) in &ACTUAL {
+            let got = w.expected_share(name).unwrap();
+            assert!((got - pct).abs() < 0.5, "{name}: {got:.2} vs {pct}");
+        }
+        assert!((w.expected_share("stack").unwrap() - 8.0).abs() < 0.1);
+    }
+}

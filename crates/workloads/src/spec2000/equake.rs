@@ -1,0 +1,53 @@
+//! `183.equake` analogue — seismic wave propagation.
+//!
+//! A steady sparse-matrix-vector kernel: the stiffness matrix K dominates
+//! misses, followed by the displacement vectors. Single-phase, ~10,000
+//! misses/Mcycle.
+
+use crate::builder::{PhaseBuilder, WorkloadBuilder};
+use crate::spec::Scale;
+use crate::{SpecWorkload, MIB};
+
+/// Designed long-run miss shares.
+pub const ACTUAL: [(&str, f64); 4] = [
+    ("K", 45.0),
+    ("disp", 25.0),
+    ("M", 15.0),
+    ("exc", 10.0),
+];
+
+/// Build the equake analogue (~10,000 misses/Mcycle).
+pub fn equake(scale: Scale) -> SpecWorkload {
+    WorkloadBuilder::new("equake")
+        .global("K", 16 * MIB)
+        .global("disp", 8 * MIB)
+        .global("M", 8 * MIB)
+        .global("exc", 4 * MIB)
+        .anonymous("stack", 4 * MIB)
+        .phase(
+            PhaseBuilder::new()
+                .misses(scale.misses(2_000_000))
+                .weight("K", 45.0)
+                .weight("disp", 25.0)
+                .weight("M", 15.0)
+                .weight("exc", 10.0)
+                .weight("stack", 5.0)
+                .compute_per_miss(49)
+                .stochastic(0xE0AE),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_match_design() {
+        let w = equake(Scale::Test);
+        for &(name, pct) in &ACTUAL {
+            let got = w.expected_share(name).unwrap();
+            assert!((got - pct).abs() < 0.01, "{name}: {got}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! SPEC2000-analogue workloads — the paper's section 5 plan: "We plan to
+//! expand the tested applications to include at least a set taken from
+//! the SPEC2000 benchmark suite", with emphasis on "applications that
+//! make extensive use of dynamically allocated memory".
+//!
+//! Three analogues cover the behaviours SPEC95 lacks:
+//!
+//! * [`mcf`] — combinatorial optimisation over a pointer-linked network:
+//!   *continuous heap churn*. Thousands of same-site tree nodes are
+//!   allocated and freed throughout execution, stressing the red-black
+//!   heap tree and exercising the allocation-site aggregation extension.
+//! * [`art()`] — neural-network image recognition: two long alternating
+//!   phases (training scans vs. comparison passes) over a few big arrays.
+//! * [`equake()`] — earthquake simulation: a steady sparse-matrix-vector
+//!   kernel dominated by the stiffness matrix.
+
+pub mod art;
+pub mod equake;
+pub mod mcf;
+
+pub use art::art;
+pub use equake::equake;
+pub use mcf::Mcf;
+
+use super::spec::Scale;
+use cachescope_sim::Program;
+
+/// All three SPEC2000 analogues as boxed programs (mcf is a bespoke
+/// generator type, so the common denominator is `dyn Program`).
+pub fn all(scale: Scale) -> Vec<Box<dyn Program>> {
+    vec![
+        Box::new(mcf::mcf(scale)),
+        Box::new(art(scale)),
+        Box::new(equake(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_have_unique_names() {
+        let apps = all(Scale::Test);
+        let mut names: Vec<String> = apps.iter().map(|a| a.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! # cachescope
+//!
+//! Data-centric cache-miss attribution via simulated hardware performance
+//! monitors — a reproduction of *"Using Hardware Performance Monitors to
+//! Isolate Memory Bottlenecks"* (Bryan R. Buck and Jeffrey K.
+//! Hollingsworth, SC 2000).
+//!
+//! This façade crate re-exports the whole workspace under one name:
+//!
+//! * [`sim`] — the cache simulator substrate (set-associative LRU cache,
+//!   virtual cycle accounting, simulation engine, run statistics),
+//! * [`hwpm`] — the simulated performance-monitor unit (region-qualified
+//!   miss counters, overflow/timer interrupts, last-miss-address register),
+//! * [`objmap`] — address → program-object resolution (symbol table for
+//!   globals, red-black interval tree for heap blocks),
+//! * [`workloads`] — SPEC95-analogue synthetic workloads (tomcatv, swim,
+//!   su2cor, mgrid, applu, compress, ijpeg) and a configurable builder,
+//! * [`core`] — the paper's two techniques: cache-miss address **sampling**
+//!   and the **n-way search**, plus the experiment runner that compares
+//!   their estimates against ground truth.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cachescope::core::{Experiment, TechniqueConfig};
+//! use cachescope::workloads::spec;
+//! use cachescope::sim::RunLimit;
+//!
+//! // Sample one in every 1,000 misses of a (scaled-down) tomcatv run.
+//! let report = Experiment::new(spec::tomcatv(spec::Scale::Test))
+//!     .technique(TechniqueConfig::sampling(1_000))
+//!     .limit(RunLimit::AppMisses(200_000))
+//!     .run();
+//!
+//! // The top-ranked object by estimated misses should also be a top
+//! // object by ground truth.
+//! let top = &report.rows()[0];
+//! assert!(top.actual_pct > 10.0);
+//! println!("{}", report);
+//! ```
+
+pub use cachescope_core as core;
+pub use cachescope_hwpm as hwpm;
+pub use cachescope_objmap as objmap;
+pub use cachescope_sim as sim;
+pub use cachescope_workloads as workloads;

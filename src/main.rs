@@ -1,0 +1,283 @@
+//! `cachescope` — command-line driver for the simulator and techniques.
+//!
+//! ```text
+//! cachescope <app> [options]
+//!
+//! apps:       tomcatv swim su2cor mgrid applu compress ijpeg   (SPEC95)
+//!             mcf art equake                                   (SPEC2000)
+//!
+//! options:
+//!   --technique sampling:<period>          miss-address sampling
+//!   --technique jittered:<base>:<spread>   pseudo-random-interval sampling
+//!   --technique adaptive:<pct>             self-tuning sampling targeting
+//!                                          <pct>% instrumentation overhead
+//!   --technique search                     n-way search (all counters)
+//!   --technique search:<n>                 n-way logical search (timeshared
+//!                                          if n exceeds --counters)
+//!   --misses <N>        run length in application misses  [default 1000000]
+//!   --counters <K>      physical PMU region counters      [default 10]
+//!   --interval <C>      search interval in cycles         [default 25000000]
+//!   --paper-scale       use paper-scale phase durations
+//!   --aggregate         merge same-site heap blocks (sampling only)
+//!   --timeline <C>      record a miss timeline with C-cycle buckets
+//!   --top <N>           print at most N rows              [default 12]
+//!   --l1 <KiB>          put an L1 of that size in front of the cache
+//!   --search-log        print the search's per-iteration decisions
+//!   --record <file>     tee the reference trace to a file (ATOM-style)
+//!   --replay <file>     drive the experiment from a recorded trace
+//!                       instead of a synthetic app (pass `-` as <app>)
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! cargo run --release -- mcf --technique sampling:1000 --aggregate
+//! ```
+
+use cachescope::core::{Experiment, SamplerConfig, SearchConfig, TechniqueConfig};
+use cachescope::sim::{Program, RunLimit};
+use cachescope::workloads::spec::{self, Scale};
+use cachescope::workloads::spec2000;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cachescope <app> [options]\n\
+         \x20 --technique sampling:<k> | jittered:<base>:<spread> | adaptive:<pct>\n\
+         \x20             | search[:<n>] | none\n\
+         \x20 --misses N --counters K --interval C --paper-scale --aggregate\n\
+         \x20 --timeline C --top N --l1 KiB --search-log --csv FILE\n\
+         \x20 --record FILE | --replay FILE (with '-' as <app>)\n\
+         apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str, what: &str) -> u64 {
+    s.replace('_', "").parse().unwrap_or_else(|_| {
+        eprintln!("invalid {what}: {s}");
+        std::process::exit(2);
+    })
+}
+
+fn workload(app: &str, scale: Scale) -> Box<dyn Program> {
+    match app {
+        "tomcatv" => Box::new(spec::tomcatv(scale)),
+        "swim" => Box::new(spec::swim(scale)),
+        "su2cor" => Box::new(spec::su2cor(scale)),
+        "mgrid" => Box::new(spec::mgrid(scale)),
+        "applu" => Box::new(spec::applu(scale)),
+        "compress" => Box::new(spec::compress(scale)),
+        "ijpeg" => Box::new(spec::ijpeg(scale)),
+        "mcf" => Box::new(spec2000::mcf::mcf(scale)),
+        "art" => Box::new(spec2000::art(scale)),
+        "equake" => Box::new(spec2000::equake(scale)),
+        _ => {
+            eprintln!("unknown app: {app}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // "-" is a valid app placeholder when replaying a recorded trace.
+    if args.is_empty() || (args[0] != "-" && args[0].starts_with('-')) {
+        usage();
+    }
+    let app = args[0].clone();
+
+    let mut technique = "sampling:1000".to_string();
+    let mut misses = 1_000_000u64;
+    let mut counters = 10usize;
+    let mut interval = 25_000_000u64;
+    let mut scale = Scale::Test;
+    let mut aggregate = false;
+    let mut timeline: Option<u64> = None;
+    let mut top = 12usize;
+    let mut record: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut search_log = false;
+    let mut l1_kib: Option<u64> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--technique" => technique = value("--technique"),
+            "--misses" => misses = parse_u64(&value("--misses"), "miss count"),
+            "--counters" => counters = parse_u64(&value("--counters"), "counters") as usize,
+            "--interval" => interval = parse_u64(&value("--interval"), "interval"),
+            "--paper-scale" => scale = Scale::Paper,
+            "--aggregate" => aggregate = true,
+            "--timeline" => timeline = Some(parse_u64(&value("--timeline"), "bucket width")),
+            "--top" => top = parse_u64(&value("--top"), "row count") as usize,
+            "--record" => record = Some(value("--record")),
+            "--replay" => replay = Some(value("--replay")),
+            "--csv" => csv = Some(value("--csv")),
+            "--search-log" => search_log = true,
+            "--l1" => l1_kib = Some(parse_u64(&value("--l1"), "L1 size (KiB)")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        }
+    }
+
+    let tech = match technique.split(':').collect::<Vec<_>>().as_slice() {
+        ["sampling", k] => {
+            let mut cfg = SamplerConfig::fixed(parse_u64(k, "sampling period"));
+            cfg.aggregate_heap_names = aggregate;
+            TechniqueConfig::Sampling(cfg)
+        }
+        ["adaptive", pct] => {
+            let target: f64 = pct.parse().unwrap_or_else(|_| {
+                eprintln!("invalid overhead target: {pct}");
+                std::process::exit(2);
+            });
+            let mut cfg = SamplerConfig::adaptive(target);
+            cfg.aggregate_heap_names = aggregate;
+            TechniqueConfig::Sampling(cfg)
+        }
+        ["jittered", base, spread] => {
+            let mut cfg = SamplerConfig::jittered(
+                parse_u64(base, "jitter base"),
+                parse_u64(spread, "jitter spread"),
+                0xC11,
+            );
+            cfg.aggregate_heap_names = aggregate;
+            TechniqueConfig::Sampling(cfg)
+        }
+        ["search"] => TechniqueConfig::Search(SearchConfig {
+            interval,
+            log_progress: search_log,
+            ..Default::default()
+        }),
+        ["search", n] => TechniqueConfig::Search(SearchConfig {
+            interval,
+            log_progress: search_log,
+            logical_ways: Some(parse_u64(n, "search width") as usize),
+            ..Default::default()
+        }),
+        ["none"] => TechniqueConfig::None,
+        _ => {
+            eprintln!("unknown technique: {technique}");
+            usage();
+        }
+    };
+
+    // Resolve the program: a synthetic app, a recorded trace, or a
+    // synthetic app teed to a trace file.
+    let program: Box<dyn Program> = match (&replay, &record) {
+        (Some(path), _) => {
+            let file = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open trace {path}: {e}");
+                std::process::exit(1);
+            });
+            let trace = cachescope::sim::tracefile::load_eager(std::io::BufReader::new(file))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot parse trace {path}: {e}");
+                    std::process::exit(1);
+                });
+            Box::new(trace)
+        }
+        (None, Some(path)) => {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create trace {path}: {e}");
+                std::process::exit(1);
+            });
+            Box::new(cachescope::sim::RecordingProgram::new(
+                workload(&app, scale),
+                std::io::BufWriter::new(file),
+            ))
+        }
+        (None, None) => workload(&app, scale),
+    };
+
+    let mut exp = Experiment::new(program)
+        .technique(tech)
+        .counters(counters)
+        .limit(RunLimit::AppMisses(misses));
+    if let Some(bucket) = timeline {
+        exp = exp.timeline(bucket);
+    }
+    if let Some(kib) = l1_kib {
+        exp = exp.l1(cachescope::sim::CacheConfig {
+            size_bytes: (kib * 1024).next_power_of_two(),
+            line_bytes: 64,
+            assoc: 2,
+            hit_cycles: 1,
+            miss_penalty: 0,
+            writeback_penalty: 0,
+            policy: Default::default(),
+        });
+    }
+    let report = exp.run();
+
+    if let Some(log) = &report.search_log {
+        println!("search progress ({} iterations):", log.len());
+        print!("{}", log.render());
+        println!();
+    }
+
+    if let Some(path) = &csv {
+        let mut out = cachescope::core::export::report_to_csv(&report);
+        out.push('\n');
+        out.push_str(&cachescope::core::export::costs_to_csv(&report));
+        if let Some(t) = cachescope::core::export::timeline_to_csv(&report.stats) {
+            out.push('\n');
+            out.push_str(&t);
+        }
+        std::fs::write(path, out).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("(csv written to {path})");
+    }
+
+    println!("{report}");
+    let shown = report.rows().len().min(top);
+    if report.rows().len() > shown {
+        println!("... ({} more rows)", report.rows().len() - shown);
+    }
+    println!(
+        "run: {} app misses, {:.2} Gcycles, {} interrupts, {:.3}% instrumentation overhead",
+        report.stats.app.misses,
+        report.stats.cycles as f64 / 1e9,
+        report.stats.interrupts,
+        report.stats.instr_cycles as f64 * 100.0 / report.stats.cycles.max(1) as f64,
+    );
+    if report.technique.unattributed_weight > 0 {
+        println!(
+            "unattributed evidence (stack frames etc.): {} samples/misses",
+            report.technique.unattributed_weight
+        );
+    }
+
+    if let Some(t) = &report.stats.timeline {
+        println!("\nmiss timeline ({} cycles per bucket):", t.bucket_cycles());
+        for (id, obj) in report.stats.objects.iter().enumerate().take(top) {
+            let series = t.series(id as u32);
+            let max = series.iter().copied().max().unwrap_or(1).max(1);
+            let line: String = series
+                .iter()
+                .take(72)
+                .map(|&v| match (v * 4 / max) as u32 {
+                    0 if v == 0 => '.',
+                    0 => '\u{2581}',
+                    1 => '\u{2582}',
+                    2 => '\u{2584}',
+                    3 => '\u{2586}',
+                    _ => '\u{2588}',
+                })
+                .collect();
+            println!("  {:<24} {}", obj.name, line);
+        }
+    }
+}

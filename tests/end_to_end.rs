@@ -1,0 +1,87 @@
+//! End-to-end integration: every SPEC95-analogue workload, run through
+//! the full public API with sampling instrumentation, produces estimates
+//! that track the workload's designed miss distribution.
+
+use cachescope::core::{Experiment, TechniqueConfig};
+use cachescope::sim::RunLimit;
+use cachescope::workloads::spec::{self, Scale};
+
+/// Run `w` with 1-in-500 sampling for whole phase cycles and check every
+/// declared object's estimate against the design within `tol` points.
+fn check_app(w: cachescope::workloads::SpecWorkload, tol: f64) {
+    let name = {
+        use cachescope::sim::Program;
+        w.name().to_string()
+    };
+    let expected: Vec<(String, f64)> = w.expected_shares().to_vec();
+    let cycle = w.cycle_misses();
+    let misses = (300_000 / cycle).max(2) * cycle;
+    let report = Experiment::new(w)
+        .technique(TechniqueConfig::sampling(500))
+        .limit(RunLimit::AppMisses(misses))
+        .run();
+
+    for (obj, want) in expected {
+        let Some(row) = report.row(&obj) else {
+            // Anonymous regions and cache-resident objects never appear.
+            continue;
+        };
+        let est = row.est_pct.unwrap_or(0.0);
+        assert!(
+            (est - want).abs() < tol + want * 0.15,
+            "{name}/{obj}: sampled {est:.1}% vs designed {want:.1}%"
+        );
+    }
+}
+
+#[test]
+fn tomcatv_sampling_with_non_resonant_period() {
+    // 500 shares a factor of 4 with the 50,008 period, so mild bias is
+    // possible; use a loose tolerance.
+    check_app(spec::tomcatv(Scale::Test), 6.0);
+}
+
+#[test]
+fn swim_sampling() {
+    check_app(spec::swim(Scale::Test), 2.0);
+}
+
+#[test]
+fn su2cor_sampling() {
+    check_app(spec::su2cor(Scale::Test), 2.5);
+}
+
+#[test]
+fn mgrid_sampling() {
+    check_app(spec::mgrid(Scale::Test), 2.0);
+}
+
+#[test]
+fn applu_sampling() {
+    check_app(spec::applu(Scale::Test), 2.0);
+}
+
+#[test]
+fn compress_sampling() {
+    check_app(spec::compress(Scale::Test), 2.0);
+}
+
+#[test]
+fn ijpeg_sampling() {
+    check_app(spec::ijpeg(Scale::Test), 2.5);
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let run = || {
+        Experiment::new(spec::mgrid(Scale::Test))
+            .technique(TechniqueConfig::sampling(1_000))
+            .limit(RunLimit::AppMisses(100_000))
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(format!("{a}"), format!("{b}"));
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.total_misses(), b.stats.total_misses());
+}

@@ -1,0 +1,116 @@
+//! Integration tests of the optional L1 cache level through the public
+//! API: filtering, attribution invariance, and technique operation behind
+//! an L1.
+
+use cachescope::core::{Experiment, SearchConfig, TechniqueConfig};
+use cachescope::sim::{CacheConfig, RunLimit};
+use cachescope::workloads::spec::{self, Scale};
+use cachescope::workloads::{PhaseBuilder, SpecWorkload, WorkloadBuilder, MIB};
+
+fn small_l1() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 32 * 1024,
+        line_bytes: 64,
+        assoc: 2,
+        hit_cycles: 1,
+        miss_penalty: 0,
+        writeback_penalty: 0,
+        policy: Default::default(),
+    }
+}
+
+fn reuse_workload() -> SpecWorkload {
+    WorkloadBuilder::new("reuse")
+        .global("STREAM", 8 * MIB)
+        .global("LUT", 4 * 1024)
+        .random_access()
+        .phase(
+            PhaseBuilder::new()
+                .misses(200_000)
+                .weight("STREAM", 70.0)
+                .weight("LUT", 30.0)
+                .compute_per_miss(5)
+                .stochastic(77),
+        )
+        .build()
+}
+
+#[test]
+fn l1_absorbs_reuse_but_not_streaming() {
+    let rep = Experiment::new(reuse_workload())
+        .l1(small_l1())
+        .limit(RunLimit::AppMisses(500_000))
+        .run();
+    let l1 = rep.stats.l1.expect("l1 stats recorded");
+    let absorbed = 1.0 - l1.misses as f64 / l1.accesses as f64;
+    assert!(
+        absorbed > 0.15,
+        "L1 should absorb a good share of the LUT reuse, got {absorbed:.2}"
+    );
+    // Streaming still dominates the monitored level.
+    assert_eq!(rep.rows()[0].name, "STREAM");
+}
+
+#[test]
+fn attribution_is_invariant_to_the_l1() {
+    let shares = |with_l1: bool| -> Vec<(String, f64)> {
+        let mut exp = Experiment::new(spec::mgrid(Scale::Test))
+            .limit(RunLimit::AppMisses(300_000));
+        if with_l1 {
+            exp = exp.l1(small_l1());
+        }
+        exp.run()
+            .rows()
+            .iter()
+            .map(|r| (r.name.clone(), r.actual_pct))
+            .collect()
+    };
+    let single = shares(false);
+    let two = shares(true);
+    assert_eq!(single.len(), two.len());
+    for ((n1, p1), (n2, p2)) in single.iter().zip(&two) {
+        assert_eq!(n1, n2);
+        assert!((p1 - p2).abs() < 0.5, "{n1}: {p1:.2} vs {p2:.2}");
+    }
+}
+
+#[test]
+fn the_search_works_behind_an_l1() {
+    let rep = Experiment::new(spec::compress(Scale::Test))
+        .technique(TechniqueConfig::Search(SearchConfig {
+            interval: 5_000_000,
+            ..Default::default()
+        }))
+        .l1(small_l1())
+        .limit(RunLimit::AppMisses(1_000_000))
+        .run();
+    let orig = rep.row("orig_text_buffer").unwrap();
+    assert_eq!(orig.est_rank, Some(1));
+    assert!((orig.est_pct.unwrap() - orig.actual_pct).abs() < 3.0);
+}
+
+#[test]
+fn l1_reduces_cycles_for_reuse_workloads() {
+    // With a realistic monitored-level hit cost (10 cycles, L2-like), a
+    // 1-cycle L1 absorbing the LUT reuse must speed up the run per unit
+    // of monitored misses.
+    let cycles = |with_l1: bool| -> f64 {
+        let mut exp = Experiment::new(reuse_workload())
+            .cache(CacheConfig {
+                hit_cycles: 10,
+                ..Default::default()
+            })
+            .limit(RunLimit::AppMisses(300_000));
+        if with_l1 {
+            exp = exp.l1(small_l1());
+        }
+        let rep = exp.run();
+        rep.stats.cycles as f64 / rep.stats.app.misses as f64
+    };
+    let single = cycles(false);
+    let two = cycles(true);
+    assert!(
+        two < single,
+        "cycles per monitored miss: {two:.1} with L1 vs {single:.1} without"
+    );
+}

@@ -1,0 +1,122 @@
+//! Integration tests of the cost and perturbation accounting (the
+//! machinery behind Figures 3 and 4): instrumentation must cost cycles,
+//! touch the cache, and scale with sampling frequency — and the baseline
+//! must be perfectly clean.
+
+use cachescope::core::{Experiment, SamplerConfig, TechniqueConfig};
+use cachescope::sim::{RunLimit, RunStats};
+use cachescope::workloads::spec::{self, Scale};
+
+fn run(tech: TechniqueConfig, app_cycles: u64) -> RunStats {
+    Experiment::new(spec::swim(Scale::Test))
+        .technique(tech)
+        .limit(RunLimit::AppCycles(app_cycles))
+        .run()
+        .stats
+}
+
+const WORK: u64 = 20_000_000;
+
+#[test]
+fn baseline_run_is_clean() {
+    let s = run(TechniqueConfig::None, WORK);
+    assert_eq!(s.instr_cycles, 0);
+    assert_eq!(s.instr.accesses, 0);
+    assert_eq!(s.interrupts, 0);
+}
+
+#[test]
+fn app_work_is_held_constant_across_configurations() {
+    // AppCycles limits application work only; instrumented and baseline
+    // runs do identical app work, as the paper's methodology requires.
+    let base = run(TechniqueConfig::None, WORK);
+    let inst = run(TechniqueConfig::sampling(1_000), WORK);
+    let base_app_cycles = base.cycles - base.instr_cycles;
+    let inst_app_cycles = inst.cycles - inst.instr_cycles;
+    let diff = base_app_cycles.abs_diff(inst_app_cycles) as f64;
+    assert!(
+        diff / (base_app_cycles as f64) < 0.001,
+        "app work differs: {base_app_cycles} vs {inst_app_cycles}"
+    );
+    // App miss counts are nearly identical too (streaming workload).
+    let mdiff = base.app.misses.abs_diff(inst.app.misses) as f64;
+    assert!(mdiff / (base.app.misses as f64) < 0.01);
+}
+
+#[test]
+fn slowdown_scales_inversely_with_sampling_period() {
+    let base = run(TechniqueConfig::None, WORK);
+    let mut slowdowns = Vec::new();
+    for period in [1_000u64, 10_000, 100_000] {
+        let s = run(TechniqueConfig::sampling(period), WORK);
+        let slowdown = (s.cycles as f64 - base.cycles as f64) / base.cycles as f64;
+        slowdowns.push(slowdown);
+    }
+    assert!(
+        slowdowns[0] > 5.0 * slowdowns[1] && slowdowns[1] > 5.0 * slowdowns[2],
+        "slowdown should drop ~10x per decade of period: {slowdowns:?}"
+    );
+}
+
+#[test]
+fn sampling_cost_is_delivery_dominated() {
+    // ~8,800 delivery + a few hundred handler cycles per interrupt.
+    let s = run(TechniqueConfig::sampling(10_000), WORK);
+    assert!(s.interrupts > 0);
+    let per = s.instr_cycles as f64 / s.interrupts as f64;
+    assert!(
+        (8_800.0..12_000.0).contains(&per),
+        "cycles per sampling interrupt: {per:.0}"
+    );
+}
+
+#[test]
+fn instrumentation_traffic_flows_through_the_cache() {
+    let s = run(TechniqueConfig::sampling(1_000), WORK);
+    assert!(s.instr.accesses > 0, "handler touches simulated memory");
+    assert!(
+        s.instr.misses <= s.instr.accesses,
+        "miss count bounded by accesses"
+    );
+    // Total misses exceed baseline's: perturbation is measurable.
+    let base = run(TechniqueConfig::None, WORK);
+    assert!(s.total_misses() > base.total_misses());
+}
+
+#[test]
+fn search_uses_far_fewer_interrupts_than_sampling() {
+    let search = run(
+        TechniqueConfig::Search(cachescope::core::SearchConfig {
+            interval: 2_000_000,
+            ..Default::default()
+        }),
+        WORK,
+    );
+    let sampling = run(TechniqueConfig::sampling(1_000), WORK);
+    assert!(search.interrupts > 0);
+    assert!(
+        search.interrupts * 20 < sampling.interrupts,
+        "search {} vs sampling {} interrupts",
+        search.interrupts,
+        sampling.interrupts
+    );
+    // But each search interrupt is several times more expensive.
+    let search_per = search.instr_cycles as f64 / search.interrupts as f64;
+    let sample_per = sampling.instr_cycles as f64 / sampling.interrupts as f64;
+    assert!(
+        search_per > 2.0 * sample_per,
+        "search {search_per:.0} vs sampling {sample_per:.0} cycles/interrupt"
+    );
+}
+
+#[test]
+fn jittered_sampling_costs_like_fixed_sampling() {
+    let fixed = run(TechniqueConfig::sampling(10_000), WORK);
+    let jit = run(
+        TechniqueConfig::Sampling(SamplerConfig::jittered(10_000, 1_000, 5)),
+        WORK,
+    );
+    let rel = (fixed.instr_cycles as f64 - jit.instr_cycles as f64).abs()
+        / fixed.instr_cycles as f64;
+    assert!(rel < 0.15, "jitter should not change cost materially: {rel}");
+}

@@ -1,0 +1,74 @@
+//! Integration test of the paper's section 3.1 headline: a sampling
+//! interval that resonates with the application's periodic access pattern
+//! produces badly biased estimates; a prime interval does not. Exercised
+//! end-to-end through the public API at reduced scale.
+
+use cachescope::core::{Experiment, SamplerConfig, TechniqueConfig};
+use cachescope::sim::RunLimit;
+use cachescope::workloads::spec::{self, tomcatv, Scale};
+
+fn rx_error(cfg: SamplerConfig) -> f64 {
+    let report = Experiment::new(spec::tomcatv(Scale::Test))
+        .technique(TechniqueConfig::Sampling(cfg))
+        .limit(RunLimit::AppMisses(2_000_000))
+        .run();
+    let row = report.row("RX").unwrap();
+    (row.est_pct.unwrap_or(0.0) - row.actual_pct).abs()
+}
+
+#[test]
+fn resonant_interval_misestimates_rx() {
+    // gcd(5,000, 50,008) = 8 == the pattern stride: resonant.
+    let err = rx_error(SamplerConfig::fixed(5_000));
+    assert!(err > 8.0, "resonant error only {err:.1} points");
+}
+
+#[test]
+fn prime_interval_is_accurate() {
+    // 5,011 is prime and coprime with the 50,008-miss pattern period.
+    let err = rx_error(SamplerConfig::fixed(5_011));
+    assert!(err < 4.0, "prime-period error {err:.1} points");
+}
+
+#[test]
+fn the_search_is_immune_to_the_pattern() {
+    // Region counters count every miss, so the search has no sampling
+    // interval to resonate — tomcatv's Table 1 search column is accurate.
+    use cachescope::core::SearchConfig;
+    let report = Experiment::new(spec::tomcatv(Scale::Test))
+        .technique(TechniqueConfig::Search(SearchConfig {
+            interval: 2_000_000,
+            ..Default::default()
+        }))
+        .limit(RunLimit::AppMisses(4_000_000))
+        .run();
+    for (name, want) in tomcatv::ACTUAL {
+        let row = report.row(name).unwrap();
+        let est = row.est_pct.expect("search finds all seven arrays");
+        assert!(
+            (est - want).abs() < 2.0,
+            "{name}: search {est:.1}% vs actual {want}%"
+        );
+    }
+}
+
+#[test]
+fn resonance_arithmetic_is_what_the_docs_claim() {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    assert_eq!(gcd(5_000, tomcatv::PERIOD as u64), tomcatv::STRIDE as u64);
+    assert_eq!(gcd(5_011, tomcatv::PERIOD as u64), 1);
+    assert_eq!(
+        gcd(
+            spec::PAPER_SAMPLING_PERIOD,
+            tomcatv::PERIOD as u64
+        ),
+        tomcatv::STRIDE as u64
+    );
+    assert_eq!(gcd(spec::PAPER_PRIME_PERIOD, tomcatv::PERIOD as u64), 1);
+}

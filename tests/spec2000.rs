@@ -1,0 +1,111 @@
+//! Integration tests for the SPEC2000-analogue extension (paper §5):
+//! heap-churning mcf through the full stack, allocation-site aggregation,
+//! and the adaptive sampler on the new workloads.
+
+use cachescope::core::{Experiment, SamplerConfig, TechniqueConfig};
+use cachescope::sim::RunLimit;
+use cachescope::workloads::spec::Scale;
+use cachescope::workloads::spec2000;
+
+#[test]
+fn mcf_sampling_attributes_the_churning_site() {
+    let mut cfg = SamplerConfig::fixed(500);
+    cfg.aggregate_heap_names = true;
+    let report = Experiment::new(spec2000::mcf::mcf(Scale::Test))
+        .technique(TechniqueConfig::Sampling(cfg))
+        .limit(RunLimit::AppMisses(400_000))
+        .run();
+
+    let arcs = report.row("arcs").expect("arcs reported");
+    assert_eq!(arcs.est_rank, Some(1));
+    assert!((arcs.est_pct.unwrap() - arcs.actual_pct).abs() < 2.5);
+
+    // The churning site pools into one row on both sides of the table.
+    let site = report.row("tree_node").expect("site reported");
+    assert_eq!(site.est_rank, Some(2));
+    assert!(
+        (site.est_pct.unwrap() - site.actual_pct).abs() < 2.5,
+        "site estimate {:.1} vs actual {:.1}",
+        site.est_pct.unwrap(),
+        site.actual_pct
+    );
+    assert_eq!(
+        report
+            .rows()
+            .iter()
+            .filter(|r| r.name == "tree_node")
+            .count(),
+        1,
+        "blocks from one site must pool into one row"
+    );
+}
+
+#[test]
+fn art_search_handles_the_phase_mix() {
+    let w = spec2000::art(Scale::Test);
+    let cycle = w.cycle_misses();
+    let report = Experiment::new(w)
+        .technique(TechniqueConfig::Search(cachescope::core::SearchConfig {
+            interval: 2_000_000,
+            ..Default::default()
+        }))
+        .limit(RunLimit::AppMisses(8 * cycle))
+        .run();
+    let f1 = report.row("f1_layer").expect("f1_layer reported");
+    assert_eq!(f1.est_rank, Some(1));
+    assert!((f1.est_pct.unwrap() - 52.0).abs() < 4.0);
+}
+
+#[test]
+fn equake_sampling_and_search_agree() {
+    let sampled = Experiment::new(spec2000::equake(Scale::Test))
+        .technique(TechniqueConfig::sampling(500))
+        .limit(RunLimit::AppMisses(300_000))
+        .run();
+    let searched = Experiment::new(spec2000::equake(Scale::Test))
+        .technique(TechniqueConfig::Search(cachescope::core::SearchConfig {
+            interval: 2_000_000,
+            ..Default::default()
+        }))
+        .limit(RunLimit::AppMisses(2_000_000))
+        .run();
+    for name in ["K", "disp", "M", "exc"] {
+        let s = sampled.row(name).unwrap().est_pct.unwrap();
+        let q = searched
+            .row(name)
+            .and_then(|r| r.est_pct)
+            .unwrap_or_else(|| panic!("search misses {name}"));
+        assert!((s - q).abs() < 4.0, "{name}: sampling {s:.1} vs search {q:.1}");
+    }
+}
+
+#[test]
+fn adaptive_sampler_meets_budget_on_mcf() {
+    // mcf is the worst case for the budget: memory-bound (every sample
+    // is expensive relative to app work) *and* allocator-heavy — the
+    // on_alloc/on_free instrumentation hooks cost cycles the sampling
+    // period cannot control. Measure that floor first, then check the
+    // adaptive policy keeps the *sampling* share near its target.
+    let overhead_at = |tech: TechniqueConfig| {
+        let report = Experiment::new(spec2000::mcf::mcf(Scale::Test))
+            .technique(tech)
+            .limit(RunLimit::AppMisses(500_000))
+            .run();
+        (
+            report.stats.instr_cycles as f64 * 100.0 / report.stats.cycles as f64,
+            report,
+        )
+    };
+    // Period far beyond the run length: pure allocator-hook cost.
+    let (floor, _) = overhead_at(TechniqueConfig::sampling(1_000_000_000));
+    let (overhead, report) =
+        overhead_at(TechniqueConfig::Sampling(SamplerConfig::adaptive(2.0)));
+    let sampling_share = overhead - floor;
+    assert!(
+        (sampling_share - 2.0).abs() < 0.7,
+        "sampling overhead {sampling_share:.2}% (total {overhead:.2}%, \
+         allocator floor {floor:.2}%) vs 2% budget"
+    );
+    assert_eq!(report.rows()[0].name, "arcs");
+    assert_eq!(report.rows()[0].est_rank, Some(1));
+}

@@ -1,0 +1,115 @@
+//! Cross-technique integration: sampling and the n-way search, run
+//! independently on the same workload, must agree with each other and
+//! with ground truth about which objects matter.
+
+use cachescope::core::{Experiment, SearchConfig, TechniqueConfig};
+use cachescope::sim::RunLimit;
+use cachescope::workloads::spec::{self, Scale};
+use cachescope::workloads::{PhaseBuilder, SpecWorkload, WorkloadBuilder, MIB};
+
+fn skewed() -> SpecWorkload {
+    WorkloadBuilder::new("skewed")
+        .global("ALPHA", 8 * MIB)
+        .global("BETA", 8 * MIB)
+        .global("GAMMA", 8 * MIB)
+        .global("DELTA", 8 * MIB)
+        .phase(
+            PhaseBuilder::new()
+                .misses(200_000)
+                .weight("ALPHA", 50.0)
+                .weight("BETA", 30.0)
+                .weight("GAMMA", 15.0)
+                .weight("DELTA", 5.0)
+                .compute_per_miss(10)
+                .stochastic(31),
+        )
+        .build()
+}
+
+#[test]
+fn sampling_and_search_rank_identically_on_skewed_mix() {
+    let sampled = Experiment::new(skewed())
+        .technique(TechniqueConfig::sampling(500))
+        .limit(RunLimit::AppMisses(600_000))
+        .run();
+    let searched = Experiment::new(skewed())
+        .technique(TechniqueConfig::Search(SearchConfig {
+            interval: 1_000_000,
+            ..Default::default()
+        }))
+        .limit(RunLimit::AppMisses(2_000_000))
+        .run();
+
+    for (name, want_rank) in [("ALPHA", 1), ("BETA", 2), ("GAMMA", 3), ("DELTA", 4)] {
+        assert_eq!(
+            sampled.row(name).and_then(|r| r.est_rank),
+            Some(want_rank),
+            "sampling rank of {name}"
+        );
+        assert_eq!(
+            searched.row(name).and_then(|r| r.est_rank),
+            Some(want_rank),
+            "search rank of {name}"
+        );
+    }
+    // And the percentage estimates agree with each other within noise.
+    for name in ["ALPHA", "BETA", "GAMMA"] {
+        let s = sampled.row(name).unwrap().est_pct.unwrap();
+        let q = searched.row(name).unwrap().est_pct.unwrap();
+        assert!((s - q).abs() < 4.0, "{name}: sampling {s:.1} vs search {q:.1}");
+    }
+}
+
+#[test]
+fn search_width_trades_coverage_for_counters() {
+    // A 2-way search identifies the top objects; a 10-way search finds
+    // more of the distribution (the paper's Table 2 comparison).
+    let two = Experiment::new(skewed())
+        .technique(TechniqueConfig::Search(SearchConfig {
+            interval: 1_000_000,
+            ..Default::default()
+        }))
+        .counters(2)
+        .limit(RunLimit::AppMisses(3_000_000))
+        .run();
+    let ten = Experiment::new(skewed())
+        .technique(TechniqueConfig::Search(SearchConfig {
+            interval: 1_000_000,
+            ..Default::default()
+        }))
+        .counters(10)
+        .limit(RunLimit::AppMisses(3_000_000))
+        .run();
+
+    assert_eq!(
+        two.row("ALPHA").and_then(|r| r.est_rank),
+        Some(1),
+        "2-way still finds the top object"
+    );
+    let found = |r: &cachescope::core::ExperimentReport| {
+        r.rows().iter().filter(|row| row.est_rank.is_some()).count()
+    };
+    assert!(
+        found(&ten) >= found(&two),
+        "wider search finds at least as many objects ({} vs {})",
+        found(&ten),
+        found(&two)
+    );
+    assert!(found(&ten) >= 4, "10-way finds the whole distribution");
+}
+
+#[test]
+fn search_matches_ground_truth_on_spec_app() {
+    let report = Experiment::new(spec::compress(Scale::Test))
+        .technique(TechniqueConfig::Search(SearchConfig {
+            interval: 5_000_000,
+            ..Default::default()
+        }))
+        .limit(RunLimit::AppMisses(1_000_000))
+        .run();
+    let orig = report.row("orig_text_buffer").unwrap();
+    assert_eq!(orig.est_rank, Some(1));
+    assert!((orig.est_pct.unwrap() - orig.actual_pct).abs() < 3.0);
+    let comp = report.row("comp_text_buffer").unwrap();
+    assert_eq!(comp.est_rank, Some(2));
+}

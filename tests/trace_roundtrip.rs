@@ -1,0 +1,84 @@
+//! Integration test of the ATOM-style capture/replay workflow: record a
+//! workload's reference stream, replay it, and get bit-identical
+//! simulation results — including with instrumentation attached.
+
+use std::io::BufReader;
+
+use cachescope::core::{Experiment, TechniqueConfig};
+use cachescope::sim::tracefile::load_eager;
+use cachescope::sim::{Program, RecordingProgram, RunLimit};
+use cachescope::workloads::spec::{self, Scale};
+
+/// Record `misses`-plus worth of ijpeg events (heap allocations included)
+/// and return the trace text.
+fn record_ijpeg(misses: u64) -> Vec<u8> {
+    let mut rec = RecordingProgram::new(spec::ijpeg(Scale::Test), Vec::new());
+    let mut produced = 0u64;
+    while produced < misses + 1_000 {
+        match rec.next_event() {
+            Some(cachescope::sim::Event::Access(_)) => produced += 1,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    rec.into_writer()
+}
+
+#[test]
+fn replayed_trace_reproduces_uninstrumented_results() {
+    let trace = record_ijpeg(60_000);
+    let replay = load_eager(BufReader::new(trace.as_slice())).expect("parse");
+
+    let original = Experiment::new(spec::ijpeg(Scale::Test))
+        .limit(RunLimit::AppMisses(60_000))
+        .run();
+    let replayed = Experiment::new(replay)
+        .limit(RunLimit::AppMisses(60_000))
+        .run();
+
+    assert_eq!(original.stats.app, replayed.stats.app);
+    assert_eq!(original.stats.cycles, replayed.stats.cycles);
+    assert_eq!(
+        original.stats.unmapped_misses,
+        replayed.stats.unmapped_misses
+    );
+    for (a, b) in original.stats.objects.iter().zip(&replayed.stats.objects) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.misses, b.misses);
+    }
+}
+
+#[test]
+fn replayed_trace_drives_instrumentation_identically() {
+    let trace = record_ijpeg(80_000);
+    let replay = load_eager(BufReader::new(trace.as_slice())).expect("parse");
+
+    let original = Experiment::new(spec::ijpeg(Scale::Test))
+        .technique(TechniqueConfig::sampling(250))
+        .limit(RunLimit::AppMisses(80_000))
+        .run();
+    let replayed = Experiment::new(replay)
+        .technique(TechniqueConfig::sampling(250))
+        .limit(RunLimit::AppMisses(80_000))
+        .run();
+
+    assert_eq!(original.stats.interrupts, replayed.stats.interrupts);
+    assert_eq!(original.stats.instr_cycles, replayed.stats.instr_cycles);
+    assert_eq!(
+        format!("{original}"),
+        format!("{replayed}"),
+        "reports must be bit-identical"
+    );
+}
+
+#[test]
+fn trace_preserves_heap_allocations() {
+    let trace = record_ijpeg(10_000);
+    let text = String::from_utf8(trace).unwrap();
+    assert!(text.contains("M 14101e000"), "cold block allocation");
+    assert!(text.contains("M 141020000"), "hot block allocation");
+    assert!(
+        text.contains("O ") && text.contains("jpeg_compressed_data"),
+        "static objects in header"
+    );
+}

@@ -1,60 +1,59 @@
 //! Micro-benchmarks of the cache simulator — the per-event costs that
 //! determine how much simulated work the evaluation harness can afford.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use cachescope_bench::microbench::{bench, bench_batched};
 use cachescope_sim::{CacheConfig, MemRef, SetAssocCache};
 
 fn paper_cache() -> SetAssocCache {
     SetAssocCache::new(CacheConfig::default())
 }
 
-fn bench_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("hit", |b| {
+fn bench_access() {
+    {
         let mut cache = paper_cache();
         cache.access(MemRef::read(0x1000_0000, 8));
-        b.iter(|| black_box(cache.access(MemRef::read(black_box(0x1000_0008), 8))));
-    });
-    g.bench_function("miss_streaming", |b| {
+        bench("cache/hit", move || {
+            cache.access(MemRef::read(black_box(0x1000_0008), 8))
+        });
+    }
+    {
         let mut cache = paper_cache();
         let mut addr = 0x1000_0000u64;
-        b.iter(|| {
+        bench("cache/miss_streaming", move || {
             addr = addr.wrapping_add(64);
-            black_box(cache.access(MemRef::read(addr, 8)))
+            cache.access(MemRef::read(addr, 8))
         });
-    });
-    g.bench_function("mixed_working_set", |b| {
+    }
+    {
         // A working set spanning 2x the cache: roughly 50/50 hit/miss.
         let mut cache = paper_cache();
         let lines = 2 * cache.config().num_lines();
         let mut k = 0u64;
-        b.iter(|| {
+        bench("cache/mixed_working_set", move || {
             k = (k.wrapping_mul(2654435761)).wrapping_add(1);
             let addr = 0x1000_0000 + (k % lines) * 64;
-            black_box(cache.access(MemRef::read(addr, 8)))
+            cache.access(MemRef::read(addr, 8))
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_flush(c: &mut Criterion) {
-    c.bench_function("cache/flush_2mb", |b| {
-        b.iter_batched_ref(
-            || {
-                let mut cache = paper_cache();
-                for k in 0..cache.config().num_lines() {
-                    cache.access(MemRef::read(0x1000_0000 + k * 64, 8));
-                }
-                cache
-            },
-            |cache| cache.flush(),
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_flush() {
+    bench_batched(
+        "cache/flush_2mb",
+        || {
+            let mut cache = paper_cache();
+            for k in 0..cache.config().num_lines() {
+                cache.access(MemRef::read(0x1000_0000 + k * 64, 8));
+            }
+            cache
+        },
+        |cache| cache.flush(),
+    );
 }
 
-criterion_group!(benches, bench_access, bench_flush);
-criterion_main!(benches);
+fn main() {
+    bench_access();
+    bench_flush();
+}

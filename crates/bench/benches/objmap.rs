@@ -2,9 +2,9 @@
 //! every sample (symbol-table binary search, red-black heap tree) and on
 //! every region split (boundary queries).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use cachescope_bench::microbench::{bench, bench_batched};
 use cachescope_objmap::{AccessTrace, ObjectId, ObjectMap, RbTree, SymTab};
 use cachescope_sim::{AddressSpace, ObjectDecl};
 
@@ -14,81 +14,76 @@ fn decls(n: u64) -> Vec<ObjectDecl> {
         .collect()
 }
 
-fn bench_symtab(c: &mut Criterion) {
-    let mut g = c.benchmark_group("symtab");
+fn bench_symtab() {
     for n in [16u64, 256, 4096] {
         let extents: Vec<(u64, u64, ObjectId)> = (0..n)
             .map(|i| (i * 1000, i * 1000 + 500, ObjectId(i as u32)))
             .collect();
         let tab = SymTab::new(extents, 0x7_0000_0000);
-        g.bench_function(format!("lookup/{n}"), |b| {
-            let mut trace = AccessTrace::new();
-            let mut k = 0u64;
-            b.iter(|| {
-                k = k.wrapping_add(997);
-                trace.clear();
-                black_box(tab.lookup(k % (n * 1000), &mut trace))
-            });
+        let mut trace = AccessTrace::new();
+        let mut k = 0u64;
+        bench(&format!("symtab/lookup/{n}"), move || {
+            k = k.wrapping_add(997);
+            trace.clear();
+            black_box(tab.lookup(k % (n * 1000), &mut trace));
         });
     }
-    g.finish();
 }
 
-fn bench_rbtree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rbtree");
-    g.bench_function("insert_remove_1k", |b| {
-        b.iter_batched_ref(
-            || RbTree::new(0x7_0000_0000),
-            |tree| {
-                let mut trace = AccessTrace::new();
-                for i in 0..1000u64 {
-                    let base = (i.wrapping_mul(2654435761)) % 1_000_000 * 100;
-                    tree.insert(base, base + 50, ObjectId(i as u32), &mut trace);
-                }
-                for i in 0..1000u64 {
-                    let base = (i.wrapping_mul(2654435761)) % 1_000_000 * 100;
-                    tree.remove(base, &mut trace);
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("lookup_1k", |b| {
+fn bench_rbtree() {
+    bench_batched(
+        "rbtree/insert_remove_1k",
+        || RbTree::new(0x7_0000_0000),
+        |tree| {
+            let mut trace = AccessTrace::new();
+            for i in 0..1000u64 {
+                let base = (i.wrapping_mul(2654435761)) % 1_000_000 * 100;
+                tree.insert(base, base + 50, ObjectId(i as u32), &mut trace);
+            }
+            for i in 0..1000u64 {
+                let base = (i.wrapping_mul(2654435761)) % 1_000_000 * 100;
+                tree.remove(base, &mut trace);
+            }
+        },
+    );
+    {
         let mut tree = RbTree::new(0x7_0000_0000);
         let mut trace = AccessTrace::new();
         for i in 0..1000u64 {
             tree.insert(i * 1000, i * 1000 + 500, ObjectId(i as u32), &mut trace);
         }
         let mut k = 0u64;
-        b.iter(|| {
+        bench("rbtree/lookup_1k", move || {
             k = k.wrapping_add(997);
             trace.clear();
-            black_box(tree.lookup(k % 1_000_000, &mut trace))
+            black_box(tree.lookup(k % 1_000_000, &mut trace));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_objmap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("objmap");
+fn bench_objmap() {
     let mut aspace = AddressSpace::new(64);
     let map = ObjectMap::new(&decls(64), &mut aspace);
-    g.bench_function("lookup_hit", |b| {
+    {
+        let map = &map;
         let mut trace = AccessTrace::new();
-        b.iter(|| {
+        bench("objmap/lookup_hit", move || {
             trace.clear();
-            black_box(map.lookup(0x1000_0000 + 17 * 0x10000 + 100, &mut trace))
+            black_box(map.lookup(0x1000_0000 + 17 * 0x10000 + 100, &mut trace));
         });
-    });
-    g.bench_function("snap_split_64_objects", |b| {
+    }
+    {
+        let map = &map;
         let mut trace = AccessTrace::new();
-        b.iter(|| {
+        bench("objmap/snap_split_64_objects", move || {
             trace.clear();
-            black_box(map.snap_split(0x1000_0000, 0x1000_0000 + 64 * 0x10000, &mut trace))
+            black_box(map.snap_split(0x1000_0000, 0x1000_0000 + 64 * 0x10000, &mut trace));
         });
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(benches, bench_symtab, bench_rbtree, bench_objmap);
-criterion_main!(benches);
+fn main() {
+    bench_symtab();
+    bench_rbtree();
+    bench_objmap();
+}

@@ -2,69 +2,57 @@
 //! simulated-event throughput with and without instrumentation, which
 //! bounds how much virtual time the evaluation harness can cover.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use cachescope_bench::microbench::bench;
 use cachescope_core::{Experiment, SamplerConfig, SearchConfig, TechniqueConfig};
 use cachescope_sim::RunLimit;
 use cachescope_workloads::spec::{self, Scale};
 
 const MISSES: u64 = 200_000;
 
-fn bench_engine_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.throughput(Throughput::Elements(MISSES));
-    g.sample_size(10);
-    g.bench_function("baseline_tomcatv_200k_misses", |b| {
-        b.iter(|| {
-            Experiment::new(spec::tomcatv(Scale::Test))
-                .limit(RunLimit::AppMisses(MISSES))
-                .run()
-        });
+fn bench_engine_throughput() {
+    bench("engine/baseline_tomcatv_200k_misses", || {
+        Experiment::new(spec::tomcatv(Scale::Test))
+            .limit(RunLimit::AppMisses(MISSES))
+            .run()
     });
-    g.bench_function("sampling_1k_tomcatv_200k_misses", |b| {
-        b.iter(|| {
-            Experiment::new(spec::tomcatv(Scale::Test))
-                .technique(TechniqueConfig::Sampling(SamplerConfig::fixed(1_000)))
-                .limit(RunLimit::AppMisses(MISSES))
-                .run()
-        });
+    bench("engine/sampling_1k_tomcatv_200k_misses", || {
+        Experiment::new(spec::tomcatv(Scale::Test))
+            .technique(TechniqueConfig::Sampling(SamplerConfig::fixed(1_000)))
+            .limit(RunLimit::AppMisses(MISSES))
+            .run()
     });
-    g.bench_function("search_tomcatv_200k_misses", |b| {
-        b.iter(|| {
-            Experiment::new(spec::tomcatv(Scale::Test))
-                .technique(TechniqueConfig::Search(SearchConfig {
-                    interval: 1_000_000,
-                    ..Default::default()
-                }))
-                .limit(RunLimit::AppMisses(MISSES))
-                .run()
-        });
+    bench("engine/search_tomcatv_200k_misses", || {
+        Experiment::new(spec::tomcatv(Scale::Test))
+            .technique(TechniqueConfig::Search(SearchConfig {
+                interval: 1_000_000,
+                ..Default::default()
+            }))
+            .limit(RunLimit::AppMisses(MISSES))
+            .run()
     });
-    g.finish();
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
+fn bench_workload_generation() {
     use cachescope_sim::Program;
-    let mut g = c.benchmark_group("workload");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("tomcatv_events_100k", |b| {
+    {
         let mut w = spec::tomcatv(Scale::Test);
-        b.iter(|| {
+        bench("workload/tomcatv_events_100k", move || {
             for _ in 0..100_000 {
                 std::hint::black_box(w.next_event());
             }
         });
-    });
-    g.bench_function("ijpeg_events_100k", |b| {
+    }
+    {
         let mut w = spec::ijpeg(Scale::Test);
-        b.iter(|| {
+        bench("workload/ijpeg_events_100k", move || {
             for _ in 0..100_000 {
                 std::hint::black_box(w.next_event());
             }
         });
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(benches, bench_engine_throughput, bench_workload_generation);
-criterion_main!(benches);
+fn main() {
+    bench_engine_throughput();
+    bench_workload_generation();
+}

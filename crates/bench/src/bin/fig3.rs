@@ -5,10 +5,14 @@
 //! Also prints each application's baseline miss rate, checking the values
 //! section 3.2 quotes (ijpeg 144 misses/Mcycle, compress 361, mgrid 6,827).
 //!
+//! Writes `results/fig3.{txt,json}` alongside the stdout table.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin fig3 [--quick]`
 
 use cachescope_bench::overhead::{sweep, SAMPLE_PERIODS};
 use cachescope_bench::paper;
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
+use cachescope_obs::Json;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -16,18 +20,26 @@ fn main() {
     // instrumented runs ("the same number of application instructions").
     let app_cycles = if quick { 800_000_000 } else { 4_000_000_000 };
     let apps = sweep(app_cycles);
+    let mut out = ResultsFile::new("fig3");
 
-    println!("Figure 3: Increase in Cache Misses Due to Instrumentation");
-    println!("(percent increase over uninstrumented run, log-scale in the paper)\n");
-    print!("{:<10} {:>12}", "app", "search");
+    out.line("Figure 3: Increase in Cache Misses Due to Instrumentation");
+    out.line("(percent increase over uninstrumented run, log-scale in the paper)\n");
+    out.piece(format!("{:<10} {:>12}", "app", "search"));
     for p in SAMPLE_PERIODS {
-        print!(" {:>13}", format!("sample({p})"));
+        out.piece(format!(" {:>13}", format!("sample({p})")));
     }
-    println!(" {:>16}", "misses/Mcycle");
+    out.line(format!(" {:>16}", "misses/Mcycle"));
+    let mut rows: Vec<Json> = Vec::new();
     for a in &apps {
-        print!("{:<10}", a.app);
-        for i in 0..a.runs.len() {
-            print!(" {:>12.4}%", a.miss_increase_pct(i));
+        out.piece(format!("{:<10}", a.app));
+        let mut runs: Vec<Json> = Vec::new();
+        for (i, (label, stats)) in a.runs.iter().enumerate() {
+            out.piece(format!(" {:>12.4}%", a.miss_increase_pct(i)));
+            runs.push(Json::obj(vec![
+                ("label", Json::str(label.clone())),
+                ("miss_increase_pct", Json::Float(a.miss_increase_pct(i))),
+                ("total_misses", Json::Uint(stats.total_misses())),
+            ]));
         }
         let rate = a.baseline.misses_per_mcycle();
         let paper_rate = paper::MISS_RATES
@@ -35,11 +47,24 @@ fn main() {
             .find(|&&(n, _)| n == a.app)
             .map(|&(_, r)| format!(" (paper {r:.0})"))
             .unwrap_or_default();
-        println!(" {:>9.0}{paper_rate}", rate);
+        out.line(format!(" {rate:>9.0}{paper_rate}"));
+        rows.push(Json::obj(vec![
+            ("app", Json::str(a.app.clone())),
+            ("baseline_misses", Json::Uint(a.baseline.total_misses())),
+            ("baseline_misses_per_mcycle", Json::Float(rate)),
+            ("runs", Json::Arr(runs)),
+        ]));
     }
-    println!(
+    out.line(
         "\nPaper's headline: perturbation is near-negligible everywhere —\n\
          worst non-ijpeg case ~0.14% (compress, 10-way search); ijpeg reaches\n\
-         ~2.4% only because its baseline miss rate (144/Mcycle) is tiny."
+         ~2.4% only because its baseline miss rate (144/Mcycle) is tiny.",
     );
+
+    let json = Json::obj(vec![
+        ("figure", Json::str("fig3")),
+        ("app_cycles", Json::Uint(app_cycles)),
+        ("apps", Json::Arr(rows)),
+    ]);
+    save_or_warn(&out, &json);
 }

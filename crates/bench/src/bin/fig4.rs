@@ -3,10 +3,14 @@
 //! section 3.3 cost accounting: cycles per interrupt and interrupts per
 //! Gcycle for each technique.
 //!
+//! Writes `results/fig4.{txt,json}` alongside the stdout table.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin fig4 [--quick]`
 
 use cachescope_bench::overhead::{sweep, SAMPLE_PERIODS};
 use cachescope_bench::paper::costs;
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
+use cachescope_obs::Json;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -14,27 +18,53 @@ fn main() {
     // instrumented runs ("the same number of application instructions").
     let app_cycles = if quick { 800_000_000 } else { 4_000_000_000 };
     let apps = sweep(app_cycles);
+    let mut out = ResultsFile::new("fig4");
 
-    println!("Figure 4: Instrumentation Cost");
-    println!("(percent slowdown over uninstrumented run, log-scale in the paper)\n");
-    print!("{:<10} {:>12}", "app", "search");
+    out.line("Figure 4: Instrumentation Cost");
+    out.line("(percent slowdown over uninstrumented run, log-scale in the paper)\n");
+    out.piece(format!("{:<10} {:>12}", "app", "search"));
     for p in SAMPLE_PERIODS {
-        print!(" {:>13}", format!("sample({p})"));
+        out.piece(format!(" {:>13}", format!("sample({p})")));
     }
-    println!();
+    out.line("");
+    let mut rows: Vec<Json> = Vec::new();
     for a in &apps {
-        print!("{:<10}", a.app);
-        for i in 0..a.runs.len() {
-            print!(" {:>12.4}%", a.slowdown_pct(i));
+        out.piece(format!("{:<10}", a.app));
+        let mut runs: Vec<Json> = Vec::new();
+        for (i, (label, stats)) in a.runs.iter().enumerate() {
+            out.piece(format!(" {:>12.4}%", a.slowdown_pct(i)));
+            let mut fields = vec![
+                ("label", Json::str(label.clone())),
+                ("slowdown_pct", Json::Float(a.slowdown_pct(i))),
+                ("cycles", Json::Uint(stats.cycles)),
+                ("instr_cycles", Json::Uint(stats.instr_cycles)),
+                ("interrupts", Json::Uint(stats.interrupts)),
+            ];
+            if stats.interrupts > 0 {
+                fields.push((
+                    "cycles_per_interrupt",
+                    Json::Float(stats.instr_cycles as f64 / stats.interrupts as f64),
+                ));
+                fields.push((
+                    "interrupts_per_gcycle",
+                    Json::Float(stats.interrupts as f64 / (stats.cycles as f64 / 1e9)),
+                ));
+            }
+            runs.push(Json::obj(fields));
         }
-        println!();
+        out.line("");
+        rows.push(Json::obj(vec![
+            ("app", Json::str(a.app.clone())),
+            ("baseline_cycles", Json::Uint(a.baseline.cycles)),
+            ("runs", Json::Arr(runs)),
+        ]));
     }
 
-    println!("\nSection 3.3 cost accounting (per technique, per app):");
-    println!(
+    out.line("\nSection 3.3 cost accounting (per technique, per app):");
+    out.line(format!(
         "{:<10} {:<14} {:>16} {:>18}",
         "app", "technique", "cycles/interrupt", "interrupts/Gcycle"
-    );
+    ));
     for a in &apps {
         for (label, stats) in &a.runs {
             if stats.interrupts == 0 {
@@ -42,10 +72,13 @@ fn main() {
             }
             let cpi = stats.instr_cycles as f64 / stats.interrupts as f64;
             let ipg = stats.interrupts as f64 / (stats.cycles as f64 / 1e9);
-            println!("{:<10} {:<14} {:>16.0} {:>18.1}", a.app, label, cpi, ipg);
+            out.line(format!(
+                "{:<10} {:<14} {:>16.0} {:>18.1}",
+                a.app, label, cpi, ipg
+            ));
         }
     }
-    println!(
+    out.line(format!(
         "\nPaper reference points: interrupt delivery {} cycles; sampling\n\
          ~{} cycles/interrupt; search {}-{} cycles/interrupt at {:.1}-{:.1}\n\
          interrupts/Gcycle; worst sampling slowdowns {:.0}% (1/1,000, tomcatv)\n\
@@ -58,5 +91,12 @@ fn main() {
         costs::SEARCH_INTERRUPTS_PER_GCYCLE.1,
         costs::WORST_SAMPLING_1K_SLOWDOWN_PCT,
         costs::WORST_SAMPLING_10K_SLOWDOWN_PCT,
-    );
+    ));
+
+    let json = Json::obj(vec![
+        ("figure", Json::str("fig4")),
+        ("app_cycles", Json::Uint(app_cycles)),
+        ("apps", Json::Arr(rows)),
+    ]);
+    save_or_warn(&out, &json);
 }

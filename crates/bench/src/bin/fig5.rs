@@ -2,16 +2,21 @@
 //! showing the phase structure — a, b and c (near-identical patterns)
 //! periodically dip to zero misses while d and rsd continue.
 //!
-//! Prints the per-interval miss series as a table plus ASCII sparklines.
+//! Prints the per-interval miss series as a table plus ASCII sparklines,
+//! and writes `results/fig5.{txt,json}` alongside the stdout output.
 //!
 //! Usage: `cargo run --release -p cachescope-bench --bin fig5 [--quick]`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_core::Experiment;
+use cachescope_obs::Json;
 use cachescope_sim::RunLimit;
 use cachescope_workloads::spec::{self, Scale};
 
 fn sparkline(series: &[u64]) -> String {
-    const LEVELS: [char; 8] = ['.', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const LEVELS: [char; 8] = [
+        '.', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+    ];
     let max = series.iter().copied().max().unwrap_or(0).max(1);
     series
         .iter()
@@ -36,14 +41,15 @@ fn main() {
         .timeline(bucket_cycles)
         .limit(RunLimit::AppMisses(cycles * cycle))
         .run();
+    let mut out = ResultsFile::new("fig5");
 
     let timeline = rep.stats.timeline.as_ref().expect("timeline recorded");
-    println!("Figure 5: Cache Misses over Time for Applu");
-    println!(
+    out.line("Figure 5: Cache Misses over Time for Applu");
+    out.line(format!(
         "(one bucket = {:.0} Mcycles; {} buckets; 'a, b, c' share a pattern)\n",
         bucket_cycles as f64 / 1e6,
         timeline.num_buckets()
-    );
+    ));
 
     let mut series: Vec<(String, Vec<u64>)> = Vec::new();
     for (id, obj) in rep.stats.objects.iter().enumerate() {
@@ -51,7 +57,7 @@ fn main() {
     }
 
     for (name, s) in &series {
-        println!("{:<6} {}", name, sparkline(s));
+        out.line(format!("{:<6} {}", name, sparkline(s)));
     }
 
     // Quantify the paper's qualitative claim.
@@ -70,26 +76,52 @@ fn main() {
         .zip(rsd)
         .filter(|&(&am, &rm)| am == 0 && rm > 0)
         .count();
-    println!(
+    out.line(format!(
         "\na/b/c dip to zero in {} of {} buckets; rsd is active in {} of those\n\
          dips — the behaviour the zero-miss retention heuristic (section 3.5)\n\
          is designed to survive.",
         a_zero,
         a.len(),
         dips_covered
-    );
+    ));
 
-    println!("\nPer-bucket miss counts (first 24 buckets):");
-    print!("{:<8}", "bucket");
+    out.line("\nPer-bucket miss counts (first 24 buckets):");
+    out.piece(format!("{:<8}", "bucket"));
     for (name, _) in &series {
-        print!(" {:>9}", name);
+        out.piece(format!(" {name:>9}"));
     }
-    println!();
+    out.line("");
     for b in 0..timeline.num_buckets().min(24) {
-        print!("{:<8}", b);
+        out.piece(format!("{b:<8}"));
         for (_, s) in &series {
-            print!(" {:>9}", s[b]);
+            out.piece(format!(" {:>9}", s[b]));
         }
-        println!();
+        out.line("");
     }
+
+    let json = Json::obj(vec![
+        ("figure", Json::str("fig5")),
+        ("app", Json::str(rep.app.clone())),
+        ("bucket_cycles", Json::Uint(bucket_cycles)),
+        ("zero_buckets_a", Json::Uint(a_zero as u64)),
+        ("dips_covered_by_rsd", Json::Uint(dips_covered as u64)),
+        (
+            "series",
+            Json::Arr(
+                series
+                    .iter()
+                    .map(|(name, s)| {
+                        Json::obj(vec![
+                            ("object", Json::str(name.clone())),
+                            (
+                                "misses",
+                                Json::Arr(s.iter().map(|&v| Json::Uint(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    save_or_warn(&out, &json);
 }

@@ -86,8 +86,16 @@ fn main() {
         print!(" {o:>8}");
     }
     println!();
-    show("  single level", &run(spec::mgrid(Scale::Paper), false), &objs);
-    show("  with 32 KiB L1", &run(spec::mgrid(Scale::Paper), true), &objs);
+    show(
+        "  single level",
+        &run(spec::mgrid(Scale::Paper), false),
+        &objs,
+    );
+    show(
+        "  with 32 KiB L1",
+        &run(spec::mgrid(Scale::Paper), true),
+        &objs,
+    );
 
     println!("\nmcf (tree nodes revisited at random — L1-absorbable reuse):");
     let objs = ["arcs", "tree_node", "nodes", "dummy_arcs"];
@@ -97,7 +105,11 @@ fn main() {
     }
     println!();
     show("  single level", &run(Mcf::new(Scale::Paper), false), &objs);
-    show("  with 32 KiB L1", &run(Mcf::new(Scale::Paper), true), &objs);
+    show(
+        "  with 32 KiB L1",
+        &run(Mcf::new(Scale::Paper), true),
+        &objs,
+    );
 
     println!("\nlut_mix (30% of references reuse a 4 KiB table at random):");
     let objs = ["STREAM", "LUT"];

@@ -18,7 +18,9 @@ fn run(w: SpecWorkload, policy: ReplacementPolicy) -> ExperimentReport {
     Experiment::new(w)
         // Jittered period: keeps tomcatv's periodic pattern from
         // resonating, so only the policy varies across rows.
-        .technique(TechniqueConfig::Sampling(SamplerConfig::jittered(2_000, 200, 7)))
+        .technique(TechniqueConfig::Sampling(SamplerConfig::jittered(
+            2_000, 200, 7,
+        )))
         .cache(CacheConfig {
             policy,
             ..Default::default()

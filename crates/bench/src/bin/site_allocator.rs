@@ -39,9 +39,7 @@ fn print_outcome(label: &str, rep: &ExperimentReport) {
     println!("  tree_node site (actual ~18.6%): {site}");
     for name in ["arcs", "nodes", "dummy_arcs"] {
         if let Some(r) = rep.row(name) {
-            let est = r
-                .est_pct
-                .map_or_else(|| "-".into(), |p| format!("{p:.1}%"));
+            let est = r.est_pct.map_or_else(|| "-".into(), |p| format!("{p:.1}%"));
             println!("  {name}: actual {:.1}%, search {est}", r.actual_pct);
         }
     }
@@ -52,7 +50,10 @@ fn main() {
     println!("Section 5: measurement-aware allocation for the n-way search\n");
 
     let standard = run(Mcf::new(Scale::Paper), false);
-    print_outcome("standard allocator (blocks scattered over a 512 MiB window):", &standard);
+    print_outcome(
+        "standard allocator (blocks scattered over a 512 MiB window):",
+        &standard,
+    );
 
     let compact = run(Mcf::with_measurement_allocator(Scale::Paper), true);
     print_outcome(

@@ -3,12 +3,18 @@
 //! search, for all seven applications — side by side with the paper's
 //! published values.
 //!
+//! Writes `results/table1.{txt,json}` alongside the stdout tables; the
+//! JSON embeds the full machine-readable report for every run.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin table1 [--quick]`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_bench::{
     paper, pct, rank, run_parallel, search_config_for, search_run_misses, whole_cycles,
 };
+use cachescope_core::export::report_to_json;
 use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::{Program, RunLimit};
 use cachescope_workloads::spec::{self, Scale, PAPER_SAMPLING_PERIOD};
 
@@ -43,15 +49,16 @@ fn main() {
         })
         .collect();
     let results = run_parallel(jobs);
+    let mut out = ResultsFile::new("table1");
 
-    println!("Table 1: Results for Sampling and Search");
-    println!("(measured by this reproduction; paper's values in parentheses)\n");
+    out.line("Table 1: Results for Sampling and Search");
+    out.line("(measured by this reproduction; paper's values in parentheses)\n");
     for ((sample, search), paper_app) in results.iter().zip(paper::TABLE1) {
-        println!("== {} ==", sample.app);
-        println!(
+        out.line(format!("== {} ==", sample.app));
+        out.line(format!(
             "{:<28} {:>14} | {:>16} | {:>16}",
             "object", "actual rk/%", "sample rk/%", "search rk/%"
-        );
+        ));
         for row in sample.rows().iter().take(8) {
             let search_row = search.row(&row.name);
             let paper_row = paper_app.rows.iter().find(|r| r.object == row.name);
@@ -61,7 +68,7 @@ fn main() {
             let fmt_paper = |v: Option<(usize, f64)>| {
                 v.map_or_else(|| "(-)".into(), |(r, p)| format!("({r}/{})", pct(p)))
             };
-            println!(
+            out.line(format!(
                 "{:<28} {:>6} {:>7} | {:>8} {:>7} | {:>8} {:>7}",
                 row.name,
                 fmt_pair(Some(row.actual_rank), Some(row.actual_pct)),
@@ -73,11 +80,31 @@ fn main() {
                     search_row.and_then(|r| r.est_pct)
                 ),
                 fmt_paper(paper_row.and_then(|r| r.search)),
-            );
+            ));
         }
-        println!(
+        out.line(format!(
             "   [{} samples taken; search label: {}]\n",
             sample.stats.interrupts, search.technique.label
-        );
+        ));
     }
+
+    let json = Json::obj(vec![
+        ("table", Json::str("table1")),
+        (
+            "apps",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(sample, search)| {
+                        Json::obj(vec![
+                            ("app", Json::str(sample.app.clone())),
+                            ("sample", report_to_json(sample)),
+                            ("search", report_to_json(search)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    save_or_warn(&out, &json);
 }

@@ -2,12 +2,16 @@
 //! seven applications, including the su2cor pathology (the 2-way search
 //! never refines U's region because su2cor's access patterns change).
 //!
+//! Writes `results/table2.{txt,json}` alongside the stdout tables; the
+//! JSON embeds the full machine-readable report for every run.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin table2 [--quick]`
 
-use cachescope_bench::{
-    paper, pct, rank, run_parallel, search_config_for, search_run_misses,
-};
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
+use cachescope_bench::{paper, pct, rank, run_parallel, search_config_for, search_run_misses};
+use cachescope_core::export::report_to_json;
 use cachescope_core::{Experiment, ExperimentReport, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::{Program, RunLimit};
 use cachescope_workloads::spec::{self, Scale};
 
@@ -39,15 +43,16 @@ fn main() {
         })
         .collect();
     let results = run_parallel(jobs);
+    let mut out = ResultsFile::new("table2");
 
-    println!("Table 2: Results of Two-Way Versus Ten-Way Search");
-    println!("(measured by this reproduction; paper's values in parentheses)\n");
+    out.line("Table 2: Results of Two-Way Versus Ten-Way Search");
+    out.line("(measured by this reproduction; paper's values in parentheses)\n");
     for ((two, ten), paper_app) in results.iter().zip(paper::TABLE2) {
-        println!("== {} ==", two.app);
-        println!(
+        out.line(format!("== {} ==", two.app));
+        out.line(format!(
             "{:<28} {:>12} | {:>16} | {:>16}",
             "object", "actual rk/%", "2-way rk/%", "10-way rk/%"
-        );
+        ));
         // Print the union of: top actual rows and anything either search
         // reported.
         for row in two.rows().iter().take(8) {
@@ -59,7 +64,7 @@ fn main() {
             let fmt_paper = |v: Option<(usize, f64)>| {
                 v.map_or_else(|| "(-)".into(), |(r, p)| format!("({r}/{})", pct(p)))
             };
-            println!(
+            out.line(format!(
                 "{:<28} {:>6}{:>7} | {:>8} {:>7} | {:>8} {:>7}",
                 row.name,
                 fmt_pair(Some(row.actual_rank), Some(row.actual_pct)),
@@ -71,14 +76,34 @@ fn main() {
                     ten_row.and_then(|r| r.est_pct)
                 ),
                 fmt_paper(paper_row.and_then(|r| r.ten_way)),
-            );
+            ));
         }
-        println!();
+        out.line("");
     }
-    println!(
+    out.line(
         "Note: as in the paper, an n-way search reports at most n-1 objects\n\
          plus split byproducts, so the 2-way column identifies only the top\n\
          one or two objects; su2cor's pattern change keeps the 2-way search\n\
-         from ever refining U's region."
+         from ever refining U's region.",
     );
+
+    let json = Json::obj(vec![
+        ("table", Json::str("table2")),
+        (
+            "apps",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(two, ten)| {
+                        Json::obj(vec![
+                            ("app", Json::str(two.app.clone())),
+                            ("two_way", report_to_json(two)),
+                            ("ten_way", report_to_json(ten)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    save_or_warn(&out, &json);
 }

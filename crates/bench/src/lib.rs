@@ -15,8 +15,10 @@
 //!
 //! Run with `cargo run --release -p cachescope-bench --bin <name>`.
 
+pub mod microbench;
 pub mod overhead;
 pub mod paper;
+pub mod results_json;
 
 use std::sync::Mutex;
 

@@ -1,0 +1,58 @@
+//! A minimal wall-clock micro-benchmark harness (the workspace carries no
+//! external benchmark framework). Each benchmark warms up, then runs the
+//! routine repeatedly for a fixed wall-clock budget and reports ns/iter.
+//!
+//! These are smoke-level numbers — good for spotting order-of-magnitude
+//! regressions in the simulator hot paths, not for rigorous statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measurement window per benchmark.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Minimum number of timed iterations, however slow the routine.
+const MIN_ITERS: u64 = 3;
+
+/// Time `routine` and print one report line: `name  iters  ns/iter`.
+pub fn bench<T>(name: &str, mut routine: impl FnMut() -> T) {
+    for _ in 0..2 {
+        black_box(routine());
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < MIN_ITERS || start.elapsed() < BUDGET {
+        black_box(routine());
+        iters += 1;
+    }
+    report(name, iters, start.elapsed());
+}
+
+/// Like [`bench`], but rebuilds fresh state with `setup` before every
+/// timed call — for routines that consume or mutate their input (e.g. a
+/// cache flush). Only the `routine` time is counted.
+pub fn bench_batched<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(&mut S) -> T,
+) {
+    {
+        let mut s = setup();
+        black_box(routine(&mut s));
+    }
+    let mut timed = Duration::ZERO;
+    let mut iters = 0u64;
+    while iters < MIN_ITERS || timed < BUDGET {
+        let mut s = setup();
+        let start = Instant::now();
+        black_box(routine(&mut s));
+        timed += start.elapsed();
+        iters += 1;
+    }
+    report(name, iters, timed);
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration) {
+    let per = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {iters:>10} iters  {per:>14.1} ns/iter");
+}

@@ -45,21 +45,19 @@ pub fn sweep(app_cycles: u64) -> Vec<AppOverheads> {
     let mut jobs: Vec<Job> = Vec::new();
     for w in spec::all(Scale::Paper) {
         let app = w.name().to_string();
-        let configs: Vec<(String, TechniqueConfig)> = std::iter::once((
-            "baseline".to_string(),
-            TechniqueConfig::None,
-        ))
-        .chain(std::iter::once((
-            "search".to_string(),
-            TechniqueConfig::Search(search_config_for(&app)),
-        )))
-        .chain(SAMPLE_PERIODS.iter().map(|&p| {
-            (
-                format!("sample({p})"),
-                TechniqueConfig::Sampling(SamplerConfig::fixed(p)),
-            )
-        }))
-        .collect();
+        let configs: Vec<(String, TechniqueConfig)> =
+            std::iter::once(("baseline".to_string(), TechniqueConfig::None))
+                .chain(std::iter::once((
+                    "search".to_string(),
+                    TechniqueConfig::Search(search_config_for(&app)),
+                )))
+                .chain(SAMPLE_PERIODS.iter().map(|&p| {
+                    (
+                        format!("sample({p})"),
+                        TechniqueConfig::Sampling(SamplerConfig::fixed(p)),
+                    )
+                }))
+                .collect();
         for (label, tech) in configs {
             let w = w.clone();
             let app = app.clone();

@@ -89,8 +89,18 @@ pub const TABLE1: &[Table1App] = &[
     Table1App {
         app: "compress",
         rows: &[
-            row!("orig_text_buffer", (1, 63.0), Some((1, 67.4)), Some((1, 63.6))),
-            row!("comp_text_buffer", (2, 35.6), Some((2, 30.2)), Some((2, 35.9))),
+            row!(
+                "orig_text_buffer",
+                (1, 63.0),
+                Some((1, 67.4)),
+                Some((1, 63.6))
+            ),
+            row!(
+                "comp_text_buffer",
+                (2, 35.6),
+                Some((2, 30.2)),
+                Some((2, 35.9))
+            ),
             row!("htab", (3, 1.3), Some((3, 2.3)), None),
             row!("codetab", (4, 0.2), None, None),
         ],
@@ -99,7 +109,12 @@ pub const TABLE1: &[Table1App] = &[
         app: "ijpeg",
         rows: &[
             row!("0x141020000", (1, 84.7), Some((1, 95.8)), Some((1, 85.2))),
-            row!("jpeg_compressed_data", (2, 12.5), Some((2, 4.2)), Some((2, 12.7))),
+            row!(
+                "jpeg_compressed_data",
+                (2, 12.5),
+                Some((2, 4.2)),
+                Some((2, 12.7))
+            ),
             row!("0x14101e000", (3, 0.5), None, Some((3, 0.0))),
             row!("std_chrominance_quant_tbl", (4, 0.0), None, None),
         ],
@@ -172,15 +187,30 @@ pub const TABLE2: &[Table2App] = &[
     Table2App {
         app: "compress",
         rows: &[
-            row2!("orig_text_buffer", (1, 63.0), Some((1, 63.6)), Some((1, 63.6))),
-            row2!("comp_text_buffer", (2, 35.6), Some((2, 36.0)), Some((2, 35.9))),
+            row2!(
+                "orig_text_buffer",
+                (1, 63.0),
+                Some((1, 63.6)),
+                Some((1, 63.6))
+            ),
+            row2!(
+                "comp_text_buffer",
+                (2, 35.6),
+                Some((2, 36.0)),
+                Some((2, 35.9))
+            ),
         ],
     },
     Table2App {
         app: "ijpeg",
         rows: &[
             row2!("0x141020000", (1, 84.7), Some((1, 84.9)), Some((1, 85.2))),
-            row2!("jpeg_compressed_data", (2, 12.5), Some((2, 12.6)), Some((2, 12.7))),
+            row2!(
+                "jpeg_compressed_data",
+                (2, 12.5),
+                Some((2, 12.6)),
+                Some((2, 12.7))
+            ),
         ],
     },
 ];

@@ -1,0 +1,88 @@
+//! Result artifacts for the evaluation binaries.
+//!
+//! Each table/figure binary prints its human-readable table to stdout and
+//! — through [`ResultsFile`] — mirrors that text into `results/<name>.txt`
+//! while saving a machine-readable `results/<name>.json` next to it, so
+//! accuracy and cost regressions are diffable run-over-run. JSON is
+//! rendered with the dependency-free `cachescope_obs::Json`, the same
+//! writer behind `--json` and `--trace-out`.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use cachescope_obs::Json;
+
+/// Collects a binary's table text while echoing it to stdout, then saves
+/// the `.txt`/`.json` artifact pair under `results/`.
+pub struct ResultsFile {
+    name: String,
+    text: String,
+}
+
+impl ResultsFile {
+    pub fn new(name: &str) -> Self {
+        ResultsFile {
+            name: name.to_string(),
+            text: String::new(),
+        }
+    }
+
+    /// Print one line to stdout and keep it for the `.txt` artifact.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        println!("{s}");
+        self.text.push_str(s);
+        self.text.push('\n');
+    }
+
+    /// Print a fragment (no newline) to stdout and keep it.
+    pub fn piece(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        print!("{s}");
+        self.text.push_str(s);
+    }
+
+    /// The accumulated table text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Write `results/<name>.txt` and `results/<name>.json`; returns the
+    /// JSON path. The `results/` directory is created on demand.
+    pub fn save(&self, json: &Json) -> io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join(format!("{}.txt", self.name)), &self.text)?;
+        let path = dir.join(format!("{}.json", self.name));
+        let mut rendered = json.render();
+        rendered.push('\n');
+        fs::write(&path, rendered)?;
+        Ok(path)
+    }
+}
+
+/// `save()` wrapper that demotes I/O errors to a stderr warning: result
+/// artifacts are a convenience, never worth failing an evaluation run
+/// over (e.g. a read-only working directory).
+pub fn save_or_warn(out: &ResultsFile, json: &Json) {
+    match out.save(json) {
+        Ok(path) => println!("\n[results written to {} and .txt]", path.display()),
+        Err(e) => eprintln!("warning: could not write results/: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_lines_and_pieces() {
+        let mut out = ResultsFile::new("t");
+        out.piece("a");
+        out.piece("b");
+        out.line("");
+        out.line("second");
+        assert_eq!(out.text(), "ab\nsecond\n");
+    }
+}

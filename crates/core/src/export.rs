@@ -1,12 +1,17 @@
-//! Machine-readable export of experiment results (CSV, no dependencies).
+//! Machine-readable export of experiment results (CSV and JSON, no
+//! dependencies).
 //!
 //! The evaluation binaries print human tables; downstream analysis
 //! (plotting Figure 3/4/5 equivalents, regression tracking) wants flat
-//! files. Fields containing commas, quotes or newlines are quoted per
-//! RFC 4180.
+//! files. CSV fields containing commas, quotes or newlines are quoted per
+//! RFC 4180; [`report_to_json`] exports the same rows and cost fields as
+//! one JSON document (plus the search log, miss timeline and metrics
+//! snapshot when present), rendered with the hand-rolled
+//! `cachescope_obs::Json`.
 
 use std::fmt::Write as _;
 
+use cachescope_obs::Json;
 use cachescope_sim::RunStats;
 
 use crate::results::ExperimentReport;
@@ -83,10 +88,89 @@ pub fn timeline_to_csv(stats: &RunStats) -> Option<String> {
     Some(out)
 }
 
+/// The per-interval miss timeline as JSON, if one was recorded.
+fn timeline_to_json(stats: &RunStats) -> Option<Json> {
+    let t = stats.timeline.as_ref()?;
+    let series = stats
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(id, obj)| {
+            Json::obj(vec![
+                ("object", Json::str(obj.name.clone())),
+                (
+                    "misses",
+                    Json::Arr(t.series(id as u32).into_iter().map(Json::Uint).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Some(Json::obj(vec![
+        ("bucket_cycles", Json::Uint(t.bucket_cycles())),
+        ("series", Json::Arr(series)),
+    ]))
+}
+
+/// The full experiment report as one JSON document: the same joined rows
+/// as [`report_to_csv`], the same cost fields as [`costs_to_csv`], plus
+/// the search log, miss timeline and metrics registry snapshot when
+/// present.
+pub fn report_to_json(report: &ExperimentReport) -> Json {
+    let s = &report.stats;
+    let rows: Vec<Json> = report
+        .rows()
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("object", Json::str(r.name.clone())),
+                ("actual_rank", Json::Uint(r.actual_rank as u64)),
+                ("actual_pct", Json::Float(r.actual_pct)),
+                (
+                    "est_rank",
+                    r.est_rank.map_or(Json::Null, |v| Json::Uint(v as u64)),
+                ),
+                ("est_pct", r.est_pct.map_or(Json::Null, Json::Float)),
+            ])
+        })
+        .collect();
+    let costs = Json::obj(vec![
+        ("app_misses", Json::Uint(s.app.misses)),
+        ("app_accesses", Json::Uint(s.app.accesses)),
+        ("instr_misses", Json::Uint(s.instr.misses)),
+        ("instr_accesses", Json::Uint(s.instr.accesses)),
+        ("cycles", Json::Uint(s.cycles)),
+        ("instr_cycles", Json::Uint(s.instr_cycles)),
+        ("interrupts", Json::Uint(s.interrupts)),
+        ("writebacks", Json::Uint(s.writebacks)),
+        ("unmapped_misses", Json::Uint(s.unmapped_misses)),
+        ("misses_per_mcycle", Json::Float(s.misses_per_mcycle())),
+    ]);
+    let mut fields = vec![
+        ("app", Json::str(report.app.clone())),
+        ("technique", Json::str(report.technique.label.clone())),
+        ("rows", Json::Arr(rows)),
+        ("costs", costs),
+    ];
+    if let Some(log) = &report.search_log {
+        fields.push((
+            "search_log",
+            Json::Arr(log.iterations.iter().map(|it| it.to_json()).collect()),
+        ));
+    }
+    if let Some(timeline) = timeline_to_json(s) {
+        fields.push(("timeline", timeline));
+    }
+    if !report.metrics.is_empty() {
+        fields.push(("metrics", report.metrics.to_json()));
+    }
+    Json::obj(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::results::{Estimate, TechniqueReport};
+    use cachescope_obs::json;
     use cachescope_sim::{Counts, ObjectKind, ObjectStats};
 
     fn sample_report() -> ExperimentReport {
@@ -180,5 +264,86 @@ mod tests {
         // 2 objects x 2 buckets.
         assert_eq!(lines.len(), 5);
         assert!(lines.iter().any(|l| l.ends_with("0,100,1")));
+    }
+
+    #[test]
+    fn csv_field_quoting_edge_cases() {
+        // RFC 4180: quote fields containing separators, quotes or
+        // newlines; double embedded quotes; leave plain fields bare.
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field(""), "");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(field("\""), "\"\"\"\"");
+        // Leading/trailing spaces are significant but need no quoting.
+        assert_eq!(field("  padded  "), "  padded  ");
+    }
+
+    #[test]
+    fn json_report_round_trips_and_matches_csv() {
+        let report = sample_report();
+        let rendered = report_to_json(&report).render();
+        let parsed = json::parse(&rendered).expect("valid json");
+
+        assert_eq!(parsed.get("app").unwrap().as_str(), Some("toy"));
+        assert_eq!(
+            parsed.get("technique").unwrap().as_str(),
+            Some("sampling(10)")
+        );
+
+        // Same rows as the CSV export, in the same order.
+        let rows = parsed.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), report.rows().len());
+        for (j, r) in rows.iter().zip(report.rows()) {
+            assert_eq!(j.get("object").unwrap().as_str(), Some(r.name.as_str()));
+            assert_eq!(
+                j.get("actual_rank").unwrap().as_u64(),
+                Some(r.actual_rank as u64)
+            );
+            let pct = j.get("actual_pct").unwrap().as_f64().unwrap();
+            assert!((pct - r.actual_pct).abs() < 1e-9);
+            match r.est_rank {
+                Some(er) => {
+                    assert_eq!(j.get("est_rank").unwrap().as_u64(), Some(er as u64))
+                }
+                None => assert!(matches!(j.get("est_rank"), Some(Json::Null))),
+            }
+        }
+
+        // Same cost fields as costs_to_csv.
+        let costs = parsed.get("costs").unwrap();
+        assert_eq!(costs.get("app_misses").unwrap().as_u64(), Some(1000));
+        assert_eq!(costs.get("instr_cycles").unwrap().as_u64(), Some(500));
+        assert_eq!(costs.get("interrupts").unwrap().as_u64(), Some(4));
+        let mpm = costs.get("misses_per_mcycle").unwrap().as_f64().unwrap();
+        assert!((mpm - report.stats.misses_per_mcycle()).abs() < 1e-9);
+
+        // The quoted-CSV pathological name survives JSON escaping too.
+        assert!(rendered.contains("A,weird\\\"name"), "{rendered}");
+
+        // No search log / timeline on this run: the keys are absent, not
+        // null, so consumers can feature-test.
+        assert!(parsed.get("search_log").is_none());
+        assert!(parsed.get("timeline").is_none());
+    }
+
+    #[test]
+    fn json_report_includes_timeline_when_recorded() {
+        use cachescope_sim::{Timeline, TimelineConfig};
+        let mut report = sample_report();
+        let mut t = Timeline::new(TimelineConfig { bucket_cycles: 100 });
+        t.record(0, 50);
+        t.record(1, 150);
+        report.stats.timeline = Some(t);
+        let rendered = report_to_json(&report).render();
+        let parsed = json::parse(&rendered).unwrap();
+        let timeline = parsed.get("timeline").expect("timeline exported");
+        assert_eq!(timeline.get("bucket_cycles").unwrap().as_u64(), Some(100));
+        let series = timeline.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), report.stats.objects.len());
+        // Object 1 missed once in bucket 1.
+        let misses = series[1].get("misses").unwrap().as_arr().unwrap();
+        assert_eq!(misses[1].as_u64(), Some(1));
     }
 }

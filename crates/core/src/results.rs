@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use cachescope_obs::{Metrics, ObsEvent};
 use cachescope_sim::RunStats;
 
 /// One object's estimate as produced by a measurement technique.
@@ -64,6 +65,13 @@ pub struct ExperimentReport {
     /// The search's per-iteration progress log, when the technique was a
     /// search run with [`crate::SearchConfig::log_progress`] enabled.
     pub search_log: Option<crate::search::SearchLog>,
+    /// The run's observability event stream (tool-side, zero simulated
+    /// cost), in emission order; render it as JSONL with
+    /// [`cachescope_obs::events_to_jsonl`].
+    pub events: Vec<ObsEvent>,
+    /// The run's metrics registry snapshot: counters, gauges and
+    /// histograms derived from the event stream plus direct observations.
+    pub metrics: Metrics,
     rows: Vec<ReportRow>,
 }
 
@@ -73,12 +81,7 @@ impl ExperimentReport {
     /// misses are omitted (the paper excludes objects under 0.01%).
     /// Same-named objects (instances from one allocation site) pool into
     /// a single row.
-    pub fn new(
-        app: String,
-        stats: RunStats,
-        technique: TechniqueReport,
-        min_pct: f64,
-    ) -> Self {
+    pub fn new(app: String, stats: RunStats, technique: TechniqueReport, min_pct: f64) -> Self {
         // Pool ground truth by name (duplicate names = one site).
         let mut by_name: Vec<(String, u64)> = Vec::new();
         for o in &stats.objects {
@@ -110,6 +113,8 @@ impl ExperimentReport {
             stats,
             technique,
             search_log: None,
+            events: Vec::new(),
+            metrics: Metrics::default(),
             rows,
         }
     }
@@ -181,8 +186,7 @@ impl fmt::Display for ExperimentReport {
                 r.actual_rank,
                 r.actual_pct,
                 r.est_rank.map_or_else(|| "-".into(), |v| v.to_string()),
-                r.est_pct
-                    .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+                r.est_pct.map_or_else(|| "-".into(), |v| format!("{v:.1}")),
             )?;
         }
         Ok(())

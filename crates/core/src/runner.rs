@@ -13,7 +13,7 @@ use cachescope_sim::{
 
 use crate::results::{ExperimentReport, TechniqueReport};
 use crate::sampler::Sampler;
-use crate::search::Searcher;
+use crate::search::{SearchLog, Searcher};
 use crate::technique::TechniqueConfig;
 
 /// A configured experiment, built with a fluent API:
@@ -121,30 +121,39 @@ impl<P: Program> Experiment<P> {
         let decls = self.program.static_objects();
         let mut engine = Engine::new(cfg);
 
-        let (stats, tech_report): (RunStats, TechniqueReport) = match self.technique {
-            TechniqueConfig::None => {
-                let mut h = NullHandler;
-                let stats = engine.run(&mut self.program, &mut h, self.limit);
-                (stats, TechniqueReport::default())
-            }
-            TechniqueConfig::Sampling(ref scfg) => {
-                let mut h = Sampler::new(scfg.clone(), &decls);
-                let stats = engine.run(&mut self.program, &mut h, self.limit);
-                let rep = h.report();
-                (stats, rep)
-            }
-            TechniqueConfig::Search(ref scfg) => {
-                let mut h = Searcher::new(scfg.clone(), &decls);
-                let stats = engine.run(&mut self.program, &mut h, self.limit);
-                let rep = h.report().cloned().unwrap_or_default();
-                let log = (!h.progress_log().is_empty()).then(|| h.progress_log().clone());
-                let mut report = ExperimentReport::new(app, stats, rep, self.min_pct);
-                report.search_log = log;
-                return report;
-            }
-        };
+        let (stats, tech_report, attach_log): (RunStats, TechniqueReport, bool) =
+            match self.technique {
+                TechniqueConfig::None => {
+                    let mut h = NullHandler;
+                    let stats = engine.run(&mut self.program, &mut h, self.limit);
+                    (stats, TechniqueReport::default(), false)
+                }
+                TechniqueConfig::Sampling(ref scfg) => {
+                    let mut h = Sampler::new(scfg.clone(), &decls);
+                    let stats = engine.run(&mut self.program, &mut h, self.limit);
+                    let rep = h.report();
+                    (stats, rep, false)
+                }
+                TechniqueConfig::Search(ref scfg) => {
+                    let attach_log = scfg.log_progress;
+                    let mut h = Searcher::new(scfg.clone(), &decls);
+                    let stats = engine.run(&mut self.program, &mut h, self.limit);
+                    let rep = h.report().cloned().unwrap_or_default();
+                    (stats, rep, attach_log)
+                }
+            };
 
-        ExperimentReport::new(app, stats, tech_report, self.min_pct)
+        let mut obs = engine.take_obs();
+        let mut report = ExperimentReport::new(app, stats, tech_report, self.min_pct);
+        if attach_log {
+            let log = SearchLog::from_events(obs.events());
+            if !log.is_empty() {
+                report.search_log = Some(log);
+            }
+        }
+        report.events = obs.take_events();
+        report.metrics = obs.metrics;
+        report
     }
 
     /// Execute with a caller-supplied handler (custom instrumentation).
@@ -153,7 +162,12 @@ impl<P: Program> Experiment<P> {
         let app = self.program.name().to_string();
         let mut engine = Engine::new(cfg);
         let stats = engine.run(&mut self.program, handler, self.limit);
-        ExperimentReport::new(app, stats, TechniqueReport::default(), self.min_pct)
+        let mut obs = engine.take_obs();
+        let mut report =
+            ExperimentReport::new(app, stats, TechniqueReport::default(), self.min_pct);
+        report.events = obs.take_events();
+        report.metrics = obs.metrics;
+        report
     }
 }
 
@@ -226,6 +240,10 @@ mod tests {
             .counters(2)
             .limit(RunLimit::AppMisses(1_500_000))
             .run();
-        assert!(rep.technique.label.contains("2-way"), "{}", rep.technique.label);
+        assert!(
+            rep.technique.label.contains("2-way"),
+            "{}",
+            rep.technique.label
+        );
     }
 }

@@ -13,11 +13,11 @@
 //! (50,111) or a pseudo-random interval samples fairly. All three policies
 //! are available as [`SamplingPeriod`] variants.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cachescope_sim::rng::SmallRng;
 
 use cachescope_hwpm::Interrupt;
 use cachescope_objmap::{AccessTrace, ObjectMap};
+use cachescope_obs::ObsEvent;
 use cachescope_sim::{Addr, AddressSpace, EngineCtx, Handler, ObjectDecl};
 
 use crate::results::{Estimate, TechniqueReport};
@@ -163,8 +163,9 @@ impl Sampler {
         // Generous reservation: one u64 slot per object, up to 64Ki.
         let counts_base = aspace.alloc_instr(64 * 1024 * 8);
         let rng = match cfg.period {
-            SamplingPeriod::Jittered { seed, .. }
-            | SamplingPeriod::Adaptive { seed, .. } => Some(SmallRng::seed_from_u64(seed)),
+            SamplingPeriod::Jittered { seed, .. } | SamplingPeriod::Adaptive { seed, .. } => {
+                Some(SmallRng::seed_from_u64(seed))
+            }
             SamplingPeriod::Fixed(_) => None,
         };
         let current_period = match cfg.period {
@@ -281,6 +282,12 @@ impl Handler for Sampler {
     fn init(&mut self, ctx: &mut EngineCtx) {
         self.samples = 0;
         self.last_return = ctx.now();
+        let now = ctx.now();
+        ctx.obs().emit(ObsEvent::SamplerPeriod {
+            now,
+            period: self.current_period,
+            reason: "initial",
+        });
         ctx.arm_miss_overflow(self.current_period);
     }
 
@@ -307,7 +314,20 @@ impl Handler for Sampler {
             }
             replay_trace(ctx, &mut self.trace, self.cfg.probe_cycles);
         }
+        let prev_period = self.current_period;
         self.current_period = self.next_period(elapsed);
+        // Announce adaptive retunes only; a jittered sampler redraws every
+        // interrupt and would drown the stream without saying anything new.
+        if matches!(self.cfg.period, SamplingPeriod::Adaptive { .. })
+            && self.current_period != prev_period
+        {
+            let now = ctx.now();
+            ctx.obs().emit(ObsEvent::SamplerPeriod {
+                now,
+                period: self.current_period,
+                reason: "adapt",
+            });
+        }
         ctx.arm_miss_overflow(self.current_period);
         self.last_return = ctx.now();
     }
@@ -464,10 +484,7 @@ mod tests {
         let mut e = Engine::new(SimConfig::default());
         let stats = e.run(&mut w, &mut s, RunLimit::AppMisses(200_000));
         let overhead = stats.instr_cycles as f64 * 100.0 / stats.cycles as f64;
-        assert!(
-            (overhead - 1.0).abs() < 0.3,
-            "overhead {overhead:.2}%"
-        );
+        assert!((overhead - 1.0).abs() < 0.3, "overhead {overhead:.2}%");
         assert!(
             s.current_period() < 1_000,
             "compress affords a short period, got {}",

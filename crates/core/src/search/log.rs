@@ -1,59 +1,39 @@
-//! Optional per-iteration progress log for the n-way search.
+//! Per-iteration progress log for the n-way search.
 //!
 //! The search is a closed loop of measure → rank → split decisions; when
 //! it surprises you (an object missing, an estimate off), the question is
-//! always "what did it measure and decide, iteration by iteration?". With
-//! [`crate::SearchConfig::log_progress`] enabled, the searcher records
-//! exactly that, at zero simulated cost (the log is tool-side state, like
-//! a debugger's, not part of the measured instrumentation).
+//! always "what did it measure and decide, iteration by iteration?". The
+//! searcher records exactly that into the engine's observability sink as
+//! [`cachescope_obs::ObsEvent::SearchIteration`] events, at zero simulated
+//! cost (the sink is tool-side state, like a debugger's, not part of the
+//! measured instrumentation). A [`SearchLog`] is the human-readable view
+//! over those events, rebuilt with [`SearchLog::from_events`].
 
-use cachescope_sim::{Addr, Cycle};
+pub use cachescope_obs::{IterationRecord, MeasuredRegion, RegionFate};
 
-/// What happened to one measured region in one iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RegionFate {
-    /// Nonzero count: re-queued (and later possibly split).
-    Requeued,
-    /// Zero count but retained by the phase heuristic.
-    RetainedZero,
-    /// Zero count, discarded.
-    Dropped,
-}
+use cachescope_obs::ObsEvent;
 
-/// One region's measurement within an iteration.
-#[derive(Debug, Clone)]
-pub struct MeasuredRegion {
-    pub lo: Addr,
-    pub hi: Addr,
-    /// Scaled miss count for the interval.
-    pub count: u64,
-    pub atomic: bool,
-    /// Object name, if the region has been narrowed to one.
-    pub object: Option<String>,
-    pub fate: RegionFate,
-}
-
-/// One search iteration's record.
-#[derive(Debug, Clone)]
-pub struct IterationRecord {
-    /// Virtual time at which the iteration's interrupt was handled.
-    pub now: Cycle,
-    /// Interval length that produced these measurements.
-    pub interval: Cycle,
-    /// Global misses over the interval.
-    pub total: u64,
-    pub regions: Vec<MeasuredRegion>,
-    /// The iteration ended the search (termination rules met).
-    pub terminated: bool,
-}
-
-/// The full progress log.
+/// The full progress log: a view over a run's `SearchIteration` events.
 #[derive(Debug, Clone, Default)]
 pub struct SearchLog {
     pub iterations: Vec<IterationRecord>,
 }
 
 impl SearchLog {
+    /// Rebuild the log from a run's event stream, keeping only the
+    /// search-iteration records.
+    pub fn from_events(events: &[ObsEvent]) -> Self {
+        SearchLog {
+            iterations: events
+                .iter()
+                .filter_map(|ev| match ev {
+                    ObsEvent::SearchIteration(it) => Some(it.clone()),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
     /// Number of recorded iterations.
     pub fn len(&self) -> usize {
         self.iterations.len()
@@ -112,33 +92,37 @@ impl SearchLog {
 mod tests {
     use super::*;
 
+    fn record() -> IterationRecord {
+        IterationRecord {
+            now: 1000,
+            interval: 500,
+            total: 100,
+            regions: vec![
+                MeasuredRegion {
+                    lo: 0x1000,
+                    hi: 0x2000,
+                    count: 60,
+                    atomic: false,
+                    object: None,
+                    fate: RegionFate::Requeued,
+                },
+                MeasuredRegion {
+                    lo: 0x2000,
+                    hi: 0x3000,
+                    count: 0,
+                    atomic: true,
+                    object: Some("RX".into()),
+                    fate: RegionFate::RetainedZero,
+                },
+            ],
+            terminated: true,
+        }
+    }
+
     #[test]
     fn render_shows_every_region_and_termination() {
         let log = SearchLog {
-            iterations: vec![IterationRecord {
-                now: 1000,
-                interval: 500,
-                total: 100,
-                regions: vec![
-                    MeasuredRegion {
-                        lo: 0x1000,
-                        hi: 0x2000,
-                        count: 60,
-                        atomic: false,
-                        object: None,
-                        fate: RegionFate::Requeued,
-                    },
-                    MeasuredRegion {
-                        lo: 0x2000,
-                        hi: 0x3000,
-                        count: 0,
-                        atomic: true,
-                        object: Some("RX".into()),
-                        fate: RegionFate::RetainedZero,
-                    },
-                ],
-                terminated: true,
-            }],
+            iterations: vec![record()],
         };
         let text = log.render();
         assert!(text.contains("iteration   1"));
@@ -147,5 +131,23 @@ mod tests {
         assert!(text.contains("retained(zero)"));
         assert!(text.contains("<RX>"));
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn from_events_keeps_only_search_iterations() {
+        let events = vec![
+            ObsEvent::Interrupt {
+                now: 10,
+                kind: "timer",
+            },
+            ObsEvent::SearchIteration(record()),
+            ObsEvent::SearchFinal {
+                now: 2000,
+                regions: 2,
+            },
+        ];
+        let log = SearchLog::from_events(&events);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.iterations[0].total, 100);
     }
 }

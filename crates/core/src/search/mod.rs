@@ -30,6 +30,7 @@ pub mod region;
 
 use cachescope_hwpm::{CounterId, Interrupt};
 use cachescope_objmap::{AccessTrace, ObjectMap};
+use cachescope_obs::ObsEvent;
 use cachescope_sim::address_space::{INSTR_BASE, STATIC_BASE};
 use cachescope_sim::{Addr, AddressSpace, Cycle, EngineCtx, Handler, ObjectDecl};
 
@@ -91,8 +92,11 @@ pub struct SearchConfig {
     /// search can consider an allocation site "as a unit". Off by
     /// default (the paper's evaluated tool resolves individual blocks).
     pub coalesce_sites: bool,
-    /// Record a per-iteration progress log (tool-side, no simulated
-    /// cost); read it back with [`Searcher::progress_log`].
+    /// Attach the rendered per-iteration progress log to the experiment
+    /// report. The searcher always emits its iteration records into the
+    /// engine's observability sink (tool-side, no simulated cost); this
+    /// flag only controls whether the runner keeps the [`SearchLog`] view
+    /// on the report.
     pub log_progress: bool,
     /// Logical search width n. When larger than the number of *physical*
     /// PMU region counters, the physical counters are **timeshared**: each
@@ -151,7 +155,9 @@ enum State {
     /// Post-search measurement: counters sit on the found objects' exact
     /// extents for one long interval (`final_rounds x` the search
     /// interval), then the averages are reported.
-    Final { slots: Vec<FinalSlot> },
+    Final {
+        slots: Vec<FinalSlot>,
+    },
     Done,
 }
 
@@ -218,7 +224,6 @@ pub struct Searcher {
     iterations: u64,
     state: State,
     mux: Option<MuxState>,
-    log: SearchLog,
     report: Option<TechniqueReport>,
     /// Logical search width.
     n: usize,
@@ -255,7 +260,6 @@ impl Searcher {
             iterations: 0,
             state: State::Searching,
             mux: None,
-            log: SearchLog::default(),
             report: None,
             n: 0,
             k: 0,
@@ -277,12 +281,6 @@ impl Searcher {
     /// [`Handler::on_finish`]).
     pub fn report(&self) -> Option<&TechniqueReport> {
         self.report.as_ref()
-    }
-
-    /// The per-iteration progress log (empty unless
-    /// [`SearchConfig::log_progress`] was enabled).
-    pub fn progress_log(&self) -> &SearchLog {
-        &self.log
     }
 
     fn search_space(&self) -> (Addr, Addr) {
@@ -547,14 +545,10 @@ impl Searcher {
         if top.iter().all(|&(_, idx)| self.arena.get(idx).atomic) {
             return true;
         }
-        let has_named_atomic = self
-            .pq
-            .top_k(usize::MAX)
-            .iter()
-            .any(|&(_, idx)| {
-                let r = self.arena.get(idx);
-                r.atomic && r.object.is_some()
-            });
+        let has_named_atomic = self.pq.top_k(usize::MAX).iter().any(|&(_, idx)| {
+            let r = self.arena.get(idx);
+            r.atomic && r.object.is_some()
+        });
         if !has_named_atomic {
             return false;
         }
@@ -600,6 +594,11 @@ impl Searcher {
                 search_key: key,
             });
         }
+        let now = ctx.now();
+        ctx.obs().emit(ObsEvent::SearchFinal {
+            now,
+            regions: slots.len(),
+        });
         self.state = State::Final { slots };
         let interval = self.interval * self.cfg.final_rounds.max(1) as u64;
         self.begin_measurement(ctx, entries, interval, MuxAfter::Final);
@@ -663,7 +662,7 @@ impl Searcher {
         }
 
         let mut retained_splittable = false;
-        let mut log_regions: Vec<MeasuredRegion> = Vec::new();
+        let mut measured_regions: Vec<MeasuredRegion> = Vec::new();
         for (idx, count) in measured {
             self.trace.write(self.arena.sim_addr(idx));
             let fate;
@@ -706,17 +705,15 @@ impl Searcher {
                 self.pq.push(key, idx, &mut self.trace);
                 fate = RegionFate::Requeued;
             }
-            if self.cfg.log_progress {
-                let r = self.arena.get(idx);
-                log_regions.push(MeasuredRegion {
-                    lo: r.lo,
-                    hi: r.hi,
-                    count,
-                    atomic: r.atomic,
-                    object: r.object.map(|id| self.map.object(id).name.clone()),
-                    fate,
-                });
-            }
+            let r = self.arena.get(idx);
+            measured_regions.push(MeasuredRegion {
+                lo: r.lo,
+                hi: r.hi,
+                count,
+                atomic: r.atomic,
+                object: r.object.map(|id| self.map.object(id).name.clone()),
+                fate,
+            });
         }
         if retained_splittable {
             // Phase adaptation: a search region went silent this interval,
@@ -743,15 +740,17 @@ impl Searcher {
         }
 
         let terminated = self.should_terminate();
-        if self.cfg.log_progress {
-            self.log.iterations.push(IterationRecord {
-                now: ctx.now(),
-                interval: self.interval,
-                total,
-                regions: log_regions,
-                terminated,
-            });
-        }
+        let depth = self.pq.len() as u64;
+        let now = ctx.now();
+        let obs = ctx.obs();
+        obs.metrics.observe("search.pqueue_depth", depth);
+        obs.emit(ObsEvent::SearchIteration(IterationRecord {
+            now,
+            interval: self.interval,
+            total,
+            regions: measured_regions,
+            terminated,
+        }));
         if terminated {
             self.begin_final(ctx);
             return;
@@ -769,7 +768,9 @@ impl Searcher {
         let mut left = self.n;
         let mut skipped: Vec<(f64, u32)> = Vec::new();
         while left > 0 {
-            let Some((key, idx)) = self.pq.peek() else { break };
+            let Some((key, idx)) = self.pq.peek() else {
+                break;
+            };
             if self.arena.get(idx).atomic {
                 self.pq.pop(&mut self.trace);
                 self.assigned.push(idx);
@@ -786,7 +787,30 @@ impl Searcher {
                     continue;
                 }
                 self.pq.pop(&mut self.trace);
-                match self.split_region(idx) {
+                let (split_lo, split_hi) = {
+                    let r = self.arena.get(idx);
+                    (r.lo, r.hi)
+                };
+                let outcome = self.split_region(idx);
+                let children: Vec<(Addr, Addr)> = match &outcome {
+                    SplitOutcome::Children(a, b) => [*a, *b]
+                        .iter()
+                        .map(|&c| {
+                            let r = self.arena.get(c);
+                            (r.lo, r.hi)
+                        })
+                        .collect(),
+                    SplitOutcome::BecameAtomic => Vec::new(),
+                };
+                let now = ctx.now();
+                ctx.obs().emit(ObsEvent::RegionSplit {
+                    now,
+                    lo: split_lo,
+                    hi: split_hi,
+                    children,
+                    became_atomic: matches!(outcome, SplitOutcome::BecameAtomic),
+                });
+                match outcome {
                     SplitOutcome::Children(a, b) => {
                         self.assigned.push(a);
                         self.assigned.push(b);
@@ -1235,7 +1259,7 @@ mod tests {
         let mut e = Engine::new(sim_cfg(4));
         e.run(&mut w, &mut s, RunLimit::AppMisses(3_000_000));
         assert!(s.is_done());
-        let log = s.progress_log();
+        let log = SearchLog::from_events(e.obs().events());
         assert!(!log.is_empty());
         // Measured counts in any iteration never exceed the interval total.
         for it in &log.iterations {

@@ -164,7 +164,7 @@ mod tests {
         let mut r = Region::new(0, 100);
         r.record(10, 100); // 10% of a 100-miss interval
         r.record(60, 300); // 20% of a 300-miss interval
-        // Weighted: 70/400 = 17.5%, not the unweighted 15%.
+                           // Weighted: 70/400 = 17.5%, not the unweighted 15%.
         assert!((r.avg_pct() - 17.5).abs() < 1e-9);
         assert!((r.pct - 20.0).abs() < 1e-9);
         assert_eq!(r.visits, 2);

@@ -30,7 +30,7 @@ pub mod pmu;
 
 pub use cost::CostModel;
 pub use counter::{CounterId, RegionCounter};
-pub use pmu::{Interrupt, Pmu, PmuConfig};
+pub use pmu::{Interrupt, Pmu, PmuActivity, PmuConfig};
 
 /// A simulated (virtual) memory address.
 pub type Addr = u64;

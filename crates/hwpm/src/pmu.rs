@@ -14,7 +14,9 @@ pub struct PmuConfig {
 
 impl Default for PmuConfig {
     fn default() -> Self {
-        PmuConfig { region_counters: 10 }
+        PmuConfig {
+            region_counters: 10,
+        }
     }
 }
 
@@ -49,6 +51,31 @@ pub struct Pmu {
     /// While frozen (during interrupt handler execution) misses are not
     /// counted and do not update the last-miss register.
     frozen: bool,
+    /// Tool-side activity tally (register-file traffic). Not part of the
+    /// simulated machine state: reading it costs nothing and it survives
+    /// freezes. Feeds the observability metrics snapshot.
+    activity: PmuActivity,
+}
+
+/// How often each class of PMU register operation happened — tool-side
+/// bookkeeping for the observability layer, free in simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmuActivity {
+    /// Region counter base/bound programmings.
+    pub counter_programs: u64,
+    /// Region counter disables.
+    pub counter_disables: u64,
+    /// Miss-overflow interrupt armings.
+    pub overflow_arms: u64,
+    /// Cycle-timer armings.
+    pub timer_arms: u64,
+    /// Miss-overflow interrupts latched.
+    pub overflows_latched: u64,
+    /// Timer interrupts latched.
+    pub timers_latched: u64,
+    /// Misses observed while counting was frozen (invisible to the
+    /// instrumentation, visible to the tool).
+    pub frozen_misses: u64,
 }
 
 impl Pmu {
@@ -62,7 +89,13 @@ impl Pmu {
             timer_deadline: None,
             pending: None,
             frozen: false,
+            activity: PmuActivity::default(),
         }
+    }
+
+    /// The tool-side activity tally (see [`PmuActivity`]).
+    pub fn activity(&self) -> PmuActivity {
+        self.activity
     }
 
     /// Number of region counters available.
@@ -72,11 +105,13 @@ impl Pmu {
 
     /// Program region counter `id` to count misses in `[base, bound)`.
     pub fn program_counter(&mut self, id: CounterId, base: Addr, bound: Addr) {
+        self.activity.counter_programs += 1;
         self.counters[id.index()].program(base, bound);
     }
 
     /// Disable region counter `id`.
     pub fn disable_counter(&mut self, id: CounterId) {
+        self.activity.counter_disables += 1;
         self.counters[id.index()].disable();
     }
 
@@ -110,6 +145,7 @@ impl Pmu {
     /// `period` must be nonzero.
     pub fn arm_miss_overflow(&mut self, period: u64) {
         assert!(period > 0, "overflow period must be nonzero");
+        self.activity.overflow_arms += 1;
         self.overflow_remaining = Some(period);
     }
 
@@ -120,6 +156,7 @@ impl Pmu {
 
     /// Arm the cycle timer to fire at absolute virtual cycle `deadline`.
     pub fn arm_timer(&mut self, deadline: Cycle) {
+        self.activity.timer_arms += 1;
         self.timer_deadline = Some(deadline);
     }
 
@@ -159,6 +196,7 @@ impl Pmu {
     #[inline]
     pub fn record_miss(&mut self, addr: Addr) {
         if self.frozen {
+            self.activity.frozen_misses += 1;
             return;
         }
         self.global += 1;
@@ -174,6 +212,7 @@ impl Pmu {
                 // overflow is simply latched after it is handled. With a
                 // single pending slot we prioritise the overflow, matching
                 // hardware where the miss-overflow is the precise event.
+                self.activity.overflows_latched += 1;
                 self.pending = Some(Interrupt::MissOverflow);
             }
         }
@@ -185,6 +224,7 @@ impl Pmu {
         if let Some(deadline) = self.timer_deadline {
             if now >= deadline && self.pending.is_none() {
                 self.timer_deadline = None;
+                self.activity.timers_latched += 1;
                 self.pending = Some(Interrupt::Timer);
             }
         }
@@ -315,6 +355,31 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_overflow_period_panics() {
         pmu(1).arm_miss_overflow(0);
+    }
+
+    #[test]
+    fn activity_tally_tracks_register_traffic() {
+        let mut p = pmu(2);
+        p.program_counter(CounterId(0), 0, 100);
+        p.program_counter(CounterId(1), 100, 200);
+        p.disable_counter(CounterId(1));
+        p.arm_miss_overflow(1);
+        p.arm_timer(50);
+        p.record_miss(5); // latches the overflow
+        p.check_timer(10); // timer blocked by pending slot
+        p.take_pending();
+        p.check_timer(60); // now the timer latches
+        p.freeze();
+        p.record_miss(7); // invisible to counters, tallied as frozen
+        p.unfreeze();
+        let a = p.activity();
+        assert_eq!(a.counter_programs, 2);
+        assert_eq!(a.counter_disables, 1);
+        assert_eq!(a.overflow_arms, 1);
+        assert_eq!(a.timer_arms, 1);
+        assert_eq!(a.overflows_latched, 1);
+        assert_eq!(a.timers_latched, 1);
+        assert_eq!(a.frozen_misses, 1);
     }
 
     #[test]

@@ -66,7 +66,8 @@ impl ObjectMap {
             });
             extents.push((decl.base, decl.end(), id));
         }
-        let symtab_base = aspace.alloc_instr(extents.len().max(1) as u64 * crate::symtab::ENTRY_BYTES);
+        let symtab_base =
+            aspace.alloc_instr(extents.len().max(1) as u64 * crate::symtab::ENTRY_BYTES);
         // Reserve a fixed arena for the heap tree (supports 64Ki blocks).
         let heap_base = aspace.alloc_instr(64 * 1024 * crate::rbtree::NODE_BYTES);
         let live_blocks = vec![1; objects.len()];
@@ -206,7 +207,8 @@ impl ObjectMap {
                 }
             }
         }
-        self.symtab.for_each_in(lo, hi, trace, |_, _, id| globals.push(id));
+        self.symtab
+            .for_each_in(lo, hi, trace, |_, _, id| globals.push(id));
 
         let mut heaps: Vec<ObjectId> = Vec::new();
         if lo > 0 {
@@ -256,9 +258,7 @@ impl ObjectMap {
     pub fn snap_split(&self, lo: Addr, hi: Addr, trace: &mut AccessTrace) -> Option<Addr> {
         let mid = lo + (hi - lo) / 2;
         let boundaries = self.boundaries_in(lo, hi, trace);
-        boundaries
-            .into_iter()
-            .min_by_key(|&b| (b.abs_diff(mid), b))
+        boundaries.into_iter().min_by_key(|&b| (b.abs_diff(mid), b))
     }
 }
 

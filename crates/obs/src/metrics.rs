@@ -1,0 +1,296 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Tool-side only — recording a metric never charges simulated cycles.
+//! The registry is snapshotted into the `ExperimentReport` at the end of
+//! a run, printed by `--metrics`, and embedded in the `--json` export.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::Json;
+
+/// Default histogram bucket upper bounds: powers of four, 1 .. 4^15.
+/// Wide enough for inter-arrival cycles and region sizes alike.
+fn default_bounds() -> Vec<u64> {
+    (0..16).map(|k| 1u64 << (2 * k)).collect()
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds of each bucket; one overflow bucket follows.
+    bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut buckets = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            let le = self
+                .bounds
+                .get(i)
+                .map(|&b| Json::Uint(b))
+                .unwrap_or(Json::Null);
+            buckets.push(Json::obj(vec![("le", le), ("count", Json::Uint(c))]));
+        }
+        Json::obj(vec![
+            ("count", Json::Uint(self.count)),
+            ("sum", Json::Uint(self.sum.min(u128::from(u64::MAX)) as u64)),
+            ("min", Json::Uint(self.min())),
+            ("max", Json::Uint(self.max())),
+            ("mean", Json::Float(self.mean())),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// The registry. Names are dotted paths (`"engine.interrupts.timer"`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Read a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Register a histogram with explicit bucket bounds. No-op if the
+    /// name already exists.
+    pub fn register_histogram(&mut self, name: &'static str, bounds: &[u64]) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds.to_vec()));
+    }
+
+    /// Record an observation; auto-registers the histogram with
+    /// power-of-four default buckets on first use.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(default_bounds()))
+            .observe(value);
+    }
+
+    /// Read a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialize the whole registry.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), Json::Uint(v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), Json::Float(v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+impl fmt::Display for Metrics {
+    /// The `--metrics` text rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, v) in &self.counters {
+                writeln!(f, "  {name:<44} {v:>14}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, v) in &self.gauges {
+                writeln!(f, "  {name:<44} {v:>14.4}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {name:<44} count {:>10}  mean {:>14.1}  min {:>10}  max {:>12}",
+                    h.count(),
+                    h.mean(),
+                    h.min(),
+                    h.max(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("a");
+        m.inc("a");
+        m.add("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.set_gauge("share", 1.0);
+        m.set_gauge("share", 2.5);
+        assert_eq!(m.gauge("share"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut m = Metrics::new();
+        m.register_histogram("h", &[10, 100]);
+        for v in [1, 5, 10, 11, 100, 5000] {
+            m.observe("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5000);
+        // Buckets: <=10 has {1,5,10}, <=100 has {11,100}, overflow {5000}.
+        assert_eq!(h.counts, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn observe_auto_registers() {
+        let mut m = Metrics::new();
+        m.observe("auto", 3);
+        m.observe("auto", 1_000_000);
+        assert_eq!(m.histogram("auto").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_and_text_render() {
+        let mut m = Metrics::new();
+        m.inc("events");
+        m.set_gauge("rate", 0.25);
+        m.observe("depth", 4);
+        let j = m.to_json();
+        assert_eq!(
+            j.get("counters").unwrap().get("events").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("gauges").unwrap().get("rate").unwrap().as_f64(),
+            Some(0.25)
+        );
+        let text = m.to_string();
+        assert!(text.contains("events"));
+        assert!(text.contains("depth"));
+        // And the whole thing is valid JSON.
+        crate::json::parse(&j.render()).expect("valid");
+    }
+}

@@ -94,7 +94,10 @@ impl AddressSpace {
         let end = base
             .checked_add(size.max(1))
             .unwrap_or_else(|| panic!("{what} allocation overflows address space"));
-        assert!(end <= limit, "{what} segment exhausted ({size} bytes requested)");
+        assert!(
+            end <= limit,
+            "{what} segment exhausted ({size} bytes requested)"
+        );
         // Pad to alignment so the next object starts on a fresh line.
         *cursor = (end + align - 1) & !(align - 1);
         base
@@ -112,7 +115,13 @@ impl AddressSpace {
 
     /// Place an instrumentation-owned block of `size` bytes.
     pub fn alloc_instr(&mut self, size: u64) -> Addr {
-        Self::bump(&mut self.instr_next, size, self.align, INSTR_LIMIT, "instrumentation")
+        Self::bump(
+            &mut self.instr_next,
+            size,
+            self.align,
+            INSTR_LIMIT,
+            "instrumentation",
+        )
     }
 
     /// Place a heap block at an explicit address (used by workloads that

@@ -268,7 +268,11 @@ mod tests {
         c.access(rd(line(0) + 24)); // interior offset
         c.access(rd(line(1)));
         let out = c.access(rd(line(2)));
-        assert_eq!(out.evicted, Some(line(0)), "evicted address is line-aligned");
+        assert_eq!(
+            out.evicted,
+            Some(line(0)),
+            "evicted address is line-aligned"
+        );
     }
 
     #[test]
@@ -365,7 +369,7 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::memref::MemRef;
-    use proptest::prelude::*;
+    use crate::rng::SmallRng;
 
     /// Naive reference: per-set vectors in LRU order (front = MRU).
     struct RefCache {
@@ -404,13 +408,13 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
-        fn matches_reference_lru_model(
-            accesses in prop::collection::vec(0u64..4096, 1..600),
-            assoc in prop::sample::select(vec![1u32, 2, 4]),
-        ) {
+    // Seeded randomized replays against the reference model (formerly
+    // property-based; deterministic so results never flake).
+    #[test]
+    fn matches_reference_lru_model() {
+        let mut rng = SmallRng::seed_from_u64(0xCAC4E);
+        for case in 0..48 {
+            let assoc = [1u32, 2, 4][case % 3];
             let cfg = CacheConfig {
                 size_bytes: 2048,
                 line_bytes: 64,
@@ -420,22 +424,25 @@ mod proptests {
                 writeback_penalty: 0,
                 policy: Default::default(),
             };
+            let n = rng.random_range(1usize..600);
+            let accesses: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..4096)).collect();
             let mut cache = SetAssocCache::new(cfg.clone());
             let mut reference = RefCache::new(&cfg);
             for &a in &accesses {
                 let got = cache.access(MemRef::read(a, 1));
                 let (hit, evicted) = reference.access(a);
-                prop_assert_eq!(got.hit, hit, "address {}", a);
-                prop_assert_eq!(got.evicted, evicted, "address {}", a);
+                assert_eq!(got.hit, hit, "case {case} address {a}");
+                assert_eq!(got.evicted, evicted, "case {case} address {a}");
             }
             // Aggregate counters agree with the replay.
-            prop_assert_eq!(cache.accesses(), accesses.len() as u64);
+            assert_eq!(cache.accesses(), accesses.len() as u64);
         }
+    }
 
-        #[test]
-        fn contains_is_consistent_with_access(
-            accesses in prop::collection::vec(0u64..2048, 1..200),
-        ) {
+    #[test]
+    fn contains_is_consistent_with_access() {
+        let mut rng = SmallRng::seed_from_u64(0xC0174);
+        for case in 0..48 {
             let mut cache = SetAssocCache::new(CacheConfig {
                 size_bytes: 1024,
                 line_bytes: 64,
@@ -445,16 +452,18 @@ mod proptests {
                 writeback_penalty: 0,
                 policy: Default::default(),
             });
-            for &a in &accesses {
+            let n = rng.random_range(1usize..200);
+            for _ in 0..n {
+                let a = rng.random_range(0u64..2048);
                 cache.access(MemRef::read(a, 1));
                 // Just-accessed line must be resident.
-                prop_assert!(cache.contains(a));
+                assert!(cache.contains(a), "case {case} address {a}");
             }
             // contains() predicts the next access's hit/miss.
             for probe in (0..2048u64).step_by(64) {
                 let resident = cache.contains(probe);
                 let out = cache.access(MemRef::read(probe, 1));
-                prop_assert_eq!(out.hit, resident, "probe {}", probe);
+                assert_eq!(out.hit, resident, "case {case} probe {probe}");
             }
         }
     }

@@ -10,6 +10,7 @@
 //! results" (section 3).
 
 use cachescope_hwpm::{CounterId, Interrupt, Pmu};
+use cachescope_obs::{Obs, ObsEvent};
 
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
@@ -140,6 +141,9 @@ pub struct Engine {
     writebacks: u64,
     unmapped_misses: u64,
     timeline: Option<Timeline>,
+    /// Tool-side observability sink: events and metrics recorded here
+    /// never charge virtual cycles and never touch the simulated cache.
+    obs: Obs,
 }
 
 impl Engine {
@@ -163,6 +167,7 @@ impl Engine {
             writebacks: 0,
             unmapped_misses: 0,
             timeline,
+            obs: Obs::new(),
             cfg,
         }
     }
@@ -175,6 +180,23 @@ impl Engine {
     /// Current virtual time.
     pub fn now(&self) -> Cycle {
         self.clock
+    }
+
+    /// The observability sink (events + metrics recorded so far).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the observability sink.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Move the observability sink out (typically after a run, to fold
+    /// its events and metrics into a report). The engine is left with an
+    /// empty sink.
+    pub fn take_obs(&mut self) -> Obs {
+        std::mem::take(&mut self.obs)
     }
 
     fn limit_reached(&self, limit: RunLimit) -> bool {
@@ -197,8 +219,13 @@ impl Engine {
         handler: &mut H,
         limit: RunLimit,
     ) -> RunStats {
+        self.obs.emit(ObsEvent::RunStart {
+            app: program.name().to_string(),
+            limit: format!("{limit:?}"),
+        });
         for decl in program.static_objects() {
-            self.truth.insert(decl.name, decl.base, decl.size, decl.kind);
+            self.truth
+                .insert(decl.name, decl.base, decl.size, decl.kind);
         }
         handler.init(&mut EngineCtx { e: self });
 
@@ -210,17 +237,30 @@ impl Engine {
                 Event::Access(r) => self.app_access(r),
                 Event::Compute(c) => self.clock += c,
                 Event::Alloc { base, size, name } => {
-                    let display = name
-                        .clone()
-                        .unwrap_or_else(|| format!("{base:#x}"));
+                    let display = name.clone().unwrap_or_else(|| format!("{base:#x}"));
                     self.truth.insert(display, base, size, ObjectKind::Heap);
+                    self.obs.emit(ObsEvent::Alloc {
+                        now: self.clock,
+                        base,
+                        size,
+                        name: name.clone(),
+                    });
                     handler.on_alloc(base, size, name.as_deref(), &mut EngineCtx { e: self });
                 }
                 Event::Free { base } => {
                     self.truth.remove(base);
+                    self.obs.emit(ObsEvent::Free {
+                        now: self.clock,
+                        base,
+                    });
                     handler.on_free(base, &mut EngineCtx { e: self });
                 }
-                Event::Phase(_) => {}
+                Event::Phase(id) => {
+                    self.obs.emit(ObsEvent::PhaseMarker {
+                        now: self.clock,
+                        id,
+                    });
+                }
             }
             self.pmu.check_timer(self.clock);
             // Deliver latched interrupts. A handler may arm a timer that is
@@ -237,6 +277,25 @@ impl Engine {
         }
 
         handler.on_finish(&mut EngineCtx { e: self });
+        // Fold the PMU's tool-side activity tally into the metrics; these
+        // cover what the event stream cannot see (latches inside
+        // record_miss/check_timer, misses arriving while frozen).
+        let act = self.pmu.activity();
+        self.obs
+            .metrics
+            .add("pmu.overflows_latched", act.overflows_latched);
+        self.obs
+            .metrics
+            .add("pmu.timers_latched", act.timers_latched);
+        self.obs.metrics.add("pmu.frozen_misses", act.frozen_misses);
+        self.obs.emit(ObsEvent::RunEnd {
+            now: self.clock,
+            app_accesses: self.app.accesses,
+            app_misses: self.app.misses,
+            unmapped_misses: self.unmapped_misses,
+            instr_cycles: self.instr_cycles,
+            interrupts: self.interrupts,
+        });
         self.collect()
     }
 
@@ -294,6 +353,13 @@ impl Engine {
         let cost = self.cfg.costs.interrupt_delivery;
         self.clock += cost;
         self.instr_cycles += cost;
+        self.obs.emit(ObsEvent::Interrupt {
+            now: self.clock,
+            kind: match intr {
+                Interrupt::MissOverflow => "miss_overflow",
+                Interrupt::Timer => "timer",
+            },
+        });
         self.pmu.freeze();
         handler.on_interrupt(intr, &mut EngineCtx { e: self });
         self.pmu.unfreeze();
@@ -337,6 +403,13 @@ impl EngineCtx<'_> {
         self.e.instr_cycles += cycles;
     }
 
+    /// The observability sink. Recording events or metrics here is free
+    /// in simulated time — tool-side state, never charged, never played
+    /// through the cache.
+    pub fn obs(&mut self) -> &mut Obs {
+        &mut self.e.obs
+    }
+
     /// Issue one instrumentation memory reference through the cache
     /// hierarchy (instrumentation data is filtered by the L1 too).
     pub fn touch(&mut self, r: MemRef) {
@@ -376,12 +449,22 @@ impl EngineCtx<'_> {
     pub fn program_counter(&mut self, id: CounterId, base: Addr, bound: Addr) {
         self.charge(self.e.cfg.costs.counter_program);
         self.e.pmu.program_counter(id, base, bound);
+        self.e.obs.emit(ObsEvent::CounterProgram {
+            now: self.e.clock,
+            slot: id.0 as usize,
+            lo: base,
+            hi: bound,
+        });
     }
 
     /// Disable a region counter.
     pub fn disable_counter(&mut self, id: CounterId) {
         self.charge(self.e.cfg.costs.counter_program);
         self.e.pmu.disable_counter(id);
+        self.e.obs.emit(ObsEvent::CounterDisable {
+            now: self.e.clock,
+            slot: id.0 as usize,
+        });
     }
 
     /// Read the global (unqualified) miss counter.
@@ -406,6 +489,10 @@ impl EngineCtx<'_> {
     pub fn arm_miss_overflow(&mut self, period: u64) {
         self.charge(self.e.cfg.costs.arm_interrupt);
         self.e.pmu.arm_miss_overflow(period);
+        self.e.obs.emit(ObsEvent::ArmMissOverflow {
+            now: self.e.clock,
+            period,
+        });
     }
 
     /// Arm the cycle timer to fire `delta` cycles from now.
@@ -413,6 +500,10 @@ impl EngineCtx<'_> {
         self.charge(self.e.cfg.costs.arm_interrupt);
         let deadline = self.e.clock + delta;
         self.e.pmu.arm_timer(deadline);
+        self.e.obs.emit(ObsEvent::ArmTimer {
+            now: self.e.clock,
+            deadline,
+        });
     }
 
     /// Disarm the cycle timer.
@@ -539,11 +630,7 @@ mod tests {
 
     #[test]
     fn run_limit_cycles_stops_early() {
-        let mut p = TraceProgram::new(
-            "t",
-            vec![],
-            vec![Event::Compute(10); 100],
-        );
+        let mut p = TraceProgram::new("t", vec![], vec![Event::Compute(10); 100]);
         let mut e = Engine::new(cfg());
         let stats = e.run(&mut p, &mut NullHandler, RunLimit::Cycles(55));
         // Stops at the first boundary where clock >= 55.
@@ -732,17 +819,19 @@ mod proptests {
     use super::*;
     use crate::config::CacheConfig;
     use crate::program::TraceProgram;
+    use crate::rng::SmallRng;
     use cachescope_hwpm::{CostModel, PmuConfig};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
-        fn every_app_miss_is_attributed_exactly_once(
+    // Seeded randomized replay (formerly property-based; deterministic so
+    // results never flake).
+    #[test]
+    fn every_app_miss_is_attributed_exactly_once() {
+        let mut rng = SmallRng::seed_from_u64(0xA77B);
+        for case in 0..48 {
             // Random line indices across three declared objects plus a
             // gap region.
-            picks in prop::collection::vec(0u64..64, 1..400),
-        ) {
+            let n = rng.random_range(1usize..400);
+            let picks: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..64)).collect();
             let decls = vec![
                 ObjectDecl::global("A", 0x1000_0000, 64 * 16),
                 ObjectDecl::global("B", 0x1000_0400, 64 * 16),
@@ -773,12 +862,16 @@ mod proptests {
 
             // Conservation: per-object misses + unmapped == app misses.
             let attributed: u64 = stats.objects.iter().map(|o| o.misses).sum();
-            prop_assert_eq!(attributed + stats.unmapped_misses, stats.app.misses);
-            prop_assert_eq!(stats.app.accesses, picks.len() as u64);
-            prop_assert!(stats.app.misses <= stats.app.accesses);
+            assert_eq!(
+                attributed + stats.unmapped_misses,
+                stats.app.misses,
+                "case {case}"
+            );
+            assert_eq!(stats.app.accesses, picks.len() as u64);
+            assert!(stats.app.misses <= stats.app.accesses);
             // Cycle accounting: hits cost 1, misses cost 8.
             let expect = stats.app.accesses + 7 * stats.app.misses;
-            prop_assert_eq!(stats.cycles, expect);
+            assert_eq!(stats.cycles, expect, "case {case}");
         }
     }
 }
@@ -916,11 +1009,7 @@ mod hierarchy_tests {
             }
         }
         let decls = vec![ObjectDecl::global("A", 0x1000_0000, 4096)];
-        let mut p = TraceProgram::new(
-            "t",
-            decls,
-            reads(&[0x1000_0000, 0x1000_0000, 0x1000_0000]),
-        );
+        let mut p = TraceProgram::new("t", decls, reads(&[0x1000_0000, 0x1000_0000, 0x1000_0000]));
         let mut h = H { observed: 99 };
         let mut e = Engine::new(two_level_cfg());
         e.run(&mut p, &mut h, RunLimit::Exhausted);

@@ -36,6 +36,7 @@ pub mod config;
 pub mod engine;
 pub mod memref;
 pub mod program;
+pub mod rng;
 pub mod stats;
 pub mod tracefile;
 

@@ -148,11 +148,7 @@ mod tests {
 
     #[test]
     fn trace_program_replays_in_order() {
-        let mut p = TraceProgram::new(
-            "t",
-            vec![],
-            vec![Event::Compute(5), Event::Phase(1)],
-        );
+        let mut p = TraceProgram::new("t", vec![], vec![Event::Compute(5), Event::Phase(1)]);
         assert_eq!(p.next_event(), Some(Event::Compute(5)));
         assert_eq!(p.next_event(), Some(Event::Phase(1)));
         assert_eq!(p.next_event(), None);

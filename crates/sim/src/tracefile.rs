@@ -180,8 +180,11 @@ impl<R: BufRead> TraceReader<R> {
         };
         let ev = match tag {
             "A" => {
-                let addr = u64::from_str_radix(parts.next().ok_or_else(|| err("A: missing addr".into()))?, 16)
-                    .map_err(|e| err(format!("A: bad addr: {e}")))?;
+                let addr = u64::from_str_radix(
+                    parts.next().ok_or_else(|| err("A: missing addr".into()))?,
+                    16,
+                )
+                .map_err(|e| err(format!("A: bad addr: {e}")))?;
                 let size: u32 = parts
                     .next()
                     .ok_or_else(|| err("A: missing size".into()))?
@@ -202,8 +205,11 @@ impl<R: BufRead> TraceReader<R> {
                     .map_err(|e| err(format!("C: bad cycles: {e}")))?,
             ),
             "M" => {
-                let base = u64::from_str_radix(parts.next().ok_or_else(|| err("M: missing base".into()))?, 16)
-                    .map_err(|e| err(format!("M: bad base: {e}")))?;
+                let base = u64::from_str_radix(
+                    parts.next().ok_or_else(|| err("M: missing base".into()))?,
+                    16,
+                )
+                .map_err(|e| err(format!("M: bad base: {e}")))?;
                 let size: u64 = parts
                     .next()
                     .ok_or_else(|| err("M: missing size".into()))?
@@ -218,8 +224,11 @@ impl<R: BufRead> TraceReader<R> {
                 Event::Alloc { base, size, name }
             }
             "F" => Event::Free {
-                base: u64::from_str_radix(parts.next().ok_or_else(|| err("F: missing base".into()))?, 16)
-                    .map_err(|e| err(format!("F: bad base: {e}")))?,
+                base: u64::from_str_radix(
+                    parts.next().ok_or_else(|| err("F: missing base".into()))?,
+                    16,
+                )
+                .map_err(|e| err(format!("F: bad base: {e}")))?,
             },
             "P" => Event::Phase(
                 parts
@@ -254,13 +263,12 @@ impl<R: BufRead> Program for TraceReader<R> {
             // static_objects() before the first event — see `load`).
             if let Some(rest) = line.strip_prefix("O ") {
                 let mut p = rest.splitn(3, ' ');
-                let base = u64::from_str_radix(p.next().unwrap_or(""), 16)
-                    .unwrap_or_else(|e| panic!("trace line {}: bad object base: {e}", self.line_no));
-                let size: u64 = p
-                    .next()
-                    .unwrap_or("")
-                    .parse()
-                    .unwrap_or_else(|e| panic!("trace line {}: bad object size: {e}", self.line_no));
+                let base = u64::from_str_radix(p.next().unwrap_or(""), 16).unwrap_or_else(|e| {
+                    panic!("trace line {}: bad object base: {e}", self.line_no)
+                });
+                let size: u64 = p.next().unwrap_or("").parse().unwrap_or_else(|e| {
+                    panic!("trace line {}: bad object size: {e}", self.line_no)
+                });
                 let name = p.next().unwrap_or("").to_string();
                 self.objects.push(ObjectDecl::global(name, base, size));
                 continue;
@@ -314,7 +322,9 @@ mod tests {
                 size: 64,
                 name: None,
             },
-            Event::Free { base: 0x1_4100_0000 },
+            Event::Free {
+                base: 0x1_4100_0000,
+            },
             Event::Compute(7),
         ]
     }
@@ -384,10 +394,7 @@ mod tests {
     fn names_with_spaces_survive() {
         let text = record_to_string(sample_program());
         let replayed = load_eager(text.as_bytes()).unwrap();
-        assert!(replayed
-            .static_objects()
-            .iter()
-            .any(|o| o.name == "B C"));
+        assert!(replayed.static_objects().iter().any(|o| o.name == "B C"));
     }
 
     #[test]

@@ -13,8 +13,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cachescope_sim::rng::SmallRng;
 
 use cachescope_sim::{AddressSpace, Event, MemRef, ObjectDecl, Program};
 
@@ -29,7 +28,10 @@ const ANON_BASE: u64 = 0x3000_0000;
 #[derive(Debug, Clone)]
 enum TargetKind {
     Global,
-    Heap { at: Option<u64>, named: bool },
+    Heap {
+        at: Option<u64>,
+        named: bool,
+    },
     /// Present in the address space but never declared to instrumentation.
     Anonymous,
 }
@@ -57,7 +59,9 @@ struct TargetSpec {
 
 #[derive(Debug, Clone)]
 enum PhasePattern {
-    Stochastic { seed: u64 },
+    Stochastic {
+        seed: u64,
+    },
     Resonant {
         period: usize,
         stride: usize,
@@ -222,7 +226,10 @@ impl WorkloadBuilder {
         self.add_target(
             name.to_string(),
             size,
-            TargetKind::Heap { at: None, named: true },
+            TargetKind::Heap {
+                at: None,
+                named: true,
+            },
         );
         self
     }
@@ -258,7 +265,10 @@ impl WorkloadBuilder {
     /// in weights, no phases, ...).
     pub fn build(self) -> SpecWorkload {
         assert!(!self.phases.is_empty(), "workload needs at least one phase");
-        assert!(!self.targets.is_empty(), "workload needs at least one target");
+        assert!(
+            !self.targets.is_empty(),
+            "workload needs at least one target"
+        );
 
         // Place targets in the simulated address space.
         let mut aspace = AddressSpace::new(LINE);
@@ -308,11 +318,7 @@ impl WorkloadBuilder {
         let mut total_misses = 0u64;
         for (i, p) in self.phases.iter().enumerate() {
             assert!(!p.weights.is_empty(), "phase {i} has no weights");
-            let weights: Vec<(u16, f64)> = p
-                .weights
-                .iter()
-                .map(|(n, w)| (lookup(n), *w))
-                .collect();
+            let weights: Vec<(u16, f64)> = p.weights.iter().map(|(n, w)| (lookup(n), *w)).collect();
             let wsum: f64 = weights.iter().map(|&(_, w)| w).sum();
             assert!(wsum > 0.0, "phase {i} weights sum to zero");
             for &(idx, w) in &weights {
@@ -330,10 +336,8 @@ impl WorkloadBuilder {
                     class,
                     class_weights,
                 } => {
-                    let cw: Vec<(u16, f64)> = class_weights
-                        .iter()
-                        .map(|(n, w)| (lookup(n), *w))
-                        .collect();
+                    let cw: Vec<(u16, f64)> =
+                        class_weights.iter().map(|(n, w)| (lookup(n), *w)).collect();
                     PatternGen::periodic_resonant(*period, *stride, *class, &weights, &cw)
                 }
             };
@@ -551,10 +555,7 @@ mod tests {
         // Cost per miss = 10 compute + 1 hit + 50 penalty = 61 cycles.
         let expect = 1.0e6 / 61.0;
         let got = stats.misses_per_mcycle();
-        assert!(
-            (got - expect).abs() / expect < 0.01,
-            "{got} vs {expect}"
-        );
+        assert!((got - expect).abs() / expect < 0.01, "{got} vs {expect}");
     }
 
     #[test]
@@ -670,7 +671,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate target")]
     fn duplicate_target_panics() {
-        let _ = WorkloadBuilder::new("bad").global("A", MIB).global("A", MIB);
+        let _ = WorkloadBuilder::new("bad")
+            .global("A", MIB)
+            .global("A", MIB);
     }
 }
 

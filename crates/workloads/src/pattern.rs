@@ -17,8 +17,7 @@
 //!   rest, and the period is chosen so a resonant sampling interval only
 //!   ever observes that class.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cachescope_sim::rng::SmallRng;
 
 use crate::wrr::SmoothWrr;
 
@@ -100,7 +99,11 @@ impl PatternGen {
         let cls = norm(class_weights);
 
         // Complement distribution for non-class positions.
-        let class_of = |idx: u16| cls.iter().find(|&&(i, _)| i == idx).map_or(0.0, |&(_, w)| w);
+        let class_of = |idx: u16| {
+            cls.iter()
+                .find(|&&(i, _)| i == idx)
+                .map_or(0.0, |&(_, w)| w)
+        };
         let mut rest: Vec<(u16, f64)> = Vec::new();
         for &(idx, w) in &overall {
             let r = (stride as f64 * w - class_of(idx)) / (stride as f64 - 1.0);
@@ -112,7 +115,11 @@ impl PatternGen {
         }
 
         let to_wrr = |ws: &[(u16, f64)]| {
-            SmoothWrr::new(ws.iter().map(|&(_, w)| (w * scale).round() as i64).collect())
+            SmoothWrr::new(
+                ws.iter()
+                    .map(|&(_, w)| (w * scale).round() as i64)
+                    .collect(),
+            )
         };
         let mut wrr_class = to_wrr(&cls);
         let mut wrr_rest = to_wrr(&rest);
@@ -247,21 +254,22 @@ mod tests {
         let stream: Vec<u16> = (0..800_000).map(|_| g.next_object()).collect();
 
         let sample = |k: usize| -> f64 {
-            let picks: Vec<u16> = stream
-                .iter()
-                .skip(k - 1)
-                .step_by(k)
-                .copied()
-                .collect();
+            let picks: Vec<u16> = stream.iter().skip(k - 1).step_by(k).copied().collect();
             picks.iter().filter(|&&v| v == 0).count() as f64 / picks.len() as f64
         };
         // Resonant: gcd(1000, 8000) = 8, so only class-7 positions are
         // observed (position k-1 = 999 = 7 mod 8).
         let resonant = sample(1000);
-        assert!(resonant > 0.8, "resonant estimate {resonant} should be ~0.9");
+        assert!(
+            resonant > 0.8,
+            "resonant estimate {resonant} should be ~0.9"
+        );
         // Coprime: 1009 is prime, gcd(1009, 8000) = 1.
         let fair = sample(1009);
-        assert!((fair - 0.4).abs() < 0.05, "fair estimate {fair} should be ~0.4");
+        assert!(
+            (fair - 0.4).abs() < 0.05,
+            "fair estimate {fair} should be ~0.4"
+        );
     }
 
     #[test]

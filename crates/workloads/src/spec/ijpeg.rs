@@ -95,11 +95,7 @@ mod tests {
     #[test]
     fn static_objects_exclude_heap_blocks() {
         let w = ijpeg(Scale::Test);
-        let names: Vec<String> = w
-            .static_objects()
-            .iter()
-            .map(|d| d.name.clone())
-            .collect();
+        let names: Vec<String> = w.static_objects().iter().map(|d| d.name.clone()).collect();
         assert!(names.contains(&"jpeg_compressed_data".to_string()));
         assert!(!names.iter().any(|n| n.starts_with("0x")));
     }

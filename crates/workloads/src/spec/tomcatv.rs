@@ -103,7 +103,9 @@ mod tests {
         // Collect the first 2*PERIOD access targets (skip compute events).
         let mut targets = Vec::new();
         while targets.len() < 2 * PERIOD {
-            if let cachescope_sim::Event::Access(r) = w.next_event().unwrap() { targets.push(r.addr >> 23) }
+            if let cachescope_sim::Event::Access(r) = w.next_event().unwrap() {
+                targets.push(r.addr >> 23)
+            }
         }
         // Same array order in both periods (addresses advance, so compare
         // the 8 MiB-granular array index).

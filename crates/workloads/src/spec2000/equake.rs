@@ -9,12 +9,7 @@ use crate::spec::Scale;
 use crate::{SpecWorkload, MIB};
 
 /// Designed long-run miss shares.
-pub const ACTUAL: [(&str, f64); 4] = [
-    ("K", 45.0),
-    ("disp", 25.0),
-    ("M", 15.0),
-    ("exc", 10.0),
-];
+pub const ACTUAL: [(&str, f64); 4] = [("K", 45.0), ("disp", 25.0), ("M", 15.0), ("exc", 10.0)];
 
 /// Build the equake analogue (~10,000 misses/Mcycle).
 pub fn equake(scale: Scale) -> SpecWorkload {

@@ -19,9 +19,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use cachescope_sim::rng::SmallRng;
 use cachescope_sim::{AddressSpace, Event, MemRef, ObjectDecl, Program};
 
 use crate::spec::Scale;
@@ -369,7 +367,12 @@ mod compact_tests {
             }
             events += 1;
         }
-        assert!(hi - lo <= arena_span, "site span {} vs arena {}", hi - lo, arena_span);
+        assert!(
+            hi - lo <= arena_span,
+            "site span {} vs arena {}",
+            hi - lo,
+            arena_span
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl SmoothWrr {
     /// positive. (Scale fractional weights up, e.g. by 1000.)
     pub fn new(weights: Vec<i64>) -> Self {
         assert!(!weights.is_empty(), "need at least one weight");
-        assert!(weights.iter().all(|&w| w >= 0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0),
+            "weights must be non-negative"
+        );
         let total: i64 = weights.iter().sum();
         assert!(total > 0, "at least one weight must be positive");
         SmoothWrr {

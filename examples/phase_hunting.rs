@@ -31,7 +31,12 @@ fn main() {
             .collect();
         println!("  {:<4} {}", obj.name, marks);
     }
-    let a_id = rep.stats.objects.iter().position(|o| o.name == "a").unwrap();
+    let a_id = rep
+        .stats
+        .objects
+        .iter()
+        .position(|o| o.name == "a")
+        .unwrap();
     let dips = timeline
         .series(a_id as u32)
         .iter()

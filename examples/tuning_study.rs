@@ -35,7 +35,10 @@ fn main() {
     let cases = [
         ("fixed 5,000 (resonant)", SamplerConfig::fixed(5_000)),
         ("fixed 5,011 (prime)", SamplerConfig::fixed(5_011)),
-        ("jittered 5,000±500", SamplerConfig::jittered(5_000, 500, 99)),
+        (
+            "jittered 5,000±500",
+            SamplerConfig::jittered(5_000, 500, 99),
+        ),
     ];
 
     let mut errors = Vec::new();

@@ -17,7 +17,10 @@
 //!   su2cor, mgrid, applu, compress, ijpeg) and a configurable builder,
 //! * [`core`] — the paper's two techniques: cache-miss address **sampling**
 //!   and the **n-way search**, plus the experiment runner that compares
-//!   their estimates against ground truth.
+//!   their estimates against ground truth,
+//! * [`obs`] — zero-simulated-cost observability: the typed event stream
+//!   behind `--trace-out`, the metrics registry behind `--metrics`, and
+//!   the hand-rolled JSON behind `--json`.
 //!
 //! ## Quickstart
 //!
@@ -42,5 +45,6 @@
 pub use cachescope_core as core;
 pub use cachescope_hwpm as hwpm;
 pub use cachescope_objmap as objmap;
+pub use cachescope_obs as obs;
 pub use cachescope_sim as sim;
 pub use cachescope_workloads as workloads;

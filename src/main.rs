@@ -23,6 +23,11 @@
 //!   --top <N>           print at most N rows              [default 12]
 //!   --l1 <KiB>          put an L1 of that size in front of the cache
 //!   --search-log        print the search's per-iteration decisions
+//!   --csv <file>        write the report, costs and any timeline as CSV
+//!   --json <file>       write the full report (rows, costs, metrics) as JSON
+//!   --trace-out <file>  write the run's observability events as JSONL
+//!   --metrics           print the run's metrics registry (counters,
+//!                       gauges, histograms; zero simulated cost)
 //!   --record <file>     tee the reference trace to a file (ATOM-style)
 //!   --replay <file>     drive the experiment from a recorded trace
 //!                       instead of a synthetic app (pass `-` as <app>)
@@ -46,6 +51,7 @@ fn usage() -> ! {
          \x20             | search[:<n>] | none\n\
          \x20 --misses N --counters K --interval C --paper-scale --aggregate\n\
          \x20 --timeline C --top N --l1 KiB --search-log --csv FILE\n\
+         \x20 --json FILE --trace-out FILE --metrics\n\
          \x20 --record FILE | --replay FILE (with '-' as <app>)\n\
          apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake"
     );
@@ -97,6 +103,9 @@ fn main() {
     let mut record: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut show_metrics = false;
     let mut search_log = false;
     let mut l1_kib: Option<u64> = None;
 
@@ -120,6 +129,9 @@ fn main() {
             "--record" => record = Some(value("--record")),
             "--replay" => replay = Some(value("--replay")),
             "--csv" => csv = Some(value("--csv")),
+            "--json" => json_out = Some(value("--json")),
+            "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--metrics" => show_metrics = true,
             "--search-log" => search_log = true,
             "--l1" => l1_kib = Some(parse_u64(&value("--l1"), "L1 size (KiB)")),
             "--help" | "-h" => usage(),
@@ -174,6 +186,7 @@ fn main() {
 
     // Resolve the program: a synthetic app, a recorded trace, or a
     // synthetic app teed to a trace file.
+    let mut replay_objects = 0u64;
     let program: Box<dyn Program> = match (&replay, &record) {
         (Some(path), _) => {
             let file = std::fs::File::open(path).unwrap_or_else(|e| {
@@ -185,6 +198,7 @@ fn main() {
                     eprintln!("cannot parse trace {path}: {e}");
                     std::process::exit(1);
                 });
+            replay_objects = trace.static_objects().len() as u64;
             Box::new(trace)
         }
         (None, Some(path)) => {
@@ -218,7 +232,26 @@ fn main() {
             policy: Default::default(),
         });
     }
-    let report = exp.run();
+    let mut report = exp.run();
+
+    // Trace record/replay bookkeeping joins the event stream tool-side,
+    // after the run (the trace file itself stays observability-free).
+    if let Some(path) = &record {
+        let program_events = report.stats.app.accesses
+            + report.metrics.counter("program.allocs")
+            + report.metrics.counter("program.frees")
+            + report.metrics.counter("program.phase_markers");
+        report.events.push(cachescope::obs::ObsEvent::TraceRecord {
+            path: path.clone(),
+            events: program_events,
+        });
+    }
+    if let Some(path) = &replay {
+        report.events.push(cachescope::obs::ObsEvent::TraceReplay {
+            path: path.clone(),
+            objects: replay_objects,
+        });
+    }
 
     if let Some(log) = &report.search_log {
         println!("search progress ({} iterations):", log.len());
@@ -239,6 +272,32 @@ fn main() {
             std::process::exit(1);
         });
         println!("(csv written to {path})");
+    }
+
+    if let Some(path) = &json_out {
+        let mut out = cachescope::core::export::report_to_json(&report).render();
+        out.push('\n');
+        std::fs::write(path, out).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("(json written to {path})");
+    }
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, cachescope::obs::events_to_jsonl(&report.events)).unwrap_or_else(
+            |e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            },
+        );
+        println!("(trace written to {path}: {} events)", report.events.len());
+    }
+
+    if show_metrics {
+        println!("metrics:");
+        print!("{}", report.metrics);
+        println!();
     }
 
     println!("{report}");

@@ -54,8 +54,7 @@ fn l1_absorbs_reuse_but_not_streaming() {
 #[test]
 fn attribution_is_invariant_to_the_l1() {
     let shares = |with_l1: bool| -> Vec<(String, f64)> {
-        let mut exp = Experiment::new(spec::mgrid(Scale::Test))
-            .limit(RunLimit::AppMisses(300_000));
+        let mut exp = Experiment::new(spec::mgrid(Scale::Test)).limit(RunLimit::AppMisses(300_000));
         if with_l1 {
             exp = exp.l1(small_l1());
         }

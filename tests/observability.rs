@@ -1,0 +1,154 @@
+//! Acceptance tests for the observability layer: the event stream renders
+//! to valid JSONL covering interrupts and technique decisions, the JSON
+//! report agrees with the CSV export, and recording the stream costs the
+//! simulated program nothing.
+
+use cachescope::core::export::{report_to_csv, report_to_json};
+use cachescope::core::{Experiment, ExperimentReport, TechniqueConfig};
+use cachescope::obs::{events_to_jsonl, json};
+use cachescope::sim::RunLimit;
+use cachescope::workloads::spec::{self, Scale};
+
+fn sampling_report() -> ExperimentReport {
+    Experiment::new(spec::tomcatv(Scale::Test))
+        .technique(TechniqueConfig::sampling(1_000))
+        .limit(RunLimit::AppMisses(120_000))
+        .run()
+}
+
+fn search_report() -> ExperimentReport {
+    Experiment::new(spec::swim(Scale::Test))
+        .technique(TechniqueConfig::search())
+        .limit(RunLimit::AppMisses(400_000))
+        .run()
+}
+
+/// Render the report's events and parse every line back, returning the
+/// multiset of `type` tags.
+fn jsonl_kinds(report: &ExperimentReport) -> Vec<String> {
+    let text = events_to_jsonl(&report.events);
+    assert!(!text.is_empty(), "trace should not be empty");
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("invalid JSONL line {line:?}: {e}"));
+        let kind = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .expect("every event carries a string `type`");
+        kinds.push(kind.to_string());
+    }
+    kinds
+}
+
+#[test]
+fn sampling_trace_is_valid_jsonl_and_covers_interrupts() {
+    let report = sampling_report();
+    let kinds = jsonl_kinds(&report);
+    for expected in ["run_start", "arm_miss_overflow", "interrupt", "run_end"] {
+        assert!(
+            kinds.iter().any(|k| k == expected),
+            "sampling trace missing {expected:?}; kinds present: {kinds:?}"
+        );
+    }
+    // One interrupt event per delivered interrupt.
+    let interrupts = kinds.iter().filter(|k| *k == "interrupt").count() as u64;
+    assert_eq!(interrupts, report.stats.interrupts);
+}
+
+#[test]
+fn search_trace_covers_technique_decisions() {
+    let report = search_report();
+    let kinds = jsonl_kinds(&report);
+    for expected in [
+        "run_start",
+        "counter_program",
+        "interrupt",
+        "search_iteration",
+        "region_split",
+        "run_end",
+    ] {
+        assert!(
+            kinds.iter().any(|k| k == expected),
+            "search trace missing {expected:?}; kinds present: {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_registry_tracks_interrupts_and_pqueue() {
+    let report = sampling_report();
+    let delivered = report.metrics.counter("engine.interrupts.miss_overflow")
+        + report.metrics.counter("engine.interrupts.timer");
+    assert_eq!(delivered, report.stats.interrupts);
+    assert!(
+        report
+            .metrics
+            .histogram("engine.interrupt_interarrival_cycles")
+            .is_some(),
+        "interrupt inter-arrival histogram should be derived from the stream"
+    );
+    assert!(!report.metrics.is_empty());
+
+    let search = search_report();
+    assert!(
+        search.metrics.histogram("search.pqueue_depth").is_some(),
+        "search runs should record priority-queue depth"
+    );
+}
+
+#[test]
+fn json_report_matches_csv_rows_and_costs() {
+    let report = sampling_report();
+    let v = report_to_json(&report);
+    let csv = report_to_csv(&report);
+
+    // Same number of data rows.
+    let rows = v.get("rows").and_then(|r| r.as_arr()).unwrap();
+    assert_eq!(rows.len(), csv.lines().count() - 1);
+
+    // Spot-check each row against the report itself.
+    for (json_row, row) in rows.iter().zip(report.rows()) {
+        assert_eq!(
+            json_row.get("object").and_then(|o| o.as_str()),
+            Some(row.name.as_str())
+        );
+        assert_eq!(
+            json_row.get("actual_rank").and_then(|r| r.as_u64()),
+            Some(row.actual_rank as u64)
+        );
+    }
+
+    let costs = v.get("costs").unwrap();
+    assert_eq!(
+        costs.get("cycles").and_then(|c| c.as_u64()),
+        Some(report.stats.cycles)
+    );
+    assert_eq!(
+        costs.get("instr_cycles").and_then(|c| c.as_u64()),
+        Some(report.stats.instr_cycles)
+    );
+    assert_eq!(
+        costs.get("interrupts").and_then(|c| c.as_u64()),
+        Some(report.stats.interrupts)
+    );
+}
+
+/// Tracing is always on and tool-side, so two identical runs must land on
+/// bit-identical simulated costs — the trace never perturbs the run.
+#[test]
+fn tracing_costs_zero_simulated_cycles() {
+    let a = sampling_report();
+    let b = sampling_report();
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.instr_cycles, b.stats.instr_cycles);
+    assert_eq!(a.stats.app.misses, b.stats.app.misses);
+    assert!(
+        !a.events.is_empty(),
+        "the runs above must actually have produced a trace"
+    );
+
+    let c = search_report();
+    let d = search_report();
+    assert_eq!(c.stats.instr_cycles, d.stats.instr_cycles);
+    assert_eq!(c.stats.cycles, d.stats.cycles);
+}

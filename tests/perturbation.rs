@@ -116,7 +116,10 @@ fn jittered_sampling_costs_like_fixed_sampling() {
         TechniqueConfig::Sampling(SamplerConfig::jittered(10_000, 1_000, 5)),
         WORK,
     );
-    let rel = (fixed.instr_cycles as f64 - jit.instr_cycles as f64).abs()
-        / fixed.instr_cycles as f64;
-    assert!(rel < 0.15, "jitter should not change cost materially: {rel}");
+    let rel =
+        (fixed.instr_cycles as f64 - jit.instr_cycles as f64).abs() / fixed.instr_cycles as f64;
+    assert!(
+        rel < 0.15,
+        "jitter should not change cost materially: {rel}"
+    );
 }

@@ -64,10 +64,7 @@ fn resonance_arithmetic_is_what_the_docs_claim() {
     assert_eq!(gcd(5_000, tomcatv::PERIOD as u64), tomcatv::STRIDE as u64);
     assert_eq!(gcd(5_011, tomcatv::PERIOD as u64), 1);
     assert_eq!(
-        gcd(
-            spec::PAPER_SAMPLING_PERIOD,
-            tomcatv::PERIOD as u64
-        ),
+        gcd(spec::PAPER_SAMPLING_PERIOD, tomcatv::PERIOD as u64),
         tomcatv::STRIDE as u64
     );
     assert_eq!(gcd(spec::PAPER_PRIME_PERIOD, tomcatv::PERIOD as u64), 1);

@@ -75,7 +75,10 @@ fn equake_sampling_and_search_agree() {
             .row(name)
             .and_then(|r| r.est_pct)
             .unwrap_or_else(|| panic!("search misses {name}"));
-        assert!((s - q).abs() < 4.0, "{name}: sampling {s:.1} vs search {q:.1}");
+        assert!(
+            (s - q).abs() < 4.0,
+            "{name}: sampling {s:.1} vs search {q:.1}"
+        );
     }
 }
 
@@ -98,8 +101,7 @@ fn adaptive_sampler_meets_budget_on_mcf() {
     };
     // Period far beyond the run length: pure allocator-hook cost.
     let (floor, _) = overhead_at(TechniqueConfig::sampling(1_000_000_000));
-    let (overhead, report) =
-        overhead_at(TechniqueConfig::Sampling(SamplerConfig::adaptive(2.0)));
+    let (overhead, report) = overhead_at(TechniqueConfig::Sampling(SamplerConfig::adaptive(2.0)));
     let sampling_share = overhead - floor;
     assert!(
         (sampling_share - 2.0).abs() < 0.7,

@@ -56,7 +56,10 @@ fn sampling_and_search_rank_identically_on_skewed_mix() {
     for name in ["ALPHA", "BETA", "GAMMA"] {
         let s = sampled.row(name).unwrap().est_pct.unwrap();
         let q = searched.row(name).unwrap().est_pct.unwrap();
-        assert!((s - q).abs() < 4.0, "{name}: sampling {s:.1} vs search {q:.1}");
+        assert!(
+            (s - q).abs() < 4.0,
+            "{name}: sampling {s:.1} vs search {q:.1}"
+        );
     }
 }
 

@@ -11,9 +11,13 @@
 //! 3. **Interval stretching** (section 3.5): grow the measurement
 //!    interval on retained zeros so one measurement spans several phases.
 //!
+//! Writes `results/ablations.{txt,json}` alongside the stdout report.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin ablations`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_core::{Experiment, ExperimentReport, SearchConfig, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::RunLimit;
 use cachescope_workloads::spec::{self, Scale};
 use cachescope_workloads::{PhaseBuilder, SpecWorkload, WorkloadBuilder, MIB};
@@ -71,14 +75,25 @@ fn run_search(w: SpecWorkload, cfg: SearchConfig, misses: u64) -> ExperimentRepo
 }
 
 fn hot_estimate(rep: &ExperimentReport, name: &str) -> String {
-    rep.row(name)
-        .and_then(|r| r.est_pct)
-        .map_or_else(|| "not found".into(), |p| format!("{p:.1}%"))
+    est_pct(rep, name).map_or_else(|| "not found".into(), |p| format!("{p:.1}%"))
+}
+
+fn est_pct(rep: &ExperimentReport, name: &str) -> Option<f64> {
+    rep.row(name).and_then(|r| r.est_pct)
+}
+
+fn opt_pct(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Float)
 }
 
 fn main() {
-    println!("Ablation 1: object-extent snapping (section 2.2)\n");
-    println!("Workload: HOT causes 70% of misses and straddles midpoints.");
+    let mut out = ResultsFile::new("ablations");
+    let mut snapping = Vec::new();
+    let mut retention = Vec::new();
+    let mut stretching = Vec::new();
+
+    out.line("Ablation 1: object-extent snapping (section 2.2)\n");
+    out.line("Workload: HOT causes 70% of misses and straddles midpoints.");
     for snap in [true, false] {
         let rep = run_search(
             straddle_workload(),
@@ -89,18 +104,22 @@ fn main() {
             },
             8_000_000,
         );
-        println!(
+        out.line(format!(
             "  snap_to_objects={snap:<5} -> HOT estimated at {}",
             hot_estimate(&rep, "HOT")
-        );
+        ));
+        snapping.push(Json::obj(vec![
+            ("snap_to_objects", Json::Bool(snap)),
+            ("hot_est_pct", opt_pct(est_pct(&rep, "HOT"))),
+        ]));
     }
 
-    println!("\nAblation 2: zero-miss retention (sections 2.2/3.5)\n");
-    println!(
+    out.line("\nAblation 2: zero-miss retention (sections 2.2/3.5)\n");
+    out.line(
         "Workload: a cluster of four arrays that blink on together for a\n\
          quarter of each cycle and are silent otherwise, next to a steady\n\
          array. Mid-split measurements often land in silent stretches;\n\
-         retention keeps the partially-refined cluster alive."
+         retention keeps the partially-refined cluster alive.",
     );
     for zero_keep in [3u32, 0] {
         let rep = Experiment::new(blinker_workload())
@@ -112,19 +131,38 @@ fn main() {
             .counters(4)
             .limit(RunLimit::AppMisses(4_000_000))
             .run();
-        let found: Vec<String> = ["B1", "B2", "B3", "B4", "STEADY"]
+        let objects = ["B1", "B2", "B3", "B4", "STEADY"];
+        let found: Vec<String> = objects
             .into_iter()
             .filter(|n| rep.row(n).and_then(|r| r.est_rank).is_some())
             .map(|n| format!("{n}={}", hot_estimate(&rep, n)))
             .collect();
-        println!(
+        out.line(format!(
             "  zero_keep={zero_keep} -> found {} objects: {:?}",
             found.len(),
             found
-        );
+        ));
+        retention.push(Json::obj(vec![
+            ("zero_keep", Json::Uint(u64::from(zero_keep))),
+            ("found", Json::Uint(found.len() as u64)),
+            (
+                "objects",
+                Json::Arr(
+                    objects
+                        .into_iter()
+                        .map(|n| {
+                            Json::obj(vec![
+                                ("object", Json::str(n)),
+                                ("est_pct", opt_pct(est_pct(&rep, n))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
     }
 
-    println!("\nAblation 3: interval stretching (section 3.5)\n");
+    out.line("\nAblation 3: interval stretching (section 3.5)\n");
     for stretch in [1.5f64, 1.0] {
         let w = spec::applu(Scale::Paper);
         let cycle = w.cycle_misses();
@@ -136,13 +174,27 @@ fn main() {
             },
             12 * cycle,
         );
-        let found = ["a", "b", "c", "d", "rsd"]
+        let arrays = ["a", "b", "c", "d", "rsd"];
+        let found = arrays
             .into_iter()
             .filter(|n| rep.row(n).and_then(|r| r.est_rank).is_some())
             .count();
         let a_est = hot_estimate(&rep, "a");
-        println!(
+        out.line(format!(
             "  stretch={stretch} -> found {found}/5 arrays; a estimated at {a_est} (actual 22.9%)"
-        );
+        ));
+        stretching.push(Json::obj(vec![
+            ("stretch", Json::Float(stretch)),
+            ("found", Json::Uint(found as u64)),
+            ("a_est_pct", opt_pct(est_pct(&rep, "a"))),
+        ]));
     }
+
+    let json = Json::obj(vec![
+        ("study", Json::str("ablations")),
+        ("extent_snapping", Json::Arr(snapping)),
+        ("zero_miss_retention", Json::Arr(retention)),
+        ("interval_stretching", Json::Arr(stretching)),
+    ]);
+    save_or_warn(&out, &json);
 }

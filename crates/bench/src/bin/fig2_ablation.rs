@@ -5,9 +5,14 @@
 //! early algorithm) descends into the 60% half and terminates on a 15%
 //! array; the priority queue backtracks and correctly isolates E.
 //!
+//! Writes `results/fig2_ablation.{txt,json}` alongside the stdout
+//! report.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin fig2_ablation`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_core::{Experiment, SearchConfig, SearchStrategy, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::RunLimit;
 use cachescope_workloads::{PhaseBuilder, SpecWorkload, WorkloadBuilder, MIB};
 
@@ -57,11 +62,13 @@ fn run(strategy: SearchStrategy) -> (String, Vec<(String, f64)>) {
 }
 
 fn main() {
-    println!("Figure 2 ablation: search without a priority queue\n");
-    println!(
+    let mut out = ResultsFile::new("fig2_ablation");
+    out.line("Figure 2 ablation: search without a priority queue\n");
+    out.line(
         "Layout: lower half = A,B,C,D at 15% each (60% total);\n\
-         upper half = E at 25% (the true top object) + F at 15%.\n"
+         upper half = E at 25% (the true top object) + F at 15%.\n",
     );
+    let mut strategies = Vec::new();
     for strategy in [SearchStrategy::Greedy, SearchStrategy::PriorityQueue] {
         let (label, found) = run(strategy);
         let names: Vec<String> = found
@@ -79,6 +86,37 @@ fn main() {
             }
             None => "found nothing",
         };
-        println!("{label:<24} -> [{}]  {verdict}", names.join(", "));
+        out.line(format!("{label:<24} -> [{}]  {verdict}", names.join(", ")));
+        strategies.push(Json::obj(vec![
+            (
+                "strategy",
+                Json::str(match strategy {
+                    SearchStrategy::Greedy => "greedy",
+                    SearchStrategy::PriorityQueue => "priority_queue",
+                }),
+            ),
+            ("label", Json::str(label)),
+            ("verdict", Json::str(verdict)),
+            (
+                "found",
+                Json::Arr(
+                    found
+                        .iter()
+                        .map(|(n, p)| {
+                            Json::obj(vec![
+                                ("object", Json::str(n.clone())),
+                                ("est_pct", Json::Float(*p)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
     }
+
+    let json = Json::obj(vec![
+        ("study", Json::str("fig2_ablation")),
+        ("strategies", Json::Arr(strategies)),
+    ]);
+    save_or_warn(&out, &json);
 }

@@ -10,9 +10,14 @@
 //! shares do not move — measuring at one level gives correct
 //! data-centric feedback about that level.
 //!
+//! Writes `results/hierarchy_study.{txt,json}` alongside the stdout
+//! report.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin hierarchy_study`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::{CacheConfig, Program, RunLimit};
 use cachescope_workloads::spec::{self, Scale};
 use cachescope_workloads::spec2000::Mcf;
@@ -61,67 +66,99 @@ fn run<P: Program>(w: P, with_l1: bool) -> ExperimentReport {
     exp.run()
 }
 
-fn show(label: &str, rep: &ExperimentReport, objects: &[&str]) {
-    print!("{label:<24}");
+fn show(out: &mut ResultsFile, label: &str, rep: &ExperimentReport, objects: &[&str]) -> Json {
+    out.piece(format!("{label:<24}"));
+    let mut shares = Vec::new();
     for name in objects {
-        let pct = rep
-            .row(name)
-            .map_or_else(|| "-".into(), |r| format!("{:.1}", r.actual_pct));
-        print!(" {pct:>8}");
+        let row = rep.row(name);
+        let pct = row.map_or_else(|| "-".into(), |r| format!("{:.1}", r.actual_pct));
+        out.piece(format!(" {pct:>8}"));
+        shares.push(Json::obj(vec![
+            ("object", Json::str(*name)),
+            (
+                "actual_pct",
+                row.map_or(Json::Null, |r| Json::Float(r.actual_pct)),
+            ),
+        ]));
     }
+    let mut fields = vec![
+        ("label", Json::str(label.trim())),
+        ("with_l1", Json::Bool(rep.stats.l1.is_some())),
+        ("shares", Json::Arr(shares)),
+    ];
     if let Some(l1) = rep.stats.l1 {
         let filter = 100.0 - l1.misses as f64 * 100.0 / l1.accesses as f64;
-        print!("   (L1 absorbs {filter:.1}% of references)");
+        out.piece(format!("   (L1 absorbs {filter:.1}% of references)"));
+        fields.push(("l1_absorbs_pct", Json::Float(filter)));
     }
-    println!();
+    out.line("");
+    Json::obj(fields)
+}
+
+fn header(out: &mut ResultsFile, objects: &[&str]) {
+    out.piece(format!("{:<24}", ""));
+    for o in objects {
+        out.piece(format!(" {o:>8}"));
+    }
+    out.line("");
 }
 
 fn main() {
-    println!("L1 filtering and data-centric attribution\n");
+    let mut out = ResultsFile::new("hierarchy_study");
+    out.line("L1 filtering and data-centric attribution\n");
+    let mut cases = Vec::new();
 
-    println!("mgrid (pure streaming — L1 cannot help):");
+    out.line("mgrid (pure streaming — L1 cannot help):");
     let objs = ["U", "R", "V"];
-    print!("{:<24}", "");
-    for o in &objs {
-        print!(" {o:>8}");
-    }
-    println!();
-    show(
+    header(&mut out, &objs);
+    let a = show(
+        &mut out,
         "  single level",
         &run(spec::mgrid(Scale::Paper), false),
         &objs,
     );
-    show(
+    let b = show(
+        &mut out,
         "  with 32 KiB L1",
         &run(spec::mgrid(Scale::Paper), true),
         &objs,
     );
+    cases.push(Json::obj(vec![
+        ("app", Json::str("mgrid")),
+        ("runs", Json::Arr(vec![a, b])),
+    ]));
 
-    println!("\nmcf (tree nodes revisited at random — L1-absorbable reuse):");
+    out.line("\nmcf (tree nodes revisited at random — L1-absorbable reuse):");
     let objs = ["arcs", "tree_node", "nodes", "dummy_arcs"];
-    print!("{:<24}", "");
-    for o in &objs {
-        print!(" {o:>8}");
-    }
-    println!();
-    show("  single level", &run(Mcf::new(Scale::Paper), false), &objs);
-    show(
+    header(&mut out, &objs);
+    let a = show(
+        &mut out,
+        "  single level",
+        &run(Mcf::new(Scale::Paper), false),
+        &objs,
+    );
+    let b = show(
+        &mut out,
         "  with 32 KiB L1",
         &run(Mcf::new(Scale::Paper), true),
         &objs,
     );
+    cases.push(Json::obj(vec![
+        ("app", Json::str("mcf")),
+        ("runs", Json::Arr(vec![a, b])),
+    ]));
 
-    println!("\nlut_mix (30% of references reuse a 4 KiB table at random):");
+    out.line("\nlut_mix (30% of references reuse a 4 KiB table at random):");
     let objs = ["STREAM", "LUT"];
-    print!("{:<24}", "");
-    for o in &objs {
-        print!(" {o:>8}");
-    }
-    println!();
-    show("  single level", &run(lut_mix(), false), &objs);
-    show("  with 32 KiB L1", &run(lut_mix(), true), &objs);
+    header(&mut out, &objs);
+    let a = show(&mut out, "  single level", &run(lut_mix(), false), &objs);
+    let b = show(&mut out, "  with 32 KiB L1", &run(lut_mix(), true), &objs);
+    cases.push(Json::obj(vec![
+        ("app", Json::str("lut_mix")),
+        ("runs", Json::Arr(vec![a, b])),
+    ]));
 
-    println!(
+    out.line(
         "\nFinding: data-centric attribution at the monitored level is\n\
          robust to an upstream L1. Filtering removes short-reuse hits\n\
          from the reference stream (mcf: ~2%; mgrid: ~0%), but misses at\n\
@@ -131,6 +168,12 @@ fn main() {
          the paper's implicit assumption that measuring at one level\n\
          suffices for data-centric feedback about that level. lut_mix\n\
          shows the L1 absorbing over a quarter of all references (the\n\
-         table's reuse) while the monitored-level shares do not move."
+         table's reuse) while the monitored-level shares do not move.",
     );
+
+    let json = Json::obj(vec![
+        ("study", Json::str("hierarchy_study")),
+        ("cases", Json::Arr(cases)),
+    ]);
+    save_or_warn(&out, &json);
 }

@@ -6,10 +6,14 @@
 //! depend on that choice: for the streaming scientific workloads, misses
 //! are capacity misses and per-object shares are policy-invariant.
 //!
+//! Writes `results/policy_study.{txt,json}` alongside the stdout report.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin policy_study`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_bench::run_parallel;
 use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::{CacheConfig, ReplacementPolicy, RunLimit};
 use cachescope_workloads::spec::{self, Scale};
 use cachescope_workloads::SpecWorkload;
@@ -55,24 +59,42 @@ fn main() {
     }
     let results = run_parallel(jobs);
 
-    println!("Replacement-policy sensitivity (jittered sampling around 1/2,000)\n");
-    println!(
+    let mut out = ResultsFile::new("policy_study");
+    out.line("Replacement-policy sensitivity (jittered sampling around 1/2,000)\n");
+    out.line(format!(
         "{:<10} {:<14} {:>14} {:>12} {:>18}",
         "app", "policy", "misses/Mcycle", "max err %", "top object"
-    );
+    ));
+    let mut rows = Vec::new();
     for (app, policy, rep) in &results {
-        println!(
+        out.line(format!(
             "{:<10} {:<14} {:>14.0} {:>12.2} {:>18}",
             app,
             format!("{policy:?}"),
             rep.stats.misses_per_mcycle(),
             rep.max_abs_error(),
             rep.rows()[0].name,
-        );
+        ));
+        rows.push(Json::obj(vec![
+            ("app", Json::str(app.clone())),
+            ("policy", Json::str(format!("{policy:?}"))),
+            (
+                "misses_per_mcycle",
+                Json::Float(rep.stats.misses_per_mcycle()),
+            ),
+            ("max_abs_error_pct", Json::Float(rep.max_abs_error())),
+            ("top_object", Json::str(rep.rows()[0].name.clone())),
+        ]));
     }
-    println!(
+    out.line(
         "\nExpected shape: shares and rankings are policy-invariant for\n\
          streaming workloads (capacity misses dominate); only ijpeg's tiny\n\
-         cache-resident table shifts slightly under random replacement."
+         cache-resident table shifts slightly under random replacement.",
     );
+
+    let json = Json::obj(vec![
+        ("study", Json::str("policy_study")),
+        ("rows", Json::Arr(rows)),
+    ]);
+    save_or_warn(&out, &json);
 }

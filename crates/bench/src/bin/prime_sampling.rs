@@ -5,10 +5,15 @@
 //! samples fairly. The paper also notes that raising the frequency (1 in
 //! 100) does not fix the bias.
 //!
+//! Writes `results/prime_sampling.{txt,json}` alongside the stdout
+//! report.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin prime_sampling [--quick]`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_bench::{pct, run_parallel};
 use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::RunLimit;
 use cachescope_workloads::spec::{self, Scale, PAPER_PRIME_PERIOD, PAPER_SAMPLING_PERIOD};
 
@@ -57,36 +62,54 @@ fn main() {
         .collect();
     let results = run_parallel(jobs);
 
-    println!("Section 3.1: sampling-interval resonance on tomcatv");
-    println!(
+    let mut out = ResultsFile::new("prime_sampling");
+    out.line("Section 3.1: sampling-interval resonance on tomcatv");
+    out.line(
         "(actual shares: RX/RY 22.5 each, AA 15.0, DD/X/Y/D 10.0 each;\n\
-         paper's resonant estimates: RX 37.1, RY 17.6, Y 0.2)\n"
+         paper's resonant estimates: RX 37.1, RY 17.6, Y 0.2)\n",
     );
     let objects = ["RX", "RY", "AA", "DD", "X", "Y", "D"];
-    print!("{:<28}", "period");
+    out.piece(format!("{:<28}", "period"));
     for o in objects {
-        print!(" {:>6}", o);
+        out.piece(format!(" {o:>6}"));
     }
-    println!(" {:>10} {:>9}", "samples", "max err");
+    out.line(format!(" {:>10} {:>9}", "samples", "max err"));
+    let mut rows = Vec::new();
     for (label, rep) in &results {
-        print!("{:<28}", label);
+        out.piece(format!("{label:<28}"));
+        let mut ests = Vec::new();
         for o in objects {
-            let est = rep
-                .row(o)
-                .and_then(|r| r.est_pct)
-                .map_or_else(|| "-".into(), pct);
-            print!(" {:>6}", est);
+            let est_pct = rep.row(o).and_then(|r| r.est_pct);
+            let est = est_pct.map_or_else(|| "-".into(), pct);
+            out.piece(format!(" {est:>6}"));
+            ests.push(Json::obj(vec![
+                ("object", Json::str(o)),
+                ("est_pct", est_pct.map_or(Json::Null, Json::Float)),
+            ]));
         }
-        println!(
+        out.line(format!(
             " {:>10} {:>8.1}%",
             rep.stats.interrupts,
             rep.max_abs_error()
-        );
+        ));
+        rows.push(Json::obj(vec![
+            ("period", Json::str(label.clone())),
+            ("estimates", Json::Arr(ests)),
+            ("samples", Json::Uint(rep.stats.interrupts)),
+            ("max_abs_error_pct", Json::Float(rep.max_abs_error())),
+        ]));
     }
-    println!(
+    out.line(
         "\nThe fixed 50,000 interval shares a factor of 8 with tomcatv's\n\
          50,008-miss access period, so every sample lands in the same\n\
          residue class of the pattern; the prime and jittered intervals\n\
-         walk all positions and recover the true distribution."
+         walk all positions and recover the true distribution.",
     );
+
+    let json = Json::obj(vec![
+        ("study", Json::str("prime_sampling")),
+        ("quick", Json::Bool(quick)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    save_or_warn(&out, &json);
 }

@@ -12,9 +12,14 @@
 //! site coalescing in the object map, the site is one contiguous logical
 //! object and the search finds it like any array.
 //!
+//! Writes `results/site_allocator.{txt,json}` alongside the stdout
+//! report.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin site_allocator`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_core::{Experiment, ExperimentReport, SearchConfig, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::RunLimit;
 use cachescope_workloads::spec::Scale;
 use cachescope_workloads::spec2000::Mcf;
@@ -29,45 +34,71 @@ fn run(workload: Mcf, coalesce: bool) -> ExperimentReport {
         .run()
 }
 
-fn print_outcome(label: &str, rep: &ExperimentReport) {
-    let site = rep
-        .row("tree_node")
-        .and_then(|r| r.est_pct)
-        .map_or_else(|| "NOT FOUND".to_string(), |p| format!("{p:.1}%"));
-    println!("{label}");
-    println!("  search outcome: {}", rep.technique.label);
-    println!("  tree_node site (actual ~18.6%): {site}");
+fn print_outcome(out: &mut ResultsFile, label: &str, rep: &ExperimentReport) -> Json {
+    let site_pct = rep.row("tree_node").and_then(|r| r.est_pct);
+    let site = site_pct.map_or_else(|| "NOT FOUND".to_string(), |p| format!("{p:.1}%"));
+    out.line(label);
+    out.line(format!("  search outcome: {}", rep.technique.label));
+    out.line(format!("  tree_node site (actual ~18.6%): {site}"));
+    let mut others = Vec::new();
     for name in ["arcs", "nodes", "dummy_arcs"] {
         if let Some(r) = rep.row(name) {
             let est = r.est_pct.map_or_else(|| "-".into(), |p| format!("{p:.1}%"));
-            println!("  {name}: actual {:.1}%, search {est}", r.actual_pct);
+            out.line(format!(
+                "  {name}: actual {:.1}%, search {est}",
+                r.actual_pct
+            ));
+            others.push(Json::obj(vec![
+                ("object", Json::str(name)),
+                ("actual_pct", Json::Float(r.actual_pct)),
+                ("est_pct", r.est_pct.map_or(Json::Null, Json::Float)),
+            ]));
         }
     }
-    println!();
+    out.line("");
+    Json::obj(vec![
+        ("label", Json::str(label)),
+        ("search_label", Json::str(rep.technique.label.clone())),
+        (
+            "tree_node_est_pct",
+            site_pct.map_or(Json::Null, Json::Float),
+        ),
+        ("others", Json::Arr(others)),
+    ])
 }
 
 fn main() {
-    println!("Section 5: measurement-aware allocation for the n-way search\n");
+    let mut out = ResultsFile::new("site_allocator");
+    out.line("Section 5: measurement-aware allocation for the n-way search\n");
 
     let standard = run(Mcf::new(Scale::Paper), false);
-    print_outcome(
+    let standard_json = print_outcome(
+        &mut out,
         "standard allocator (blocks scattered over a 512 MiB window):",
         &standard,
     );
 
     let compact = run(Mcf::with_measurement_allocator(Scale::Paper), true);
-    print_outcome(
+    let compact_json = print_outcome(
+        &mut out,
         "measurement-aware allocator + site coalescing (compact arena):",
         &compact,
     );
 
     let found = compact.row("tree_node").and_then(|r| r.est_pct);
     match found {
-        Some(p) => println!(
+        Some(p) => out.line(format!(
             "The allocator turns an unfindable site into a first-class search\n\
              result ({p:.1}% vs ~18.6% actual) — the paper's future-work claim,\n\
              demonstrated."
-        ),
-        None => println!("unexpected: site still not found"),
+        )),
+        None => out.line("unexpected: site still not found"),
     }
+
+    let json = Json::obj(vec![
+        ("study", Json::str("site_allocator")),
+        ("standard", standard_json),
+        ("measurement_aware", compact_json),
+    ]);
+    save_or_warn(&out, &json);
 }

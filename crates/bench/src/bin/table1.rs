@@ -3,22 +3,25 @@
 //! search, for all seven applications — side by side with the paper's
 //! published values.
 //!
+//! Runs as a campaign (`cachescope-campaign`): each app×technique cell is
+//! content-hashed and cached under `results/cache/`, so a re-run with an
+//! unchanged configuration renders the table without simulating anything,
+//! and an interrupted sweep resumes from the cells that never finished.
+//!
 //! Writes `results/table1.{txt,json}` alongside the stdout tables; the
 //! JSON embeds the full machine-readable report for every run.
 //!
-//! Usage: `cargo run --release -p cachescope-bench --bin table1 [--quick]`
+//! Usage: `cargo run --release -p cachescope-bench --bin table1
+//! [--quick] [--jobs N]`
 
 use cachescope_bench::results_json::{save_or_warn, ResultsFile};
-use cachescope_bench::{
-    paper, pct, rank, run_parallel, search_config_for, search_run_misses, whole_cycles,
+use cachescope_bench::{paper, pct, rank};
+use cachescope_campaign::{
+    parse_jobs_flag, registry, view, CampaignRunner, CampaignSpec, LimitSpec, TechniqueKind,
+    TechniqueSpec,
 };
-use cachescope_core::export::report_to_json;
-use cachescope_core::{Experiment, ExperimentReport, SamplerConfig, TechniqueConfig};
 use cachescope_obs::Json;
-use cachescope_sim::{Program, RunLimit};
-use cachescope_workloads::spec::{self, Scale, PAPER_SAMPLING_PERIOD};
-
-type Job = Box<dyn FnOnce() -> (ExperimentReport, ExperimentReport) + Send>;
+use cachescope_workloads::spec::{Scale, PAPER_SAMPLING_PERIOD};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -28,42 +31,55 @@ fn main() {
         (40_000_000, 20_000_000)
     };
 
-    let jobs: Vec<Job> = spec::all(Scale::Paper)
-        .into_iter()
-        .map(|w| {
-            Box::new(move || {
-                let cycle = w.cycle_misses();
-                let search_cfg = search_config_for(w.name());
-                let sample = Experiment::new(w.clone())
-                    .technique(TechniqueConfig::Sampling(SamplerConfig::fixed(
-                        PAPER_SAMPLING_PERIOD,
-                    )))
-                    .limit(RunLimit::AppMisses(whole_cycles(sample_misses, cycle)))
-                    .run();
-                let search = Experiment::new(w)
-                    .technique(TechniqueConfig::Search(search_cfg))
-                    .limit(RunLimit::AppMisses(search_run_misses(cycle, search_misses)))
-                    .run();
-                (sample, search)
-            }) as Job
-        })
-        .collect();
-    let results = run_parallel(jobs);
-    let mut out = ResultsFile::new("table1");
+    let spec = CampaignSpec::new(if quick { "table1-quick" } else { "table1" }, Scale::Paper)
+        .workloads(registry::SPEC95)
+        .technique(TechniqueSpec::new(
+            "sample",
+            TechniqueKind::Sampling {
+                period: PAPER_SAMPLING_PERIOD,
+                aggregate: false,
+            },
+            LimitSpec::whole_cycles(sample_misses),
+        ))
+        .technique(TechniqueSpec::new(
+            "search",
+            TechniqueKind::Search {
+                interval: None,
+                logical_ways: None,
+            },
+            LimitSpec::search_run(search_misses),
+        ));
+    let run = CampaignRunner::new()
+        .jobs(parse_jobs_flag(std::env::args()))
+        .run(&spec)
+        .expect("table1 campaign spec is valid");
+    if !run.is_complete() {
+        for f in &run.failures {
+            eprintln!("error: cell {} failed: {}", f.cell.describe(), f.error);
+        }
+        std::process::exit(1);
+    }
 
+    let mut out = ResultsFile::new("table1");
     out.line("Table 1: Results for Sampling and Search");
     out.line("(measured by this reproduction; paper's values in parentheses)\n");
-    for ((sample, search), paper_app) in results.iter().zip(paper::TABLE1) {
-        out.line(format!("== {} ==", sample.app));
+    for (app, paper_app) in registry::SPEC95.iter().zip(paper::TABLE1) {
+        let sample = view(run.outcome(app, "sample").expect("sample cell ran"));
+        let search = view(run.outcome(app, "search").expect("search cell ran"));
+        out.line(format!("== {} ==", sample.app()));
         out.line(format!(
             "{:<28} {:>14} | {:>16} | {:>16}",
             "object", "actual rk/%", "sample rk/%", "search rk/%"
         ));
         for row in sample.rows().iter().take(8) {
-            let search_row = search.row(&row.name);
+            let search_row = search.row(row.name);
             let paper_row = paper_app.rows.iter().find(|r| r.object == row.name);
-            let fmt_pair = |r: Option<usize>, p: Option<f64>| {
-                format!("{}/{}", rank(r), p.map_or_else(|| "-".into(), pct))
+            let fmt_pair = |r: Option<u64>, p: Option<f64>| {
+                format!(
+                    "{}/{}",
+                    rank(r.map(|v| v as usize)),
+                    p.map_or_else(|| "-".into(), pct)
+                )
             };
             let fmt_paper = |v: Option<(usize, f64)>| {
                 v.map_or_else(|| "(-)".into(), |(r, p)| format!("({r}/{})", pct(p)))
@@ -84,7 +100,8 @@ fn main() {
         }
         out.line(format!(
             "   [{} samples taken; search label: {}]\n",
-            sample.stats.interrupts, search.technique.label
+            sample.interrupts(),
+            search.technique_label()
         ));
     }
 
@@ -93,13 +110,13 @@ fn main() {
         (
             "apps",
             Json::Arr(
-                results
+                registry::SPEC95
                     .iter()
-                    .map(|(sample, search)| {
+                    .map(|app| {
                         Json::obj(vec![
-                            ("app", Json::str(sample.app.clone())),
-                            ("sample", report_to_json(sample)),
-                            ("search", report_to_json(search)),
+                            ("app", Json::str(*app)),
+                            ("sample", run.outcome(app, "sample").unwrap().report.clone()),
+                            ("search", run.outcome(app, "search").unwrap().report.clone()),
                         ])
                     })
                     .collect(),

@@ -2,53 +2,57 @@
 //! seven applications, including the su2cor pathology (the 2-way search
 //! never refines U's region because su2cor's access patterns change).
 //!
+//! Runs as a campaign (`cachescope-campaign`): each app×width cell is
+//! content-hashed and cached under `results/cache/`, so a re-run with an
+//! unchanged configuration renders the table without simulating anything.
+//!
 //! Writes `results/table2.{txt,json}` alongside the stdout tables; the
 //! JSON embeds the full machine-readable report for every run.
 //!
-//! Usage: `cargo run --release -p cachescope-bench --bin table2 [--quick]`
+//! Usage: `cargo run --release -p cachescope-bench --bin table2
+//! [--quick] [--jobs N]`
 
 use cachescope_bench::results_json::{save_or_warn, ResultsFile};
-use cachescope_bench::{paper, pct, rank, run_parallel, search_config_for, search_run_misses};
-use cachescope_core::export::report_to_json;
-use cachescope_core::{Experiment, ExperimentReport, TechniqueConfig};
+use cachescope_bench::{paper, pct, rank};
+use cachescope_campaign::{
+    parse_jobs_flag, registry, view, CampaignRunner, CampaignSpec, LimitSpec, TechniqueKind,
+    TechniqueSpec,
+};
 use cachescope_obs::Json;
-use cachescope_sim::{Program, RunLimit};
-use cachescope_workloads::spec::{self, Scale};
-
-type Job = Box<dyn FnOnce() -> (ExperimentReport, ExperimentReport) + Send>;
+use cachescope_workloads::spec::Scale;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let base = if quick { 4_000_000u64 } else { 20_000_000 };
 
-    let jobs: Vec<Job> = spec::all(Scale::Paper)
-        .into_iter()
-        .map(|w| {
-            Box::new(move || {
-                let cycle = w.cycle_misses();
-                let cfg = search_config_for(w.name());
-                let misses = search_run_misses(cycle, base);
-                let two = Experiment::new(w.clone())
-                    .technique(TechniqueConfig::Search(cfg.clone()))
-                    .counters(2)
-                    .limit(RunLimit::AppMisses(misses))
-                    .run();
-                let ten = Experiment::new(w)
-                    .technique(TechniqueConfig::Search(cfg))
-                    .counters(10)
-                    .limit(RunLimit::AppMisses(misses))
-                    .run();
-                (two, ten)
-            }) as Job
-        })
-        .collect();
-    let results = run_parallel(jobs);
-    let mut out = ResultsFile::new("table2");
+    let search = TechniqueKind::Search {
+        interval: None,
+        logical_ways: None,
+    };
+    let spec = CampaignSpec::new(if quick { "table2-quick" } else { "table2" }, Scale::Paper)
+        .workloads(registry::SPEC95)
+        .technique(
+            TechniqueSpec::new("2way", search.clone(), LimitSpec::search_run(base)).counters(2),
+        )
+        .technique(TechniqueSpec::new("10way", search, LimitSpec::search_run(base)).counters(10));
+    let run = CampaignRunner::new()
+        .jobs(parse_jobs_flag(std::env::args()))
+        .run(&spec)
+        .expect("table2 campaign spec is valid");
+    if !run.is_complete() {
+        for f in &run.failures {
+            eprintln!("error: cell {} failed: {}", f.cell.describe(), f.error);
+        }
+        std::process::exit(1);
+    }
 
+    let mut out = ResultsFile::new("table2");
     out.line("Table 2: Results of Two-Way Versus Ten-Way Search");
     out.line("(measured by this reproduction; paper's values in parentheses)\n");
-    for ((two, ten), paper_app) in results.iter().zip(paper::TABLE2) {
-        out.line(format!("== {} ==", two.app));
+    for (app, paper_app) in registry::SPEC95.iter().zip(paper::TABLE2) {
+        let two = view(run.outcome(app, "2way").expect("2-way cell ran"));
+        let ten = view(run.outcome(app, "10way").expect("10-way cell ran"));
+        out.line(format!("== {} ==", two.app()));
         out.line(format!(
             "{:<28} {:>12} | {:>16} | {:>16}",
             "object", "actual rk/%", "2-way rk/%", "10-way rk/%"
@@ -56,10 +60,14 @@ fn main() {
         // Print the union of: top actual rows and anything either search
         // reported.
         for row in two.rows().iter().take(8) {
-            let ten_row = ten.row(&row.name);
+            let ten_row = ten.row(row.name);
             let paper_row = paper_app.rows.iter().find(|r| r.object == row.name);
-            let fmt_pair = |r: Option<usize>, p: Option<f64>| {
-                format!("{}/{}", rank(r), p.map_or_else(|| "-".into(), pct))
+            let fmt_pair = |r: Option<u64>, p: Option<f64>| {
+                format!(
+                    "{}/{}",
+                    rank(r.map(|v| v as usize)),
+                    p.map_or_else(|| "-".into(), pct)
+                )
             };
             let fmt_paper = |v: Option<(usize, f64)>| {
                 v.map_or_else(|| "(-)".into(), |(r, p)| format!("({r}/{})", pct(p)))
@@ -92,13 +100,13 @@ fn main() {
         (
             "apps",
             Json::Arr(
-                results
+                registry::SPEC95
                     .iter()
-                    .map(|(two, ten)| {
+                    .map(|app| {
                         Json::obj(vec![
-                            ("app", Json::str(two.app.clone())),
-                            ("two_way", report_to_json(two)),
-                            ("ten_way", report_to_json(ten)),
+                            ("app", Json::str(*app)),
+                            ("two_way", run.outcome(app, "2way").unwrap().report.clone()),
+                            ("ten_way", run.outcome(app, "10way").unwrap().report.clone()),
                         ])
                     })
                     .collect(),

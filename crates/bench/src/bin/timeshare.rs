@@ -6,10 +6,14 @@
 //! (mgrid — timesharing is nearly free) and a phased one (applu — rotation
 //! slots alias with the program's phases and the scaled counts degrade).
 //!
+//! Writes `results/timeshare.{txt,json}` alongside the stdout report.
+//!
 //! Usage: `cargo run --release -p cachescope-bench --bin timeshare`
 
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
 use cachescope_bench::run_parallel;
 use cachescope_core::{Experiment, ExperimentReport, SearchConfig, TechniqueConfig};
+use cachescope_obs::Json;
 use cachescope_sim::{Program, RunLimit};
 use cachescope_workloads::spec::{self, Scale};
 use cachescope_workloads::SpecWorkload;
@@ -44,16 +48,18 @@ fn main() {
     }
     let results = run_parallel(jobs);
 
-    println!("Section 3.4 extension: timesharing a logical 10-way search");
-    println!("(max |estimate - actual| over reported objects; found/expected)\n");
-    println!(
+    let mut out = ResultsFile::new("timeshare");
+    out.line("Section 3.4 extension: timesharing a logical 10-way search");
+    out.line("(max |estimate - actual| over reported objects; found/expected)\n");
+    out.line(format!(
         "{:<10} {:>10} {:>12} {:>10} {:>14}",
         "app", "physical", "max err %", "found", "interrupts"
-    );
+    ));
+    let mut rows = Vec::new();
     for (app, k, rep) in &results {
         let expected = if app == "mgrid" { 3 } else { 5 };
         let found = rep.rows().iter().filter(|r| r.est_rank.is_some()).count();
-        println!(
+        out.line(format!(
             "{:<10} {:>10} {:>12.2} {:>7}/{:<2} {:>14}",
             app,
             k,
@@ -61,12 +67,26 @@ fn main() {
             found,
             expected,
             rep.stats.interrupts
-        );
+        ));
+        rows.push(Json::obj(vec![
+            ("app", Json::str(app.clone())),
+            ("physical_counters", Json::Uint(*k as u64)),
+            ("max_abs_error_pct", Json::Float(rep.max_abs_error())),
+            ("found", Json::Uint(found as u64)),
+            ("expected", Json::Uint(expected as u64)),
+            ("interrupts", Json::Uint(rep.stats.interrupts)),
+        ]));
     }
-    println!(
+    out.line(
         "\nExpected shape: on the steady mgrid, timesharing is nearly free\n\
          (scaled counts are unbiased); on the phased applu, rotation slots\n\
          alias with the phase structure and accuracy degrades as counters\n\
-         shrink — the paper's predicted 'increased inaccuracy'."
+         shrink — the paper's predicted 'increased inaccuracy'.",
     );
+
+    let json = Json::obj(vec![
+        ("study", Json::str("timeshare")),
+        ("rows", Json::Arr(rows)),
+    ]);
+    save_or_warn(&out, &json);
 }

@@ -20,76 +20,61 @@ pub mod overhead;
 pub mod paper;
 pub mod results_json;
 
-use std::sync::Mutex;
-
 use cachescope_core::SearchConfig;
-use cachescope_workloads::spec;
 
-/// The n-way search configuration used for an application's table runs.
-///
-/// su2cor needs the longer interval documented at
-/// [`spec::su2cor::SEARCH_INTERVAL`]; every other application uses the
-/// default.
+/// The n-way search configuration used for an application's table runs
+/// (su2cor's longer interval, defaults elsewhere); shared with the
+/// campaign engine via [`cachescope_campaign::search_config_auto`].
 pub fn search_config_for(app: &str) -> SearchConfig {
-    let interval = if app == "su2cor" {
-        spec::su2cor::SEARCH_INTERVAL
-    } else {
-        SearchConfig::default().interval
-    };
-    SearchConfig {
-        interval,
-        ..Default::default()
-    }
+    cachescope_campaign::search_config_auto(app)
 }
 
 /// Run length (application misses) for a search experiment on `app`:
 /// whole phase cycles, at least two, covering at least `base` misses.
 pub fn search_run_misses(app_cycle: u64, base: u64) -> u64 {
-    whole_cycles(base, app_cycle).max(2 * app_cycle)
+    cachescope_campaign::search_run_misses(app_cycle, base)
 }
 
-/// Run `jobs` across `std::thread::available_parallelism()` workers and
-/// return results in submission order. Each simulation is single-threaded
-/// and deterministic; sweeps across apps and configurations are
-/// embarrassingly parallel.
+/// The worker cap for this invocation: an explicit `--jobs N` (or
+/// `--jobs=N`) argument wins, then the `CACHESCOPE_JOBS` environment
+/// variable, then available parallelism — uniform across every bench
+/// binary and the campaign engine.
+pub fn worker_cap_from_args() -> usize {
+    cachescope_campaign::worker_cap(cachescope_campaign::parse_jobs_flag(std::env::args()))
+}
+
+/// Run `jobs` on the campaign engine's bounded work-stealing pool
+/// (capped by [`worker_cap_from_args`]) and return results in submission
+/// order. Each job runs under `catch_unwind`, so one panicking job never
+/// aborts the others mid-flight: every remaining job still completes,
+/// and only then does this panic — naming each failing job's index and
+/// message instead of poisoning the sweep with an opaque unwind.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let n = jobs.len();
-    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let job = queue.lock().unwrap().pop();
-                match job {
-                    Some((i, f)) => {
-                        let r = f();
-                        results.lock().unwrap()[i] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("job completed"))
-        .collect()
+    let results = cachescope_campaign::run_isolated(jobs, worker_cap_from_args());
+    let failures: Vec<String> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().err().map(|e| format!("job {i}: {e}")))
+        .collect();
+    if !failures.is_empty() {
+        panic!(
+            "{} of {} parallel jobs panicked ({})",
+            failures.len(),
+            results.len(),
+            failures.join("; ")
+        );
+    }
+    results.into_iter().map(|r| r.unwrap()).collect()
 }
 
 /// Round `misses` down to a whole number of the workload's phase cycles
 /// (at least one cycle), so phased applications run their designed mix.
 pub fn whole_cycles(misses: u64, cycle: u64) -> u64 {
-    (misses / cycle).max(1) * cycle
+    cachescope_campaign::whole_cycles(misses, cycle)
 }
 
 /// Format `v` as the paper prints percentages (one decimal).
@@ -113,6 +98,22 @@ mod tests {
             .collect();
         let out = run_parallel(jobs);
         assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3: boom from job 3")]
+    fn run_parallel_names_the_failing_job() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("boom from job {i}");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        run_parallel(jobs);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Read-only views over cached cell reports.
+//!
+//! Cells carry their results as rendered report JSON (the
+//! [`cachescope_core::export::report_to_json`] form) so that cached and
+//! fresh runs are byte-for-byte interchangeable. Aggregation therefore
+//! works on JSON, and these views give table/figure generators typed
+//! access — actual vs estimated rank and share per object, cost
+//! counters — without every caller re-walking the raw tree.
+
+use cachescope_obs::Json;
+
+use crate::engine::{CampaignRun, CellOutcome};
+
+/// One object row of a report: actual vs estimated rank and miss share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowView<'a> {
+    pub name: &'a str,
+    pub actual_rank: u64,
+    pub actual_pct: f64,
+    pub est_rank: Option<u64>,
+    pub est_pct: Option<f64>,
+}
+
+/// A typed view over one cell's report JSON.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportView<'a> {
+    json: &'a Json,
+}
+
+impl<'a> ReportView<'a> {
+    pub fn new(json: &'a Json) -> Self {
+        ReportView { json }
+    }
+
+    /// The underlying report JSON.
+    pub fn json(&self) -> &'a Json {
+        self.json
+    }
+
+    /// The application name.
+    pub fn app(&self) -> &'a str {
+        self.json.get("app").and_then(Json::as_str).unwrap_or("")
+    }
+
+    /// The technique's human-readable label (empty for baseline runs).
+    pub fn technique_label(&self) -> &'a str {
+        self.json
+            .get("technique")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+    }
+
+    /// A cost counter from the report's `costs` object (e.g.
+    /// `interrupts`, `app_misses`, `instr_cycles`).
+    pub fn cost(&self, key: &str) -> Option<u64> {
+        self.json.get("costs")?.get(key)?.as_u64()
+    }
+
+    /// Number of interrupts the run took (0 when absent).
+    pub fn interrupts(&self) -> u64 {
+        self.cost("interrupts").unwrap_or(0)
+    }
+
+    /// All object rows, in report (actual-rank) order.
+    pub fn rows(&self) -> Vec<RowView<'a>> {
+        self.json
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(|rows| rows.iter().filter_map(row_view).collect())
+            .unwrap_or_default()
+    }
+
+    /// The row for a named object.
+    pub fn row(&self, name: &str) -> Option<RowView<'a>> {
+        self.rows().into_iter().find(|r| r.name == name)
+    }
+
+    /// Largest |actual − estimated| share across rows that have an
+    /// estimate; `None` when nothing was estimated.
+    pub fn max_abs_error(&self) -> Option<f64> {
+        self.rows()
+            .iter()
+            .filter_map(|r| Some((r.actual_pct - r.est_pct?).abs()))
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+}
+
+fn row_view(v: &Json) -> Option<RowView<'_>> {
+    Some(RowView {
+        name: v.get("object")?.as_str()?,
+        actual_rank: v.get("actual_rank")?.as_u64()?,
+        actual_pct: v.get("actual_pct")?.as_f64()?,
+        est_rank: v.get("est_rank").and_then(Json::as_u64),
+        est_pct: v.get("est_pct").and_then(Json::as_f64),
+    })
+}
+
+/// The report view of one outcome.
+pub fn view(outcome: &CellOutcome) -> ReportView<'_> {
+    ReportView::new(&outcome.report)
+}
+
+/// Outcomes grouped by workload, in the order workloads first appear —
+/// the shape table generators want (one block of technique columns per
+/// application row).
+pub fn by_workload(run: &CampaignRun) -> Vec<(&str, Vec<&CellOutcome>)> {
+    let mut groups: Vec<(&str, Vec<&CellOutcome>)> = Vec::new();
+    for o in &run.outcomes {
+        let w = o.cell.workload.as_str();
+        match groups.iter_mut().find(|(g, _)| *g == w) {
+            Some((_, v)) => v.push(o),
+            None => groups.push((w, vec![o])),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachescope_obs::json;
+
+    fn report() -> Json {
+        json::parse(
+            r#"{
+              "app":"mgrid","technique":"sampling every 1000 misses",
+              "rows":[
+                {"object":"U","actual_rank":1,"actual_pct":40.8,"est_rank":1,"est_pct":41.0},
+                {"object":"R","actual_rank":2,"actual_pct":40.4,"est_rank":2,"est_pct":39.9},
+                {"object":"V","actual_rank":3,"actual_pct":18.8,"est_rank":null,"est_pct":null}
+              ],
+              "costs":{"app_misses":50000,"interrupts":50}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn typed_accessors_read_the_report() {
+        let j = report();
+        let v = ReportView::new(&j);
+        assert_eq!(v.app(), "mgrid");
+        assert_eq!(v.technique_label(), "sampling every 1000 misses");
+        assert_eq!(v.interrupts(), 50);
+        assert_eq!(v.cost("app_misses"), Some(50_000));
+        assert_eq!(v.rows().len(), 3);
+        let u = v.row("U").unwrap();
+        assert_eq!(u.actual_rank, 1);
+        assert_eq!(u.est_rank, Some(1));
+        let missing = v.row("V").unwrap();
+        assert_eq!(missing.est_rank, None);
+        assert!(v.row("absent").is_none());
+    }
+
+    #[test]
+    fn max_abs_error_ignores_unestimated_rows() {
+        let j = report();
+        let v = ReportView::new(&j);
+        // |40.4 - 39.9| = 0.5 beats |40.8 - 41.0| = 0.2; V is skipped.
+        assert!((v.max_abs_error().unwrap() - 0.5).abs() < 1e-9);
+        let empty = json::parse(r#"{"app":"x","rows":[]}"#).unwrap();
+        assert_eq!(ReportView::new(&empty).max_abs_error(), None);
+    }
+}

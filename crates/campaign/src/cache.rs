@@ -1,0 +1,168 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each cell's result lives at `<dir>/<hash>.json`, where the hash is
+//! [`Cell::hash`] over the cell's canonical configuration. An entry
+//! stores both the canonical cell and the rendered report; loads
+//! re-verify the stored cell against the requested one, so a hash
+//! collision (or a stale file from an older canonical form) degrades to
+//! a cache miss instead of a wrong result. Writes go through a
+//! temporary file and rename, so a killed campaign never leaves a
+//! truncated entry behind.
+
+use std::path::{Path, PathBuf};
+
+use cachescope_obs::{json, Json};
+
+use crate::cell::Cell;
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// A directory of content-addressed cell results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The cache at [`DEFAULT_CACHE_DIR`].
+    pub fn default_location() -> Self {
+        ResultCache::new(DEFAULT_CACHE_DIR)
+    }
+
+    /// The directory this cache reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `hash`.
+    pub fn entry_path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.json"))
+    }
+
+    /// Load the cached report for `cell`, verifying the stored canonical
+    /// cell matches. `None` on any mismatch, missing file, or parse
+    /// failure — a bad entry is a miss, never an error.
+    pub fn load(&self, cell: &Cell) -> Option<Json> {
+        let text = std::fs::read_to_string(self.entry_path(&cell.hash())).ok()?;
+        let entry = json::parse(&text).ok()?;
+        if entry.get("v").and_then(Json::as_u64) != Some(1) {
+            return None;
+        }
+        // Compare *rendered* canonical forms, not value trees: an
+        // integral float (e.g. a 5.0 threshold) renders as "5" and parses
+        // back as an integer, so tree equality would treat every entry
+        // containing one as a permanent miss. Rendering is stable across
+        // a parse round-trip; tree equality is not.
+        if entry.get("cell").map(Json::render) != Some(cell.canonical_json().render()) {
+            return None;
+        }
+        entry.get("report").cloned()
+    }
+
+    /// Store `report` for `cell` atomically (temp file + rename).
+    pub fn store(&self, cell: &Cell, report: &Json) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
+        let entry = Json::obj(vec![
+            ("v", Json::Uint(1)),
+            ("cell", cell.canonical_json()),
+            ("report", report.clone()),
+        ]);
+        let final_path = self.entry_path(&cell.hash());
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", cell.hash(), std::process::id()));
+        std::fs::write(&tmp, entry.render())
+            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &final_path)
+            .map_err(|e| format!("renaming into {}: {e}", final_path.display()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachescope_core::TechniqueConfig;
+    use cachescope_sim::RunLimit;
+    use cachescope_workloads::spec::Scale;
+
+    fn cell(period: u64) -> Cell {
+        Cell {
+            index: 0,
+            workload: "mgrid".to_string(),
+            scale: Scale::Test,
+            label: "s".to_string(),
+            seed: 1,
+            technique: TechniqueConfig::sampling(period),
+            counters: 10,
+            limit: RunLimit::AppMisses(10_000),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cachescope-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::new(&dir);
+        let c = cell(1_000);
+        assert!(cache.load(&c).is_none());
+        let report = Json::obj(vec![("app", Json::str("mgrid"))]);
+        cache.store(&c, &report).unwrap();
+        assert_eq!(cache.load(&c), Some(report));
+        // A different cell misses.
+        assert!(cache.load(&cell(2_000)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn integral_float_configs_still_hit_after_round_trip() {
+        // SearchConfig carries floats that render as integers (e.g. a 5.0
+        // threshold); a parse round-trip turns those into JSON integers,
+        // which must not defeat the stored-cell verification.
+        let dir = temp_dir("float");
+        let cache = ResultCache::new(&dir);
+        let c = Cell {
+            technique: TechniqueConfig::search(),
+            ..cell(0)
+        };
+        let report = Json::obj(vec![("app", Json::str("mgrid"))]);
+        cache.store(&c, &report).unwrap();
+        assert_eq!(cache.load(&c), Some(report));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_or_corrupt_entries_are_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::new(&dir);
+        let c = cell(1_000);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Corrupt JSON.
+        std::fs::write(cache.entry_path(&c.hash()), "{not json").unwrap();
+        assert!(cache.load(&c).is_none());
+        // Valid JSON but wrong stored cell (simulated hash collision).
+        let wrong = Json::obj(vec![
+            ("v", Json::Uint(1)),
+            ("cell", cell(2_000).canonical_json()),
+            ("report", Json::obj(vec![])),
+        ]);
+        std::fs::write(cache.entry_path(&c.hash()), wrong.render()).unwrap();
+        assert!(cache.load(&c).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,326 @@
+//! The campaign engine: cache lookup, scheduling, retry, checkpointing.
+//!
+//! [`CampaignRunner::run`] takes an expanded spec through three stages:
+//!
+//! 1. **Cache pass** (serial, cheap): every cell's content hash is looked
+//!    up in the [`ResultCache`]; hits are settled immediately without
+//!    simulating. A re-run of an unchanged spec does no simulation at all
+//!    — `campaign.cell_starts` stays at zero.
+//! 2. **Simulation pass**: the remaining cells run on a bounded
+//!    work-stealing pool. Each attempt executes under `catch_unwind`; a
+//!    panicking cell is retried up to the retry budget and then recorded
+//!    as failed, while the rest of the campaign proceeds.
+//! 3. **Settlement**: each finished cell is stored in the cache and the
+//!    campaign [`Manifest`] is checkpointed, so a killed campaign resumes
+//!    by simulating only the cells whose results never landed.
+//!
+//! Progress flows through [`cachescope_obs`] events and derived metrics
+//! (`campaign.cells`, `campaign.cache_hits`, `campaign.cell_starts`,
+//! `campaign.cells_completed`, `campaign.retries`, `campaign.panics`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use cachescope_obs::{Json, Obs, ObsEvent};
+
+use crate::cache::{ResultCache, DEFAULT_CACHE_DIR};
+use crate::cell::Cell;
+use crate::manifest::{CellStatus, Manifest, DEFAULT_MANIFEST_DIR};
+use crate::pool::{panic_message, run_isolated, worker_cap};
+use crate::spec::CampaignSpec;
+
+/// One settled cell with its report.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    pub cell: Cell,
+    pub hash: String,
+    /// True when the report came from the cache (nothing simulated).
+    pub cache_hit: bool,
+    /// Simulation attempts consumed (0 for cache hits).
+    pub attempts: u32,
+    /// The rendered report ([`cachescope_core::export::report_to_json`]
+    /// form), identical whether cached or freshly simulated.
+    pub report: Json,
+}
+
+/// One cell that exhausted its retry budget.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    pub cell: Cell,
+    pub hash: String,
+    pub attempts: u32,
+    pub error: String,
+}
+
+/// The result of a campaign run.
+#[derive(Debug)]
+pub struct CampaignRun {
+    pub name: String,
+    /// Settled cells in matrix order.
+    pub outcomes: Vec<CellOutcome>,
+    /// Cells that failed every attempt (empty on a clean run).
+    pub failures: Vec<CellFailure>,
+    /// The campaign's observability sink: full event stream plus derived
+    /// scheduler metrics.
+    pub obs: Obs,
+}
+
+impl CampaignRun {
+    /// Did every cell settle with a report?
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// How many outcomes were cache hits.
+    pub fn cache_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cache_hit).count()
+    }
+
+    /// The first outcome for a workload/technique-label pair. (With
+    /// multiple seeds a jittered column has several; use
+    /// [`CampaignRun::outcomes_for`] to see them all.)
+    pub fn outcome(&self, workload: &str, label: &str) -> Option<&CellOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.cell.workload == workload && o.cell.label == label)
+    }
+
+    /// All outcomes for a workload/technique-label pair, in seed order.
+    pub fn outcomes_for<'a>(
+        &'a self,
+        workload: &'a str,
+        label: &'a str,
+    ) -> impl Iterator<Item = &'a CellOutcome> {
+        self.outcomes
+            .iter()
+            .filter(move |o| o.cell.workload == workload && o.cell.label == label)
+    }
+}
+
+/// Configures and executes campaigns.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    cache_dir: PathBuf,
+    manifest_dir: PathBuf,
+    jobs: Option<usize>,
+    retries: u32,
+    force: bool,
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        CampaignRunner {
+            cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
+            manifest_dir: PathBuf::from(DEFAULT_MANIFEST_DIR),
+            jobs: None,
+            retries: 1,
+            force: false,
+        }
+    }
+}
+
+impl CampaignRunner {
+    pub fn new() -> Self {
+        CampaignRunner::default()
+    }
+
+    /// Override the result-cache directory.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = dir.into();
+        self
+    }
+
+    /// Override the manifest (checkpoint) directory.
+    pub fn manifest_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.manifest_dir = dir.into();
+        self
+    }
+
+    /// Explicit worker cap; `None` falls back to `CACHESCOPE_JOBS`, then
+    /// available parallelism (see [`crate::pool::worker_cap`]).
+    pub fn jobs(mut self, jobs: Option<usize>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Retry budget per cell after the first attempt (default 1).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Ignore the cache and re-simulate every cell (results still land in
+    /// the cache afterwards).
+    pub fn force(mut self, force: bool) -> Self {
+        self.force = force;
+        self
+    }
+
+    /// Execute `spec`: expand, satisfy from cache, simulate the rest.
+    ///
+    /// `Err` is reserved for spec-level problems (empty matrix, unknown
+    /// workload); individual cell failures land in
+    /// [`CampaignRun::failures`] without aborting the campaign.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignRun, String> {
+        let cells = spec.expand()?;
+        let cache = ResultCache::new(&self.cache_dir);
+        let hashes: Vec<String> = cells.iter().map(Cell::hash).collect();
+
+        let obs = Mutex::new(Obs::new());
+        let manifest = Mutex::new(Manifest::new(&spec.name, &cells));
+        obs.lock().unwrap().emit(ObsEvent::CampaignStart {
+            name: spec.name.clone(),
+            cells: cells.len() as u64,
+        });
+        self.checkpoint(&manifest);
+
+        // Stage 1: satisfy what we can from the cache.
+        let mut settled: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
+        let mut to_run: Vec<usize> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let cached = if self.force { None } else { cache.load(cell) };
+            match cached {
+                Some(report) => {
+                    obs.lock().unwrap().emit(ObsEvent::CellCacheHit {
+                        index: cell.index as u64,
+                        hash: hashes[i].clone(),
+                    });
+                    manifest
+                        .lock()
+                        .unwrap()
+                        .settle(cell.index, CellStatus::CacheHit, 0);
+                    settled[i] = Some(CellOutcome {
+                        cell: cell.clone(),
+                        hash: hashes[i].clone(),
+                        cache_hit: true,
+                        attempts: 0,
+                        report,
+                    });
+                }
+                None => to_run.push(i),
+            }
+        }
+        self.checkpoint(&manifest);
+
+        // Stage 2: simulate the cache misses on the worker pool.
+        let max_attempts = self.retries + 1;
+        let jobs: Vec<_> = to_run
+            .iter()
+            .map(|&i| {
+                let cell = &cells[i];
+                let hash = &hashes[i];
+                let obs = &obs;
+                let manifest = &manifest;
+                let cache = &cache;
+                move || -> Result<(Json, u32), (String, u32)> {
+                    let mut last_error = String::new();
+                    for attempt in 1..=max_attempts {
+                        obs.lock().unwrap().emit(ObsEvent::CellStart {
+                            index: cell.index as u64,
+                            hash: hash.clone(),
+                            workload: cell.workload.clone(),
+                            label: cell.label.clone(),
+                        });
+                        let outcome = catch_unwind(AssertUnwindSafe(|| cell.run()));
+                        match outcome {
+                            Ok(Ok(report)) => {
+                                if let Err(e) = cache.store(cell, &report) {
+                                    eprintln!("warning: caching {}: {e}", cell.describe());
+                                }
+                                let mut o = obs.lock().unwrap();
+                                o.emit(ObsEvent::CellFinish {
+                                    index: cell.index as u64,
+                                    hash: hash.clone(),
+                                });
+                                drop(o);
+                                let mut m = manifest.lock().unwrap();
+                                m.settle(cell.index, CellStatus::Done, attempt);
+                                drop(m);
+                                self.checkpoint(manifest);
+                                return Ok((report, attempt));
+                            }
+                            Ok(Err(e)) => last_error = e,
+                            Err(payload) => last_error = panic_message(payload),
+                        }
+                        if attempt < max_attempts {
+                            obs.lock().unwrap().emit(ObsEvent::CellRetry {
+                                index: cell.index as u64,
+                                hash: hash.clone(),
+                                attempt: u64::from(attempt),
+                                error: last_error.clone(),
+                            });
+                        }
+                    }
+                    obs.lock().unwrap().emit(ObsEvent::CellPanic {
+                        index: cell.index as u64,
+                        hash: hash.clone(),
+                        error: last_error.clone(),
+                    });
+                    manifest
+                        .lock()
+                        .unwrap()
+                        .settle(cell.index, CellStatus::Failed, max_attempts);
+                    self.checkpoint(manifest);
+                    Err((last_error, max_attempts))
+                }
+            })
+            .collect();
+        let results = run_isolated(jobs, worker_cap(self.jobs));
+
+        // Stage 3: fold pool results back into matrix order.
+        let mut failures = Vec::new();
+        for (&i, result) in to_run.iter().zip(results) {
+            let cell = cells[i].clone();
+            match result {
+                Ok(Ok((report, attempts))) => {
+                    settled[i] = Some(CellOutcome {
+                        cell,
+                        hash: hashes[i].clone(),
+                        cache_hit: false,
+                        attempts,
+                        report,
+                    });
+                }
+                Ok(Err((error, attempts))) => failures.push(CellFailure {
+                    cell,
+                    hash: hashes[i].clone(),
+                    attempts,
+                    error,
+                }),
+                // The job closure itself panicked outside its own
+                // catch_unwind (should be unreachable; the pool's guard).
+                Err(error) => failures.push(CellFailure {
+                    cell,
+                    hash: hashes[i].clone(),
+                    attempts: max_attempts,
+                    error,
+                }),
+            }
+        }
+
+        let outcomes: Vec<CellOutcome> = settled.into_iter().flatten().collect();
+        let mut obs = obs.into_inner().unwrap();
+        obs.emit(ObsEvent::CampaignEnd {
+            name: spec.name.clone(),
+            completed: outcomes.len() as u64,
+            cache_hits: outcomes.iter().filter(|o| o.cache_hit).count() as u64,
+            failed: failures.len() as u64,
+        });
+        Ok(CampaignRun {
+            name: spec.name.clone(),
+            outcomes,
+            failures,
+            obs,
+        })
+    }
+
+    /// Persist the manifest checkpoint; campaign progress must not abort
+    /// on a full disk, so failures are warnings.
+    fn checkpoint(&self, manifest: &Mutex<Manifest>) {
+        let m = manifest.lock().unwrap();
+        if let Err(e) = m.save(&self.manifest_dir) {
+            eprintln!("warning: saving campaign manifest: {e}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! In-repo stable hashing for content-addressed cell caching.
+//!
+//! `std::hash` makes no cross-run guarantees (SipHash keys are
+//! randomized), so cache keys use FNV-1a over a cell's canonical JSON:
+//! the same configuration hashes to the same 16-hex-digit key on every
+//! run, OS and toolchain. FNV-1a is not collision-resistant against an
+//! adversary, but cache keys here come from our own enumerated sweep
+//! matrices, and the cache layer re-verifies the stored canonical cell
+//! against the requested one on every load, so a collision degrades to a
+//! cache miss rather than a wrong result.
+
+/// FNV-1a, 64-bit.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hash a canonical string to the 16-hex-digit key used in cache paths.
+pub fn stable_hash(canonical: &str) -> String {
+    format!("{:016x}", fnv1a64(canonical.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn stable_hash_is_fixed_width_hex() {
+        let h = stable_hash("x");
+        assert_eq!(h.len(), 16);
+        assert!(h.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(h, stable_hash("x"));
+        assert_ne!(h, stable_hash("y"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Cached, resumable, parallel experiment-campaign orchestration.
+//!
+//! The evaluation harness regenerates every table and figure of the
+//! paper by sweeping workloads × techniques × configurations. Each cell
+//! of such a sweep is an independent, deterministic simulation — which
+//! makes the whole sweep cacheable, schedulable and resumable. This
+//! crate turns that observation into an engine:
+//!
+//! * [`CampaignSpec`] — a declarative sweep matrix (builder API, JSON
+//!   round-trip, loadable by the `campaign` CLI binary);
+//! * [`Cell`] — one fully-resolved simulation, with a canonical JSON
+//!   identity and a content hash over exactly the fields that affect its
+//!   output;
+//! * [`ResultCache`] — content-addressed on-disk cache
+//!   (`results/cache/<hash>.json`): an unchanged cell is never
+//!   re-simulated, across runs and across campaigns that share cells;
+//! * [`CampaignRunner`] — bounded work-stealing scheduler with per-cell
+//!   panic isolation, bounded retry, and a checkpointed [`Manifest`] so
+//!   a killed campaign resumes running only the missing cells;
+//! * [`ReportView`] — typed aggregation over the cached report JSON for
+//!   table/figure generators.
+//!
+//! Progress and outcomes flow through [`cachescope_obs`] events and
+//! metrics at zero simulated cost; `campaign.cell_starts == 0` on a
+//! re-run is the cache's acceptance test.
+
+pub mod aggregate;
+pub mod cache;
+pub mod cell;
+pub mod engine;
+pub mod hash;
+pub mod manifest;
+pub mod pool;
+pub mod registry;
+pub mod spec;
+
+pub use aggregate::{by_workload, view, ReportView, RowView};
+pub use cache::ResultCache;
+pub use cell::Cell;
+pub use engine::{CampaignRun, CampaignRunner, CellFailure, CellOutcome};
+pub use manifest::{CellStatus, Manifest};
+pub use pool::{parse_jobs_flag, run_isolated, worker_cap, JOBS_ENV};
+pub use spec::{
+    search_config_auto, search_run_misses, whole_cycles, CampaignSpec, LimitSpec, RoundMode,
+    TechniqueKind, TechniqueSpec,
+};

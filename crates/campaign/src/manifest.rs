@@ -1,0 +1,283 @@
+//! Checkpointed campaign manifests for resume-after-interrupt.
+//!
+//! The engine writes `<dir>/<campaign-name>.json` when a campaign starts
+//! and after every cell settles. A killed campaign leaves a manifest
+//! whose `pending`/`failed` cells are exactly the work remaining; on the
+//! next run the cache makes completed cells free, so resume falls out of
+//! content addressing — the manifest exists for *visibility* (what
+//! happened, per cell) and for tooling that wants the cell→hash map
+//! without re-expanding the spec. Manifests carry no timestamps: a
+//! campaign re-run over a warm cache produces a byte-identical file.
+
+use std::path::{Path, PathBuf};
+
+use cachescope_obs::{json, Json};
+
+use crate::cell::Cell;
+
+/// Default manifest directory, relative to the working directory.
+pub const DEFAULT_MANIFEST_DIR: &str = "results/campaigns";
+
+/// Where a cell stands in the current campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Not yet settled (queued or in flight).
+    Pending,
+    /// Result came from the cache; nothing simulated.
+    CacheHit,
+    /// Simulated this run and completed.
+    Done,
+    /// Exhausted its retry budget without completing.
+    Failed,
+}
+
+impl CellStatus {
+    fn tag(self) -> &'static str {
+        match self {
+            CellStatus::Pending => "pending",
+            CellStatus::CacheHit => "cache_hit",
+            CellStatus::Done => "done",
+            CellStatus::Failed => "failed",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "pending" => Some(CellStatus::Pending),
+            "cache_hit" => Some(CellStatus::CacheHit),
+            "done" => Some(CellStatus::Done),
+            "failed" => Some(CellStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One cell's manifest row.
+#[derive(Debug, Clone)]
+pub struct ManifestCell {
+    pub index: usize,
+    pub hash: String,
+    pub workload: String,
+    pub label: String,
+    pub status: CellStatus,
+    /// Simulation attempts consumed this run (0 for cache hits).
+    pub attempts: u32,
+}
+
+/// A campaign's checkpoint file.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    pub name: String,
+    /// Stable hash of the expanded matrix (all cell hashes in order), so
+    /// tooling can tell whether a manifest matches a spec revision.
+    pub spec_hash: String,
+    pub cells: Vec<ManifestCell>,
+}
+
+impl Manifest {
+    /// A fresh all-pending manifest for `name` over the expanded `cells`.
+    pub fn new(name: impl Into<String>, cells: &[Cell]) -> Self {
+        let hashes: Vec<String> = cells.iter().map(Cell::hash).collect();
+        let spec_hash = crate::hash::stable_hash(&hashes.join(","));
+        Manifest {
+            name: name.into(),
+            spec_hash,
+            cells: cells
+                .iter()
+                .zip(hashes)
+                .map(|(c, hash)| ManifestCell {
+                    index: c.index,
+                    hash,
+                    workload: c.workload.clone(),
+                    label: c.label.clone(),
+                    status: CellStatus::Pending,
+                    attempts: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Record a cell's settled state.
+    pub fn settle(&mut self, index: usize, status: CellStatus, attempts: u32) {
+        if let Some(c) = self.cells.iter_mut().find(|c| c.index == index) {
+            c.status = status;
+            c.attempts = attempts;
+        }
+    }
+
+    /// Cells not yet settled.
+    pub fn pending(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Pending)
+            .count()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("v", Json::Uint(1)),
+            ("name", Json::str(self.name.clone())),
+            ("spec_hash", Json::str(self.spec_hash.clone())),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("index", Json::Uint(c.index as u64)),
+                                ("hash", Json::str(c.hash.clone())),
+                                ("workload", Json::str(c.workload.clone())),
+                                ("label", Json::str(c.label.clone())),
+                                ("status", Json::str(c.status.tag())),
+                                ("attempts", Json::Uint(u64::from(c.attempts))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("v").and_then(Json::as_u64) != Some(1) {
+            return Err("manifest missing version field 'v': 1".to_string());
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing 'name'")?
+            .to_string();
+        let spec_hash = v
+            .get("spec_hash")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing 'spec_hash'")?
+            .to_string();
+        let cells = v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing 'cells'")?
+            .iter()
+            .map(|c| {
+                Ok(ManifestCell {
+                    index: c
+                        .get("index")
+                        .and_then(Json::as_u64)
+                        .ok_or("cell missing 'index'")? as usize,
+                    hash: c
+                        .get("hash")
+                        .and_then(Json::as_str)
+                        .ok_or("cell missing 'hash'")?
+                        .to_string(),
+                    workload: c
+                        .get("workload")
+                        .and_then(Json::as_str)
+                        .ok_or("cell missing 'workload'")?
+                        .to_string(),
+                    label: c
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .ok_or("cell missing 'label'")?
+                        .to_string(),
+                    status: c
+                        .get("status")
+                        .and_then(Json::as_str)
+                        .and_then(CellStatus::from_tag)
+                        .ok_or("cell missing 'status'")?,
+                    attempts: c.get("attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Manifest {
+            name,
+            spec_hash,
+            cells,
+        })
+    }
+
+    /// The manifest path for campaign `name` under `dir`.
+    pub fn path_for(dir: &Path, name: &str) -> PathBuf {
+        // Campaign names come from spec files; keep the path component
+        // tame regardless of what the JSON says.
+        let safe: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        dir.join(format!("{safe}.json"))
+    }
+
+    /// Save atomically under `dir` (temp file + rename).
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let path = Manifest::path_for(dir, &self.name);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json().render())
+            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("renaming into {}: {e}", path.display()))?;
+        Ok(path)
+    }
+
+    /// Load the manifest for `name` from `dir`, if present and parseable.
+    pub fn load(dir: &Path, name: &str) -> Option<Manifest> {
+        let text = std::fs::read_to_string(Manifest::path_for(dir, name)).ok()?;
+        Manifest::from_json(&json::parse(&text).ok()?).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachescope_core::TechniqueConfig;
+    use cachescope_sim::RunLimit;
+    use cachescope_workloads::spec::Scale;
+
+    fn cells() -> Vec<Cell> {
+        (0..3)
+            .map(|i| Cell {
+                index: i,
+                workload: "mgrid".to_string(),
+                scale: Scale::Test,
+                label: format!("t{i}"),
+                seed: 1,
+                technique: TechniqueConfig::sampling(1_000 + i as u64),
+                counters: 10,
+                limit: RunLimit::AppMisses(10_000),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_and_settles() {
+        let mut m = Manifest::new("demo", &cells());
+        assert_eq!(m.pending(), 3);
+        m.settle(1, CellStatus::Done, 2);
+        m.settle(2, CellStatus::CacheHit, 0);
+        assert_eq!(m.pending(), 1);
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.cells[1].status, CellStatus::Done);
+        assert_eq!(back.cells[1].attempts, 2);
+        assert_eq!(back.spec_hash, m.spec_hash);
+    }
+
+    #[test]
+    fn save_load_and_path_sanitisation() {
+        let dir =
+            std::env::temp_dir().join(format!("cachescope-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = Manifest::new("demo/../sneaky name", &cells());
+        let path = m.save(&dir).unwrap();
+        assert!(path.starts_with(&dir));
+        assert!(!path.to_string_lossy().contains(".."));
+        let back = Manifest::load(&dir, "demo/../sneaky name").unwrap();
+        assert_eq!(back.cells.len(), 3);
+        assert!(Manifest::load(&dir, "absent").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

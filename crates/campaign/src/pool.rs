@@ -1,0 +1,163 @@
+//! Bounded work-stealing worker pool with per-job panic isolation.
+//!
+//! Simulations are single-threaded and deterministic; sweeps across
+//! cells are embarrassingly parallel. Workers pull jobs off a shared
+//! queue, run each under `catch_unwind`, and record either the result or
+//! the panic message — one exploding cell never takes down the sweep.
+//!
+//! The worker count is capped uniformly across the campaign engine and
+//! every bench binary: an explicit `--jobs N` flag wins, then the
+//! `CACHESCOPE_JOBS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Environment variable consulted for the default worker cap.
+pub const JOBS_ENV: &str = "CACHESCOPE_JOBS";
+
+/// Parse a `--jobs N` (or `--jobs=N`) flag out of a raw argument list.
+/// Returns `None` when absent or malformed; zero is treated as absent.
+pub fn parse_jobs_flag<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    None
+}
+
+/// Resolve the worker cap: `explicit` (e.g. from `--jobs`), else
+/// [`JOBS_ENV`], else the machine's available parallelism.
+pub fn worker_cap(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var(JOBS_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+}
+
+/// Convert a panic payload into a displayable message.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `jobs` across at most `workers` threads and return results in
+/// submission order. Each job runs under `catch_unwind`: a panicking job
+/// yields `Err(panic message)` in its slot while every other job still
+/// completes.
+pub fn run_isolated<T, F>(jobs: Vec<F>, workers: usize) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<Result<T, String>>>> = Mutex::new((0..n).map(|_| None).collect());
+    let workers = workers.clamp(1, n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().unwrap().pop();
+                match job {
+                    Some((i, f)) => {
+                        let r = catch_unwind(AssertUnwindSafe(f)).map_err(panic_message);
+                        results.lock().unwrap()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every queued job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jobs_flag_forms() {
+        assert_eq!(parse_jobs_flag(args(&["--jobs", "3"])), Some(3));
+        assert_eq!(parse_jobs_flag(args(&["x", "--jobs=7", "y"])), Some(7));
+        assert_eq!(parse_jobs_flag(args(&["--jobs"])), None);
+        assert_eq!(parse_jobs_flag(args(&["--jobs", "zero"])), None);
+        assert_eq!(parse_jobs_flag(args(&["--jobs", "0"])), None);
+        assert_eq!(parse_jobs_flag(args(&["--quick"])), None);
+    }
+
+    #[test]
+    fn explicit_cap_wins() {
+        assert_eq!(worker_cap(Some(2)), 2);
+        assert!(worker_cap(None) >= 1);
+    }
+
+    #[test]
+    fn preserves_submission_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_isolated(jobs, 4);
+        for (i, r) in out.into_iter().enumerate() {
+            assert_eq!(r.unwrap(), i * i);
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job {i} exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = run_isolated(jobs, 2);
+        for (i, r) in out.into_iter().enumerate() {
+            if i == 3 {
+                assert!(r.unwrap_err().contains("job 3 exploded"));
+            } else {
+                assert_eq!(r.unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<Result<u8, String>> =
+            run_isolated(Vec::<Box<dyn FnOnce() -> u8 + Send>>::new(), 4);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Name → workload instantiation for campaign cells.
+//!
+//! A campaign spec names its workloads as strings (they live in JSON
+//! files); this registry resolves those names to boxed [`Program`]s at
+//! cell-run time. SPEC95 analogues also expose their phase-cycle length,
+//! which run-length rounding (whole cycles, search runs) depends on.
+
+use cachescope_sim::Program;
+use cachescope_workloads::spec::{self, Scale};
+use cachescope_workloads::spec2000;
+
+/// The seven SPEC95 analogues, in the paper's Table 1 order.
+pub const SPEC95: [&str; 7] = [
+    "tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg",
+];
+
+/// The three SPEC2000 analogues (section 5 extension).
+pub const SPEC2000: [&str; 3] = ["mcf", "art", "equake"];
+
+/// A workload that panics on instantiation. Exists so panic-isolation
+/// behaviour (retry, quarantine, campaign survival) is testable end to
+/// end without corrupting a real workload.
+#[doc(hidden)]
+pub const PANIC_WORKLOAD: &str = "__panic__";
+
+/// Is `name` resolvable by [`instantiate`]?
+pub fn is_known(name: &str) -> bool {
+    SPEC95.contains(&name) || SPEC2000.contains(&name) || name == PANIC_WORKLOAD
+}
+
+/// Build the named workload. `Err` lists the known names.
+pub fn instantiate(name: &str, scale: Scale) -> Result<Box<dyn Program>, String> {
+    let w: Box<dyn Program> = match name {
+        "tomcatv" => Box::new(spec::tomcatv(scale)),
+        "swim" => Box::new(spec::swim(scale)),
+        "su2cor" => Box::new(spec::su2cor(scale)),
+        "mgrid" => Box::new(spec::mgrid(scale)),
+        "applu" => Box::new(spec::applu(scale)),
+        "compress" => Box::new(spec::compress(scale)),
+        "ijpeg" => Box::new(spec::ijpeg(scale)),
+        "mcf" => Box::new(spec2000::mcf::mcf(scale)),
+        "art" => Box::new(spec2000::art(scale)),
+        "equake" => Box::new(spec2000::equake(scale)),
+        PANIC_WORKLOAD => panic!("__panic__ workload instantiated (test fixture)"),
+        _ => {
+            return Err(format!(
+                "unknown workload '{name}' (known: {} / {})",
+                SPEC95.join(" "),
+                SPEC2000.join(" ")
+            ))
+        }
+    };
+    Ok(w)
+}
+
+/// The workload's phase-cycle length in planned misses, when it has one
+/// (SPEC95 analogues). Cycle-aware run-length rounding is only available
+/// for these.
+pub fn cycle_misses(name: &str, scale: Scale) -> Option<u64> {
+    let w = match name {
+        "tomcatv" => spec::tomcatv(scale),
+        "swim" => spec::swim(scale),
+        "su2cor" => spec::su2cor(scale),
+        "mgrid" => spec::mgrid(scale),
+        "applu" => spec::applu(scale),
+        "compress" => spec::compress(scale),
+        "ijpeg" => spec::ijpeg(scale),
+        _ => return None,
+    };
+    Some(w.cycle_misses())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_workload_instantiates() {
+        for name in SPEC95.iter().chain(SPEC2000.iter()) {
+            let w = instantiate(name, Scale::Test).expect(name);
+            assert_eq!(w.name(), *name);
+        }
+    }
+
+    #[test]
+    fn spec95_cycles_known_spec2000_not() {
+        assert!(cycle_misses("applu", Scale::Test).unwrap() > 0);
+        assert!(cycle_misses("mcf", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn unknown_name_is_an_error_not_a_panic() {
+        assert!(instantiate("quake3", Scale::Test).is_err());
+        assert!(!is_known("quake3"));
+        assert!(is_known("tomcatv"));
+    }
+}

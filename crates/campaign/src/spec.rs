@@ -1,0 +1,650 @@
+//! Declarative campaign specs: the sweep matrix and its expansion.
+//!
+//! A [`CampaignSpec`] names workloads and techniques symbolically (so it
+//! can live in a JSON file); [`CampaignSpec::expand`] resolves the matrix
+//! into concrete [`Cell`]s, applying per-workload knowledge — phase-cycle
+//! rounding for run lengths, su2cor's longer search interval — at
+//! expansion time so the JSON stays workload-agnostic.
+
+use cachescope_core::{SamplerConfig, SearchConfig, TechniqueConfig};
+use cachescope_obs::Json;
+use cachescope_sim::RunLimit;
+use cachescope_workloads::spec::{self, Scale};
+
+use crate::cell::Cell;
+use crate::registry;
+
+/// How a symbolic run-length resolves against a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundMode {
+    /// Use the base count as-is.
+    Exact,
+    /// Round down to whole phase cycles (at least one), so phased
+    /// applications run their designed mix. Falls back to [`Exact`]
+    /// for workloads without a known cycle length.
+    ///
+    /// [`Exact`]: RoundMode::Exact
+    WholeCycles,
+    /// Whole cycles covering at least the base, and at least two cycles —
+    /// the table binaries' run length for search experiments. Falls back
+    /// to [`Exact`] like [`WholeCycles`].
+    ///
+    /// [`Exact`]: RoundMode::Exact
+    /// [`WholeCycles`]: RoundMode::WholeCycles
+    SearchRun,
+}
+
+impl RoundMode {
+    fn tag(self) -> &'static str {
+        match self {
+            RoundMode::Exact => "exact",
+            RoundMode::WholeCycles => "whole_cycles",
+            RoundMode::SearchRun => "search_run",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Result<Self, String> {
+        match tag {
+            "exact" => Ok(RoundMode::Exact),
+            "whole_cycles" => Ok(RoundMode::WholeCycles),
+            "search_run" => Ok(RoundMode::SearchRun),
+            other => Err(format!("unknown round mode '{other}'")),
+        }
+    }
+}
+
+/// Symbolic run length, resolved per workload at expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LimitSpec {
+    /// Stop after this many application misses (optionally rounded).
+    AppMisses { base: u64, round: RoundMode },
+    /// Stop after this many application (non-instrumentation) cycles.
+    AppCycles { base: u64 },
+}
+
+impl LimitSpec {
+    /// Exact application-miss run length.
+    pub fn misses(base: u64) -> Self {
+        LimitSpec::AppMisses {
+            base,
+            round: RoundMode::Exact,
+        }
+    }
+
+    /// Whole-cycle-rounded application-miss run length.
+    pub fn whole_cycles(base: u64) -> Self {
+        LimitSpec::AppMisses {
+            base,
+            round: RoundMode::WholeCycles,
+        }
+    }
+
+    /// Search-run application-miss run length (≥ 2 cycles, ≥ base).
+    pub fn search_run(base: u64) -> Self {
+        LimitSpec::AppMisses {
+            base,
+            round: RoundMode::SearchRun,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            LimitSpec::AppMisses { base, round } => Json::obj(vec![
+                ("kind", Json::str("app_misses")),
+                ("base", Json::Uint(*base)),
+                ("round", Json::str(round.tag())),
+            ]),
+            LimitSpec::AppCycles { base } => Json::obj(vec![
+                ("kind", Json::str("app_cycles")),
+                ("base", Json::Uint(*base)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("limit missing 'kind'")?;
+        let base = v
+            .get("base")
+            .and_then(Json::as_u64)
+            .ok_or("limit missing 'base'")?;
+        match kind {
+            "app_misses" => {
+                let round = match v.get("round").and_then(Json::as_str) {
+                    Some(tag) => RoundMode::from_tag(tag)?,
+                    None => RoundMode::Exact,
+                };
+                Ok(LimitSpec::AppMisses { base, round })
+            }
+            "app_cycles" => Ok(LimitSpec::AppCycles { base }),
+            other => Err(format!("unknown limit kind '{other}'")),
+        }
+    }
+
+    /// Resolve to a concrete [`RunLimit`] for `workload` at `scale`.
+    pub fn resolve(&self, workload: &str, scale: Scale) -> RunLimit {
+        match *self {
+            LimitSpec::AppCycles { base } => RunLimit::AppCycles(base),
+            LimitSpec::AppMisses { base, round } => {
+                let cycle = registry::cycle_misses(workload, scale);
+                let misses = match (round, cycle) {
+                    (RoundMode::Exact, _) | (_, None) => base,
+                    (RoundMode::WholeCycles, Some(c)) => whole_cycles(base, c),
+                    (RoundMode::SearchRun, Some(c)) => search_run_misses(c, base),
+                };
+                RunLimit::AppMisses(misses)
+            }
+        }
+    }
+}
+
+/// Round `misses` down to a whole number of phase cycles (at least one).
+pub fn whole_cycles(misses: u64, cycle: u64) -> u64 {
+    (misses / cycle).max(1) * cycle
+}
+
+/// Run length for a search experiment: whole cycles covering at least
+/// `base` misses, and at least two cycles.
+pub fn search_run_misses(app_cycle: u64, base: u64) -> u64 {
+    whole_cycles(base, app_cycle).max(2 * app_cycle)
+}
+
+/// The n-way search configuration for an application. su2cor needs the
+/// longer interval documented at [`spec::su2cor::SEARCH_INTERVAL`]; every
+/// other application uses the default.
+pub fn search_config_auto(app: &str) -> SearchConfig {
+    let interval = if app == "su2cor" {
+        spec::su2cor::SEARCH_INTERVAL
+    } else {
+        SearchConfig::default().interval
+    };
+    SearchConfig {
+        interval,
+        ..Default::default()
+    }
+}
+
+/// Symbolic technique, resolved per workload (and per seed, for jittered
+/// sampling) at expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechniqueKind {
+    /// Baseline: no instrumentation.
+    None,
+    /// Fixed-period miss sampling.
+    Sampling { period: u64, aggregate: bool },
+    /// Jittered sampling; expands once per spec seed.
+    Jittered { base: u64, spread: u64 },
+    /// The n-way search. `interval: None` means "auto": the default
+    /// interval, except su2cor's documented longer one.
+    Search {
+        interval: Option<u64>,
+        logical_ways: Option<usize>,
+    },
+}
+
+impl TechniqueKind {
+    fn to_json(&self) -> Json {
+        match self {
+            TechniqueKind::None => Json::obj(vec![("kind", Json::str("none"))]),
+            TechniqueKind::Sampling { period, aggregate } => Json::obj(vec![
+                ("kind", Json::str("sampling")),
+                ("period", Json::Uint(*period)),
+                ("aggregate", Json::Bool(*aggregate)),
+            ]),
+            TechniqueKind::Jittered { base, spread } => Json::obj(vec![
+                ("kind", Json::str("jittered")),
+                ("base", Json::Uint(*base)),
+                ("spread", Json::Uint(*spread)),
+            ]),
+            TechniqueKind::Search {
+                interval,
+                logical_ways,
+            } => Json::obj(vec![
+                ("kind", Json::str("search")),
+                ("interval", interval.map_or(Json::Null, Json::Uint)),
+                (
+                    "logical_ways",
+                    logical_ways.map_or(Json::Null, |w| Json::Uint(w as u64)),
+                ),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("technique missing 'kind'")?;
+        match kind {
+            "none" => Ok(TechniqueKind::None),
+            "sampling" => Ok(TechniqueKind::Sampling {
+                period: v
+                    .get("period")
+                    .and_then(Json::as_u64)
+                    .ok_or("sampling technique missing 'period'")?,
+                aggregate: matches!(v.get("aggregate"), Some(Json::Bool(true))),
+            }),
+            "jittered" => Ok(TechniqueKind::Jittered {
+                base: v
+                    .get("base")
+                    .and_then(Json::as_u64)
+                    .ok_or("jittered technique missing 'base'")?,
+                spread: v
+                    .get("spread")
+                    .and_then(Json::as_u64)
+                    .ok_or("jittered technique missing 'spread'")?,
+            }),
+            "search" => Ok(TechniqueKind::Search {
+                interval: v.get("interval").and_then(Json::as_u64),
+                logical_ways: v
+                    .get("logical_ways")
+                    .and_then(Json::as_u64)
+                    .map(|w| w as usize),
+            }),
+            other => Err(format!("unknown technique kind '{other}'")),
+        }
+    }
+
+    /// Expands to one cell per seed (jittered) or exactly one (others).
+    fn uses_seeds(&self) -> bool {
+        matches!(self, TechniqueKind::Jittered { .. })
+    }
+
+    /// Resolve to a concrete [`TechniqueConfig`] for `workload`.
+    fn resolve(&self, workload: &str, seed: u64) -> TechniqueConfig {
+        match *self {
+            TechniqueKind::None => TechniqueConfig::None,
+            TechniqueKind::Sampling { period, aggregate } => {
+                let mut cfg = SamplerConfig::fixed(period);
+                cfg.aggregate_heap_names = aggregate;
+                TechniqueConfig::Sampling(cfg)
+            }
+            TechniqueKind::Jittered { base, spread } => {
+                TechniqueConfig::Sampling(SamplerConfig::jittered(base, spread, seed))
+            }
+            TechniqueKind::Search {
+                interval,
+                logical_ways,
+            } => {
+                let mut cfg = search_config_auto(workload);
+                if let Some(i) = interval {
+                    cfg.interval = i;
+                }
+                cfg.logical_ways = logical_ways;
+                TechniqueConfig::Search(cfg)
+            }
+        }
+    }
+}
+
+/// One column of the sweep matrix: a labelled technique with its PMU
+/// width and run length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniqueSpec {
+    /// Label used in manifests, outcome lookup and aggregation. Must be
+    /// unique within a spec.
+    pub label: String,
+    pub kind: TechniqueKind,
+    /// PMU region counters (n for the n-way search).
+    pub counters: usize,
+    pub limit: LimitSpec,
+}
+
+impl TechniqueSpec {
+    /// A technique column with the default ten PMU counters.
+    pub fn new(label: impl Into<String>, kind: TechniqueKind, limit: LimitSpec) -> Self {
+        TechniqueSpec {
+            label: label.into(),
+            kind,
+            counters: 10,
+            limit,
+        }
+    }
+
+    /// Override the PMU counter count.
+    pub fn counters(mut self, n: usize) -> Self {
+        self.counters = n;
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::str(self.label.clone())),
+            ("technique", self.kind.to_json()),
+            ("counters", Json::Uint(self.counters as u64)),
+            ("limit", self.limit.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(TechniqueSpec {
+            label: v
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("technique spec missing 'label'")?
+                .to_string(),
+            kind: TechniqueKind::from_json(
+                v.get("technique")
+                    .ok_or("technique spec missing 'technique'")?,
+            )?,
+            counters: v
+                .get("counters")
+                .and_then(Json::as_u64)
+                .map_or(10, |n| n as usize),
+            limit: LimitSpec::from_json(v.get("limit").ok_or("technique spec missing 'limit'")?)?,
+        })
+    }
+}
+
+/// A declarative experiment campaign: the full sweep matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name; also names the resume manifest.
+    pub name: String,
+    pub scale: Scale,
+    pub workloads: Vec<String>,
+    /// Seeds for seed-bearing techniques (jittered sampling); other
+    /// techniques expand once regardless. Defaults to `[1]`.
+    pub seeds: Vec<u64>,
+    pub techniques: Vec<TechniqueSpec>,
+}
+
+impl CampaignSpec {
+    /// An empty campaign at the given scale.
+    pub fn new(name: impl Into<String>, scale: Scale) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            scale,
+            workloads: Vec::new(),
+            seeds: vec![1],
+            techniques: Vec::new(),
+        }
+    }
+
+    /// Add a workload by registry name.
+    pub fn workload(mut self, name: impl Into<String>) -> Self {
+        self.workloads.push(name.into());
+        self
+    }
+
+    /// Add several workloads by registry name.
+    pub fn workloads<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.workloads.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Replace the seed list (for jittered techniques).
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Add a technique column.
+    pub fn technique(mut self, t: TechniqueSpec) -> Self {
+        self.techniques.push(t);
+        self
+    }
+
+    /// Serialize the spec to JSON (loadable by [`CampaignSpec::from_json`]
+    /// and the `campaign` CLI).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("v", Json::Uint(1)),
+            ("name", Json::str(self.name.clone())),
+            (
+                "scale",
+                Json::str(match self.scale {
+                    Scale::Test => "test",
+                    Scale::Paper => "paper",
+                }),
+            ),
+            (
+                "workloads",
+                Json::Arr(self.workloads.iter().map(Json::str).collect()),
+            ),
+            (
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::Uint(s)).collect()),
+            ),
+            (
+                "techniques",
+                Json::Arr(self.techniques.iter().map(TechniqueSpec::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a spec from its JSON form.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("v").and_then(Json::as_u64) != Some(1) {
+            return Err("campaign spec missing version field 'v': 1".to_string());
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("campaign spec missing 'name'")?
+            .to_string();
+        let scale = match v.get("scale").and_then(Json::as_str) {
+            Some("test") => Scale::Test,
+            Some("paper") => Scale::Paper,
+            Some(other) => return Err(format!("unknown scale '{other}' (test|paper)")),
+            None => return Err("campaign spec missing 'scale'".to_string()),
+        };
+        let workloads = v
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or("campaign spec missing 'workloads'")?
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "workload names must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let seeds = match v.get("seeds").and_then(Json::as_arr) {
+            Some(arr) => arr
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .ok_or_else(|| "seeds must be integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => vec![1],
+        };
+        let techniques = v
+            .get("techniques")
+            .and_then(Json::as_arr)
+            .ok_or("campaign spec missing 'techniques'")?
+            .iter()
+            .map(TechniqueSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignSpec {
+            name,
+            scale,
+            workloads,
+            seeds,
+            techniques,
+        })
+    }
+
+    /// Load a spec from a JSON file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let v = cachescope_obs::json::parse(&text)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        CampaignSpec::from_json(&v)
+    }
+
+    /// Expand the matrix into concrete cells: workloads × techniques
+    /// (× seeds for seed-bearing techniques), validated against the
+    /// workload registry and with all symbolic fields resolved.
+    pub fn expand(&self) -> Result<Vec<Cell>, String> {
+        if self.workloads.is_empty() {
+            return Err("campaign has no workloads".to_string());
+        }
+        if self.techniques.is_empty() {
+            return Err("campaign has no techniques".to_string());
+        }
+        if self.seeds.is_empty() {
+            return Err("campaign has no seeds (default is [1])".to_string());
+        }
+        for (i, t) in self.techniques.iter().enumerate() {
+            if self.techniques[..i].iter().any(|u| u.label == t.label) {
+                return Err(format!("duplicate technique label '{}'", t.label));
+            }
+        }
+        let mut cells = Vec::new();
+        for workload in &self.workloads {
+            if !registry::is_known(workload) {
+                return Err(format!("unknown workload '{workload}'"));
+            }
+            for t in &self.techniques {
+                let seeds: &[u64] = if t.kind.uses_seeds() {
+                    &self.seeds
+                } else {
+                    &self.seeds[..1]
+                };
+                for &seed in seeds {
+                    cells.push(Cell {
+                        index: cells.len(),
+                        workload: workload.clone(),
+                        scale: self.scale,
+                        label: t.label.clone(),
+                        seed,
+                        technique: t.kind.resolve(workload, seed),
+                        counters: t.counters,
+                        limit: t.limit.resolve(workload, self.scale),
+                    });
+                }
+            }
+        }
+        Ok(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> CampaignSpec {
+        CampaignSpec::new("demo", Scale::Test)
+            .workloads(["mgrid", "applu"])
+            .seeds(vec![1, 2])
+            .technique(TechniqueSpec::new(
+                "base",
+                TechniqueKind::None,
+                LimitSpec::whole_cycles(50_000),
+            ))
+            .technique(TechniqueSpec::new(
+                "jit",
+                TechniqueKind::Jittered {
+                    base: 1_000,
+                    spread: 100,
+                },
+                LimitSpec::misses(50_000),
+            ))
+            .technique(
+                TechniqueSpec::new(
+                    "search",
+                    TechniqueKind::Search {
+                        interval: None,
+                        logical_ways: None,
+                    },
+                    LimitSpec::search_run(100_000),
+                )
+                .counters(10),
+            )
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let spec = sample_spec();
+        let parsed = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn expansion_multiplies_seeds_only_for_jittered() {
+        let cells = sample_spec().expand().unwrap();
+        // 2 workloads × (1 none + 2 jittered seeds + 1 search) = 8 cells.
+        assert_eq!(cells.len(), 8);
+        let jit: Vec<_> = cells.iter().filter(|c| c.label == "jit").collect();
+        assert_eq!(jit.len(), 4);
+        assert_eq!(jit[0].seed, 1);
+        assert_eq!(jit[1].seed, 2);
+        // Indexes are dense and in expansion order.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn limits_round_against_workload_cycles() {
+        let cycle = registry::cycle_misses("mgrid", Scale::Test).unwrap();
+        let cells = sample_spec().expand().unwrap();
+        let base = cells
+            .iter()
+            .find(|c| c.workload == "mgrid" && c.label == "base")
+            .unwrap();
+        assert_eq!(base.limit, RunLimit::AppMisses(whole_cycles(50_000, cycle)));
+        let search = cells
+            .iter()
+            .find(|c| c.workload == "mgrid" && c.label == "search")
+            .unwrap();
+        assert_eq!(
+            search.limit,
+            RunLimit::AppMisses(search_run_misses(cycle, 100_000))
+        );
+    }
+
+    #[test]
+    fn su2cor_search_interval_is_auto_resolved() {
+        let cfg = search_config_auto("su2cor");
+        assert_eq!(cfg.interval, spec::su2cor::SEARCH_INTERVAL);
+        assert_ne!(cfg.interval, SearchConfig::default().interval);
+        assert_eq!(
+            search_config_auto("mgrid").interval,
+            SearchConfig::default().interval
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(CampaignSpec::new("empty", Scale::Test).expand().is_err());
+        let unknown = CampaignSpec::new("u", Scale::Test)
+            .workload("quake3")
+            .technique(TechniqueSpec::new(
+                "b",
+                TechniqueKind::None,
+                LimitSpec::misses(1_000),
+            ));
+        assert!(unknown.expand().unwrap_err().contains("quake3"));
+        let dup = CampaignSpec::new("d", Scale::Test)
+            .workload("mgrid")
+            .technique(TechniqueSpec::new(
+                "b",
+                TechniqueKind::None,
+                LimitSpec::misses(1_000),
+            ))
+            .technique(TechniqueSpec::new(
+                "b",
+                TechniqueKind::None,
+                LimitSpec::misses(2_000),
+            ));
+        assert!(dup.expand().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn rounding_helpers_match_documented_behaviour() {
+        assert_eq!(whole_cycles(10_000, 3_000), 9_000);
+        assert_eq!(whole_cycles(1_000, 3_000), 3_000);
+        assert_eq!(search_run_misses(3_000, 10_000), 9_000);
+        assert_eq!(search_run_misses(3_000, 1_000), 6_000);
+    }
+}

@@ -118,6 +118,44 @@ impl SamplerConfig {
             } => format!("sampling(adaptive {target_overhead_pct}%)"),
         }
     }
+
+    /// Canonical JSON for content-addressed caching: every field that can
+    /// change a simulation result appears, in a fixed key order, so equal
+    /// configurations render to identical bytes.
+    pub fn to_json(&self) -> cachescope_obs::Json {
+        use cachescope_obs::Json;
+        let period = match self.period {
+            SamplingPeriod::Fixed(k) => {
+                Json::obj(vec![("kind", Json::str("fixed")), ("k", Json::Uint(k))])
+            }
+            SamplingPeriod::Jittered { base, spread, seed } => Json::obj(vec![
+                ("kind", Json::str("jittered")),
+                ("base", Json::Uint(base)),
+                ("spread", Json::Uint(spread)),
+                ("seed", Json::Uint(seed)),
+            ]),
+            SamplingPeriod::Adaptive {
+                initial,
+                target_overhead_pct,
+                seed,
+            } => Json::obj(vec![
+                ("kind", Json::str("adaptive")),
+                ("initial", Json::Uint(initial)),
+                ("target_overhead_pct", Json::Float(target_overhead_pct)),
+                ("seed", Json::Uint(seed)),
+            ]),
+        };
+        Json::obj(vec![
+            ("period", period),
+            (
+                "fixed_handler_cycles",
+                Json::Uint(self.fixed_handler_cycles),
+            ),
+            ("assumed_sample_cost", Json::Uint(self.assumed_sample_cost)),
+            ("probe_cycles", Json::Uint(self.probe_cycles)),
+            ("aggregate", Json::Bool(self.aggregate_heap_names)),
+        ])
+    }
 }
 
 /// The sampling technique, run as a simulation [`Handler`].

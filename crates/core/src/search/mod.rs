@@ -140,6 +140,48 @@ impl SearchConfig {
             SearchStrategy::Greedy => "search-greedy".to_string(),
         }
     }
+
+    /// Canonical JSON for content-addressed caching: every field that can
+    /// change a simulation result (or the exported report, in
+    /// `log_progress`'s case) appears in a fixed key order, so equal
+    /// configurations render to identical bytes.
+    pub fn to_json(&self) -> cachescope_obs::Json {
+        use cachescope_obs::Json;
+        Json::obj(vec![
+            ("interval", Json::Uint(self.interval)),
+            ("stretch", Json::Float(self.stretch)),
+            ("max_stretch", Json::Float(self.max_stretch)),
+            ("zero_keep", Json::Uint(u64::from(self.zero_keep))),
+            ("threshold_pct", Json::Float(self.threshold_pct)),
+            ("final_rounds", Json::Uint(u64::from(self.final_rounds))),
+            (
+                "strategy",
+                Json::str(match self.strategy {
+                    SearchStrategy::PriorityQueue => "priority_queue",
+                    SearchStrategy::Greedy => "greedy",
+                }),
+            ),
+            ("snap_to_objects", Json::Bool(self.snap_to_objects)),
+            (
+                "fixed_iteration_cycles",
+                Json::Uint(self.fixed_iteration_cycles),
+            ),
+            ("probe_cycles", Json::Uint(self.probe_cycles)),
+            (
+                "space",
+                self.space.map_or(Json::Null, |(lo, hi)| {
+                    Json::Arr(vec![Json::Uint(lo), Json::Uint(hi)])
+                }),
+            ),
+            ("coalesce_sites", Json::Bool(self.coalesce_sites)),
+            ("log_progress", Json::Bool(self.log_progress)),
+            (
+                "logical_ways",
+                self.logical_ways
+                    .map_or(Json::Null, |n| Json::Uint(n as u64)),
+            ),
+        ])
+    }
 }
 
 #[derive(Debug)]

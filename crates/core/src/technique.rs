@@ -36,6 +36,24 @@ impl TechniqueConfig {
             TechniqueConfig::Search(c) => c.label(),
         }
     }
+
+    /// Canonical JSON for content-addressed caching (see
+    /// [`SamplerConfig::to_json`] / [`SearchConfig::to_json`]): a tagged
+    /// object with a fixed key order, so equal configurations render to
+    /// identical bytes and unequal ones almost surely do not.
+    pub fn to_json(&self) -> cachescope_obs::Json {
+        use cachescope_obs::Json;
+        match self {
+            TechniqueConfig::None => Json::obj(vec![("kind", Json::str("none"))]),
+            TechniqueConfig::Sampling(c) => Json::obj(vec![
+                ("kind", Json::str("sampling")),
+                ("config", c.to_json()),
+            ]),
+            TechniqueConfig::Search(c) => {
+                Json::obj(vec![("kind", Json::str("search")), ("config", c.to_json())])
+            }
+        }
+    }
 }
 
 /// Replay an [`AccessTrace`] (recorded by the object map or another
@@ -65,5 +83,40 @@ mod tests {
         assert_eq!(TechniqueConfig::None.label(), "");
         assert!(TechniqueConfig::sampling(50_000).label().contains("50000"));
         assert!(TechniqueConfig::search().label().contains("search"));
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_discriminating() {
+        // Equal configurations render to identical bytes...
+        let a = TechniqueConfig::sampling(50_000).to_json().render();
+        let b = TechniqueConfig::sampling(50_000).to_json().render();
+        assert_eq!(a, b);
+        // ...and any field change shows up in the rendering.
+        let c = TechniqueConfig::sampling(50_001).to_json().render();
+        assert_ne!(a, c);
+        let mut aggregated = SamplerConfig::fixed(50_000);
+        aggregated.aggregate_heap_names = true;
+        assert_ne!(a, TechniqueConfig::Sampling(aggregated).to_json().render());
+
+        let s1 = TechniqueConfig::Search(SearchConfig::default())
+            .to_json()
+            .render();
+        let s2 = TechniqueConfig::Search(SearchConfig {
+            logical_ways: Some(10),
+            ..Default::default()
+        })
+        .to_json()
+        .render();
+        assert_ne!(s1, s2);
+        assert_ne!(s1, TechniqueConfig::None.to_json().render());
+        // Seeds are part of the identity: jittered runs with different
+        // seeds are different cells.
+        let j1 = TechniqueConfig::Sampling(SamplerConfig::jittered(1_000, 100, 1))
+            .to_json()
+            .render();
+        let j2 = TechniqueConfig::Sampling(SamplerConfig::jittered(1_000, 100, 2))
+            .to_json()
+            .render();
+        assert_ne!(j1, j2);
     }
 }

@@ -160,6 +160,40 @@ pub enum ObsEvent {
     TraceRecord { path: String, events: u64 },
     /// A program was replayed from a trace file.
     TraceReplay { path: String, objects: u64 },
+    /// A campaign began: `cells` is the expanded matrix size.
+    CampaignStart { name: String, cells: u64 },
+    /// A cell's cached result was reused; no simulation executed.
+    CellCacheHit { index: u64, hash: String },
+    /// A cell's simulation started (cache miss).
+    CellStart {
+        index: u64,
+        hash: String,
+        workload: String,
+        label: String,
+    },
+    /// A cell's simulation finished and its result was cached.
+    CellFinish { index: u64, hash: String },
+    /// A cell's simulation panicked and will be retried.
+    CellRetry {
+        index: u64,
+        hash: String,
+        attempt: u64,
+        error: String,
+    },
+    /// A cell's simulation panicked with no retries left; the campaign
+    /// continues without it.
+    CellPanic {
+        index: u64,
+        hash: String,
+        error: String,
+    },
+    /// A campaign finished (all cells resolved or failed).
+    CampaignEnd {
+        name: String,
+        completed: u64,
+        cache_hits: u64,
+        failed: u64,
+    },
 }
 
 impl ObsEvent {
@@ -182,6 +216,13 @@ impl ObsEvent {
             ObsEvent::PhaseMarker { .. } => "phase",
             ObsEvent::TraceRecord { .. } => "trace_record",
             ObsEvent::TraceReplay { .. } => "trace_replay",
+            ObsEvent::CampaignStart { .. } => "campaign_start",
+            ObsEvent::CellCacheHit { .. } => "cell_cache_hit",
+            ObsEvent::CellStart { .. } => "cell_start",
+            ObsEvent::CellFinish { .. } => "cell_finish",
+            ObsEvent::CellRetry { .. } => "cell_retry",
+            ObsEvent::CellPanic { .. } => "cell_panic",
+            ObsEvent::CampaignEnd { .. } => "campaign_end",
         }
     }
 
@@ -296,6 +337,56 @@ impl ObsEvent {
                 fields.push(("path", Json::str(path.clone())));
                 fields.push(("objects", Json::Uint(*objects)));
             }
+            ObsEvent::CampaignStart { name, cells } => {
+                fields.push(("name", Json::str(name.clone())));
+                fields.push(("cells", Json::Uint(*cells)));
+            }
+            ObsEvent::CellCacheHit { index, hash } => {
+                fields.push(("index", Json::Uint(*index)));
+                fields.push(("hash", Json::str(hash.clone())));
+            }
+            ObsEvent::CellStart {
+                index,
+                hash,
+                workload,
+                label,
+            } => {
+                fields.push(("index", Json::Uint(*index)));
+                fields.push(("hash", Json::str(hash.clone())));
+                fields.push(("workload", Json::str(workload.clone())));
+                fields.push(("label", Json::str(label.clone())));
+            }
+            ObsEvent::CellFinish { index, hash } => {
+                fields.push(("index", Json::Uint(*index)));
+                fields.push(("hash", Json::str(hash.clone())));
+            }
+            ObsEvent::CellRetry {
+                index,
+                hash,
+                attempt,
+                error,
+            } => {
+                fields.push(("index", Json::Uint(*index)));
+                fields.push(("hash", Json::str(hash.clone())));
+                fields.push(("attempt", Json::Uint(*attempt)));
+                fields.push(("error", Json::str(error.clone())));
+            }
+            ObsEvent::CellPanic { index, hash, error } => {
+                fields.push(("index", Json::Uint(*index)));
+                fields.push(("hash", Json::str(hash.clone())));
+                fields.push(("error", Json::str(error.clone())));
+            }
+            ObsEvent::CampaignEnd {
+                name,
+                completed,
+                cache_hits,
+                failed,
+            } => {
+                fields.push(("name", Json::str(name.clone())));
+                fields.push(("completed", Json::Uint(*completed)));
+                fields.push(("cache_hits", Json::Uint(*cache_hits)));
+                fields.push(("failed", Json::Uint(*failed)));
+            }
         }
         Json::obj(fields)
     }
@@ -385,6 +476,41 @@ mod tests {
             ObsEvent::TraceReplay {
                 path: "t.trace".into(),
                 objects: 3,
+            },
+            ObsEvent::CampaignStart {
+                name: "table1".into(),
+                cells: 14,
+            },
+            ObsEvent::CellCacheHit {
+                index: 0,
+                hash: "deadbeefdeadbeef".into(),
+            },
+            ObsEvent::CellStart {
+                index: 1,
+                hash: "deadbeefdeadbeef".into(),
+                workload: "tomcatv".into(),
+                label: "sample".into(),
+            },
+            ObsEvent::CellFinish {
+                index: 1,
+                hash: "deadbeefdeadbeef".into(),
+            },
+            ObsEvent::CellRetry {
+                index: 2,
+                hash: "deadbeefdeadbeef".into(),
+                attempt: 1,
+                error: "boom".into(),
+            },
+            ObsEvent::CellPanic {
+                index: 2,
+                hash: "deadbeefdeadbeef".into(),
+                error: "boom".into(),
+            },
+            ObsEvent::CampaignEnd {
+                name: "table1".into(),
+                completed: 13,
+                cache_hits: 5,
+                failed: 1,
             },
         ];
         for ev in events {

@@ -104,6 +104,14 @@ impl Obs {
             ObsEvent::Alloc { .. } => self.metrics.inc("program.allocs"),
             ObsEvent::Free { .. } => self.metrics.inc("program.frees"),
             ObsEvent::PhaseMarker { .. } => self.metrics.inc("program.phase_markers"),
+            ObsEvent::CampaignStart { cells, .. } => {
+                self.metrics.set_gauge("campaign.cells", *cells as f64);
+            }
+            ObsEvent::CellCacheHit { .. } => self.metrics.inc("campaign.cache_hits"),
+            ObsEvent::CellStart { .. } => self.metrics.inc("campaign.cell_starts"),
+            ObsEvent::CellFinish { .. } => self.metrics.inc("campaign.cells_completed"),
+            ObsEvent::CellRetry { .. } => self.metrics.inc("campaign.retries"),
+            ObsEvent::CellPanic { .. } => self.metrics.inc("campaign.panics"),
             ObsEvent::RunEnd {
                 now,
                 app_misses,
@@ -201,6 +209,46 @@ mod tests {
         });
         assert_eq!(obs.metrics.gauge("engine.unmapped_miss_rate"), Some(0.25));
         assert_eq!(obs.metrics.gauge("engine.instr_cycle_share"), Some(0.25));
+    }
+
+    #[test]
+    fn campaign_events_derive_scheduler_metrics() {
+        let mut obs = Obs::new();
+        obs.emit(ObsEvent::CampaignStart {
+            name: "t".into(),
+            cells: 3,
+        });
+        obs.emit(ObsEvent::CellCacheHit {
+            index: 0,
+            hash: "aa".into(),
+        });
+        obs.emit(ObsEvent::CellStart {
+            index: 1,
+            hash: "bb".into(),
+            workload: "mgrid".into(),
+            label: "sample".into(),
+        });
+        obs.emit(ObsEvent::CellFinish {
+            index: 1,
+            hash: "bb".into(),
+        });
+        obs.emit(ObsEvent::CellRetry {
+            index: 2,
+            hash: "cc".into(),
+            attempt: 1,
+            error: "boom".into(),
+        });
+        obs.emit(ObsEvent::CellPanic {
+            index: 2,
+            hash: "cc".into(),
+            error: "boom".into(),
+        });
+        assert_eq!(obs.metrics.gauge("campaign.cells"), Some(3.0));
+        assert_eq!(obs.metrics.counter("campaign.cache_hits"), 1);
+        assert_eq!(obs.metrics.counter("campaign.cell_starts"), 1);
+        assert_eq!(obs.metrics.counter("campaign.cells_completed"), 1);
+        assert_eq!(obs.metrics.counter("campaign.retries"), 1);
+        assert_eq!(obs.metrics.counter("campaign.panics"), 1);
     }
 
     #[test]

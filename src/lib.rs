@@ -20,7 +20,11 @@
 //!   their estimates against ground truth,
 //! * [`obs`] — zero-simulated-cost observability: the typed event stream
 //!   behind `--trace-out`, the metrics registry behind `--metrics`, and
-//!   the hand-rolled JSON behind `--json`.
+//!   the hand-rolled JSON behind `--json`,
+//! * [`campaign`] — declarative experiment sweeps: a JSON-loadable spec
+//!   expands into a workload × technique matrix that runs on a bounded
+//!   worker pool with content-addressed result caching, per-cell panic
+//!   isolation and a resume manifest (the `campaign` binary drives it).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@
 //! println!("{}", report);
 //! ```
 
+pub use cachescope_campaign as campaign;
 pub use cachescope_core as core;
 pub use cachescope_hwpm as hwpm;
 pub use cachescope_objmap as objmap;

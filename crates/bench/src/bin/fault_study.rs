@@ -1,0 +1,320 @@
+//! Fault-injection study: how much PMU misbehaviour each measurement
+//! technique tolerates, and what hardening buys.
+//!
+//! Sweeps the four technique variants — miss sampling and n-way search,
+//! each plain and hardened — against seeded fault models from
+//! `cachescope_hwpm::FaultConfig`: interrupt skid, dropped overflow
+//! interrupts, their combination, and counter read jitter. Every cell is
+//! scored on top-3 rank inversions against the simulator's ground truth
+//! and on the largest absolute miss-share error, and the report's
+//! degraded flag shows whether a contaminated run admitted it.
+//!
+//! The fault seed is fixed, so the whole sweep is deterministic: a rerun
+//! is all cache hits and renders byte-identical artifacts (the CI
+//! determinism gate diffs exactly that).
+//!
+//! Writes `results/fault_study.{txt,json}` alongside the stdout report.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin fault_study
+//! [--smoke] [--jobs N]`
+
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
+use cachescope_campaign::{
+    parse_jobs_flag, view, CampaignRunner, CampaignSpec, CellOutcome, LimitSpec, TechniqueKind,
+    TechniqueSpec,
+};
+use cachescope_core::FaultConfig;
+use cachescope_obs::Json;
+use cachescope_workloads::spec::Scale;
+
+/// One fixed seed for every active fault model: the study is a
+/// deterministic function of its configuration.
+const FAULT_SEED: u64 = 1729;
+
+/// Top-N window the rank-inversion score looks at.
+const TOP_N: usize = 3;
+
+/// The fault levels swept against every technique. "none" is the inert
+/// default — those cells are byte-identical to fault-free runs and
+/// anchor each technique's intrinsic error.
+fn fault_levels() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("none", FaultConfig::default()),
+        (
+            "skid",
+            FaultConfig {
+                skid_depth: 8,
+                skid_rate: 1.0,
+                seed: FAULT_SEED,
+                ..Default::default()
+            },
+        ),
+        (
+            "drop",
+            FaultConfig {
+                drop_rate: 0.3,
+                seed: FAULT_SEED,
+                ..Default::default()
+            },
+        ),
+        (
+            "skid+drop",
+            FaultConfig {
+                skid_depth: 8,
+                skid_rate: 1.0,
+                drop_rate: 0.3,
+                seed: FAULT_SEED,
+                ..Default::default()
+            },
+        ),
+        (
+            "jitter",
+            FaultConfig {
+                read_jitter: 0.4,
+                seed: FAULT_SEED,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// The four technique variants under test, with per-level labels like
+/// `sample@skid+drop`.
+fn techniques(level: &str, faults: &FaultConfig, period: u64, base: u64) -> Vec<TechniqueSpec> {
+    let sampling = |hardened| TechniqueKind::Sampling {
+        period,
+        aggregate: false,
+        hardened,
+    };
+    let search = |hardened| TechniqueKind::Search {
+        interval: None,
+        logical_ways: None,
+        hardened,
+    };
+    vec![
+        TechniqueSpec::new(
+            format!("sample@{level}"),
+            sampling(false),
+            LimitSpec::whole_cycles(base),
+        )
+        .faults(faults.clone()),
+        TechniqueSpec::new(
+            format!("sample+h@{level}"),
+            sampling(true),
+            LimitSpec::whole_cycles(base),
+        )
+        .faults(faults.clone()),
+        TechniqueSpec::new(
+            format!("search@{level}"),
+            search(false),
+            LimitSpec::search_run(base),
+        )
+        .faults(faults.clone()),
+        TechniqueSpec::new(
+            format!("search+h@{level}"),
+            search(true),
+            LimitSpec::search_run(base),
+        )
+        .faults(faults.clone()),
+    ]
+}
+
+/// Top-N objects (by actual rank) whose estimated rank disagrees with
+/// their actual rank; a missing estimate counts as an inversion.
+fn top_n_inversions(outcome: &CellOutcome) -> u64 {
+    view(outcome)
+        .rows()
+        .iter()
+        .take(TOP_N)
+        .filter(|r| r.est_rank != Some(r.actual_rank))
+        .count() as u64
+}
+
+/// Objects the report flagged as degraded (measured under detected PMU
+/// faults; ranks untrusted).
+fn degraded_count(outcome: &CellOutcome) -> u64 {
+    outcome
+        .report
+        .get("degraded")
+        .and_then(Json::as_arr)
+        .map_or(0, |a| a.len() as u64)
+}
+
+struct Scored {
+    app: String,
+    technique: &'static str,
+    level: &'static str,
+    inversions: u64,
+    max_err_pct: f64,
+    degraded: u64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, apps, base, period): (Scale, &[&str], u64, u64) = if smoke {
+        (Scale::Test, &["mgrid"], 150_000, 300)
+    } else {
+        (Scale::Paper, &["mgrid", "swim", "applu"], 4_000_000, 5_000)
+    };
+
+    let mut spec = CampaignSpec::new(
+        if smoke {
+            "fault-study-smoke"
+        } else {
+            "fault-study"
+        },
+        scale,
+    )
+    .workloads(apps.iter().copied());
+    for (level, faults) in &fault_levels() {
+        for t in techniques(level, faults, period, base) {
+            spec = spec.technique(t);
+        }
+    }
+    let run = CampaignRunner::new()
+        .jobs(parse_jobs_flag(std::env::args()))
+        .run(&spec)
+        .expect("fault study campaign spec is valid");
+    if !run.is_complete() {
+        for f in &run.failures {
+            eprintln!("error: cell {} failed: {}", f.cell.describe(), f.error);
+        }
+        std::process::exit(1);
+    }
+
+    let technique_names = ["sample", "sample+h", "search", "search+h"];
+    let mut scored: Vec<Scored> = Vec::new();
+    for app in apps {
+        for (level, _) in &fault_levels() {
+            for t in technique_names {
+                let outcome = run
+                    .outcome(app, &format!("{t}@{level}"))
+                    .expect("every swept cell ran");
+                scored.push(Scored {
+                    app: app.to_string(),
+                    technique: t,
+                    level,
+                    inversions: top_n_inversions(outcome),
+                    max_err_pct: view(outcome).max_abs_error().unwrap_or(0.0),
+                    degraded: degraded_count(outcome),
+                });
+            }
+        }
+    }
+
+    let mut out = ResultsFile::new("fault_study");
+    out.line("Fault-injection study: technique robustness under PMU faults");
+    out.line(format!(
+        "(top-{TOP_N} rank inversions vs ground truth; max |actual-est| share;\n\
+         degraded = objects the report itself flagged as untrusted)\n"
+    ));
+    for app in apps {
+        out.line(format!("== {app} =="));
+        out.line(format!(
+            "{:<12} {:<12} {:>9} {:>10} {:>9}",
+            "technique", "faults", "top3-inv", "max-err%", "degraded"
+        ));
+        for t in technique_names {
+            for s in scored.iter().filter(|s| s.app == *app && s.technique == t) {
+                out.line(format!(
+                    "{:<12} {:<12} {:>9} {:>10.2} {:>9}",
+                    s.technique, s.level, s.inversions, s.max_err_pct, s.degraded
+                ));
+            }
+        }
+        out.line("");
+    }
+
+    // Headline: does the study demonstrate the robustness claim? For each
+    // plain technique, the faulted cell that degrades it furthest past its
+    // own fault-free baseline; for the hardened twin under the same
+    // faults, the ranking either recovered (no worse than the hardened
+    // fault-free baseline) or the report flagged the contamination.
+    let lookup = |t: &str, app: &str, level: &str| -> &Scored {
+        scored
+            .iter()
+            .find(|x| x.technique == t && x.app == app && x.level == level)
+            .expect("every swept cell scored")
+    };
+    let worst = |t: &str| {
+        scored
+            .iter()
+            .filter(|s| s.technique == t && s.level != "none")
+            .max_by(|a, b| {
+                let base_a = lookup(t, &a.app, "none");
+                let base_b = lookup(t, &b.app, "none");
+                let da = (a.inversions as i64 - base_a.inversions as i64) as f64;
+                let db = (b.inversions as i64 - base_b.inversions as i64) as f64;
+                (da, a.max_err_pct - base_a.max_err_pct)
+                    .partial_cmp(&(db, b.max_err_pct - base_b.max_err_pct))
+                    .unwrap()
+            })
+            .expect("faulted cells exist")
+    };
+    let mut verdict_rows = Vec::new();
+    for (plain, hardened) in [("sample", "sample+h"), ("search", "search+h")] {
+        let w = worst(plain);
+        let base = lookup(plain, &w.app, "none");
+        let h = lookup(hardened, &w.app, w.level);
+        let h_base = lookup(hardened, &w.app, "none");
+        let recovered = h.inversions <= h_base.inversions;
+        let flagged = h.degraded > 0;
+        let silently_wrong = !flagged && !recovered;
+        out.line(format!(
+            "{plain:<8} worst case: {}@{} -> {} top-{TOP_N} inversions (fault-free: {}), \
+             {:.2}% max error (fault-free: {:.2}%)",
+            w.app, w.level, w.inversions, base.inversions, w.max_err_pct, base.max_err_pct
+        ));
+        out.line(format!(
+            "{hardened:<8} same faults: {} inversions, {} degraded -> {}",
+            h.inversions,
+            h.degraded,
+            if silently_wrong {
+                "SILENTLY WRONG"
+            } else if flagged {
+                "contamination flagged"
+            } else {
+                "ranking recovered"
+            }
+        ));
+        verdict_rows.push(Json::obj(vec![
+            ("technique", Json::str(plain)),
+            ("worst_app", Json::str(w.app.clone())),
+            ("worst_level", Json::str(w.level)),
+            ("plain_inversions", Json::Uint(w.inversions)),
+            ("plain_baseline_inversions", Json::Uint(base.inversions)),
+            ("plain_max_err_pct", Json::Float(w.max_err_pct)),
+            (
+                "hardened_baseline_inversions",
+                Json::Uint(h_base.inversions),
+            ),
+            ("hardened_inversions", Json::Uint(h.inversions)),
+            ("hardened_degraded", Json::Uint(h.degraded)),
+            ("silently_wrong", Json::Bool(silently_wrong)),
+        ]));
+    }
+
+    let cells = scored
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("app", Json::str(s.app.clone())),
+                ("technique", Json::str(s.technique)),
+                ("faults", Json::str(s.level)),
+                ("top3_inversions", Json::Uint(s.inversions)),
+                ("max_err_pct", Json::Float(s.max_err_pct)),
+                ("degraded", Json::Uint(s.degraded)),
+            ])
+        })
+        .collect();
+    let json = Json::obj(vec![
+        ("study", Json::str("fault_study")),
+        ("smoke", Json::Bool(smoke)),
+        ("fault_seed", Json::Uint(FAULT_SEED)),
+        ("base_misses", Json::Uint(base)),
+        ("sampling_period", Json::Uint(period)),
+        ("cells", Json::Arr(cells)),
+        ("verdicts", Json::Arr(verdict_rows)),
+    ]);
+    save_or_warn(&out, &json);
+}

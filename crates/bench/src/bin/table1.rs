@@ -38,6 +38,7 @@ fn main() {
             TechniqueKind::Sampling {
                 period: PAPER_SAMPLING_PERIOD,
                 aggregate: false,
+                hardened: false,
             },
             LimitSpec::whole_cycles(sample_misses),
         ))
@@ -46,6 +47,7 @@ fn main() {
             TechniqueKind::Search {
                 interval: None,
                 logical_ways: None,
+                hardened: false,
             },
             LimitSpec::search_run(search_misses),
         ));

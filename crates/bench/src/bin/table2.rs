@@ -28,6 +28,7 @@ fn main() {
     let search = TechniqueKind::Search {
         interval: None,
         logical_ways: None,
+        hardened: false,
     };
     let spec = CampaignSpec::new(if quick { "table2-quick" } else { "table2" }, Scale::Paper)
         .workloads(registry::SPEC95)

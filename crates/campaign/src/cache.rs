@@ -18,6 +18,21 @@ use crate::cell::Cell;
 /// Default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";
 
+/// Outcome of a classified cache lookup ([`ResultCache::load_classified`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// Entry present, version-checked, and verified against the cell.
+    Hit(Json),
+    /// No entry file exists for this cell.
+    Miss,
+    /// An entry file exists but is unreadable, truncated, unparseable,
+    /// the wrong version, or stores a different cell. Handled exactly
+    /// like a miss — the cell re-simulates and the store overwrites the
+    /// bad file — but reported distinctly so a campaign can surface
+    /// cache corruption instead of silently absorbing it.
+    Corrupt,
+}
+
 /// A directory of content-addressed cell results.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
@@ -49,10 +64,26 @@ impl ResultCache {
     /// cell matches. `None` on any mismatch, missing file, or parse
     /// failure — a bad entry is a miss, never an error.
     pub fn load(&self, cell: &Cell) -> Option<Json> {
-        let text = std::fs::read_to_string(self.entry_path(&cell.hash())).ok()?;
-        let entry = json::parse(&text).ok()?;
+        match self.load_classified(cell) {
+            CacheLookup::Hit(report) => Some(report),
+            CacheLookup::Miss | CacheLookup::Corrupt => None,
+        }
+    }
+
+    /// [`ResultCache::load`], but distinguishing "no entry" from "an
+    /// entry existed and was bad" so callers can report corruption.
+    pub fn load_classified(&self, cell: &Cell) -> CacheLookup {
+        let path = self.entry_path(&cell.hash());
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(_) => return CacheLookup::Corrupt,
+        };
+        let Ok(entry) = json::parse(&text) else {
+            return CacheLookup::Corrupt;
+        };
         if entry.get("v").and_then(Json::as_u64) != Some(1) {
-            return None;
+            return CacheLookup::Corrupt;
         }
         // Compare *rendered* canonical forms, not value trees: an
         // integral float (e.g. a 5.0 threshold) renders as "5" and parses
@@ -60,9 +91,12 @@ impl ResultCache {
         // containing one as a permanent miss. Rendering is stable across
         // a parse round-trip; tree equality is not.
         if entry.get("cell").map(Json::render) != Some(cell.canonical_json().render()) {
-            return None;
+            return CacheLookup::Corrupt;
         }
-        entry.get("report").cloned()
+        match entry.get("report") {
+            Some(report) => CacheLookup::Hit(report.clone()),
+            None => CacheLookup::Corrupt,
+        }
     }
 
     /// Store `report` for `cell` atomically (temp file + rename).
@@ -103,6 +137,7 @@ mod tests {
             technique: TechniqueConfig::sampling(period),
             counters: 10,
             limit: RunLimit::AppMisses(10_000),
+            faults: Default::default(),
         }
     }
 
@@ -163,6 +198,37 @@ mod tests {
         ]);
         std::fs::write(cache.entry_path(&c.hash()), wrong.render()).unwrap();
         assert!(cache.load(&c).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn classified_lookup_separates_missing_from_planted_garbage() {
+        let dir = temp_dir("classified");
+        let cache = ResultCache::new(&dir);
+        let c = cell(1_000);
+        // No file at all: a plain miss.
+        assert_eq!(cache.load_classified(&c), CacheLookup::Miss);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Plant garbage of every flavour; each classifies as corrupt.
+        for garbage in [
+            "",                   // truncated to nothing
+            "{\"v\":1,\"cell\":", // truncated mid-entry
+            "not json at all",    // not JSON
+            "{\"v\":2}",          // wrong version
+            "{\"v\":1}",          // missing cell and report
+        ] {
+            std::fs::write(cache.entry_path(&c.hash()), garbage).unwrap();
+            assert_eq!(
+                cache.load_classified(&c),
+                CacheLookup::Corrupt,
+                "garbage {garbage:?} must classify as corrupt"
+            );
+            assert!(cache.load(&c).is_none(), "corrupt degrades to a miss");
+        }
+        // A fresh store overwrites the garbage and the entry hits again.
+        let report = Json::obj(vec![("app", Json::str("mgrid"))]);
+        cache.store(&c, &report).unwrap();
+        assert_eq!(cache.load_classified(&c), CacheLookup::Hit(report));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

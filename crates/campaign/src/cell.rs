@@ -1,7 +1,7 @@
 //! A cell: one fully-resolved simulation in a campaign's sweep matrix.
 
 use cachescope_core::export::report_to_json;
-use cachescope_core::{Experiment, TechniqueConfig};
+use cachescope_core::{Experiment, FaultConfig, TechniqueConfig};
 use cachescope_obs::Json;
 use cachescope_sim::RunLimit;
 use cachescope_workloads::spec::Scale;
@@ -27,6 +27,8 @@ pub struct Cell {
     pub technique: TechniqueConfig,
     pub counters: usize,
     pub limit: RunLimit,
+    /// PMU fault injection for this cell; inert by default.
+    pub faults: FaultConfig,
 }
 
 fn limit_json(limit: RunLimit) -> Json {
@@ -50,7 +52,7 @@ impl Cell {
     /// technique column or reordering the matrix must not invalidate the
     /// cache, while any simulation-affecting change must.
     pub fn canonical_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("v", Json::Uint(1)),
             ("workload", Json::str(self.workload.clone())),
             (
@@ -63,7 +65,13 @@ impl Cell {
             ("technique", self.technique.to_json()),
             ("counters", Json::Uint(self.counters as u64)),
             ("limit", limit_json(self.limit)),
-        ])
+        ];
+        // Inert faults render nothing: every pre-fault-layer cell keeps
+        // its exact canonical bytes, so existing caches stay valid.
+        if !self.faults.is_inert() {
+            fields.push(("faults", crate::spec::fault_config_to_json(&self.faults)));
+        }
+        Json::obj(fields)
     }
 
     /// Content-addressed cache key: stable hash of the canonical JSON.
@@ -85,6 +93,7 @@ impl Cell {
             .technique(self.technique.clone())
             .counters(self.counters)
             .limit(self.limit)
+            .faults(self.faults.clone())
             .run();
         Ok(report_to_json(&report))
     }
@@ -104,6 +113,7 @@ mod tests {
             technique: TechniqueConfig::sampling(1_000),
             counters: 10,
             limit: RunLimit::AppMisses(50_000),
+            faults: FaultConfig::default(),
         }
     }
 
@@ -131,6 +141,30 @@ mod tests {
         let mut e = cell();
         e.workload = "applu".to_string();
         assert_ne!(a.hash(), e.hash());
+    }
+
+    #[test]
+    fn inert_faults_leave_the_hash_unchanged() {
+        // An all-zero fault config must not invalidate pre-fault-layer
+        // caches: only the seed differs, and the seed alone is inert.
+        let a = cell();
+        let mut b = cell();
+        b.faults.seed = 42;
+        assert_eq!(a.hash(), b.hash());
+        assert!(!a.canonical_json().render().contains("faults"));
+    }
+
+    #[test]
+    fn active_faults_change_the_hash() {
+        let a = cell();
+        let mut b = cell();
+        b.faults.drop_rate = 0.1;
+        assert_ne!(a.hash(), b.hash());
+        // Same faults, different seed: distinct cache identities.
+        let mut c = cell();
+        c.faults.drop_rate = 0.1;
+        c.faults.seed = 9;
+        assert_ne!(b.hash(), c.hash());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::Mutex;
 
 use cachescope_obs::{Json, Obs, ObsEvent};
 
-use crate::cache::{ResultCache, DEFAULT_CACHE_DIR};
+use crate::cache::{CacheLookup, ResultCache, DEFAULT_CACHE_DIR};
 use crate::cell::Cell;
 use crate::manifest::{CellStatus, Manifest, DEFAULT_MANIFEST_DIR};
 use crate::pool::{panic_message, run_isolated, worker_cap};
@@ -179,9 +179,22 @@ impl CampaignRunner {
         let mut settled: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
         let mut to_run: Vec<usize> = Vec::new();
         for (i, cell) in cells.iter().enumerate() {
-            let cached = if self.force { None } else { cache.load(cell) };
+            let cached = if self.force {
+                CacheLookup::Miss
+            } else {
+                cache.load_classified(cell)
+            };
+            if cached == CacheLookup::Corrupt {
+                // Treated as a miss (re-simulate, store overwrites the
+                // bad file), but surfaced so campaigns never silently
+                // absorb a corrupted cache.
+                obs.lock().unwrap().emit(ObsEvent::CellCacheCorrupt {
+                    index: cell.index as u64,
+                    hash: hashes[i].clone(),
+                });
+            }
             match cached {
-                Some(report) => {
+                CacheLookup::Hit(report) => {
                     obs.lock().unwrap().emit(ObsEvent::CellCacheHit {
                         index: cell.index as u64,
                         hash: hashes[i].clone(),
@@ -198,7 +211,7 @@ impl CampaignRunner {
                         report,
                     });
                 }
-                None => to_run.push(i),
+                CacheLookup::Miss | CacheLookup::Corrupt => to_run.push(i),
             }
         }
         self.checkpoint(&manifest);

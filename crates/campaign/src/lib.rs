@@ -35,12 +35,12 @@ pub mod registry;
 pub mod spec;
 
 pub use aggregate::{by_workload, view, ReportView, RowView};
-pub use cache::ResultCache;
+pub use cache::{CacheLookup, ResultCache};
 pub use cell::Cell;
 pub use engine::{CampaignRun, CampaignRunner, CellFailure, CellOutcome};
 pub use manifest::{CellStatus, Manifest};
 pub use pool::{parse_jobs_flag, run_isolated, worker_cap, JOBS_ENV};
 pub use spec::{
-    search_config_auto, search_run_misses, whole_cycles, CampaignSpec, LimitSpec, RoundMode,
-    TechniqueKind, TechniqueSpec,
+    fault_config_from_json, fault_config_to_json, search_config_auto, search_run_misses,
+    whole_cycles, CampaignSpec, LimitSpec, RoundMode, TechniqueKind, TechniqueSpec,
 };

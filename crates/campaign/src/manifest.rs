@@ -249,6 +249,7 @@ mod tests {
                 technique: TechniqueConfig::sampling(1_000 + i as u64),
                 counters: 10,
                 limit: RunLimit::AppMisses(10_000),
+                faults: Default::default(),
             })
             .collect()
     }

@@ -6,7 +6,7 @@
 //! rounding for run lengths, su2cor's longer search interval — at
 //! expansion time so the JSON stays workload-agnostic.
 
-use cachescope_core::{SamplerConfig, SearchConfig, TechniqueConfig};
+use cachescope_core::{FaultConfig, SamplerConfig, SearchConfig, TechniqueConfig};
 use cachescope_obs::Json;
 use cachescope_sim::RunLimit;
 use cachescope_workloads::spec::{self, Scale};
@@ -151,6 +151,63 @@ pub fn search_run_misses(app_cycle: u64, base: u64) -> u64 {
     whole_cycles(base, app_cycle).max(2 * app_cycle)
 }
 
+/// Hardened-search defaults: region counts may exceed the global total
+/// by 5% before an interval is treated as contaminated, contaminated
+/// intervals are re-measured up to three times, and a single region
+/// counting more than the whole interval total is always rejected.
+pub const HARDENED_CONSISTENCY_TOLERANCE: f64 = 0.05;
+/// See [`HARDENED_CONSISTENCY_TOLERANCE`].
+pub const HARDENED_MAX_REMEASURE: u32 = 3;
+/// See [`HARDENED_CONSISTENCY_TOLERANCE`].
+pub const HARDENED_OUTLIER_PCT: f64 = 100.0;
+
+/// Render a [`FaultConfig`] as canonical JSON: every knob in a fixed key
+/// order, so equal configurations render to identical bytes (the cache
+/// identity depends on this).
+pub fn fault_config_to_json(f: &FaultConfig) -> Json {
+    Json::obj(vec![
+        ("skid_depth", Json::Uint(f.skid_depth as u64)),
+        ("skid_rate", Json::Float(f.skid_rate)),
+        ("drop_rate", Json::Float(f.drop_rate)),
+        ("spurious_rate", Json::Float(f.spurious_rate)),
+        ("wrap_bits", Json::Uint(u64::from(f.wrap_bits))),
+        ("delivery_delay_cycles", Json::Uint(f.delivery_delay_cycles)),
+        ("read_jitter", Json::Float(f.read_jitter)),
+        ("seed", Json::Uint(f.seed)),
+    ])
+}
+
+/// Parse a [`FaultConfig`] from its JSON form; absent keys keep their
+/// (inert) defaults.
+pub fn fault_config_from_json(v: &Json) -> Result<FaultConfig, String> {
+    let mut f = FaultConfig::default();
+    if let Some(n) = v.get("skid_depth").and_then(Json::as_u64) {
+        f.skid_depth = n as usize;
+    }
+    if let Some(x) = v.get("skid_rate").and_then(Json::as_f64) {
+        f.skid_rate = x;
+    }
+    if let Some(x) = v.get("drop_rate").and_then(Json::as_f64) {
+        f.drop_rate = x;
+    }
+    if let Some(x) = v.get("spurious_rate").and_then(Json::as_f64) {
+        f.spurious_rate = x;
+    }
+    if let Some(n) = v.get("wrap_bits").and_then(Json::as_u64) {
+        f.wrap_bits = n as u32;
+    }
+    if let Some(n) = v.get("delivery_delay_cycles").and_then(Json::as_u64) {
+        f.delivery_delay_cycles = n;
+    }
+    if let Some(x) = v.get("read_jitter").and_then(Json::as_f64) {
+        f.read_jitter = x;
+    }
+    if let Some(n) = v.get("seed").and_then(Json::as_u64) {
+        f.seed = n;
+    }
+    Ok(f)
+}
+
 /// The n-way search configuration for an application. su2cor needs the
 /// longer interval documented at [`spec::su2cor::SEARCH_INTERVAL`]; every
 /// other application uses the default.
@@ -172,15 +229,24 @@ pub fn search_config_auto(app: &str) -> SearchConfig {
 pub enum TechniqueKind {
     /// Baseline: no instrumentation.
     None,
-    /// Fixed-period miss sampling.
-    Sampling { period: u64, aggregate: bool },
+    /// Fixed-period miss sampling. `hardened` enables the sampler's
+    /// fault-tolerant attribution (skid/spurious rejection, dropped-
+    /// interval accounting).
+    Sampling {
+        period: u64,
+        aggregate: bool,
+        hardened: bool,
+    },
     /// Jittered sampling; expands once per spec seed.
     Jittered { base: u64, spread: u64 },
     /// The n-way search. `interval: None` means "auto": the default
-    /// interval, except su2cor's documented longer one.
+    /// interval, except su2cor's documented longer one. `hardened`
+    /// enables the consistency/outlier checks with the
+    /// [`HARDENED_CONSISTENCY_TOLERANCE`] defaults.
     Search {
         interval: Option<u64>,
         logical_ways: Option<usize>,
+        hardened: bool,
     },
 }
 
@@ -188,11 +254,23 @@ impl TechniqueKind {
     fn to_json(&self) -> Json {
         match self {
             TechniqueKind::None => Json::obj(vec![("kind", Json::str("none"))]),
-            TechniqueKind::Sampling { period, aggregate } => Json::obj(vec![
-                ("kind", Json::str("sampling")),
-                ("period", Json::Uint(*period)),
-                ("aggregate", Json::Bool(*aggregate)),
-            ]),
+            TechniqueKind::Sampling {
+                period,
+                aggregate,
+                hardened,
+            } => {
+                let mut fields = vec![
+                    ("kind", Json::str("sampling")),
+                    ("period", Json::Uint(*period)),
+                    ("aggregate", Json::Bool(*aggregate)),
+                ];
+                // Only rendered when set: pre-hardening specs keep their
+                // exact bytes (and cache identities).
+                if *hardened {
+                    fields.push(("hardened", Json::Bool(true)));
+                }
+                Json::obj(fields)
+            }
             TechniqueKind::Jittered { base, spread } => Json::obj(vec![
                 ("kind", Json::str("jittered")),
                 ("base", Json::Uint(*base)),
@@ -201,14 +279,21 @@ impl TechniqueKind {
             TechniqueKind::Search {
                 interval,
                 logical_ways,
-            } => Json::obj(vec![
-                ("kind", Json::str("search")),
-                ("interval", interval.map_or(Json::Null, Json::Uint)),
-                (
-                    "logical_ways",
-                    logical_ways.map_or(Json::Null, |w| Json::Uint(w as u64)),
-                ),
-            ]),
+                hardened,
+            } => {
+                let mut fields = vec![
+                    ("kind", Json::str("search")),
+                    ("interval", interval.map_or(Json::Null, Json::Uint)),
+                    (
+                        "logical_ways",
+                        logical_ways.map_or(Json::Null, |w| Json::Uint(w as u64)),
+                    ),
+                ];
+                if *hardened {
+                    fields.push(("hardened", Json::Bool(true)));
+                }
+                Json::obj(fields)
+            }
         }
     }
 
@@ -225,6 +310,7 @@ impl TechniqueKind {
                     .and_then(Json::as_u64)
                     .ok_or("sampling technique missing 'period'")?,
                 aggregate: matches!(v.get("aggregate"), Some(Json::Bool(true))),
+                hardened: matches!(v.get("hardened"), Some(Json::Bool(true))),
             }),
             "jittered" => Ok(TechniqueKind::Jittered {
                 base: v
@@ -242,6 +328,7 @@ impl TechniqueKind {
                     .get("logical_ways")
                     .and_then(Json::as_u64)
                     .map(|w| w as usize),
+                hardened: matches!(v.get("hardened"), Some(Json::Bool(true))),
             }),
             other => Err(format!("unknown technique kind '{other}'")),
         }
@@ -256,9 +343,14 @@ impl TechniqueKind {
     fn resolve(&self, workload: &str, seed: u64) -> TechniqueConfig {
         match *self {
             TechniqueKind::None => TechniqueConfig::None,
-            TechniqueKind::Sampling { period, aggregate } => {
+            TechniqueKind::Sampling {
+                period,
+                aggregate,
+                hardened,
+            } => {
                 let mut cfg = SamplerConfig::fixed(period);
                 cfg.aggregate_heap_names = aggregate;
+                cfg.hardened = hardened;
                 TechniqueConfig::Sampling(cfg)
             }
             TechniqueKind::Jittered { base, spread } => {
@@ -267,12 +359,18 @@ impl TechniqueKind {
             TechniqueKind::Search {
                 interval,
                 logical_ways,
+                hardened,
             } => {
                 let mut cfg = search_config_auto(workload);
                 if let Some(i) = interval {
                     cfg.interval = i;
                 }
                 cfg.logical_ways = logical_ways;
+                if hardened {
+                    cfg.consistency_tolerance = Some(HARDENED_CONSISTENCY_TOLERANCE);
+                    cfg.max_remeasure = HARDENED_MAX_REMEASURE;
+                    cfg.outlier_pct = Some(HARDENED_OUTLIER_PCT);
+                }
                 TechniqueConfig::Search(cfg)
             }
         }
@@ -290,6 +388,9 @@ pub struct TechniqueSpec {
     /// PMU region counters (n for the n-way search).
     pub counters: usize,
     pub limit: LimitSpec,
+    /// PMU fault injection for this column. Inert by default (no fault
+    /// model is built at all).
+    pub faults: FaultConfig,
 }
 
 impl TechniqueSpec {
@@ -300,6 +401,7 @@ impl TechniqueSpec {
             kind,
             counters: 10,
             limit,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -309,13 +411,25 @@ impl TechniqueSpec {
         self
     }
 
+    /// Inject PMU faults into every cell of this column.
+    pub fn faults(mut self, f: FaultConfig) -> Self {
+        self.faults = f;
+        self
+    }
+
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("label", Json::str(self.label.clone())),
             ("technique", self.kind.to_json()),
             ("counters", Json::Uint(self.counters as u64)),
             ("limit", self.limit.to_json()),
-        ])
+        ];
+        // Only rendered when faults are actually injected, so
+        // pre-fault-layer spec files keep their exact bytes.
+        if !self.faults.is_inert() {
+            fields.push(("faults", fault_config_to_json(&self.faults)));
+        }
+        Json::obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -334,6 +448,10 @@ impl TechniqueSpec {
                 .and_then(Json::as_u64)
                 .map_or(10, |n| n as usize),
             limit: LimitSpec::from_json(v.get("limit").ok_or("technique spec missing 'limit'")?)?,
+            faults: match v.get("faults") {
+                Some(f) => fault_config_from_json(f)?,
+                None => FaultConfig::default(),
+            },
         })
     }
 }
@@ -520,6 +638,7 @@ impl CampaignSpec {
                         technique: t.kind.resolve(workload, seed),
                         counters: t.counters,
                         limit: t.limit.resolve(workload, self.scale),
+                        faults: t.faults.clone(),
                     });
                 }
             }
@@ -555,6 +674,7 @@ mod tests {
                     TechniqueKind::Search {
                         interval: None,
                         logical_ways: None,
+                        hardened: false,
                     },
                     LimitSpec::search_run(100_000),
                 )
@@ -567,6 +687,70 @@ mod tests {
         let spec = sample_spec();
         let parsed = CampaignSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn hardened_and_faulted_specs_round_trip() {
+        let spec = CampaignSpec::new("faulty", Scale::Test)
+            .workload("mgrid")
+            .technique(
+                TechniqueSpec::new(
+                    "hard-sample",
+                    TechniqueKind::Sampling {
+                        period: 1_000,
+                        aggregate: false,
+                        hardened: true,
+                    },
+                    LimitSpec::misses(50_000),
+                )
+                .faults(FaultConfig {
+                    drop_rate: 0.2,
+                    skid_depth: 8,
+                    skid_rate: 0.5,
+                    seed: 3,
+                    ..Default::default()
+                }),
+            )
+            .technique(TechniqueSpec::new(
+                "hard-search",
+                TechniqueKind::Search {
+                    interval: None,
+                    logical_ways: None,
+                    hardened: true,
+                },
+                LimitSpec::search_run(100_000),
+            ));
+        let parsed = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        // Hardened kinds resolve to hardened configs.
+        let cells = spec.expand().unwrap();
+        match &cells[0].technique {
+            TechniqueConfig::Sampling(cfg) => assert!(cfg.hardened),
+            other => panic!("expected sampling, got {other:?}"),
+        }
+        match &cells[1].technique {
+            TechniqueConfig::Search(cfg) => {
+                assert_eq!(
+                    cfg.consistency_tolerance,
+                    Some(HARDENED_CONSISTENCY_TOLERANCE)
+                );
+                assert_eq!(cfg.max_remeasure, HARDENED_MAX_REMEASURE);
+            }
+            other => panic!("expected search, got {other:?}"),
+        }
+        // The faulted column carries its faults into the cell identity.
+        assert!(!cells[0].faults.is_inert());
+        assert!(cells[0].canonical_json().render().contains("drop_rate"));
+        assert!(cells[1].faults.is_inert());
+    }
+
+    #[test]
+    fn unhardened_specs_render_without_hardening_keys() {
+        // Pre-hardening spec files (and their cache identities) must be
+        // byte-stable: no new keys appear unless opted into.
+        let rendered = sample_spec().to_json().render();
+        assert!(!rendered.contains("hardened"), "{rendered}");
+        assert!(!rendered.contains("faults"), "{rendered}");
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn small_spec(name: &str) -> CampaignSpec {
             TechniqueKind::Sampling {
                 period: 500,
                 aggregate: false,
+                hardened: false,
             },
             LimitSpec::misses(10_000),
         ))
@@ -118,6 +119,38 @@ fn interrupted_campaign_resumes_only_missing_cells() {
         .find(|o| !o.cache_hit)
         .expect("one cell re-simulated");
     assert_eq!(rerun.hash, victim.hash);
+}
+
+#[test]
+fn corrupt_cache_entry_resimulates_and_is_reported() {
+    let dirs = TempDirs::new("corrupt");
+    let spec = small_spec("corrupt");
+    let first = dirs.runner().run(&spec).unwrap();
+    assert!(first.is_complete());
+
+    // Vandalise one cell's cache entry (a truncated write, a bad disk).
+    let victim = &first.outcomes[1];
+    let cache = ResultCache::new(&dirs.cache);
+    std::fs::write(cache.entry_path(&victim.hash), "{\"v\":1,\"cell\":").unwrap();
+
+    // The next run re-simulates exactly that cell, reports the
+    // corruption distinctly from an ordinary miss, and heals the entry.
+    let second = dirs.runner().run(&spec).unwrap();
+    assert!(second.is_complete());
+    assert_eq!(second.obs.metrics.counter("campaign.cache_corrupt"), 1);
+    assert_eq!(second.obs.metrics.counter("campaign.cell_starts"), 1);
+    assert_eq!(second.obs.metrics.counter("campaign.cache_hits"), 3);
+    let rerun = second
+        .outcomes
+        .iter()
+        .find(|o| !o.cache_hit)
+        .expect("the corrupted cell re-simulated");
+    assert_eq!(rerun.hash, victim.hash);
+    assert_eq!(rerun.report.render(), victim.report.render());
+
+    let third = dirs.runner().run(&spec).unwrap();
+    assert_eq!(third.obs.metrics.counter("campaign.cache_corrupt"), 0);
+    assert_eq!(third.obs.metrics.counter("campaign.cache_hits"), 4);
 }
 
 #[test]

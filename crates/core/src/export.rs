@@ -151,6 +151,21 @@ pub fn report_to_json(report: &ExperimentReport) -> Json {
         ("rows", Json::Arr(rows)),
         ("costs", costs),
     ];
+    if !report.technique.degraded.is_empty() {
+        // Absent (not null/empty) for clean runs, so pre-fault-layer
+        // exports stay byte-identical and consumers can feature-test.
+        fields.push((
+            "degraded",
+            Json::Arr(
+                report
+                    .technique
+                    .degraded
+                    .iter()
+                    .map(|n| Json::str(n.clone()))
+                    .collect(),
+            ),
+        ));
+    }
     if let Some(log) = &report.search_log {
         fields.push((
             "search_log",
@@ -215,6 +230,7 @@ mod tests {
             }],
             label: "sampling(10)".into(),
             unattributed_weight: 0,
+            degraded: Vec::new(),
         };
         ExperimentReport::new("toy".into(), stats, tech, 0.01)
     }
@@ -322,10 +338,23 @@ mod tests {
         // The quoted-CSV pathological name survives JSON escaping too.
         assert!(rendered.contains("A,weird\\\"name"), "{rendered}");
 
-        // No search log / timeline on this run: the keys are absent, not
-        // null, so consumers can feature-test.
+        // No search log / timeline / degraded flags on this run: the
+        // keys are absent, not null, so consumers can feature-test.
         assert!(parsed.get("search_log").is_none());
         assert!(parsed.get("timeline").is_none());
+        assert!(parsed.get("degraded").is_none());
+    }
+
+    #[test]
+    fn json_report_lists_degraded_objects_when_flagged() {
+        let mut report = sample_report();
+        report.technique.degraded = vec!["B".into()];
+        let rendered = report_to_json(&report).render();
+        let parsed = json::parse(&rendered).unwrap();
+        let degraded = parsed.get("degraded").expect("degraded exported");
+        let arr = degraded.as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].as_str(), Some("B"));
     }
 
     #[test]

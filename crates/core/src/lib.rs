@@ -34,6 +34,7 @@ pub mod sampler;
 pub mod search;
 pub mod technique;
 
+pub use cachescope_hwpm::{FaultConfig, FaultTally};
 pub use results::{Estimate, ExperimentReport, ReportRow, TechniqueReport};
 pub use runner::Experiment;
 pub use sampler::{Sampler, SamplerConfig, SamplingPeriod};

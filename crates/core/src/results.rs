@@ -27,6 +27,12 @@ pub struct TechniqueReport {
     /// Evidence that fell outside every identifiable object (stack
     /// frames and other unattributable memory).
     pub unattributed_weight: u64,
+    /// Objects whose estimates a hardened technique measured under
+    /// contaminated intervals (PMU faults detected but not fully
+    /// recovered from). Empty for fault-free runs and for unhardened
+    /// techniques: a name here means "this rank may be wrong and the
+    /// technique knows it" rather than a silently wrong confident rank.
+    pub degraded: Vec<String>,
 }
 
 impl TechniqueReport {
@@ -36,6 +42,11 @@ impl TechniqueReport {
             .iter()
             .position(|e| e.name == name)
             .map(|i| (i + 1, self.estimates[i].pct))
+    }
+
+    /// Was `name` flagged as degraded (measured under detected faults)?
+    pub fn is_degraded(&self, name: &str) -> bool {
+        self.degraded.iter().any(|d| d == name)
     }
 }
 
@@ -181,12 +192,19 @@ impl fmt::Display for ExperimentReport {
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<28} {:>6} {:>8.1}   {:>6} {:>8}",
+                "{:<28} {:>6} {:>8.1}   {:>6} {:>8}{}",
                 r.name,
                 r.actual_rank,
                 r.actual_pct,
                 r.est_rank.map_or_else(|| "-".into(), |v| v.to_string()),
                 r.est_pct.map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+                // Degraded marker only when flagged, so fault-free output
+                // is byte-identical to the pre-fault-layer format.
+                if self.technique.is_degraded(&r.name) {
+                    " ?"
+                } else {
+                    ""
+                },
             )?;
         }
         Ok(())
@@ -238,6 +256,7 @@ mod tests {
                 .collect(),
             label: "test".into(),
             unattributed_weight: 0,
+            degraded: Vec::new(),
         }
     }
 

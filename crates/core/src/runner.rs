@@ -5,7 +5,8 @@
 //! run a workload for a bounded amount of work, and get back a table of
 //! actual vs estimated per-object miss shares plus full cost accounting.
 
-use cachescope_hwpm::PmuConfig;
+use cachescope_hwpm::{FaultConfig, PmuConfig};
+use cachescope_obs::ObsEvent;
 use cachescope_sim::{
     CacheConfig, Engine, Handler, NullHandler, Program, RunLimit, RunStats, SimConfig,
     TimelineConfig,
@@ -37,6 +38,7 @@ pub struct Experiment<P: Program> {
     counters: usize,
     limit: RunLimit,
     timeline: Option<TimelineConfig>,
+    faults: FaultConfig,
     min_pct: f64,
 }
 
@@ -53,6 +55,7 @@ impl<P: Program> Experiment<P> {
             counters: 10,
             limit: RunLimit::AppMisses(1_000_000),
             timeline: None,
+            faults: FaultConfig::default(),
             min_pct: 0.01,
         }
     }
@@ -95,6 +98,15 @@ impl<P: Program> Experiment<P> {
         self
     }
 
+    /// Inject PMU measurement faults (skid, dropped/spurious overflows,
+    /// wraparound, delivery delay, read jitter). The default
+    /// [`FaultConfig`] is inert: the PMU builds no fault model at all
+    /// and behaves bit-identically to a fault-free machine.
+    pub fn faults(mut self, f: FaultConfig) -> Self {
+        self.faults = f;
+        self
+    }
+
     /// Report filter: omit objects below this percentage of actual misses
     /// (the paper uses 0.01%).
     pub fn min_pct(mut self, pct: f64) -> Self {
@@ -110,6 +122,7 @@ impl<P: Program> Experiment<P> {
                 region_counters: self.counters,
             },
             costs: Default::default(),
+            faults: self.faults.clone(),
             timeline: self.timeline,
         }
     }
@@ -144,6 +157,14 @@ impl<P: Program> Experiment<P> {
             };
 
         let mut obs = engine.take_obs();
+        if !tech_report.degraded.is_empty() {
+            // One central site flags degraded reports for every
+            // technique, so the obs stream always records when a
+            // hardened run knows its own estimates are contaminated.
+            obs.emit(ObsEvent::ReportDegraded {
+                count: tech_report.degraded.len() as u64,
+            });
+        }
         let mut report = ExperimentReport::new(app, stats, tech_report, self.min_pct);
         if attach_log {
             let log = SearchLog::from_events(obs.events());

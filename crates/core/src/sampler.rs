@@ -66,6 +66,14 @@ pub struct SamplerConfig {
     /// "related blocks of dynamically allocated memory (for instance, the
     /// nodes of a tree)"). Anonymous blocks are never merged.
     pub aggregate_heap_names: bool,
+    /// Measurement hardening against PMU faults: cross-check each
+    /// interrupt against the global miss counter's progress, rejecting
+    /// spurious interrupts (progress far below the armed period) and
+    /// repeat samples inside suspect intervals, counting intervals that
+    /// ran long (dropped overflows) and flagging the report degraded
+    /// when too many did. On a fault-free PMU every check passes, so
+    /// hardening only adds the cross-check's register-read cost.
+    pub hardened: bool,
 }
 
 impl SamplerConfig {
@@ -77,7 +85,14 @@ impl SamplerConfig {
             probe_cycles: 10,
             assumed_sample_cost: 9_000,
             aggregate_heap_names: false,
+            hardened: false,
         }
+    }
+
+    /// Enable measurement hardening (see [`SamplerConfig::hardened`]).
+    pub fn hardened(mut self) -> Self {
+        self.hardened = true;
+        self
     }
 
     /// Sample with a pseudo-random interval around `base`.
@@ -107,7 +122,7 @@ impl SamplerConfig {
 
     /// Report label, e.g. `sampling(50000)`.
     pub fn label(&self) -> String {
-        match self.period {
+        let base = match self.period {
             SamplingPeriod::Fixed(k) => format!("sampling({k})"),
             SamplingPeriod::Jittered { base, spread, .. } => {
                 format!("sampling({base}±{spread})")
@@ -116,6 +131,11 @@ impl SamplerConfig {
                 target_overhead_pct,
                 ..
             } => format!("sampling(adaptive {target_overhead_pct}%)"),
+        };
+        if self.hardened {
+            format!("{base}+hardened")
+        } else {
+            base
         }
     }
 
@@ -145,7 +165,7 @@ impl SamplerConfig {
                 ("seed", Json::Uint(seed)),
             ]),
         };
-        Json::obj(vec![
+        let mut fields = vec![
             ("period", period),
             (
                 "fixed_handler_cycles",
@@ -154,7 +174,13 @@ impl SamplerConfig {
             ("assumed_sample_cost", Json::Uint(self.assumed_sample_cost)),
             ("probe_cycles", Json::Uint(self.probe_cycles)),
             ("aggregate", Json::Bool(self.aggregate_heap_names)),
-        ])
+        ];
+        // Appended only when set, so pre-hardening cache keys and hashes
+        // are preserved for every existing configuration.
+        if self.hardened {
+            fields.push(("hardened", Json::Bool(true)));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -190,6 +216,15 @@ pub struct Sampler {
     /// time at which the previous handler returned.
     current_period: u64,
     last_return: u64,
+    /// Hardening state: cumulative global-counter value at the previous
+    /// accepted interrupt, the previous sample's address, and tallies of
+    /// rejected samples and long (dropped-overflow) intervals.
+    last_global: u64,
+    last_sample_addr: Option<Addr>,
+    rejected_spurious: u64,
+    rejected_repeat: u64,
+    dropped_intervals: u64,
+    intervals_seen: u64,
 }
 
 impl Sampler {
@@ -221,6 +256,12 @@ impl Sampler {
             samples: 0,
             current_period,
             last_return: 0,
+            last_global: 0,
+            last_sample_addr: None,
+            rejected_spurious: 0,
+            rejected_repeat: 0,
+            dropped_intervals: 0,
+            intervals_seen: 0,
             cfg,
         }
     }
@@ -239,6 +280,24 @@ impl Sampler {
     /// Samples that could not be attributed to any object.
     pub fn unknown_samples(&self) -> u64 {
         self.unknown
+    }
+
+    /// Interrupts the hardened sampler rejected (spurious + repeat).
+    pub fn rejected_samples(&self) -> u64 {
+        self.rejected_spurious + self.rejected_repeat
+    }
+
+    /// Accepted intervals that ran well past the armed period — the
+    /// hardened sampler's evidence of dropped overflow interrupts.
+    pub fn dropped_intervals(&self) -> u64 {
+        self.dropped_intervals
+    }
+
+    /// Did enough intervals run long that the sample population is
+    /// starved and the ranking should not be trusted? (> 5% of accepted
+    /// intervals show a dropped overflow.)
+    fn is_degraded(&self) -> bool {
+        self.cfg.hardened && self.dropped_intervals * 20 > self.intervals_seen
     }
 
     /// Pick the next interval. `elapsed` is the virtual time since the
@@ -308,10 +367,19 @@ impl Sampler {
             });
         }
         ests.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.name.cmp(&b.name)));
+        // Sample starvation from dropped overflows biases the whole
+        // population, so the degraded flag covers every estimate: "these
+        // ranks were measured under a faulty PMU, do not trust them".
+        let degraded = if self.is_degraded() {
+            ests.iter().map(|e| e.name.clone()).collect()
+        } else {
+            Vec::new()
+        };
         TechniqueReport {
             estimates: ests,
             label: self.cfg.label(),
             unattributed_weight: self.unknown,
+            degraded,
         }
     }
 }
@@ -335,22 +403,67 @@ impl Handler for Sampler {
         }
         let elapsed = ctx.now().saturating_sub(self.last_return);
         ctx.charge(self.cfg.fixed_handler_cycles);
-        if let Some(addr) = ctx.last_miss_addr() {
-            self.samples += 1;
-            match self.map.lookup(addr, &mut self.trace) {
-                Some(id) => {
-                    let slot = id.index();
-                    if slot >= self.counts.len() {
-                        self.counts.resize(slot + 1, 0);
-                    }
-                    self.counts[slot] += 1;
-                    let count_addr = self.counts_base + slot as u64 * 8;
-                    self.trace.read(count_addr);
-                    self.trace.write(count_addr);
-                }
-                None => self.unknown += 1,
+        // Hardening: cross-check the interrupt against the global
+        // counter's progress since the last accepted one. On a fault-free
+        // PMU the delta equals the armed period exactly (the counter is
+        // frozen while handlers run), so none of these paths trigger.
+        let mut interval_suspect = false;
+        if self.cfg.hardened {
+            let global = ctx.read_global();
+            let delta = global.saturating_sub(self.last_global);
+            let armed = self.current_period.max(1);
+            if 2 * delta < armed {
+                // Far too little progress for the armed countdown: a
+                // spurious interrupt. Take no sample and leave the real
+                // countdown (still pending in hardware) armed.
+                self.rejected_spurious += 1;
+                let now = ctx.now();
+                ctx.obs().emit(ObsEvent::SampleRejected {
+                    now,
+                    reason: "spurious",
+                });
+                return;
             }
-            replay_trace(ctx, &mut self.trace, self.cfg.probe_cycles);
+            self.intervals_seen += 1;
+            if 2 * delta > 3 * armed {
+                // Far too much progress: an overflow was dropped and the
+                // counter fired a period late. The sample is usable but
+                // the population is starved; tally it for the degraded
+                // verdict.
+                self.dropped_intervals += 1;
+            }
+            interval_suspect = delta != armed;
+            self.last_global = global;
+        }
+        if let Some(addr) = ctx.last_miss_addr() {
+            if interval_suspect && self.last_sample_addr == Some(addr) {
+                // A repeated address inside an already-suspect interval
+                // smells of a stale (skidded) last-miss register; don't
+                // double-count it.
+                self.rejected_repeat += 1;
+                let now = ctx.now();
+                ctx.obs().emit(ObsEvent::SampleRejected {
+                    now,
+                    reason: "repeat",
+                });
+            } else {
+                self.samples += 1;
+                match self.map.lookup(addr, &mut self.trace) {
+                    Some(id) => {
+                        let slot = id.index();
+                        if slot >= self.counts.len() {
+                            self.counts.resize(slot + 1, 0);
+                        }
+                        self.counts[slot] += 1;
+                        let count_addr = self.counts_base + slot as u64 * 8;
+                        self.trace.read(count_addr);
+                        self.trace.write(count_addr);
+                    }
+                    None => self.unknown += 1,
+                }
+                replay_trace(ctx, &mut self.trace, self.cfg.probe_cycles);
+            }
+            self.last_sample_addr = Some(addr);
         }
         let prev_period = self.current_period;
         self.current_period = self.next_period(elapsed);

@@ -109,6 +109,28 @@ pub struct SearchConfig {
     /// this implementation lets you measure. `None` uses the physical
     /// width with no timesharing.
     pub logical_ways: Option<usize>,
+    /// Measurement-hardening: cross-check each interval's region counts
+    /// against the global counter and treat the interval as contaminated
+    /// when the summed region counts exceed `total * (1 + tolerance)` —
+    /// physically impossible on a fault-free PMU with dedicated counters
+    /// (regions are disjoint), so a violation means a wrapped, jittered
+    /// or otherwise corrupted read. `None` (the default) disables the
+    /// check entirely; timeshared runs should allow slack for the
+    /// duty-cycle scaling noise.
+    pub consistency_tolerance: Option<f64>,
+    /// How many times a contaminated interval is re-measured (with the
+    /// same region assignment) before its data is accepted and the
+    /// affected estimates flagged as degraded. Each retry stretches the
+    /// interval like the phase-adaptation heuristic, so backoff and
+    /// phase adaptation share one mechanism. `0` (the default) accepts
+    /// every interval at face value.
+    pub max_remeasure: u32,
+    /// Per-interval outlier rejection: a single region counting more
+    /// than this percentage of the interval's global total is physically
+    /// implausible and marks the interval contaminated. `None` (the
+    /// default) disables the check; `Some(100.0)` rejects only counts
+    /// exceeding the whole total.
+    pub outlier_pct: Option<f64>,
 }
 
 impl Default for SearchConfig {
@@ -128,6 +150,9 @@ impl Default for SearchConfig {
             coalesce_sites: false,
             log_progress: false,
             logical_ways: None,
+            consistency_tolerance: None,
+            max_remeasure: 0,
+            outlier_pct: None,
         }
     }
 }
@@ -135,10 +160,20 @@ impl Default for SearchConfig {
 impl SearchConfig {
     /// Report label, e.g. `search(10-way)` once the width is known.
     pub fn label(&self) -> String {
-        match self.strategy {
-            SearchStrategy::PriorityQueue => "search".to_string(),
-            SearchStrategy::Greedy => "search-greedy".to_string(),
+        let base = match self.strategy {
+            SearchStrategy::PriorityQueue => "search",
+            SearchStrategy::Greedy => "search-greedy",
+        };
+        if self.is_hardened() {
+            format!("{base}+hardened")
+        } else {
+            base.to_string()
         }
+    }
+
+    /// Is any measurement-hardening check enabled?
+    pub fn is_hardened(&self) -> bool {
+        self.consistency_tolerance.is_some() || self.outlier_pct.is_some()
     }
 
     /// Canonical JSON for content-addressed caching: every field that can
@@ -147,7 +182,7 @@ impl SearchConfig {
     /// configurations render to identical bytes.
     pub fn to_json(&self) -> cachescope_obs::Json {
         use cachescope_obs::Json;
-        Json::obj(vec![
+        let mut fields = vec![
             ("interval", Json::Uint(self.interval)),
             ("stretch", Json::Float(self.stretch)),
             ("max_stretch", Json::Float(self.max_stretch)),
@@ -180,7 +215,20 @@ impl SearchConfig {
                 self.logical_ways
                     .map_or(Json::Null, |n| Json::Uint(n as u64)),
             ),
-        ])
+        ];
+        // Hardening knobs render only when non-default, so every
+        // pre-hardening configuration keeps its exact canonical bytes
+        // (and therefore its content-addressed cache hash).
+        if let Some(tol) = self.consistency_tolerance {
+            fields.push(("consistency_tolerance", Json::Float(tol)));
+        }
+        if self.max_remeasure != 0 {
+            fields.push(("max_remeasure", Json::Uint(u64::from(self.max_remeasure))));
+        }
+        if let Some(pct) = self.outlier_pct {
+            fields.push(("outlier_pct", Json::Float(pct)));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -272,6 +320,19 @@ pub struct Searcher {
     /// Physical PMU region counters available.
     k: usize,
     line: u64,
+    /// Consecutive re-measurements of the current contaminated interval.
+    remeasure_attempts: u32,
+    /// Regions whose accepted measurements included a contaminated
+    /// interval (retries exhausted); their estimates are flagged in the
+    /// report rather than presented as trustworthy.
+    degraded: std::collections::BTreeSet<u32>,
+    /// Measurement intervals processed (hardened runs only).
+    intervals_seen: u64,
+    /// Intervals the consistency/outlier checks rejected. When a large
+    /// share of intervals were contaminated, even the accepted ones were
+    /// measured under a systematically faulty PMU, so the whole report
+    /// is flagged degraded (mirrors the sampler's dropped-interval rule).
+    contaminated_intervals: u64,
 }
 
 enum SplitOutcome {
@@ -306,7 +367,18 @@ impl Searcher {
             n: 0,
             k: 0,
             line: 64,
+            remeasure_attempts: 0,
+            degraded: std::collections::BTreeSet::new(),
+            intervals_seen: 0,
+            contaminated_intervals: 0,
         }
+    }
+
+    /// Did contamination taint enough intervals (more than 1 in 20) that
+    /// every estimate should be flagged, not just the directly affected
+    /// regions? Always false on a fault-free PMU: nothing contaminates.
+    fn systematically_contaminated(&self) -> bool {
+        self.contaminated_intervals * 20 > self.intervals_seen
     }
 
     /// Number of completed search iterations (timer interrupts handled).
@@ -453,26 +525,34 @@ impl Searcher {
     /// comparable to dedicated-counter ones).
     fn mux_step(&mut self, ctx: &mut EngineCtx) {
         let slot_total = ctx.read_and_clear_global();
-        let mux = self.mux.as_mut().expect("mux_step with active mux");
-        let group = mux.groups[mux.gi].clone();
+        // Invariant: the timer that woke us was armed by
+        // `begin_measurement`, which installs the mux state first. One
+        // named check replaces the per-step unwraps; a violation recovers
+        // by idling one interval instead of crashing mid-experiment.
+        let Some(mut mux) = self.mux.take() else {
+            debug_assert!(
+                false,
+                "mux_step entered without an active timeshared measurement"
+            );
+            ctx.arm_timer_in(self.interval.max(1));
+            return;
+        };
         mux.total += slot_total;
-        let tags: Vec<u32> = group.iter().map(|e| e.tag).collect();
+        let tags: Vec<u32> = mux.groups[mux.gi].iter().map(|e| e.tag).collect();
         for (c, tag) in tags.into_iter().enumerate() {
             let count = ctx.read_counter(CounterId(c as u32));
-            let mux = self.mux.as_mut().unwrap();
             mux.raw.push((tag, count));
         }
-        let mux = self.mux.as_mut().unwrap();
         mux.gi += 1;
         if mux.gi < mux.groups.len() {
             let next = mux.groups[mux.gi].clone();
             let sub = mux.sub_interval;
+            self.mux = Some(mux);
             self.program_group(ctx, &next);
             ctx.arm_timer_in(sub);
             return;
         }
         // Measurement complete: scale counts by the duty cycle.
-        let mux = self.mux.take().unwrap();
         let scale = mux.groups.len() as u64;
         let measured: Vec<(u32, u64)> = mux
             .raw
@@ -649,19 +729,26 @@ impl Searcher {
     fn finish_report(&mut self, slots: Vec<FinalSlot>) {
         let mut ests: Vec<(f64, Estimate)> = Vec::new();
         let mut unattributed = 0u64;
+        let mut degraded_names: Vec<String> = Vec::new();
         for s in &slots {
             let r = self.arena.get(s.region);
             match r.object {
-                Some(id) => ests.push((
-                    s.search_key,
-                    Estimate {
-                        name: self.map.object(id).name.clone(),
-                        // The running weighted average over every visit,
-                        // post-search measurement included.
-                        pct: r.avg_pct(),
-                        weight: r.sum_count,
-                    },
-                )),
+                Some(id) => {
+                    let name = self.map.object(id).name.clone();
+                    if self.degraded.contains(&s.region) && !degraded_names.contains(&name) {
+                        degraded_names.push(name.clone());
+                    }
+                    ests.push((
+                        s.search_key,
+                        Estimate {
+                            name,
+                            // The running weighted average over every visit,
+                            // post-search measurement included.
+                            pct: r.avg_pct(),
+                            weight: r.sum_count,
+                        },
+                    ));
+                }
                 None => unattributed += r.sum_count,
             }
         }
@@ -673,18 +760,91 @@ impl Searcher {
                 .total_cmp(&a.1.pct)
                 .then_with(|| b.0.total_cmp(&a.0))
         });
+        let estimates: Vec<Estimate> = ests.into_iter().map(|(_, e)| e).collect();
+        if self.systematically_contaminated() {
+            for e in &estimates {
+                if !degraded_names.contains(&e.name) {
+                    degraded_names.push(e.name.clone());
+                }
+            }
+        }
         self.report = Some(TechniqueReport {
-            estimates: ests.into_iter().map(|(_, e)| e).collect(),
+            estimates,
             label: format!("{}({})", self.cfg.label(), self.width_label()),
             unattributed_weight: unattributed,
+            degraded: degraded_names,
         });
         self.state = State::Done;
+    }
+
+    /// Measurement-hardening cross-check (section 3.4's "increased
+    /// inaccuracy" concern made explicit): does this interval's data
+    /// violate a physical invariant of a fault-free PMU? Returns the
+    /// violated invariant's name, or `None` when the interval is clean
+    /// or hardening is disabled.
+    fn interval_contaminated(&self, measured: &[(u32, u64)], total: u64) -> Option<&'static str> {
+        let sum: u64 = measured.iter().map(|&(_, c)| c).sum();
+        if let Some(tol) = self.cfg.consistency_tolerance {
+            // Disjoint region counts can never sum past the global
+            // counter; tolerance absorbs timesharing's duty-cycle noise.
+            if sum as f64 > total as f64 * (1.0 + tol) {
+                return Some("region_sum_exceeds_global");
+            }
+        }
+        if let Some(pct) = self.cfg.outlier_pct {
+            let cap = total as f64 * pct / 100.0;
+            if measured.iter().any(|&(_, c)| c as f64 > cap) {
+                return Some("region_count_outlier");
+            }
+        }
+        None
+    }
+
+    /// Decide what to do with a contaminated interval: re-measure the
+    /// same assignment (stretching the interval as backoff, the same
+    /// mechanism phase adaptation uses) while retries remain, otherwise
+    /// accept the data but remember the regions so their estimates are
+    /// flagged as degraded instead of silently mis-ranked. Returns `true`
+    /// when the interval was consumed by a retry.
+    fn handle_contamination(
+        &mut self,
+        ctx: &mut EngineCtx,
+        reason: &'static str,
+        regions: &[(u32, u64)],
+    ) -> bool {
+        if self.remeasure_attempts < self.cfg.max_remeasure {
+            self.remeasure_attempts += 1;
+            let attempt = u64::from(self.remeasure_attempts);
+            let now = ctx.now();
+            ctx.obs().emit(ObsEvent::SearchIntervalRetry {
+                now,
+                attempt,
+                reason,
+            });
+            let max = (self.cfg.interval as f64 * self.cfg.max_stretch) as Cycle;
+            self.interval = ((self.interval as f64 * self.cfg.stretch) as Cycle).min(max);
+            return true;
+        }
+        for &(idx, _) in regions {
+            self.degraded.insert(idx);
+        }
+        false
     }
 
     /// Handle one completed measurement of the assigned regions:
     /// `measured` holds (region, scaled miss count) and `total` the global
     /// misses over the whole interval.
     fn process_iteration(&mut self, ctx: &mut EngineCtx, measured: Vec<(u32, u64)>, total: u64) {
+        self.intervals_seen += 1;
+        if let Some(reason) = self.interval_contaminated(&measured, total) {
+            self.contaminated_intervals += 1;
+            if self.handle_contamination(ctx, reason, &measured) {
+                self.program_assigned(ctx);
+                return;
+            }
+        } else {
+            self.remeasure_attempts = 0;
+        }
         if total == 0 {
             // Nothing happened (e.g. a pure-compute stretch): requeue the
             // same assignment for another interval.
@@ -893,6 +1053,16 @@ impl Searcher {
             State::Final { slots } => slots.iter().map(|s| s.region).collect(),
             _ => unreachable!("process_final outside Final state"),
         };
+        // The post-search measurement cannot be cheaply re-armed (its
+        // found-object entries were consumed), so a contaminated final
+        // interval flags its slots as degraded instead of retrying.
+        self.intervals_seen += 1;
+        if self.interval_contaminated(&measured, total).is_some() {
+            self.contaminated_intervals += 1;
+            for &(slot_pos, _) in &measured {
+                self.degraded.insert(regions[slot_pos as usize]);
+            }
+        }
         for (slot_pos, count) in measured {
             let region = regions[slot_pos as usize];
             self.arena.get_mut(region).record(count, total);
@@ -930,16 +1100,21 @@ impl Searcher {
                 c
             }
         };
+        let mut degraded_names: Vec<String> = Vec::new();
         for (key, idx) in candidates {
             let r = self.arena.get(idx);
             if !r.atomic {
                 continue;
             }
             if let Some(id) = r.object {
+                let name = self.map.object(id).name.clone();
+                if self.degraded.contains(&idx) && !degraded_names.contains(&name) {
+                    degraded_names.push(name.clone());
+                }
                 ests.push((
                     key,
                     Estimate {
-                        name: self.map.object(id).name.clone(),
+                        name,
                         pct: r.avg_pct(),
                         weight: r.sum_count,
                     },
@@ -947,10 +1122,19 @@ impl Searcher {
             }
         }
         ests.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let estimates: Vec<Estimate> = ests.into_iter().map(|(_, e)| e).collect();
+        if self.systematically_contaminated() {
+            for e in &estimates {
+                if !degraded_names.contains(&e.name) {
+                    degraded_names.push(e.name.clone());
+                }
+            }
+        }
         TechniqueReport {
-            estimates: ests.into_iter().map(|(_, e)| e).collect(),
+            estimates,
             label: format!("{}({}, incomplete)", self.cfg.label(), self.width_label()),
             unattributed_weight: 0,
+            degraded: degraded_names,
         }
     }
 }
@@ -1024,6 +1208,7 @@ mod tests {
                 region_counters: counters,
             },
             costs: Default::default(),
+            faults: Default::default(),
             timeline: None,
         }
     }
@@ -1400,6 +1585,99 @@ mod tests {
              {naive_hot:.1}% (err {naive_err:.1}) vs snapped {hot_pct:.1}% \
              (err {snapped_err:.1})"
         );
+    }
+
+    #[test]
+    fn hardening_knobs_stay_out_of_default_canonical_json() {
+        // Content-addressed cache keys from before the hardening layer
+        // must not change: the knobs render only when set.
+        let rendered = SearchConfig::default().to_json().render();
+        assert!(!rendered.contains("consistency_tolerance"), "{rendered}");
+        assert!(!rendered.contains("max_remeasure"), "{rendered}");
+        assert!(!rendered.contains("outlier_pct"), "{rendered}");
+        let hardened = SearchConfig {
+            consistency_tolerance: Some(0.05),
+            max_remeasure: 2,
+            outlier_pct: Some(100.0),
+            ..Default::default()
+        };
+        let rendered = hardened.to_json().render();
+        assert!(rendered.contains("consistency_tolerance"), "{rendered}");
+        assert_eq!(hardened.label(), "search+hardened");
+    }
+
+    #[test]
+    fn hardened_search_is_inert_on_a_fault_free_pmu() {
+        // On a fault-free PMU the consistency invariants can never fire
+        // (disjoint region counts sum to at most the global counter), so
+        // hardening must not change a single estimate.
+        let build = || {
+            WorkloadBuilder::new("inert")
+                .global("HOT", 8 * MIB)
+                .global("WARM", 8 * MIB)
+                .phase(
+                    PhaseBuilder::new()
+                        .misses(500_000)
+                        .weight("HOT", 70.0)
+                        .weight("WARM", 30.0)
+                        .compute_per_miss(10)
+                        .stochastic(21),
+                )
+                .build()
+        };
+        let run = |cfg: SearchConfig| {
+            let mut w = build();
+            let mut s = Searcher::new(cfg, &w.static_objects());
+            let mut e = Engine::new(sim_cfg(4));
+            e.run(&mut w, &mut s, RunLimit::AppMisses(2_000_000));
+            s.report().unwrap().clone()
+        };
+        let plain = run(search_cfg(500_000));
+        let hard = run(SearchConfig {
+            consistency_tolerance: Some(0.01),
+            max_remeasure: 3,
+            outlier_pct: Some(100.0),
+            ..search_cfg(500_000)
+        });
+        assert_eq!(plain.estimates, hard.estimates);
+        assert!(hard.degraded.is_empty());
+    }
+
+    #[test]
+    fn hardened_search_retries_and_flags_under_read_jitter() {
+        use cachescope_hwpm::FaultConfig;
+        let mut w = WorkloadBuilder::new("jittery")
+            .global("HOT", 8 * MIB)
+            .global("WARM", 8 * MIB)
+            .phase(
+                PhaseBuilder::new()
+                    .misses(500_000)
+                    .weight("HOT", 70.0)
+                    .weight("WARM", 30.0)
+                    .compute_per_miss(10)
+                    .stochastic(22),
+            )
+            .build();
+        let mut s = Searcher::new(
+            SearchConfig {
+                consistency_tolerance: Some(0.02),
+                max_remeasure: 2,
+                outlier_pct: Some(100.0),
+                ..search_cfg(500_000)
+            },
+            &w.static_objects(),
+        );
+        let mut e = Engine::new(SimConfig {
+            faults: FaultConfig {
+                read_jitter: 0.5,
+                seed: 7,
+                ..Default::default()
+            },
+            ..sim_cfg(4)
+        });
+        e.run(&mut w, &mut s, RunLimit::AppMisses(3_000_000));
+        let retried = e.obs().metrics.counter("search.intervals_retried");
+        assert!(retried > 0, "jittered reads should trigger re-measurement");
     }
 
     #[test]

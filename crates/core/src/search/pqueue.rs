@@ -73,7 +73,10 @@ impl RegionQueue {
         trace.read(self.sim_addr(0));
         let last = self.heap.len() - 1;
         self.heap.swap(0, last);
-        let top = self.heap.pop().unwrap();
+        // `?` instead of unwrap: the emptiness check above makes this
+        // always `Some`, but a corrupted heap must surface as an orderly
+        // `None` at the call site, not a panic mid-simulation.
+        let top = self.heap.pop()?;
         let mut i = 0usize;
         let n = self.heap.len();
         loop {

@@ -26,10 +26,12 @@
 
 pub mod cost;
 pub mod counter;
+pub mod fault;
 pub mod pmu;
 
 pub use cost::CostModel;
 pub use counter::{CounterId, RegionCounter};
+pub use fault::{FaultConfig, FaultModel, FaultTally};
 pub use pmu::{Interrupt, Pmu, PmuActivity, PmuConfig};
 
 /// A simulated (virtual) memory address.

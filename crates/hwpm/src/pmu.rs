@@ -2,6 +2,7 @@
 //! last-miss-address register, overflow and timer interrupt logic.
 
 use crate::counter::{CounterId, RegionCounter};
+use crate::fault::{FaultConfig, FaultModel, FaultTally};
 use crate::{Addr, Cycle};
 
 /// Static configuration of the simulated PMU.
@@ -45,6 +46,9 @@ pub struct Pmu {
     last_miss: Option<Addr>,
     /// Interrupt after this many further misses, if armed.
     overflow_remaining: Option<u64>,
+    /// The period last armed via [`Pmu::arm_miss_overflow`] — kept so a
+    /// dropped overflow can silently re-arm for a full further period.
+    armed_period: Option<u64>,
     /// Absolute virtual cycle at which the timer fires, if armed.
     timer_deadline: Option<Cycle>,
     pending: Option<Interrupt>,
@@ -55,6 +59,9 @@ pub struct Pmu {
     /// simulated machine state: reading it costs nothing and it survives
     /// freezes. Feeds the observability metrics snapshot.
     activity: PmuActivity,
+    /// Fault injector, present only when a non-inert [`FaultConfig`] was
+    /// supplied; `None` takes the exact fault-free code paths.
+    faults: Option<FaultModel>,
 }
 
 /// How often each class of PMU register operation happened — tool-side
@@ -79,18 +86,36 @@ pub struct PmuActivity {
 }
 
 impl Pmu {
-    /// Create a PMU with `cfg.region_counters` disabled counters.
+    /// Create a fault-free PMU with `cfg.region_counters` disabled counters.
     pub fn new(cfg: &PmuConfig) -> Self {
         Pmu {
             counters: vec![RegionCounter::new(); cfg.region_counters],
             global: 0,
             last_miss: None,
             overflow_remaining: None,
+            armed_period: None,
             timer_deadline: None,
             pending: None,
             frozen: false,
             activity: PmuActivity::default(),
+            faults: None,
         }
+    }
+
+    /// Create a PMU with fault injection per `faults`. An inert (all-zero)
+    /// config builds no fault model at all, making this identical to
+    /// [`Pmu::new`].
+    pub fn with_faults(cfg: &PmuConfig, faults: &FaultConfig) -> Self {
+        let mut pmu = Pmu::new(cfg);
+        if !faults.is_inert() {
+            pmu.faults = Some(FaultModel::new(faults));
+        }
+        pmu
+    }
+
+    /// Faults injected so far, if a fault model is active.
+    pub fn fault_tally(&self) -> Option<FaultTally> {
+        self.faults.as_ref().map(FaultModel::tally)
     }
 
     /// The tool-side activity tally (see [`PmuActivity`]).
@@ -115,9 +140,15 @@ impl Pmu {
         self.counters[id.index()].disable();
     }
 
-    /// Read region counter `id`'s current value.
-    pub fn read_counter(&self, id: CounterId) -> u64 {
-        self.counters[id.index()].count()
+    /// Read region counter `id`'s current value. Under fault injection
+    /// the read may be wrapped to the configured counter width and/or
+    /// jittered; the underlying count is unaffected.
+    pub fn read_counter(&mut self, id: CounterId) -> u64 {
+        let v = self.counters[id.index()].count();
+        match &mut self.faults {
+            Some(f) => f.perturb_read(v),
+            None => v,
+        }
     }
 
     /// Access the raw counter (for inspection in tests and reports).
@@ -125,14 +156,24 @@ impl Pmu {
         &self.counters[id.index()]
     }
 
-    /// Read and reset the global (unqualified) miss counter.
+    /// Read and reset the global (unqualified) miss counter. Fault
+    /// perturbation applies to the returned value; the register itself is
+    /// cleared exactly.
     pub fn read_and_clear_global(&mut self) -> u64 {
-        std::mem::take(&mut self.global)
+        let v = std::mem::take(&mut self.global);
+        match &mut self.faults {
+            Some(f) => f.perturb_read(v),
+            None => v,
+        }
     }
 
-    /// Read the global miss counter without clearing it.
-    pub fn read_global(&self) -> u64 {
-        self.global
+    /// Read the global miss counter without clearing it (fault
+    /// perturbation applies, as for [`Pmu::read_counter`]).
+    pub fn read_global(&mut self) -> u64 {
+        match &mut self.faults {
+            Some(f) => f.perturb_read(self.global),
+            None => self.global,
+        }
     }
 
     /// The address of the most recent counted cache miss, if any.
@@ -147,11 +188,13 @@ impl Pmu {
         assert!(period > 0, "overflow period must be nonzero");
         self.activity.overflow_arms += 1;
         self.overflow_remaining = Some(period);
+        self.armed_period = Some(period);
     }
 
     /// Disarm the miss-overflow interrupt.
     pub fn disarm_miss_overflow(&mut self) {
         self.overflow_remaining = None;
+        self.armed_period = None;
     }
 
     /// Arm the cycle timer to fire at absolute virtual cycle `deadline`.
@@ -200,18 +243,42 @@ impl Pmu {
             return;
         }
         self.global += 1;
-        self.last_miss = Some(addr);
+        // Under skid the last-miss register may report a stale address;
+        // region counters always observe the true one (skid corrupts the
+        // sample, not the conditional counting).
+        self.last_miss = Some(match &mut self.faults {
+            Some(f) => f.observe_miss(addr),
+            None => addr,
+        });
         for c in &mut self.counters {
             c.observe(addr);
         }
+        let mut at_threshold = false;
         if let Some(rem) = &mut self.overflow_remaining {
             *rem -= 1;
-            if *rem == 0 {
+            at_threshold = *rem == 0;
+        }
+        if at_threshold {
+            if self.faults.as_mut().is_some_and(FaultModel::drop_overflow) {
+                // Dropped: no interrupt; the countdown silently re-arms
+                // for a full further period (the counter wrapped and will
+                // fire a period late), so sampling loses samples but
+                // never hangs.
+                self.overflow_remaining = self.armed_period;
+            } else {
                 self.overflow_remaining = None;
                 // An already-pending timer interrupt is not displaced; the
                 // overflow is simply latched after it is handled. With a
                 // single pending slot we prioritise the overflow, matching
                 // hardware where the miss-overflow is the precise event.
+                self.activity.overflows_latched += 1;
+                self.pending = Some(Interrupt::MissOverflow);
+            }
+        }
+        if let Some(f) = &mut self.faults {
+            if f.spurious_overflow() && self.pending.is_none() {
+                // A spurious overflow latches like a real one but leaves
+                // any armed countdown untouched.
                 self.activity.overflows_latched += 1;
                 self.pending = Some(Interrupt::MissOverflow);
             }
@@ -239,6 +306,15 @@ impl Pmu {
     /// Is an interrupt currently latched?
     pub fn has_pending(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Extra virtual cycles the engine must charge before delivering the
+    /// interrupt it just took (delayed-delivery fault; zero without one).
+    pub fn take_delivery_delay(&mut self) -> u64 {
+        match &mut self.faults {
+            Some(f) => f.delivery_delay(),
+            None => 0,
+        }
     }
 }
 
@@ -390,5 +466,132 @@ mod tests {
         p.disable_counter(CounterId(0));
         p.record_miss(6);
         assert_eq!(p.read_counter(CounterId(0)), 1);
+    }
+
+    /// Property-style freeze/unfreeze accounting check: drive a PMU
+    /// through pseudo-random freeze windows and verify every unfrozen
+    /// miss is counted exactly once (globally and per matching region)
+    /// and every frozen miss exactly zero times — the fault-free
+    /// baseline the fault layer is diffed against.
+    #[test]
+    fn freeze_windows_never_lose_or_double_count_misses() {
+        // Cheap LCG so the schedule is arbitrary but reproducible.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..50 {
+            let mut p = pmu(2);
+            p.program_counter(CounterId(0), 0, 500);
+            p.program_counter(CounterId(1), 500, 1_000);
+            let (mut live, mut frozen) = (0u64, 0u64);
+            let (mut in_low, mut in_high) = (0u64, 0u64);
+            for step in 0..2_000 {
+                match next() % 7 {
+                    0 => p.freeze(),
+                    1 => p.unfreeze(),
+                    _ => {
+                        let addr = next() % 1_000;
+                        p.record_miss(addr);
+                        if p.is_frozen() {
+                            frozen += 1;
+                        } else {
+                            live += 1;
+                            if addr < 500 {
+                                in_low += 1;
+                            } else {
+                                in_high += 1;
+                            }
+                        }
+                        let _ = (trial, step);
+                    }
+                }
+            }
+            p.unfreeze();
+            assert_eq!(p.read_global(), live);
+            assert_eq!(p.read_counter(CounterId(0)), in_low);
+            assert_eq!(p.read_counter(CounterId(1)), in_high);
+            assert_eq!(p.activity().frozen_misses, frozen);
+            assert_eq!(p.read_and_clear_global(), live);
+            assert_eq!(p.read_global(), 0);
+        }
+    }
+
+    #[test]
+    fn with_faults_inert_config_builds_no_model() {
+        let cfg = PmuConfig { region_counters: 1 };
+        let mut p = Pmu::with_faults(&cfg, &crate::FaultConfig::default());
+        assert!(p.fault_tally().is_none());
+        p.record_miss(7);
+        assert_eq!(p.last_miss_addr(), Some(7));
+        assert_eq!(p.read_global(), 1);
+    }
+
+    #[test]
+    fn dropped_overflow_rearms_and_fires_a_period_late() {
+        let cfg = PmuConfig { region_counters: 1 };
+        // drop_rate 1.0: every threshold crossing is dropped, so with the
+        // countdown re-arming the PMU never fires but also never hangs.
+        let mut p = Pmu::with_faults(
+            &cfg,
+            &crate::FaultConfig {
+                drop_rate: 1.0,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        p.arm_miss_overflow(3);
+        for a in 0..30 {
+            p.record_miss(a);
+            assert!(!p.has_pending());
+        }
+        assert_eq!(p.fault_tally().unwrap().dropped_overflows, 10);
+    }
+
+    #[test]
+    fn spurious_overflow_leaves_countdown_untouched() {
+        let cfg = PmuConfig { region_counters: 1 };
+        let mut p = Pmu::with_faults(
+            &cfg,
+            &crate::FaultConfig {
+                spurious_rate: 1.0,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        p.arm_miss_overflow(3);
+        p.record_miss(1); // spurious latch; countdown at 2
+        assert_eq!(p.take_pending(), Some(Interrupt::MissOverflow));
+        p.record_miss(2);
+        p.take_pending();
+        p.record_miss(3); // real threshold: countdown reaches 0 here
+        assert_eq!(p.take_pending(), Some(Interrupt::MissOverflow));
+        // Countdown consumed: only spurious interrupts remain.
+        let t = p.fault_tally().unwrap();
+        assert_eq!(t.spurious_overflows, 3);
+    }
+
+    #[test]
+    fn wrapped_reads_leave_true_count_intact() {
+        let cfg = PmuConfig { region_counters: 1 };
+        let mut p = Pmu::with_faults(
+            &cfg,
+            &crate::FaultConfig {
+                wrap_bits: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        p.program_counter(CounterId(0), 0, 100);
+        for a in 0..6 {
+            p.record_miss(a);
+        }
+        // Reads wrap modulo 4; the architectural count is untouched.
+        assert_eq!(p.read_counter(CounterId(0)), 2);
+        assert_eq!(p.counter(CounterId(0)).count(), 6);
+        assert_eq!(p.read_global(), 2);
     }
 }

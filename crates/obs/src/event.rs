@@ -131,6 +131,33 @@ pub enum ObsEvent {
         period: u64,
         reason: &'static str,
     },
+    /// The hardened sampler rejected an interrupt's sample (`reason`:
+    /// `"spurious"` or `"repeat"`).
+    SampleRejected { now: u64, reason: &'static str },
+    /// End-of-run summary of PMU faults injected by an active fault
+    /// model (fault-free runs never emit this).
+    FaultSummary {
+        skidded: u64,
+        dropped: u64,
+        spurious: u64,
+        wrapped: u64,
+        delayed: u64,
+        jittered: u64,
+    },
+    /// The hardened search re-measured an interval whose counts failed
+    /// the consistency/outlier checks (`attempt` is 1-based).
+    SearchIntervalRetry {
+        now: u64,
+        attempt: u64,
+        reason: &'static str,
+    },
+    /// A technique's report flagged `count` estimates as degraded
+    /// (measured under contaminated intervals) instead of silently
+    /// mis-ranking them.
+    ReportDegraded { count: u64 },
+    /// A campaign cell's cache entry existed but was corrupt or stale;
+    /// it was treated as a miss and re-simulated.
+    CellCacheCorrupt { index: u64, hash: String },
     /// One full measure → rank → split iteration of the n-way search.
     SearchIteration(IterationRecord),
     /// A region was split into children (snapped to object extents), or
@@ -208,6 +235,11 @@ impl ObsEvent {
             ObsEvent::ArmMissOverflow { .. } => "arm_miss_overflow",
             ObsEvent::ArmTimer { .. } => "arm_timer",
             ObsEvent::SamplerPeriod { .. } => "sampler_period",
+            ObsEvent::SampleRejected { .. } => "sample_rejected",
+            ObsEvent::FaultSummary { .. } => "fault_summary",
+            ObsEvent::SearchIntervalRetry { .. } => "search_interval_retry",
+            ObsEvent::ReportDegraded { .. } => "report_degraded",
+            ObsEvent::CellCacheCorrupt { .. } => "cell_cache_corrupt",
             ObsEvent::SearchIteration(_) => "search_iteration",
             ObsEvent::RegionSplit { .. } => "region_split",
             ObsEvent::SearchFinal { .. } => "search_final",
@@ -279,6 +311,41 @@ impl ObsEvent {
                 fields.push(("now", Json::Uint(*now)));
                 fields.push(("period", Json::Uint(*period)));
                 fields.push(("reason", Json::str(*reason)));
+            }
+            ObsEvent::SampleRejected { now, reason } => {
+                fields.push(("now", Json::Uint(*now)));
+                fields.push(("reason", Json::str(*reason)));
+            }
+            ObsEvent::FaultSummary {
+                skidded,
+                dropped,
+                spurious,
+                wrapped,
+                delayed,
+                jittered,
+            } => {
+                fields.push(("skidded", Json::Uint(*skidded)));
+                fields.push(("dropped", Json::Uint(*dropped)));
+                fields.push(("spurious", Json::Uint(*spurious)));
+                fields.push(("wrapped", Json::Uint(*wrapped)));
+                fields.push(("delayed", Json::Uint(*delayed)));
+                fields.push(("jittered", Json::Uint(*jittered)));
+            }
+            ObsEvent::SearchIntervalRetry {
+                now,
+                attempt,
+                reason,
+            } => {
+                fields.push(("now", Json::Uint(*now)));
+                fields.push(("attempt", Json::Uint(*attempt)));
+                fields.push(("reason", Json::str(*reason)));
+            }
+            ObsEvent::ReportDegraded { count } => {
+                fields.push(("count", Json::Uint(*count)));
+            }
+            ObsEvent::CellCacheCorrupt { index, hash } => {
+                fields.push(("index", Json::Uint(*index)));
+                fields.push(("hash", Json::str(hash.clone())));
             }
             ObsEvent::SearchIteration(it) => {
                 fields.extend(it.json_fields());
@@ -435,6 +502,28 @@ mod tests {
                 now: 6,
                 period: 500,
                 reason: "adapt",
+            },
+            ObsEvent::SampleRejected {
+                now: 6,
+                reason: "spurious",
+            },
+            ObsEvent::FaultSummary {
+                skidded: 1,
+                dropped: 2,
+                spurious: 3,
+                wrapped: 4,
+                delayed: 5,
+                jittered: 6,
+            },
+            ObsEvent::SearchIntervalRetry {
+                now: 7,
+                attempt: 1,
+                reason: "inconsistent",
+            },
+            ObsEvent::ReportDegraded { count: 2 },
+            ObsEvent::CellCacheCorrupt {
+                index: 3,
+                hash: "deadbeefdeadbeef".into(),
             },
             ObsEvent::SearchIteration(IterationRecord {
                 now: 7,

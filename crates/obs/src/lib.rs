@@ -75,6 +75,23 @@ impl Obs {
                 self.metrics.inc("sampler.period_changes");
                 self.metrics.set_gauge("sampler.period", *period as f64);
             }
+            ObsEvent::SampleRejected { .. } => self.metrics.inc("sampler.samples_rejected"),
+            ObsEvent::FaultSummary {
+                skidded,
+                dropped,
+                spurious,
+                wrapped,
+                delayed,
+                jittered,
+            } => {
+                self.metrics.add(
+                    "hwpm.faults_injected",
+                    skidded + dropped + spurious + wrapped + delayed + jittered,
+                );
+            }
+            ObsEvent::SearchIntervalRetry { .. } => self.metrics.inc("search.intervals_retried"),
+            ObsEvent::ReportDegraded { count } => self.metrics.add("report.degraded", *count),
+            ObsEvent::CellCacheCorrupt { .. } => self.metrics.inc("campaign.cache_corrupt"),
             ObsEvent::SearchIteration(it) => {
                 self.metrics.inc("search.iterations");
                 for r in &it.regions {

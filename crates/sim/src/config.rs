@@ -108,6 +108,10 @@ pub struct SimConfig {
     pub pmu: cachescope_hwpm::PmuConfig,
     /// Instrumentation cost model.
     pub costs: cachescope_hwpm::CostModel,
+    /// PMU fault injection (skid, dropped/spurious interrupts, counter
+    /// wrap, delivery delay, read jitter). The default is inert: no
+    /// fault model is constructed and the PMU is exact.
+    pub faults: cachescope_hwpm::FaultConfig,
     /// Optional per-interval per-object miss timeline (Figure 5).
     pub timeline: Option<crate::stats::TimelineConfig>,
 }

@@ -151,7 +151,7 @@ impl Engine {
     pub fn new(cfg: SimConfig) -> Self {
         let cache = SetAssocCache::new(cfg.cache.clone());
         let l1 = cfg.l1.clone().map(SetAssocCache::new);
-        let pmu = Pmu::new(&cfg.pmu);
+        let pmu = Pmu::with_faults(&cfg.pmu, &cfg.faults);
         let timeline = cfg.timeline.map(Timeline::new);
         Engine {
             cache,
@@ -288,6 +288,19 @@ impl Engine {
             .metrics
             .add("pmu.timers_latched", act.timers_latched);
         self.obs.metrics.add("pmu.frozen_misses", act.frozen_misses);
+        // With a fault model active, summarize what it injected (the
+        // emit also derives the hwpm.faults_injected metric). Absent a
+        // model nothing is emitted, keeping fault-free runs byte-stable.
+        if let Some(t) = self.pmu.fault_tally() {
+            self.obs.emit(ObsEvent::FaultSummary {
+                skidded: t.skidded_samples,
+                dropped: t.dropped_overflows,
+                spurious: t.spurious_overflows,
+                wrapped: t.wrapped_reads,
+                delayed: t.delayed_deliveries,
+                jittered: t.jittered_reads,
+            });
+        }
         self.obs.emit(ObsEvent::RunEnd {
             now: self.clock,
             app_accesses: self.app.accesses,
@@ -350,7 +363,10 @@ impl Engine {
 
     fn deliver<H: Handler + ?Sized>(&mut self, intr: Interrupt, handler: &mut H) {
         self.interrupts += 1;
-        let cost = self.cfg.costs.interrupt_delivery;
+        // Delayed-delivery fault: extra latency between the latch and
+        // the handler running, charged like delivery cost (zero without
+        // a fault model).
+        let cost = self.cfg.costs.interrupt_delivery + self.pmu.take_delivery_delay();
         self.clock += cost;
         self.instr_cycles += cost;
         self.obs.emit(ObsEvent::Interrupt {
@@ -539,6 +555,7 @@ mod tests {
             l1: None,
             pmu: PmuConfig { region_counters: 2 },
             costs: CostModel::free(),
+            faults: Default::default(),
             timeline: None,
         }
     }
@@ -856,6 +873,7 @@ mod proptests {
                 l1: None,
                 pmu: PmuConfig { region_counters: 1 },
                 costs: CostModel::free(),
+                faults: Default::default(),
                 timeline: None,
             });
             let stats = e.run(&mut p, &mut NullHandler, RunLimit::Exhausted);
@@ -898,6 +916,7 @@ mod writeback_engine_tests {
             l1: None,
             pmu: PmuConfig { region_counters: 1 },
             costs: CostModel::free(),
+            faults: Default::default(),
             timeline: None,
         };
         // Direct-mapped, 4 sets: 0 and 256 collide. Write 0, then read
@@ -947,6 +966,7 @@ mod hierarchy_tests {
             }),
             pmu: PmuConfig { region_counters: 1 },
             costs: CostModel::free(),
+            faults: Default::default(),
             timeline: None,
         }
     }

@@ -63,9 +63,9 @@ fn bench_rbtree() {
 
 fn bench_objmap() {
     let mut aspace = AddressSpace::new(64);
-    let map = ObjectMap::new(&decls(64), &mut aspace);
+    let mut map = ObjectMap::new(&decls(64), &mut aspace);
     {
-        let map = &map;
+        let map = &mut map;
         let mut trace = AccessTrace::new();
         bench("objmap/lookup_hit", move || {
             trace.clear();

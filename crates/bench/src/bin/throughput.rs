@@ -1,0 +1,212 @@
+//! Wall-clock throughput of the simulation hot path.
+//!
+//! Every experiment in the repo bottoms out in `Engine::run`; this bench
+//! makes its references-per-second the headline number. It measures the
+//! uninstrumented baseline, the sampler, the hardened sampler and the
+//! n-way search over three workloads, plus trace replay of a recorded
+//! run, and writes:
+//!
+//! * `results/throughput.{txt,json}` — the usual artifact pair (wall-clock
+//!   numbers, machine-dependent, **not** committed);
+//! * `BENCH_throughput.json` at the repo root — the bench-trajectory
+//!   snapshot committed alongside the code.
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin throughput --
+//! [--smoke] [--tag NAME]`
+//!
+//! `--smoke` shrinks the run for CI; `--tag` labels the JSON rows (used
+//! to compare build profiles, e.g. with and without LTO).
+
+use std::time::Instant;
+
+use cachescope_bench::results_json::ResultsFile;
+use cachescope_core::{Experiment, SamplerConfig, SearchConfig, TechniqueConfig};
+use cachescope_obs::Json;
+use cachescope_sim::tracefile::load_eager;
+use cachescope_sim::{Program, RecordingProgram, RunLimit, RunStats, TraceFormat};
+use cachescope_workloads::spec::{self, Scale};
+use cachescope_workloads::spec2000;
+
+fn workload(app: &str) -> Box<dyn Program> {
+    match app {
+        "mgrid" => Box::new(spec::mgrid(Scale::Test)),
+        "applu" => Box::new(spec::applu(Scale::Test)),
+        "mcf" => Box::new(spec2000::mcf::mcf(Scale::Test)),
+        other => panic!("unknown bench workload {other}"),
+    }
+}
+
+struct Row {
+    workload: &'static str,
+    variant: String,
+    accesses: u64,
+    misses: u64,
+    interrupts: u64,
+    elapsed_ms: f64,
+    refs_per_sec: f64,
+}
+
+/// Run one experiment variant and clock the simulation loop.
+fn measure(
+    workload_name: &'static str,
+    variant: &str,
+    program: Box<dyn Program>,
+    technique: TechniqueConfig,
+    limit: RunLimit,
+) -> Row {
+    let t0 = Instant::now();
+    let report = Experiment::new(program)
+        .technique(technique)
+        .limit(limit)
+        .run();
+    let elapsed = t0.elapsed();
+    let secs = elapsed.as_secs_f64();
+    Row {
+        workload: workload_name,
+        variant: variant.to_string(),
+        accesses: report.stats.app.accesses,
+        misses: report.stats.app.misses,
+        interrupts: report.stats.interrupts,
+        elapsed_ms: secs * 1e3,
+        refs_per_sec: report.stats.app.accesses as f64 / secs.max(1e-9),
+    }
+}
+
+/// Record `app` through the engine (uninstrumented) into a trace.
+fn record_trace(app: &'static str, limit: RunLimit, format: TraceFormat) -> (Vec<u8>, RunStats) {
+    let mut rec = RecordingProgram::with_format(workload(app), Vec::new(), format);
+    let mut engine = cachescope_sim::Engine::new(cachescope_sim::SimConfig::default());
+    let stats = engine.run(&mut rec, &mut cachescope_sim::NullHandler, limit);
+    (rec.into_writer(), stats)
+}
+
+fn assert_same_results(a: &RunStats, b: &RunStats, what: &str) {
+    assert_eq!(a.app, b.app, "{what}: app counts diverge");
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles diverge");
+    assert_eq!(
+        a.unmapped_misses, b.unmapped_misses,
+        "{what}: unmapped diverge"
+    );
+    assert_eq!(a.objects.len(), b.objects.len(), "{what}: object count");
+    for (x, y) in a.objects.iter().zip(&b.objects) {
+        assert_eq!(x.name, y.name, "{what}: object name");
+        assert_eq!(x.misses, y.misses, "{what}: object misses");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let tag = args
+        .iter()
+        .position(|a| a == "--tag")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_default();
+    let accesses: u64 = if smoke { 150_000 } else { 4_000_000 };
+    let limit = RunLimit::AppAccesses(accesses);
+    let apps: [&'static str; 3] = ["mgrid", "applu", "mcf"];
+
+    let mut out = ResultsFile::new("throughput");
+    out.line("Simulation throughput (application references per second)");
+    out.line(format!(
+        "mode: {}  limit: {} accesses per run{}",
+        if smoke { "smoke" } else { "full" },
+        accesses,
+        if tag.is_empty() {
+            String::new()
+        } else {
+            format!("  tag: {tag}")
+        },
+    ));
+    out.line("");
+    out.line(format!(
+        "{:<8} {:<12} {:>10} {:>10} {:>8} {:>10} {:>12}",
+        "app", "variant", "accesses", "misses", "intr", "ms", "refs/sec"
+    ));
+
+    let mut rows: Vec<Row> = Vec::new();
+    for app in apps {
+        let variants: Vec<(&str, TechniqueConfig)> = vec![
+            ("baseline", TechniqueConfig::None),
+            (
+                "sampler",
+                TechniqueConfig::Sampling(SamplerConfig::fixed(2_000)),
+            ),
+            (
+                "sampler+h",
+                TechniqueConfig::Sampling(SamplerConfig::fixed(2_000).hardened()),
+            ),
+            ("search", TechniqueConfig::Search(SearchConfig::default())),
+        ];
+        for (variant, technique) in variants {
+            rows.push(measure(app, variant, workload(app), technique, limit));
+        }
+    }
+
+    // Trace replay: record mcf once per format (uninstrumented), then
+    // replay each trace as a program. Replay must reproduce the live
+    // run's results exactly — enforced here on every bench run, for both
+    // the text and the fixed-width binary encoding.
+    let (text_trace, live_stats) = record_trace("mcf", limit, TraceFormat::Text);
+    let (bin_trace, bin_live_stats) = record_trace("mcf", limit, TraceFormat::Bin);
+    assert_same_results(&live_stats, &bin_live_stats, "bin-format recording run");
+    for (variant, bytes) in [("replay-text", &text_trace), ("replay-bin", &bin_trace)] {
+        let trace = load_eager(&bytes[..]).expect("trace parses");
+        let t0 = Instant::now();
+        let mut engine = cachescope_sim::Engine::new(cachescope_sim::SimConfig::default());
+        let mut prog: Box<dyn Program> = Box::new(trace);
+        let stats = engine.run(&mut prog, &mut cachescope_sim::NullHandler, limit);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_same_results(&live_stats, &stats, variant);
+        rows.push(Row {
+            workload: "mcf",
+            variant: variant.into(),
+            accesses: stats.app.accesses,
+            misses: stats.app.misses,
+            interrupts: stats.interrupts,
+            elapsed_ms: secs * 1e3,
+            refs_per_sec: stats.app.accesses as f64 / secs.max(1e-9),
+        });
+    }
+
+    for r in &rows {
+        out.line(format!(
+            "{:<8} {:<12} {:>10} {:>10} {:>8} {:>10.1} {:>12.0}",
+            r.workload, r.variant, r.accesses, r.misses, r.interrupts, r.elapsed_ms, r.refs_per_sec
+        ));
+    }
+    out.line("");
+    out.line("refs/sec counts application references only; replay rows");
+    out.line("re-simulate a recorded trace and must match the live run.");
+
+    let json = Json::obj(vec![
+        ("bench", Json::str("throughput")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("tag", Json::str(tag)),
+        ("limit_accesses", Json::Uint(accesses)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("workload", Json::str(r.workload)),
+                            ("variant", Json::str(r.variant.clone())),
+                            ("accesses", Json::Uint(r.accesses)),
+                            ("misses", Json::Uint(r.misses)),
+                            ("interrupts", Json::Uint(r.interrupts)),
+                            ("elapsed_ms", Json::Float(r.elapsed_ms)),
+                            ("refs_per_sec", Json::Float(r.refs_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = out.save(&json).expect("write results/throughput artifacts");
+    let mut rendered = json.render();
+    rendered.push('\n');
+    std::fs::write("BENCH_throughput.json", &rendered).expect("write BENCH_throughput.json");
+    println!("(saved {} and BENCH_throughput.json)", path.display());
+}

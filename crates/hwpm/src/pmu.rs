@@ -40,6 +40,11 @@ pub enum Interrupt {
 #[derive(Debug, Clone)]
 pub struct Pmu {
     counters: Vec<RegionCounter>,
+    /// How many of `counters` are currently enabled. Maintained by
+    /// [`Pmu::program_counter`]/[`Pmu::disable_counter`] so
+    /// [`Pmu::record_miss`] can skip the counter scan entirely on the
+    /// (common) uninstrumented path where every counter is disabled.
+    enabled_count: usize,
     /// Counts every cache miss regardless of address (the paper's extra
     /// "global" counter used to compute each region's percentage).
     global: u64,
@@ -90,6 +95,7 @@ impl Pmu {
     pub fn new(cfg: &PmuConfig) -> Self {
         Pmu {
             counters: vec![RegionCounter::new(); cfg.region_counters],
+            enabled_count: 0,
             global: 0,
             last_miss: None,
             overflow_remaining: None,
@@ -131,12 +137,18 @@ impl Pmu {
     /// Program region counter `id` to count misses in `[base, bound)`.
     pub fn program_counter(&mut self, id: CounterId, base: Addr, bound: Addr) {
         self.activity.counter_programs += 1;
+        if !self.counters[id.index()].enabled() {
+            self.enabled_count += 1;
+        }
         self.counters[id.index()].program(base, bound);
     }
 
     /// Disable region counter `id`.
     pub fn disable_counter(&mut self, id: CounterId) {
         self.activity.counter_disables += 1;
+        if self.counters[id.index()].enabled() {
+            self.enabled_count -= 1;
+        }
         self.counters[id.index()].disable();
     }
 
@@ -250,8 +262,10 @@ impl Pmu {
             Some(f) => f.observe_miss(addr),
             None => addr,
         });
-        for c in &mut self.counters {
-            c.observe(addr);
+        if self.enabled_count > 0 {
+            for c in &mut self.counters {
+                c.observe(addr);
+            }
         }
         let mut at_threshold = false;
         if let Some(rem) = &mut self.overflow_remaining {
@@ -306,6 +320,25 @@ impl Pmu {
     /// Is an interrupt currently latched?
     pub fn has_pending(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Could this PMU latch (or already hold) an interrupt?
+    ///
+    /// `false` means the PMU is completely idle for interrupt purposes:
+    /// nothing is pending, no overflow countdown or timer is armed, and
+    /// no fault model exists that could inject a spurious latch. In that
+    /// state [`Pmu::record_miss`] and [`Pmu::check_timer`] provably
+    /// cannot change it — record_miss with no armed countdown never
+    /// latches, and there is no fault model to conjure one — so an
+    /// engine may batch per-access interrupt polls away. Any transition
+    /// back to `true` requires an explicit register write (arming), which
+    /// only handler code can perform.
+    #[inline]
+    pub fn can_latch(&self) -> bool {
+        self.pending.is_some()
+            || self.overflow_remaining.is_some()
+            || self.timer_deadline.is_some()
+            || self.faults.is_some()
     }
 
     /// Extra virtual cycles the engine must charge before delivering the
@@ -518,6 +551,52 @@ mod tests {
             assert_eq!(p.read_and_clear_global(), live);
             assert_eq!(p.read_global(), 0);
         }
+    }
+
+    #[test]
+    fn can_latch_tracks_armed_state() {
+        let mut p = pmu(1);
+        assert!(!p.can_latch());
+        p.arm_miss_overflow(2);
+        assert!(p.can_latch());
+        p.record_miss(1);
+        p.record_miss(2);
+        assert!(p.can_latch()); // pending slot occupied
+        p.take_pending();
+        assert!(!p.can_latch());
+        p.arm_timer(10);
+        assert!(p.can_latch());
+        p.disarm_timer();
+        assert!(!p.can_latch());
+        // A fault model can inject spurious latches at any miss, so its
+        // mere presence keeps the PMU latch-capable.
+        let f = Pmu::with_faults(
+            &PmuConfig { region_counters: 1 },
+            &crate::FaultConfig {
+                spurious_rate: 0.1,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert!(f.can_latch());
+    }
+
+    #[test]
+    fn enabled_mask_survives_reprogram_and_double_disable() {
+        let mut p = pmu(2);
+        p.program_counter(CounterId(0), 0, 100);
+        p.program_counter(CounterId(0), 0, 50); // reprogram: still one enabled
+        p.record_miss(10);
+        assert_eq!(p.read_counter(CounterId(0)), 1);
+        p.disable_counter(CounterId(0));
+        p.disable_counter(CounterId(0)); // double disable must not underflow
+        p.record_miss(10); // scan skipped: nothing enabled
+        p.program_counter(CounterId(1), 0, 100);
+        p.record_miss(10);
+        assert_eq!(p.read_counter(CounterId(1)), 1);
+        // Disabled counters retain their last count and must not have
+        // advanced past it.
+        assert_eq!(p.read_counter(CounterId(0)), 1);
     }
 
     #[test]

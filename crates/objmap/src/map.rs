@@ -29,6 +29,26 @@ pub struct ObjectMap {
     coalesce_sites: bool,
     /// Live block count per object id (used to retire coalesced sites).
     live_blocks: Vec<u32>,
+    /// One-entry memo of the last successful [`ObjectMap::lookup`]: the
+    /// containing leaf extent, its id, and the simulated accesses the
+    /// structures made resolving it. Miss addresses cluster (streaming
+    /// sweeps, pointer chases within one block), so consecutive samples
+    /// usually land in the same leaf and skip both walks entirely.
+    memo: Option<LookupMemo>,
+}
+
+/// See [`ObjectMap::lookup`]. Any address inside `[base, end)` follows the
+/// same symbol-table search path and the same heap-tree walk as the
+/// memoised address (leaf extents contain no other extent's boundary, so
+/// every comparison resolves identically), which makes replaying the saved
+/// trace exactly equivalent to re-running the walks.
+#[derive(Debug, Clone)]
+struct LookupMemo {
+    base: Addr,
+    end: Addr,
+    id: ObjectId,
+    reads: Vec<Addr>,
+    writes: Vec<Addr>,
 }
 
 impl ObjectMap {
@@ -77,6 +97,7 @@ impl ObjectMap {
             objects,
             coalesce_sites,
             live_blocks,
+            memo: None,
         }
     }
 
@@ -112,6 +133,7 @@ impl ObjectMap {
         name: Option<&str>,
         trace: &mut AccessTrace,
     ) -> ObjectId {
+        self.memo = None;
         let end = base + size.max(1);
         if self.coalesce_sites {
             if let Some(n) = name {
@@ -155,6 +177,7 @@ impl ObjectMap {
     /// block's object id if the base was known. A coalesced site stays
     /// live until its last block is freed.
     pub fn on_free(&mut self, base: Addr, trace: &mut AccessTrace) -> Option<ObjectId> {
+        self.memo = None;
         let (_, id) = self.heap.remove(base, trace)?;
         let i = id.index();
         self.live_blocks[i] = self.live_blocks[i].saturating_sub(1);
@@ -168,11 +191,35 @@ impl ObjectMap {
     ///
     /// Checks the (static, cheap) symbol table first, then the heap tree —
     /// the segments are disjoint so order only affects the recorded trace.
-    pub fn lookup(&self, addr: Addr, trace: &mut AccessTrace) -> Option<ObjectId> {
-        if let Some((_, _, id)) = self.symtab.lookup(addr, trace) {
-            return Some(id);
+    ///
+    /// Successful lookups are memoised per containing leaf extent: a
+    /// repeat hit in the same global or heap block replays the saved
+    /// access trace instead of re-walking the structures, producing an
+    /// identical result *and* identical recorded accesses (see
+    /// [`LookupMemo`]). The memo is invalidated by any allocator event.
+    pub fn lookup(&mut self, addr: Addr, trace: &mut AccessTrace) -> Option<ObjectId> {
+        if let Some(m) = &self.memo {
+            if addr >= m.base && addr < m.end {
+                trace.reads.extend_from_slice(&m.reads);
+                trace.writes.extend_from_slice(&m.writes);
+                return Some(m.id);
+            }
         }
-        self.heap.lookup(addr, trace).map(|(_, _, id)| id)
+        let r0 = trace.reads.len();
+        let w0 = trace.writes.len();
+        let hit = self
+            .symtab
+            .lookup(addr, trace)
+            .or_else(|| self.heap.lookup(addr, trace));
+        let (base, end, id) = hit?;
+        self.memo = Some(LookupMemo {
+            base,
+            end,
+            id,
+            reads: trace.reads[r0..].to_vec(),
+            writes: trace.writes[w0..].to_vec(),
+        });
+        Some(id)
     }
 
     /// The smallest base and largest end over all *live* objects.
@@ -284,7 +331,7 @@ mod tests {
 
     #[test]
     fn resolves_globals_by_name() {
-        let m = map();
+        let mut m = map();
         let id = m.lookup(0x1000_2080, &mut t()).unwrap();
         assert_eq!(m.object(id).name, "B");
         assert!(m.lookup(0x1000_1000, &mut t()).is_none(), "gap");
@@ -452,6 +499,51 @@ mod tests {
         let a = m.on_alloc(0x1_4100_0000, 0x1000, Some("node"), &mut t());
         let b = m.on_alloc(0x1_4100_1000, 0x1000, Some("node"), &mut t());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memoised_lookup_replays_an_identical_trace() {
+        let mut with_memo = map();
+        let heap = 0x1_4100_0000u64;
+        with_memo.on_alloc(heap, 0x4000, Some("node"), &mut t());
+
+        // Reference traces from a cold map (fresh memo each time).
+        let cold = |addr: u64| {
+            let mut m = map();
+            m.on_alloc(heap, 0x4000, Some("node"), &mut t());
+            let mut tr = t();
+            let id = m.lookup(addr, &mut tr);
+            (id, tr.reads, tr.writes)
+        };
+
+        // Repeated hits inside the same block (and the same global) must
+        // return the same id and record the same simulated accesses as an
+        // un-memoised walk — the engine charges by this trace.
+        for addr in [
+            heap + 8,
+            heap + 0x1000,
+            heap + 0x3fff,
+            0x1000_2080,
+            0x1000_2100,
+            heap + 64,
+        ] {
+            let mut tr = t();
+            let id = with_memo.lookup(addr, &mut tr);
+            let (cold_id, cold_reads, cold_writes) = cold(addr);
+            assert_eq!(id, cold_id, "addr {addr:#x}");
+            assert_eq!(tr.reads, cold_reads, "addr {addr:#x}");
+            assert_eq!(tr.writes, cold_writes, "addr {addr:#x}");
+        }
+
+        // A gap address misses without poisoning the memo.
+        assert_eq!(with_memo.lookup(0x1000_1000, &mut t()), None);
+
+        // Allocator events invalidate: after freeing the block, a lookup
+        // inside it must miss even though the memo pointed there.
+        let id = with_memo.lookup(heap + 8, &mut t());
+        assert!(id.is_some());
+        with_memo.on_free(heap, &mut t());
+        assert_eq!(with_memo.lookup(heap + 8, &mut t()), None);
     }
 
     #[test]

@@ -37,8 +37,12 @@ pub use metrics::{Histogram, Metrics};
 /// The observability sink: an in-memory event log plus a metrics
 /// registry. One per engine run; harvest it afterwards with
 /// [`Obs::events`] / [`Obs::to_jsonl`] or snapshot [`Obs::metrics`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Obs {
+    /// When `false`, [`Obs::emit`] is a single inlined branch and the
+    /// sink records nothing — the hot path pays one predictable-taken
+    /// test per event instead of a call into the match below.
+    enabled: bool,
     events: Vec<ObsEvent>,
     /// The metrics registry. Layers may record directly (e.g. the
     /// searcher's priority-queue depth); [`Obs::emit`] also derives
@@ -47,13 +51,47 @@ pub struct Obs {
     last_interrupt_at: Option<u64>,
 }
 
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            enabled: true,
+            events: Vec::new(),
+            metrics: Metrics::default(),
+            last_interrupt_at: None,
+        }
+    }
+}
+
 impl Obs {
     pub fn new() -> Self {
         Obs::default()
     }
 
+    /// A sink that drops everything: for throughput runs where even the
+    /// tool-side bookkeeping (event vector pushes, metric updates) is
+    /// unwanted wall-clock overhead.
+    pub fn disabled() -> Self {
+        Obs {
+            enabled: false,
+            ..Obs::default()
+        }
+    }
+
+    /// Is the sink recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Record one event (and fold it into the derived metrics).
+    #[inline]
     pub fn emit(&mut self, ev: ObsEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.emit_enabled(ev);
+    }
+
+    fn emit_enabled(&mut self, ev: ObsEvent) {
         self.metrics.inc("obs.events");
         match &ev {
             ObsEvent::Interrupt { now, kind } => {
@@ -266,6 +304,25 @@ mod tests {
         assert_eq!(obs.metrics.counter("campaign.cells_completed"), 1);
         assert_eq!(obs.metrics.counter("campaign.retries"), 1);
         assert_eq!(obs.metrics.counter("campaign.panics"), 1);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.emit(ObsEvent::Interrupt {
+            now: 100,
+            kind: "timer",
+        });
+        obs.emit(ObsEvent::Alloc {
+            now: 200,
+            base: 0x1000,
+            size: 64,
+            name: None,
+        });
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.metrics.counter("obs.events"), 0);
+        assert_eq!(obs.metrics.counter("engine.interrupts.timer"), 0);
     }
 
     #[test]

@@ -20,26 +20,27 @@ pub struct AccessOutcome {
     pub wrote_back: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    last_used: u64,
-    valid: bool,
-    dirty: bool,
-}
-
-const INVALID: Line = Line {
-    tag: 0,
-    last_used: 0,
-    valid: false,
-    dirty: false,
-};
+/// Tag-word flag: the way holds a valid line.
+const VALID: u64 = 1 << 63;
+/// Tag-word flag: the line has been written since allocation.
+const DIRTY: u64 = 1 << 62;
+const FLAGS: u64 = VALID | DIRTY;
 
 /// A set-associative cache with LRU replacement.
+///
+/// Storage is struct-of-arrays: `tags` packs valid/dirty into the two
+/// top bits of each tag word so the hit-path way scan walks a single
+/// dense `u64` array (one or two cache lines per set), and the LRU/FIFO
+/// stamps live in a parallel array that the hit path only touches when
+/// the policy actually reads stamps (never for [`ReplacementPolicy::PseudoRandom`]).
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    lines: Vec<Line>,
+    /// Per-way tag words: bit 63 = valid, bit 62 = dirty, low bits = tag.
+    tags: Vec<u64>,
+    /// Per-way recency/insertion stamps, parallel to `tags`. Not
+    /// maintained under the pseudo-random policy (never read there).
+    stamps: Vec<u64>,
     set_count: u64,
     set_shift: u32,
     set_mask: u64,
@@ -59,10 +60,12 @@ impl SetAssocCache {
         cfg.validate();
         let set_count = cfg.num_sets();
         let assoc = cfg.assoc as usize;
+        let ways = (set_count as usize) * assoc;
         SetAssocCache {
             set_shift: cfg.line_bytes.trailing_zeros(),
             set_mask: set_count - 1,
-            lines: vec![INVALID; (set_count as usize) * assoc],
+            tags: vec![0; ways],
+            stamps: vec![0; ways],
             set_count,
             assoc,
             cfg,
@@ -105,27 +108,39 @@ impl SetAssocCache {
     }
 
     /// Apply one memory reference; returns hit/miss and any eviction.
-    #[inline]
+    /// `inline(always)`: see [`crate::Engine`]'s `hierarchy_access` — the
+    /// engine's per-reference chain must collapse into its loops.
+    #[inline(always)]
     pub fn access(&mut self, r: MemRef) -> AccessOutcome {
         self.accesses += 1;
         self.stamp += 1;
         let policy = self.cfg.policy;
         let tag = self.tag_of(r.addr);
+        debug_assert!(tag & FLAGS == 0, "address too high for packed tags");
         let base = self.set_of(r.addr);
-        let set = &mut self.lines[base..base + self.assoc];
+        let assoc = self.assoc;
+        let want = tag | VALID;
+        let is_write = r.kind == crate::memref::AccessKind::Write;
 
-        // Hit path: linear scan of the (small) set. Track the oldest
-        // valid way and the first invalid way for victim selection.
+        // Single fused scan over the (small) set: the hit test walks the
+        // dense tag words (dirty bit masked off so valid lines match
+        // regardless of dirtiness), while the same pass tracks the first
+        // invalid way and the minimum-stamp way so a miss needs no
+        // second sweep. Stamp reads are wasted work only under the
+        // pseudo-random policy, which never consults them.
+        let tags = &mut self.tags[base..base + assoc];
+        let stamps = &mut self.stamps[base..base + assoc];
+        let mut invalid: Option<usize> = None;
         let mut oldest = 0usize;
         let mut oldest_stamp = u64::MAX;
-        let mut invalid: Option<usize> = None;
-        for (i, line) in set.iter_mut().enumerate() {
-            if line.valid && line.tag == tag {
-                if policy == ReplacementPolicy::Lru {
-                    line.last_used = self.stamp;
+        for i in 0..assoc {
+            let t = tags[i];
+            if t & !DIRTY == want {
+                if is_write {
+                    tags[i] |= DIRTY;
                 }
-                if r.kind == crate::memref::AccessKind::Write {
-                    line.dirty = true;
+                if policy == ReplacementPolicy::Lru {
+                    stamps[i] = self.stamp;
                 }
                 return AccessOutcome {
                     hit: true,
@@ -133,11 +148,11 @@ impl SetAssocCache {
                     wrote_back: false,
                 };
             }
-            if !line.valid {
+            if t & VALID == 0 {
                 invalid.get_or_insert(i);
-            } else if line.last_used < oldest_stamp {
+            } else if stamps[i] < oldest_stamp {
                 oldest = i;
-                oldest_stamp = line.last_used;
+                oldest_stamp = stamps[i];
             }
         }
 
@@ -145,27 +160,27 @@ impl SetAssocCache {
         // Invalid ways fill first under every policy; otherwise LRU and
         // FIFO both evict the minimum stamp (they differ in whether hits
         // refresh it), and PseudoRandom picks a deterministic random way.
-        let victim = invalid.unwrap_or_else(|| match policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => oldest,
-            ReplacementPolicy::PseudoRandom => {
-                self.prng ^= self.prng << 13;
-                self.prng ^= self.prng >> 7;
-                self.prng ^= self.prng << 17;
-                (self.prng % self.assoc as u64) as usize
-            }
-        });
-        let evicted = if set[victim].valid {
-            Some(set[victim].tag << self.set_shift)
-        } else {
-            None
+        let victim = match invalid {
+            Some(i) => i,
+            None => match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => oldest,
+                ReplacementPolicy::PseudoRandom => {
+                    self.prng ^= self.prng << 13;
+                    self.prng ^= self.prng >> 7;
+                    self.prng ^= self.prng << 17;
+                    (self.prng % assoc as u64) as usize
+                }
+            },
         };
-        let wrote_back = set[victim].valid && set[victim].dirty;
-        set[victim] = Line {
-            tag,
-            last_used: self.stamp,
-            valid: true,
-            dirty: r.kind == crate::memref::AccessKind::Write,
-        };
+        let old = self.tags[base + victim];
+        let evicted = (old & VALID != 0).then(|| (old & !FLAGS) << self.set_shift);
+        let wrote_back = old & FLAGS == FLAGS;
+        self.tags[base + victim] = want | if is_write { DIRTY } else { 0 };
+        if policy != ReplacementPolicy::PseudoRandom {
+            // Insertion stamp (LRU recency / FIFO age). Pseudo-random
+            // never reads stamps, so it skips the write entirely.
+            self.stamps[base + victim] = self.stamp;
+        }
         AccessOutcome {
             hit: false,
             evicted,
@@ -176,16 +191,17 @@ impl SetAssocCache {
     /// Is the line containing `addr` currently resident? (Does not count as
     /// an access and does not update LRU state.)
     pub fn contains(&self, addr: Addr) -> bool {
-        let tag = self.tag_of(addr);
+        let want = self.tag_of(addr) | VALID;
         let base = self.set_of(addr);
-        self.lines[base..base + self.assoc]
+        self.tags[base..base + self.assoc]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|&t| t & !DIRTY == want)
     }
 
     /// Invalidate the whole cache and reset statistics.
     pub fn flush(&mut self) {
-        self.lines.fill(INVALID);
+        self.tags.fill(0);
+        self.stamps.fill(0);
         self.stamp = 0;
         self.prng = 0x9E37_79B9_7F4A_7C15;
         self.accesses = 0;
@@ -194,7 +210,7 @@ impl SetAssocCache {
 
     /// Number of currently valid lines (occupancy).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t & VALID != 0).count()
     }
 
     /// Number of sets in the cache.
@@ -573,6 +589,216 @@ mod policy_tests {
             });
             c.access(rd(0));
             assert_eq!(c.access(rd(256)).evicted, Some(0), "{policy:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod packed_equivalence_tests {
+    //! The pre-packing array-of-structs cache, retained verbatim as the
+    //! reference model the packed SoA layout is pinned against.
+
+    use super::*;
+    use crate::memref::{AccessKind, MemRef};
+    use crate::rng::SmallRng;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Line {
+        tag: u64,
+        last_used: u64,
+        valid: bool,
+        dirty: bool,
+    }
+
+    const INVALID: Line = Line {
+        tag: 0,
+        last_used: 0,
+        valid: false,
+        dirty: false,
+    };
+
+    struct NaiveCache {
+        policy: ReplacementPolicy,
+        lines: Vec<Line>,
+        set_shift: u32,
+        set_mask: u64,
+        assoc: usize,
+        stamp: u64,
+        prng: u64,
+    }
+
+    impl NaiveCache {
+        fn new(cfg: &CacheConfig) -> Self {
+            NaiveCache {
+                policy: cfg.policy,
+                lines: vec![INVALID; (cfg.num_sets() as usize) * cfg.assoc as usize],
+                set_shift: cfg.line_bytes.trailing_zeros(),
+                set_mask: cfg.num_sets() - 1,
+                assoc: cfg.assoc as usize,
+                stamp: 0,
+                prng: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        fn access(&mut self, r: MemRef) -> AccessOutcome {
+            self.stamp += 1;
+            let tag = r.addr >> self.set_shift;
+            let base = (((r.addr >> self.set_shift) & self.set_mask) as usize) * self.assoc;
+            let set = &mut self.lines[base..base + self.assoc];
+            let mut oldest = 0usize;
+            let mut oldest_stamp = u64::MAX;
+            let mut invalid: Option<usize> = None;
+            for (i, line) in set.iter_mut().enumerate() {
+                if line.valid && line.tag == tag {
+                    if self.policy == ReplacementPolicy::Lru {
+                        line.last_used = self.stamp;
+                    }
+                    if r.kind == AccessKind::Write {
+                        line.dirty = true;
+                    }
+                    return AccessOutcome {
+                        hit: true,
+                        evicted: None,
+                        wrote_back: false,
+                    };
+                }
+                if !line.valid {
+                    invalid.get_or_insert(i);
+                } else if line.last_used < oldest_stamp {
+                    oldest = i;
+                    oldest_stamp = line.last_used;
+                }
+            }
+            let victim = invalid.unwrap_or_else(|| match self.policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => oldest,
+                ReplacementPolicy::PseudoRandom => {
+                    self.prng ^= self.prng << 13;
+                    self.prng ^= self.prng >> 7;
+                    self.prng ^= self.prng << 17;
+                    (self.prng % self.assoc as u64) as usize
+                }
+            });
+            let evicted = set[victim].valid.then(|| set[victim].tag << self.set_shift);
+            let wrote_back = set[victim].valid && set[victim].dirty;
+            set[victim] = Line {
+                tag,
+                last_used: self.stamp,
+                valid: true,
+                dirty: r.kind == AccessKind::Write,
+            };
+            AccessOutcome {
+                hit: false,
+                evicted,
+                wrote_back,
+            }
+        }
+
+        fn contains(&self, addr: u64) -> bool {
+            let tag = addr >> self.set_shift;
+            let base = (((addr >> self.set_shift) & self.set_mask) as usize) * self.assoc;
+            self.lines[base..base + self.assoc]
+                .iter()
+                .any(|l| l.valid && l.tag == tag)
+        }
+
+        fn valid_lines(&self) -> usize {
+            self.lines.iter().filter(|l| l.valid).count()
+        }
+    }
+
+    /// Seeded randomized replay of mixed read/write streams: every
+    /// outcome (hit, eviction address, write-back), residency probe and
+    /// occupancy count of the packed layout must equal the naive model,
+    /// for every replacement policy and several geometries.
+    #[test]
+    fn packed_layout_matches_naive_model_for_all_policies() {
+        let mut rng = SmallRng::seed_from_u64(0x009A_CCED);
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::PseudoRandom,
+        ] {
+            for case in 0..24 {
+                let assoc = [1u32, 2, 4, 8][case % 4];
+                let cfg = CacheConfig {
+                    size_bytes: 4096,
+                    line_bytes: 64,
+                    assoc,
+                    hit_cycles: 1,
+                    miss_penalty: 10,
+                    writeback_penalty: 5,
+                    policy,
+                };
+                let mut packed = SetAssocCache::new(cfg.clone());
+                let mut naive = NaiveCache::new(&cfg);
+                let n = rng.random_range(200usize..1200);
+                for step in 0..n {
+                    let addr = rng.random_range(0u64..16384);
+                    let r = if rng.random_range(0u64..4) == 0 {
+                        MemRef::write(addr, 8)
+                    } else {
+                        MemRef::read(addr, 8)
+                    };
+                    let got = packed.access(r);
+                    let want = naive.access(r);
+                    assert_eq!(
+                        got, want,
+                        "{policy:?} case {case} step {step} addr {addr:#x}"
+                    );
+                    assert_eq!(
+                        packed.contains(addr),
+                        naive.contains(addr),
+                        "{policy:?} case {case} step {step}"
+                    );
+                }
+                assert_eq!(
+                    packed.valid_lines(),
+                    naive.valid_lines(),
+                    "{policy:?} {case}"
+                );
+                assert_eq!(packed.accesses(), n as u64);
+            }
+        }
+    }
+
+    /// Flushing must reset stamps and the policy PRNG so post-flush
+    /// behaviour replays a fresh cache exactly.
+    #[test]
+    fn flush_restores_fresh_cache_behaviour() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::PseudoRandom,
+        ] {
+            let cfg = CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                assoc: 2,
+                hit_cycles: 1,
+                miss_penalty: 10,
+                writeback_penalty: 5,
+                policy,
+            };
+            let trace: Vec<MemRef> = (0..200)
+                .map(|i| {
+                    let addr = (i * 37) % 4096;
+                    if i % 5 == 0 {
+                        MemRef::write(addr, 8)
+                    } else {
+                        MemRef::read(addr, 8)
+                    }
+                })
+                .collect();
+            let mut fresh = SetAssocCache::new(cfg.clone());
+            let fresh_out: Vec<AccessOutcome> = trace.iter().map(|&r| fresh.access(r)).collect();
+            let mut flushed = SetAssocCache::new(cfg);
+            for &r in &trace {
+                flushed.access(r);
+            }
+            flushed.flush();
+            let flushed_out: Vec<AccessOutcome> =
+                trace.iter().map(|&r| flushed.access(r)).collect();
+            assert_eq!(fresh_out, flushed_out, "{policy:?}");
         }
     }
 }

@@ -45,9 +45,11 @@ pub use cache::{AccessOutcome, SetAssocCache};
 pub use config::{CacheConfig, ReplacementPolicy, SimConfig};
 pub use engine::{Engine, EngineCtx, Handler, NullHandler, RunLimit};
 pub use memref::{AccessKind, MemRef};
-pub use program::{Event, ObjectDecl, ObjectKind, Program, TraceProgram};
+pub use program::{
+    Event, EventChunk, ObjectDecl, ObjectKind, Program, TraceProgram, CHUNK_CAPACITY,
+};
 pub use stats::{Counts, ObjectStats, RunStats, Timeline, TimelineConfig};
-pub use tracefile::{RecordingProgram, TraceReader};
+pub use tracefile::{AnyTraceReader, BinTraceReader, RecordingProgram, TraceFormat, TraceReader};
 
 /// A simulated (virtual) memory address.
 pub type Addr = u64;

@@ -72,6 +72,169 @@ pub enum Event {
     Phase(u32),
 }
 
+/// Default capacity (in events) of an [`EventChunk`] as sized by
+/// [`EventChunk::default`]. Large enough to amortise per-chunk dispatch
+/// to nothing, small enough that an over-pulled tail (events generated
+/// past a [`crate::RunLimit`]) stays cheap.
+pub const CHUNK_CAPACITY: usize = 1024;
+
+/// A reusable batch of program events, stored run-length style.
+///
+/// Memory accesses — overwhelmingly the common event — are stored densely
+/// in `refs`. The rare control events (Compute/Alloc/Free/Phase) are kept
+/// out-of-line in `marks` as `(position, event)` pairs: a mark at position
+/// `p` executes immediately *before* `refs[p]`. Positions are
+/// non-decreasing; several control events at the same position execute in
+/// `marks` order. Marks at `position == refs.len()` trail the last access.
+///
+/// The flattened sequence (marks interleaved into the access run at their
+/// positions) is exactly the event stream `next_event` would have
+/// produced, so a consumer that walks the chunk in order sees identical
+/// semantics — it just gets the accesses as a dense `&[MemRef]` run it
+/// can iterate without an enum decode per event.
+///
+/// Loop workloads emit a `Compute` immediately before nearly every
+/// access; storing each as a full mark costs a wide `(u32, Event)` write
+/// per access. [`EventChunk::push_compute_ref`] instead records the pair
+/// densely: `pre_cycles[i]` holds the compute cycles charged immediately
+/// before `refs[i]` — after any marks at position `i` — and `pre_cycles`
+/// is either empty (unused) or exactly `refs.len()` long, with `0`
+/// meaning "no compute before this access".
+#[derive(Debug, Clone, Default)]
+pub struct EventChunk {
+    /// Dense access run, in program order.
+    pub refs: Vec<MemRef>,
+    /// Control events, as (index into the access run, event) pairs.
+    pub marks: Vec<(u32, Event)>,
+    /// Compute cycles charged immediately before the same-index access
+    /// (empty when no producer used [`EventChunk::push_compute_ref`]).
+    pub pre_cycles: Vec<Cycle>,
+    /// How many entries of `pre_cycles` are nonzero (distinct events).
+    pre_count: usize,
+    capacity: usize,
+}
+
+impl EventChunk {
+    /// An empty chunk that fills up to `capacity` total events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "chunk capacity must be nonzero");
+        EventChunk {
+            refs: Vec::with_capacity(capacity),
+            marks: Vec::new(),
+            pre_cycles: Vec::new(),
+            pre_count: 0,
+            capacity,
+        }
+    }
+
+    /// The standard engine-sized chunk ([`CHUNK_CAPACITY`] events).
+    pub fn standard() -> Self {
+        EventChunk::with_capacity(CHUNK_CAPACITY)
+    }
+
+    /// Total events held (accesses, control marks and fused computes).
+    pub fn len(&self) -> usize {
+        self.refs.len() + self.marks.len() + self.pre_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty() && self.marks.is_empty()
+    }
+
+    /// Room left before the chunk is full.
+    pub fn remaining(&self) -> usize {
+        self.capacity.saturating_sub(self.len())
+    }
+
+    /// Is the chunk at capacity?
+    pub fn is_full(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Clear contents, keeping allocations (call before refilling).
+    pub fn reset(&mut self) {
+        self.refs.clear();
+        self.marks.clear();
+        self.pre_cycles.clear();
+        self.pre_count = 0;
+        if self.capacity == 0 {
+            self.capacity = CHUNK_CAPACITY;
+        }
+    }
+
+    /// Append one access. Caller must ensure the chunk is not full.
+    #[inline]
+    pub fn push_ref(&mut self, r: MemRef) {
+        debug_assert!(!self.is_full());
+        if !self.pre_cycles.is_empty() {
+            self.pre_cycles.push(0);
+        }
+        self.refs.push(r);
+    }
+
+    /// Append a `Compute(cycles)` event immediately followed by an access
+    /// — the pair loop workloads emit every iteration. The compute lands
+    /// in the dense `pre_cycles` side array instead of a mark; the
+    /// flattened order is unchanged (marks at this position, then the
+    /// compute, then the access). Counts as two events when `cycles > 0`.
+    #[inline]
+    pub fn push_compute_ref(&mut self, cycles: Cycle, r: MemRef) {
+        debug_assert!(!self.is_full());
+        if cycles > 0 {
+            // Lazily materialise the zeros for earlier plain accesses.
+            if self.pre_cycles.len() < self.refs.len() {
+                self.pre_cycles.resize(self.refs.len(), 0);
+            }
+            self.pre_cycles.push(cycles);
+            self.pre_count += 1;
+        } else if !self.pre_cycles.is_empty() {
+            self.pre_cycles.push(0);
+        }
+        self.refs.push(r);
+    }
+
+    /// Append one control event at the current position. Caller must
+    /// ensure the chunk is not full.
+    #[inline]
+    pub fn push_mark(&mut self, e: Event) {
+        debug_assert!(!self.is_full());
+        debug_assert!(!matches!(e, Event::Access(_)), "accesses go in refs");
+        self.marks.push((self.refs.len() as u32, e));
+    }
+
+    /// Append any event, routing accesses to the dense run.
+    #[inline]
+    pub fn push_event(&mut self, e: Event) {
+        match e {
+            Event::Access(r) => self.push_ref(r),
+            other => self.push_mark(other),
+        }
+    }
+
+    /// Flatten back into a plain event sequence (tests, adapters).
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut mi = 0;
+        for (i, r) in self.refs.iter().enumerate() {
+            while mi < self.marks.len() && self.marks[mi].0 as usize == i {
+                out.push(self.marks[mi].1.clone());
+                mi += 1;
+            }
+            if let Some(&c) = self.pre_cycles.get(i) {
+                if c > 0 {
+                    out.push(Event::Compute(c));
+                }
+            }
+            out.push(Event::Access(*r));
+        }
+        while mi < self.marks.len() {
+            out.push(self.marks[mi].1.clone());
+            mi += 1;
+        }
+        out
+    }
+}
+
 /// A simulated program: static object declarations plus an event stream.
 pub trait Program {
     /// Short name of the application (used in reports).
@@ -83,6 +246,24 @@ pub trait Program {
 
     /// Produce the next event, or `None` when the program has finished.
     fn next_event(&mut self) -> Option<Event>;
+
+    /// Fill `buf` with the next batch of events and return how many were
+    /// added (0 means end of program). `buf` arrives reset.
+    ///
+    /// The default implementation adapts [`Program::next_event`]; hot
+    /// producers override it to fill the dense access run directly. The
+    /// flattened contents of `buf` must equal what repeated `next_event`
+    /// calls would have produced — the engine relies on this to keep
+    /// chunked execution bit-identical to scalar execution.
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        while !buf.is_full() {
+            match self.next_event() {
+                Some(e) => buf.push_event(e),
+                None => break,
+            }
+        }
+        buf.len()
+    }
 }
 
 impl<P: Program + ?Sized> Program for Box<P> {
@@ -97,6 +278,10 @@ impl<P: Program + ?Sized> Program for Box<P> {
     fn next_event(&mut self) -> Option<Event> {
         (**self).next_event()
     }
+
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        (**self).next_chunk(buf)
+    }
 }
 
 /// A trivial program defined by a pre-materialised event list. Useful in
@@ -105,7 +290,7 @@ impl<P: Program + ?Sized> Program for Box<P> {
 pub struct TraceProgram {
     name: String,
     objects: Vec<ObjectDecl>,
-    events: std::vec::IntoIter<Event>,
+    events: std::iter::Peekable<std::vec::IntoIter<Event>>,
 }
 
 impl TraceProgram {
@@ -113,7 +298,7 @@ impl TraceProgram {
         TraceProgram {
             name: name.into(),
             objects,
-            events: events.into_iter(),
+            events: events.into_iter().peekable(),
         }
     }
 }
@@ -129,6 +314,36 @@ impl Program for TraceProgram {
 
     fn next_event(&mut self) -> Option<Event> {
         self.events.next()
+    }
+
+    /// Chunked replay with `Compute` → `Access` pair fusion: a compute
+    /// directly followed by an access lands in the dense `pre_cycles`
+    /// side array. This keeps replayed traces on the same fast engine
+    /// path as live loop workloads, and routes every trace-driven test
+    /// through the fused representation.
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        // A fused pair counts as two events; stop while two slots remain
+        // so the pair never splits across a chunk boundary.
+        while buf.remaining() >= 2 {
+            match self.events.next() {
+                Some(Event::Compute(c)) if matches!(self.events.peek(), Some(Event::Access(_))) => {
+                    let Some(Event::Access(r)) = self.events.next() else {
+                        unreachable!("peek said access");
+                    };
+                    buf.push_compute_ref(c, r);
+                }
+                Some(e) => buf.push_event(e),
+                None => break,
+            }
+        }
+        if buf.is_empty() && !buf.is_full() {
+            // Capacity-1 chunk: fall back to a single unfused event so a
+            // nonempty stream never reports end-of-program.
+            if let Some(e) = self.events.next() {
+                buf.push_event(e);
+            }
+        }
+        buf.len()
     }
 }
 
@@ -153,5 +368,103 @@ mod tests {
         assert_eq!(p.next_event(), Some(Event::Phase(1)));
         assert_eq!(p.next_event(), None);
         assert_eq!(p.next_event(), None);
+    }
+
+    #[test]
+    fn chunk_flattens_to_the_original_event_order() {
+        let events = vec![
+            Event::Compute(3),
+            Event::Access(MemRef::read(0x10, 8)),
+            Event::Access(MemRef::write(0x20, 8)),
+            Event::Phase(1),
+            Event::Compute(2),
+            Event::Access(MemRef::read(0x30, 4)),
+            Event::Free { base: 0x10 },
+        ];
+        let mut p = TraceProgram::new("t", vec![], events.clone());
+        let mut chunk = EventChunk::standard();
+        let n = p.next_chunk(&mut chunk);
+        assert_eq!(n, events.len());
+        assert_eq!(chunk.refs.len(), 3);
+        // Both computes directly precede an access, so they fuse into the
+        // dense side array; Phase and Free stay marks.
+        assert_eq!(chunk.marks.len(), 2);
+        assert_eq!(chunk.pre_cycles, vec![3, 0, 2]);
+        assert_eq!(chunk.to_events(), events);
+        chunk.reset();
+        assert_eq!(p.next_chunk(&mut chunk), 0);
+    }
+
+    #[test]
+    fn fused_compute_flattens_after_marks_at_the_same_position() {
+        let mut chunk = EventChunk::standard();
+        chunk.push_ref(MemRef::read(0x10, 8));
+        chunk.push_mark(Event::Phase(1));
+        chunk.push_compute_ref(7, MemRef::read(0x20, 8));
+        assert_eq!(chunk.len(), 4);
+        assert_eq!(
+            chunk.to_events(),
+            vec![
+                Event::Access(MemRef::read(0x10, 8)),
+                Event::Phase(1),
+                Event::Compute(7),
+                Event::Access(MemRef::read(0x20, 8)),
+            ]
+        );
+    }
+
+    #[test]
+    fn capacity_one_chunks_still_drain_a_fused_stream() {
+        let events = vec![
+            Event::Compute(4),
+            Event::Access(MemRef::read(0x40, 8)),
+            Event::Phase(2),
+        ];
+        let mut p = TraceProgram::new("t", vec![], events.clone());
+        let mut chunk = EventChunk::with_capacity(1);
+        let mut replayed = Vec::new();
+        loop {
+            chunk.reset();
+            if p.next_chunk(&mut chunk) == 0 {
+                break;
+            }
+            replayed.extend(chunk.to_events());
+        }
+        assert_eq!(replayed, events);
+    }
+
+    #[test]
+    fn chunk_capacity_bounds_total_events() {
+        let events: Vec<Event> = (0..10)
+            .flat_map(|i| [Event::Compute(1), Event::Access(MemRef::read(i * 64, 8))])
+            .collect();
+        let mut p = TraceProgram::new("t", vec![], events.clone());
+        let mut chunk = EventChunk::with_capacity(7);
+        let mut replayed = Vec::new();
+        loop {
+            chunk.reset();
+            if p.next_chunk(&mut chunk) == 0 {
+                break;
+            }
+            assert!(chunk.len() <= 7);
+            replayed.extend(chunk.to_events());
+        }
+        assert_eq!(replayed, events);
+    }
+
+    #[test]
+    fn trailing_marks_flatten_after_the_last_access() {
+        let mut chunk = EventChunk::standard();
+        chunk.push_ref(MemRef::read(0x40, 8));
+        chunk.push_mark(Event::Phase(9));
+        chunk.push_mark(Event::Compute(5));
+        assert_eq!(
+            chunk.to_events(),
+            vec![
+                Event::Access(MemRef::read(0x40, 8)),
+                Event::Phase(9),
+                Event::Compute(5),
+            ]
+        );
     }
 }

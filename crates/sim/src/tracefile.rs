@@ -7,7 +7,10 @@
 //! the file later with [`TraceReader`] — which is itself a `Program`, so
 //! a recorded trace can drive any experiment, bit-identically.
 //!
-//! The format is line-oriented text (deterministic, diffable, no external
+//! Two on-disk formats exist behind the same interfaces, selected by
+//! [`TraceFormat`] when recording and auto-detected by magic on replay.
+//!
+//! **Text (v1)** is line-oriented (deterministic, diffable, no external
 //! dependencies):
 //!
 //! ```text
@@ -20,13 +23,42 @@
 //! F <base-hex>                            (heap free)
 //! P <id>                                  (phase marker)
 //! ```
+//!
+//! **Binary (v2)** trades diffability for decode speed: after the magic
+//! `cstrace2` and a header (program name, static objects), the body is a
+//! stream of fixed-width 16-byte little-endian records:
+//!
+//! ```text
+//! Access : [tag=1][kind 0=R/1=W][pad 2][size u32][addr u64]
+//! Compute: [tag=2][pad 7]               [cycles u64]
+//! Alloc  : [tag=3][has_name][len u16][pad 4][base u64] + size u64 + name
+//! Free   : [tag=4][pad 7]               [base u64]
+//! Phase  : [tag=5][pad 3][id u32][pad 8]
+//! ```
+//!
+//! Only `Alloc` carries a variable tail (8-byte size + name bytes); the
+//! hot record — `Access` — is always one aligned 16-byte word, so replay
+//! decodes chunks straight out of the read buffer. Replaying a recorded
+//! trace in either format produces results bit-identical to the live
+//! program.
 
 use std::io::{self, BufRead, Write};
 
 use crate::memref::{AccessKind, MemRef};
-use crate::program::{Event, ObjectDecl, Program};
+use crate::program::{Event, EventChunk, ObjectDecl, Program};
 
 const MAGIC: &str = "cachescope-trace 1";
+const BIN_MAGIC: &[u8; 8] = b"cstrace2";
+
+/// On-disk trace encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Line-oriented text (v1): diffable, the historical default.
+    #[default]
+    Text,
+    /// Fixed-width binary records (v2): compact and fast to replay.
+    Bin,
+}
 
 /// Serialise one event as a trace line.
 fn write_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
@@ -48,18 +80,66 @@ fn write_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
     }
 }
 
+/// Serialise one event as a fixed-width binary record.
+fn write_bin_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
+    let mut rec = [0u8; 16];
+    match ev {
+        Event::Access(r) => {
+            rec[0] = 1;
+            rec[1] = (r.kind == AccessKind::Write) as u8;
+            rec[4..8].copy_from_slice(&r.size.to_le_bytes());
+            rec[8..16].copy_from_slice(&r.addr.to_le_bytes());
+            w.write_all(&rec)
+        }
+        Event::Compute(c) => {
+            rec[0] = 2;
+            rec[8..16].copy_from_slice(&c.to_le_bytes());
+            w.write_all(&rec)
+        }
+        Event::Alloc { base, size, name } => {
+            rec[0] = 3;
+            rec[1] = name.is_some() as u8;
+            let nb = name.as_deref().unwrap_or("").as_bytes();
+            let len = u16::try_from(nb.len()).expect("alloc name too long for binary trace");
+            rec[2..4].copy_from_slice(&len.to_le_bytes());
+            rec[8..16].copy_from_slice(&base.to_le_bytes());
+            w.write_all(&rec)?;
+            w.write_all(&size.to_le_bytes())?;
+            w.write_all(nb)
+        }
+        Event::Free { base } => {
+            rec[0] = 4;
+            rec[8..16].copy_from_slice(&base.to_le_bytes());
+            w.write_all(&rec)
+        }
+        Event::Phase(p) => {
+            rec[0] = 5;
+            rec[4..8].copy_from_slice(&p.to_le_bytes());
+            w.write_all(&rec)
+        }
+    }
+}
+
 /// Wraps a program and tees every event it produces to a writer.
 pub struct RecordingProgram<P: Program, W: Write> {
     inner: P,
     out: W,
+    format: TraceFormat,
     header_written: bool,
 }
 
 impl<P: Program, W: Write> RecordingProgram<P, W> {
+    /// Record in the historical text format.
     pub fn new(inner: P, out: W) -> Self {
+        Self::with_format(inner, out, TraceFormat::Text)
+    }
+
+    /// Record in the given on-disk format.
+    pub fn with_format(inner: P, out: W, format: TraceFormat) -> Self {
         RecordingProgram {
             inner,
             out,
+            format,
             header_written: false,
         }
     }
@@ -72,15 +152,45 @@ impl<P: Program, W: Write> RecordingProgram<P, W> {
 
     fn write_header(&mut self) {
         let mut emit = || -> io::Result<()> {
-            writeln!(self.out, "{MAGIC}")?;
-            writeln!(self.out, "N {}", self.inner.name())?;
-            for o in self.inner.static_objects() {
-                writeln!(self.out, "O {:x} {} {}", o.base, o.size, o.name)?;
+            match self.format {
+                TraceFormat::Text => {
+                    writeln!(self.out, "{MAGIC}")?;
+                    writeln!(self.out, "N {}", self.inner.name())?;
+                    for o in self.inner.static_objects() {
+                        writeln!(self.out, "O {:x} {} {}", o.base, o.size, o.name)?;
+                    }
+                }
+                TraceFormat::Bin => {
+                    self.out.write_all(BIN_MAGIC)?;
+                    let nb = self.inner.name().as_bytes().to_vec();
+                    let len = u16::try_from(nb.len()).expect("program name too long");
+                    self.out.write_all(&len.to_le_bytes())?;
+                    self.out.write_all(&nb)?;
+                    let objects = self.inner.static_objects();
+                    let count = u32::try_from(objects.len()).expect("too many objects");
+                    self.out.write_all(&count.to_le_bytes())?;
+                    for o in objects {
+                        self.out.write_all(&o.base.to_le_bytes())?;
+                        self.out.write_all(&o.size.to_le_bytes())?;
+                        let ob = o.name.as_bytes();
+                        let ol = u16::try_from(ob.len()).expect("object name too long");
+                        self.out.write_all(&ol.to_le_bytes())?;
+                        self.out.write_all(ob)?;
+                    }
+                }
             }
             Ok(())
         };
         emit().expect("trace header write failed");
         self.header_written = true;
+    }
+
+    fn write_one(&mut self, ev: &Event) {
+        match self.format {
+            TraceFormat::Text => write_event(&mut self.out, ev),
+            TraceFormat::Bin => write_bin_event(&mut self.out, ev),
+        }
+        .expect("trace event write failed");
     }
 }
 
@@ -98,8 +208,22 @@ impl<P: Program, W: Write> Program for RecordingProgram<P, W> {
             self.write_header();
         }
         let ev = self.inner.next_event()?;
-        write_event(&mut self.out, &ev).expect("trace event write failed");
+        self.write_one(&ev);
         Some(ev)
+    }
+
+    /// Chunked recording: pull a chunk from the wrapped program, then
+    /// serialise it in flattened (original) event order. Keeps recorded
+    /// runs on the inner program's native chunk path.
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        if !self.header_written {
+            self.write_header();
+        }
+        let n = self.inner.next_chunk(buf);
+        for ev in buf.to_events() {
+            self.write_one(&ev);
+        }
+        n
     }
 }
 
@@ -282,18 +406,281 @@ impl<R: BufRead> Program for TraceReader<R> {
     }
 }
 
-/// Materialise an entire trace into a [`crate::program::TraceProgram`]
-/// (objects and events fully parsed up front). Use for small traces and
-/// tests; use [`TraceReader`] directly to stream large ones.
+/// Streams a binary (v2) trace back as a [`Program`].
+///
+/// The header (magic, name, static objects) is parsed eagerly; body
+/// records decode lazily, and [`Program::next_chunk`] decodes fixed-width
+/// records directly out of the underlying read buffer.
+pub struct BinTraceReader<R: BufRead> {
+    name: String,
+    objects: Vec<ObjectDecl>,
+    reader: R,
+    /// Byte offset of the next unread record (for error reporting).
+    offset: u64,
+}
+
+impl<R: BufRead> BinTraceReader<R> {
+    /// Parse the binary header; fails on a bad magic or truncated header.
+    pub fn new(mut reader: R) -> Result<Self, TraceError> {
+        fn fail(offset: u64, m: String) -> TraceError {
+            TraceError {
+                line: 0,
+                message: format!("{m} (byte offset {offset})"),
+            }
+        }
+        fn read<R: BufRead>(
+            reader: &mut R,
+            offset: &mut u64,
+            buf: &mut [u8],
+            what: &str,
+        ) -> Result<(), TraceError> {
+            reader
+                .read_exact(buf)
+                .map_err(|e| fail(*offset, format!("truncated {what}: {e}")))?;
+            *offset += buf.len() as u64;
+            Ok(())
+        }
+        fn read_str<R: BufRead>(
+            reader: &mut R,
+            offset: &mut u64,
+            what: &str,
+        ) -> Result<String, TraceError> {
+            let mut len = [0u8; 2];
+            read(reader, offset, &mut len, what)?;
+            let mut bytes = vec![0u8; u16::from_le_bytes(len) as usize];
+            read(reader, offset, &mut bytes, what)?;
+            String::from_utf8(bytes).map_err(|e| fail(*offset, format!("bad utf-8 {what}: {e}")))
+        }
+        let mut offset = 0u64;
+        let mut magic = [0u8; 8];
+        read(&mut reader, &mut offset, &mut magic, "magic")?;
+        if &magic != BIN_MAGIC {
+            return Err(fail(0, format!("bad magic {magic:?}")));
+        }
+        let name = read_str(&mut reader, &mut offset, "program name")?;
+        let mut count = [0u8; 4];
+        read(&mut reader, &mut offset, &mut count, "object count")?;
+        let count = u32::from_le_bytes(count);
+        let mut objects = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut word = [0u8; 8];
+            read(&mut reader, &mut offset, &mut word, "object base")?;
+            let base = u64::from_le_bytes(word);
+            read(&mut reader, &mut offset, &mut word, "object size")?;
+            let size = u64::from_le_bytes(word);
+            let oname = read_str(&mut reader, &mut offset, "object name")?;
+            objects.push(ObjectDecl::global(oname, base, size));
+        }
+        Ok(BinTraceReader {
+            name,
+            objects,
+            reader,
+            offset,
+        })
+    }
+
+    /// Decode one 16-byte record word (plus an Alloc tail, if any) read
+    /// via `read_exact`. `None` on clean EOF at a record boundary.
+    fn read_record(&mut self) -> Option<Event> {
+        let mut rec = [0u8; 16];
+        match self.reader.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // Distinguish clean EOF (zero bytes) from a torn record.
+                return None;
+            }
+            Err(e) => panic!("trace read error at byte {}: {e}", self.offset),
+        }
+        self.offset += 16;
+        let ev = match rec[0] {
+            1 => Some(Event::Access(decode_access(&rec))),
+            2 => Some(Event::Compute(u64::from_le_bytes(
+                rec[8..16].try_into().unwrap(),
+            ))),
+            3 => {
+                let base = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+                let has_name = rec[1] != 0;
+                let name_len = u16::from_le_bytes(rec[2..4].try_into().unwrap()) as usize;
+                let mut word = [0u8; 8];
+                self.reader
+                    .read_exact(&mut word)
+                    .unwrap_or_else(|e| panic!("truncated alloc at byte {}: {e}", self.offset));
+                let size = u64::from_le_bytes(word);
+                let mut nb = vec![0u8; name_len];
+                self.reader.read_exact(&mut nb).unwrap_or_else(|e| {
+                    panic!("truncated alloc name at byte {}: {e}", self.offset)
+                });
+                self.offset += 8 + name_len as u64;
+                let name = has_name.then(|| {
+                    String::from_utf8(nb)
+                        .unwrap_or_else(|e| panic!("bad alloc name at byte {}: {e}", self.offset))
+                });
+                Some(Event::Alloc { base, size, name })
+            }
+            4 => Some(Event::Free {
+                base: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+            }),
+            5 => Some(Event::Phase(u32::from_le_bytes(
+                rec[4..8].try_into().unwrap(),
+            ))),
+            t => panic!("unknown record tag {t} at byte {}", self.offset - 16),
+        };
+        ev
+    }
+}
+
+#[inline]
+fn decode_access(rec: &[u8; 16]) -> MemRef {
+    MemRef {
+        addr: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+        size: u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+        kind: if rec[1] != 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+    }
+}
+
+impl<R: BufRead> Program for BinTraceReader<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn static_objects(&self) -> Vec<ObjectDecl> {
+        self.objects.clone()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        self.read_record()
+    }
+
+    /// Decode fixed-width records straight out of the read buffer: no
+    /// per-event `read_exact`, no enum round-trip for accesses.
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        while !buf.is_full() {
+            let avail = self
+                .reader
+                .fill_buf()
+                .unwrap_or_else(|e| panic!("trace read error at byte {}: {e}", self.offset));
+            if avail.is_empty() {
+                break;
+            }
+            if avail.len() < 16 {
+                // Record straddles the buffer edge: take the slow path.
+                match self.read_record() {
+                    Some(ev) => buf.push_event(ev),
+                    None => break,
+                }
+                continue;
+            }
+            let mut consumed = 0usize;
+            while buf.remaining() > 0 && avail.len() - consumed >= 16 {
+                let rec: &[u8; 16] = avail[consumed..consumed + 16].try_into().unwrap();
+                match rec[0] {
+                    1 => buf.push_ref(decode_access(rec)),
+                    2 => buf.push_mark(Event::Compute(u64::from_le_bytes(
+                        rec[8..16].try_into().unwrap(),
+                    ))),
+                    4 => buf.push_mark(Event::Free {
+                        base: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+                    }),
+                    5 => buf.push_mark(Event::Phase(u32::from_le_bytes(
+                        rec[4..8].try_into().unwrap(),
+                    ))),
+                    // Alloc has a variable tail; defer to read_record.
+                    3 => break,
+                    t => panic!(
+                        "unknown record tag {t} at byte {}",
+                        self.offset + consumed as u64
+                    ),
+                }
+                consumed += 16;
+            }
+            self.reader.consume(consumed);
+            self.offset += consumed as u64;
+            if consumed == 0 {
+                if buf.remaining() == 0 {
+                    break;
+                }
+                match self.read_record() {
+                    Some(ev) => buf.push_event(ev),
+                    None => break,
+                }
+            }
+        }
+        buf.len()
+    }
+}
+
+/// A trace reader for either on-disk format, detected by magic.
+pub enum AnyTraceReader<R: BufRead> {
+    Text(TraceReader<R>),
+    Bin(BinTraceReader<R>),
+}
+
+impl<R: BufRead> AnyTraceReader<R> {
+    /// Sniff the magic without consuming input and open the matching
+    /// reader.
+    pub fn open(mut reader: R) -> Result<Self, TraceError> {
+        let is_bin = reader
+            .fill_buf()
+            .map_err(|e| TraceError {
+                line: 0,
+                message: format!("trace read error: {e}"),
+            })?
+            .starts_with(BIN_MAGIC);
+        if is_bin {
+            Ok(AnyTraceReader::Bin(BinTraceReader::new(reader)?))
+        } else {
+            Ok(AnyTraceReader::Text(TraceReader::new(reader)?))
+        }
+    }
+}
+
+impl<R: BufRead> Program for AnyTraceReader<R> {
+    fn name(&self) -> &str {
+        match self {
+            AnyTraceReader::Text(t) => t.name(),
+            AnyTraceReader::Bin(b) => b.name(),
+        }
+    }
+
+    fn static_objects(&self) -> Vec<ObjectDecl> {
+        match self {
+            AnyTraceReader::Text(t) => t.static_objects(),
+            AnyTraceReader::Bin(b) => b.static_objects(),
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        match self {
+            AnyTraceReader::Text(t) => t.next_event(),
+            AnyTraceReader::Bin(b) => b.next_event(),
+        }
+    }
+
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        match self {
+            AnyTraceReader::Text(t) => t.next_chunk(buf),
+            AnyTraceReader::Bin(b) => b.next_chunk(buf),
+        }
+    }
+}
+
+/// Materialise an entire trace (either format, detected by magic) into a
+/// [`crate::program::TraceProgram`] (objects and events fully parsed up
+/// front). Use for small traces and tests; use [`TraceReader`] /
+/// [`BinTraceReader`] (or [`AnyTraceReader`]) to stream large ones.
 pub fn load_eager<R: BufRead>(reader: R) -> Result<crate::program::TraceProgram, TraceError> {
-    let mut tr = TraceReader::new(reader)?;
+    let mut tr = AnyTraceReader::open(reader)?;
     let mut events = Vec::new();
     while let Some(ev) = tr.next_event() {
         events.push(ev);
     }
     Ok(crate::program::TraceProgram::new(
-        tr.name.clone(),
-        tr.objects.clone(),
+        tr.name().to_string(),
+        tr.static_objects(),
         events,
     ))
 }
@@ -422,5 +809,115 @@ mod tests {
         }
         assert_eq!(count, sample_events().len());
         assert_eq!(tr.static_objects().len(), 2, "objects parsed in passing");
+    }
+
+    fn record_to_bin(p: impl Program) -> Vec<u8> {
+        let mut rec = RecordingProgram::with_format(p, Vec::new(), TraceFormat::Bin);
+        while rec.next_event().is_some() {}
+        rec.into_writer()
+    }
+
+    #[test]
+    fn bin_roundtrip_preserves_everything() {
+        let bin = record_to_bin(sample_program());
+        assert!(bin.starts_with(BIN_MAGIC));
+        let mut replayed = BinTraceReader::new(&bin[..]).expect("parse header");
+        assert_eq!(replayed.name(), "roundtrip");
+        assert_eq!(replayed.static_objects(), sample_program().static_objects());
+        let mut b = TraceProgram::new("x", vec![], sample_events());
+        loop {
+            let ea = replayed.next_event();
+            let eb = b.next_event();
+            assert_eq!(ea, eb);
+            if ea.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn bin_and_text_replays_match_the_live_run_exactly() {
+        let text = record_to_string(sample_program());
+        let bin = record_to_bin(sample_program());
+        let run = |p: &mut dyn Program| {
+            Engine::new(SimConfig::default()).run(p, &mut NullHandler, RunLimit::Exhausted)
+        };
+        let live = run(&mut sample_program());
+        let from_text = run(&mut load_eager(text.as_bytes()).unwrap());
+        let from_bin = run(&mut load_eager(&bin[..]).unwrap());
+        for replay in [&from_text, &from_bin] {
+            assert_eq!(live.app, replay.app);
+            assert_eq!(live.cycles, replay.cycles);
+            assert_eq!(live.unmapped_misses, replay.unmapped_misses);
+            assert_eq!(live.objects.len(), replay.objects.len());
+            for (a, b) in live.objects.iter().zip(&replay.objects) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.misses, b.misses);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_detect_opens_both_formats() {
+        let text = record_to_string(sample_program());
+        let bin = record_to_bin(sample_program());
+        assert!(matches!(
+            AnyTraceReader::open(text.as_bytes()).unwrap(),
+            AnyTraceReader::Text(_)
+        ));
+        assert!(matches!(
+            AnyTraceReader::open(&bin[..]).unwrap(),
+            AnyTraceReader::Bin(_)
+        ));
+    }
+
+    #[test]
+    fn bin_chunked_decode_matches_event_decode() {
+        let bin = record_to_bin(sample_program());
+        let mut by_event = BinTraceReader::new(&bin[..]).unwrap();
+        let mut by_chunk = BinTraceReader::new(&bin[..]).unwrap();
+        let mut events = Vec::new();
+        while let Some(ev) = by_event.next_event() {
+            events.push(ev);
+        }
+        let mut chunked = Vec::new();
+        let mut chunk = crate::program::EventChunk::with_capacity(3);
+        loop {
+            chunk.reset();
+            if by_chunk.next_chunk(&mut chunk) == 0 {
+                break;
+            }
+            chunked.extend(chunk.to_events());
+        }
+        assert_eq!(events, chunked);
+    }
+
+    #[test]
+    fn bin_bad_magic_is_rejected() {
+        let Err(err) = BinTraceReader::new(&b"cstraceX________"[..]) else {
+            panic!("bad magic must be rejected");
+        };
+        assert!(err.message.contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn bin_truncated_header_is_rejected() {
+        let Err(err) = BinTraceReader::new(&BIN_MAGIC[..5]) else {
+            panic!("truncated header must be rejected");
+        };
+        assert!(err.message.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn bin_records_are_fixed_width() {
+        // Header for an unnamed program with no objects: magic + u16 len
+        // + u32 count; then two 16-byte records.
+        let p = TraceProgram::new(
+            "",
+            vec![],
+            vec![Event::Access(MemRef::read(0x1234, 8)), Event::Compute(99)],
+        );
+        let bin = record_to_bin(p);
+        assert_eq!(bin.len(), 8 + 2 + 4 + 16 + 16);
     }
 }

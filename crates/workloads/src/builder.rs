@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 
 use cachescope_sim::rng::SmallRng;
 
-use cachescope_sim::{AddressSpace, Event, MemRef, ObjectDecl, Program};
+use cachescope_sim::{AddressSpace, Event, EventChunk, MemRef, ObjectDecl, Program};
 
 use crate::pattern::PatternGen;
 use crate::LINE;
@@ -502,6 +502,59 @@ impl Program for SpecWorkload {
             Some(Event::Access(MemRef::read(addr, 8)))
         }
     }
+
+    // Native chunk fill: the same state machine as `next_event` (pending
+    // allocs, then the deferred access of a compute/access pair, then a due
+    // phase marker, then the next planned slot), but pushing accesses
+    // straight into the dense run without wrapping them in `Event`, and
+    // fusing each compute/access pair into the chunk's dense `pre_cycles`
+    // side array. In the scalar stream nothing separates a `Compute` from
+    // its access and no RNG draw happens in between, so emitting the pair
+    // in one step keeps the flattened chunk — and the RNG call order —
+    // equal to the scalar stream bit for bit. The workload is infinite,
+    // so this always fills the chunk.
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        // A fused pair counts as two events; stop while two slots remain
+        // so a pair never overflows the chunk's capacity.
+        while buf.remaining() >= 2 {
+            if let Some(ev) = self.pending_allocs.pop_front() {
+                buf.push_event(ev);
+                continue;
+            }
+            if let Some(target) = self.pending_access.take() {
+                let addr = self.cursors[target as usize].next_addr(&mut self.addr_rng);
+                buf.push_ref(MemRef::read(addr, 8));
+                continue;
+            }
+            if self.phase_marker_due {
+                self.phase_marker_due = false;
+                buf.push_mark(Event::Phase(self.phase_idx as u32));
+                continue;
+            }
+
+            let phase = &mut self.phases[self.phase_idx];
+            let target = phase.gen.next_object();
+            let compute = phase.compute;
+
+            self.emitted_in_phase += 1;
+            if self.emitted_in_phase >= phase.misses {
+                self.emitted_in_phase = 0;
+                self.phase_idx = (self.phase_idx + 1) % self.phases.len();
+                self.phase_marker_due = true;
+            }
+
+            let addr = self.cursors[target as usize].next_addr(&mut self.addr_rng);
+            buf.push_compute_ref(compute, MemRef::read(addr, 8));
+        }
+        if buf.is_empty() {
+            // Capacity-1 chunk: emit a single scalar event so a live
+            // stream never reports end-of-program.
+            if let Some(e) = self.next_event() {
+                buf.push_event(e);
+            }
+        }
+        buf.len()
+    }
 }
 
 #[cfg(test)]
@@ -656,6 +709,47 @@ mod tests {
         let mut b = two_array_workload();
         for _ in 0..10_000 {
             assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn chunked_stream_matches_scalar_stream() {
+        // Compute-interleaved workload (pending_access path) plus a heap
+        // target (pending_allocs path) plus two phases (marker rollover):
+        // every branch of the native next_chunk gets exercised.
+        let build = || {
+            WorkloadBuilder::new("chunky")
+                .global("A", 8 * MIB)
+                .heap_named("buf", 8 * MIB)
+                .global("LUT", 64 * 1024)
+                .random_access()
+                .phase(
+                    PhaseBuilder::new()
+                        .misses(700)
+                        .weight("A", 50.0)
+                        .weight("LUT", 50.0)
+                        .compute_per_miss(7)
+                        .stochastic(11),
+                )
+                .phase(
+                    PhaseBuilder::new()
+                        .misses(300)
+                        .weight("buf", 100.0)
+                        .stochastic(12),
+                )
+                .build()
+        };
+        let mut scalar = build();
+        let mut chunked = build();
+        let mut chunk = cachescope_sim::EventChunk::with_capacity(257);
+        let mut replayed = 0usize;
+        while replayed < 25_000 {
+            chunk.reset();
+            assert!(chunked.next_chunk(&mut chunk) > 0);
+            for ev in chunk.to_events() {
+                assert_eq!(Some(ev), scalar.next_event());
+                replayed += 1;
+            }
         }
     }
 

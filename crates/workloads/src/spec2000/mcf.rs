@@ -20,7 +20,7 @@
 use std::collections::VecDeque;
 
 use cachescope_sim::rng::SmallRng;
-use cachescope_sim::{AddressSpace, Event, MemRef, ObjectDecl, Program};
+use cachescope_sim::{AddressSpace, Event, EventChunk, MemRef, ObjectDecl, Program};
 
 use crate::spec::Scale;
 use crate::{LINE, MIB};
@@ -253,6 +253,33 @@ impl Program for Mcf {
         self.access_next = None;
         Some(Event::Access(MemRef::read(addr, 8)))
     }
+
+    // Native chunk fill: identical per-slot logic to `next_event` (drain
+    // pending allocator events, then plan one access, churning every
+    // `churn_period` planned misses *before* the access is planned), with
+    // accesses pushed straight into the dense run. The churn's Free/Alloc
+    // land in `pending` and are emitted before the following access —
+    // exactly the scalar interleaving. mcf never terminates, so the chunk
+    // always fills.
+    fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        while !buf.is_full() {
+            if let Some(ev) = self.pending.pop_front() {
+                buf.push_event(ev);
+                continue;
+            }
+            if let Some(addr) = self.access_next.take() {
+                buf.push_ref(MemRef::read(addr, 8));
+                continue;
+            }
+            self.planned += 1;
+            if self.planned.is_multiple_of(self.churn_period) {
+                self.churn();
+            }
+            let addr = self.plan_access();
+            buf.push_ref(MemRef::read(addr, 8));
+        }
+        buf.len()
+    }
 }
 
 /// Build the mcf analogue.
@@ -325,6 +352,24 @@ mod tests {
         let mut b = mcf(Scale::Test);
         for _ in 0..50_000 {
             assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn chunked_stream_matches_scalar_stream() {
+        // Long enough to cross several churn periods, so the Free/Alloc
+        // interleaving around churn boundaries is covered.
+        let mut scalar = mcf(Scale::Test);
+        let mut chunked = mcf(Scale::Test);
+        let mut chunk = EventChunk::with_capacity(333);
+        let mut replayed = 0usize;
+        while replayed < 60_000 {
+            chunk.reset();
+            assert!(chunked.next_chunk(&mut chunk) > 0);
+            for ev in chunk.to_events() {
+                assert_eq!(Some(ev), scalar.next_event());
+                replayed += 1;
+            }
         }
     }
 }

@@ -29,6 +29,7 @@
 //!   --metrics           print the run's metrics registry (counters,
 //!                       gauges, histograms; zero simulated cost)
 //!   --record <file>     tee the reference trace to a file (ATOM-style)
+//!   --trace-format <f>  trace encoding for --record: text (default) | bin
 //!   --replay <file>     drive the experiment from a recorded trace
 //!                       instead of a synthetic app (pass `-` as <app>)
 //! ```
@@ -52,7 +53,7 @@ fn usage() -> ! {
          \x20 --misses N --counters K --interval C --paper-scale --aggregate\n\
          \x20 --timeline C --top N --l1 KiB --search-log --csv FILE\n\
          \x20 --json FILE --trace-out FILE --metrics\n\
-         \x20 --record FILE | --replay FILE (with '-' as <app>)\n\
+         \x20 --record FILE [--trace-format text|bin] | --replay FILE (with '-' as <app>)\n\
          apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake"
     );
     std::process::exit(2);
@@ -101,6 +102,7 @@ fn main() {
     let mut timeline: Option<u64> = None;
     let mut top = 12usize;
     let mut record: Option<String> = None;
+    let mut trace_format = cachescope::sim::TraceFormat::Text;
     let mut replay: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut json_out: Option<String> = None;
@@ -127,6 +129,16 @@ fn main() {
             "--timeline" => timeline = Some(parse_u64(&value("--timeline"), "bucket width")),
             "--top" => top = parse_u64(&value("--top"), "row count") as usize,
             "--record" => record = Some(value("--record")),
+            "--trace-format" => {
+                trace_format = match value("--trace-format").as_str() {
+                    "text" => cachescope::sim::TraceFormat::Text,
+                    "bin" => cachescope::sim::TraceFormat::Bin,
+                    other => {
+                        eprintln!("unknown trace format: {other} (want text|bin)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--replay" => replay = Some(value("--replay")),
             "--csv" => csv = Some(value("--csv")),
             "--json" => json_out = Some(value("--json")),
@@ -206,9 +218,10 @@ fn main() {
                 eprintln!("cannot create trace {path}: {e}");
                 std::process::exit(1);
             });
-            Box::new(cachescope::sim::RecordingProgram::new(
+            Box::new(cachescope::sim::RecordingProgram::with_format(
                 workload(&app, scale),
                 std::io::BufWriter::new(file),
+                trace_format,
             ))
         }
         (None, None) => workload(&app, scale),

@@ -61,6 +61,7 @@ where
         .filter_map(|(i, r)| r.as_ref().err().map(|e| format!("job {i}: {e}")))
         .collect();
     if !failures.is_empty() {
+        // check:allow(the bench harness aborts loudly on worker panics)
         panic!(
             "{} of {} parallel jobs panicked ({})",
             failures.len(),
@@ -68,7 +69,7 @@ where
             failures.join("; ")
         );
     }
-    results.into_iter().map(|r| r.unwrap()).collect()
+    results.into_iter().filter_map(|r| r.ok()).collect()
 }
 
 /// Round `misses` down to a whole number of the workload's phase cycles

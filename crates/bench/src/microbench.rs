@@ -54,5 +54,6 @@ pub fn bench_batched<S, T>(
 
 fn report(name: &str, iters: u64, elapsed: Duration) {
     let per = elapsed.as_nanos() as f64 / iters as f64;
+    // check:allow(the bench harness reports to the terminal by design)
     println!("{name:<44} {iters:>10} iters  {per:>14.1} ns/iter");
 }

@@ -85,6 +85,7 @@ pub fn sweep(app_cycles: u64) -> Vec<AppOverheads> {
             let entry = out
                 .iter_mut()
                 .find(|a| a.app == app)
+                // check:allow(the job list always schedules the baseline first)
                 .expect("baseline job precedes instrumented jobs");
             entry.runs.push((label, stats));
         }

@@ -31,6 +31,7 @@ impl ResultsFile {
     /// Print one line to stdout and keep it for the `.txt` artifact.
     pub fn line(&mut self, s: impl AsRef<str>) {
         let s = s.as_ref();
+        // check:allow(the bench harness reports to the terminal by design)
         println!("{s}");
         self.text.push_str(s);
         self.text.push('\n');
@@ -67,7 +68,9 @@ impl ResultsFile {
 /// over (e.g. a read-only working directory).
 pub fn save_or_warn(out: &ResultsFile, json: &Json) {
     match out.save(json) {
+        // check:allow(the bench harness reports to the terminal by design)
         Ok(path) => println!("\n[results written to {} and .txt]", path.display()),
+        // check:allow(best-effort artifact write warns instead of failing the run)
         Err(e) => eprintln!("warning: could not write results/: {e}"),
     }
 }

@@ -98,6 +98,14 @@ impl CampaignRun {
     }
 }
 
+/// Lock a mutex, recovering from poisoning. Worker panics are already
+/// contained by the per-cell `catch_unwind`; a poisoned observability or
+/// manifest mutex still holds consistent data (every emit/settle is a
+/// single call), so the campaign keeps going instead of double-panicking.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Configures and executes campaigns.
 #[derive(Debug, Clone)]
 pub struct CampaignRunner {
@@ -169,7 +177,7 @@ impl CampaignRunner {
 
         let obs = Mutex::new(Obs::new());
         let manifest = Mutex::new(Manifest::new(&spec.name, &cells));
-        obs.lock().unwrap().emit(ObsEvent::CampaignStart {
+        lock(&obs).emit(ObsEvent::CampaignStart {
             name: spec.name.clone(),
             cells: cells.len() as u64,
         });
@@ -188,21 +196,18 @@ impl CampaignRunner {
                 // Treated as a miss (re-simulate, store overwrites the
                 // bad file), but surfaced so campaigns never silently
                 // absorb a corrupted cache.
-                obs.lock().unwrap().emit(ObsEvent::CellCacheCorrupt {
+                lock(&obs).emit(ObsEvent::CellCacheCorrupt {
                     index: cell.index as u64,
                     hash: hashes[i].clone(),
                 });
             }
             match cached {
                 CacheLookup::Hit(report) => {
-                    obs.lock().unwrap().emit(ObsEvent::CellCacheHit {
+                    lock(&obs).emit(ObsEvent::CellCacheHit {
                         index: cell.index as u64,
                         hash: hashes[i].clone(),
                     });
-                    manifest
-                        .lock()
-                        .unwrap()
-                        .settle(cell.index, CellStatus::CacheHit, 0);
+                    lock(&manifest).settle(cell.index, CellStatus::CacheHit, 0);
                     settled[i] = Some(CellOutcome {
                         cell: cell.clone(),
                         hash: hashes[i].clone(),
@@ -229,7 +234,7 @@ impl CampaignRunner {
                 move || -> Result<(Json, u32), (String, u32)> {
                     let mut last_error = String::new();
                     for attempt in 1..=max_attempts {
-                        obs.lock().unwrap().emit(ObsEvent::CellStart {
+                        lock(obs).emit(ObsEvent::CellStart {
                             index: cell.index as u64,
                             hash: hash.clone(),
                             workload: cell.workload.clone(),
@@ -239,15 +244,16 @@ impl CampaignRunner {
                         match outcome {
                             Ok(Ok(report)) => {
                                 if let Err(e) = cache.store(cell, &report) {
+                                    // check:allow(cache-store failure must not fail the cell)
                                     eprintln!("warning: caching {}: {e}", cell.describe());
                                 }
-                                let mut o = obs.lock().unwrap();
+                                let mut o = lock(obs);
                                 o.emit(ObsEvent::CellFinish {
                                     index: cell.index as u64,
                                     hash: hash.clone(),
                                 });
                                 drop(o);
-                                let mut m = manifest.lock().unwrap();
+                                let mut m = lock(manifest);
                                 m.settle(cell.index, CellStatus::Done, attempt);
                                 drop(m);
                                 self.checkpoint(manifest);
@@ -257,7 +263,7 @@ impl CampaignRunner {
                             Err(payload) => last_error = panic_message(payload),
                         }
                         if attempt < max_attempts {
-                            obs.lock().unwrap().emit(ObsEvent::CellRetry {
+                            lock(obs).emit(ObsEvent::CellRetry {
                                 index: cell.index as u64,
                                 hash: hash.clone(),
                                 attempt: u64::from(attempt),
@@ -265,15 +271,12 @@ impl CampaignRunner {
                             });
                         }
                     }
-                    obs.lock().unwrap().emit(ObsEvent::CellPanic {
+                    lock(obs).emit(ObsEvent::CellPanic {
                         index: cell.index as u64,
                         hash: hash.clone(),
                         error: last_error.clone(),
                     });
-                    manifest
-                        .lock()
-                        .unwrap()
-                        .settle(cell.index, CellStatus::Failed, max_attempts);
+                    lock(manifest).settle(cell.index, CellStatus::Failed, max_attempts);
                     self.checkpoint(manifest);
                     Err((last_error, max_attempts))
                 }
@@ -313,7 +316,7 @@ impl CampaignRunner {
         }
 
         let outcomes: Vec<CellOutcome> = settled.into_iter().flatten().collect();
-        let mut obs = obs.into_inner().unwrap();
+        let mut obs = obs.into_inner().unwrap_or_else(|e| e.into_inner());
         obs.emit(ObsEvent::CampaignEnd {
             name: spec.name.clone(),
             completed: outcomes.len() as u64,
@@ -331,8 +334,9 @@ impl CampaignRunner {
     /// Persist the manifest checkpoint; campaign progress must not abort
     /// on a full disk, so failures are warnings.
     fn checkpoint(&self, manifest: &Mutex<Manifest>) {
-        let m = manifest.lock().unwrap();
+        let m = lock(manifest);
         if let Err(e) = m.save(&self.manifest_dir) {
+            // check:allow(checkpointing is best-effort; a full disk must not abort)
             eprintln!("warning: saving campaign manifest: {e}");
         }
     }

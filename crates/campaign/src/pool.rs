@@ -59,6 +59,12 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Lock a mutex, recovering from poisoning: each job already runs under
+/// its own `catch_unwind`, so the queue and result slots stay coherent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Run `jobs` across at most `workers` threads and return results in
 /// submission order. Each job runs under `catch_unwind`: a panicking job
 /// yields `Err(panic message)` in its slot while every other job still
@@ -78,11 +84,11 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let job = queue.lock().unwrap().pop();
+                let job = lock(&queue).pop();
                 match job {
                     Some((i, f)) => {
                         let r = catch_unwind(AssertUnwindSafe(f)).map_err(panic_message);
-                        results.lock().unwrap()[i] = Some(r);
+                        lock(&results)[i] = Some(r);
                     }
                     None => break,
                 }
@@ -91,9 +97,10 @@ where
     });
     results
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|r| r.expect("every queued job ran"))
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| Err(format!("job {i} never ran (worker thread died)"))))
         .collect()
 }
 

@@ -41,6 +41,7 @@ pub fn instantiate(name: &str, scale: Scale) -> Result<Box<dyn Program>, String>
         "mcf" => Box::new(spec2000::mcf::mcf(scale)),
         "art" => Box::new(spec2000::art(scale)),
         "equake" => Box::new(spec2000::equake(scale)),
+        // check:allow(deliberate panic fixture: campaigns test per-cell isolation with it)
         PANIC_WORKLOAD => panic!("__panic__ workload instantiated (test fixture)"),
         _ => {
             return Err(format!(

@@ -34,6 +34,27 @@ pub enum RoundMode {
     SearchRun,
 }
 
+/// Strict-parsing guard: reject unknown and duplicated keys in a spec
+/// object. `path` locates the object within the file (`techniques[2]`,
+/// `techniques[0].limit`, ...) so the error names the exact key path.
+fn check_keys(v: &Json, path: &str, allowed: &[&str]) -> Result<(), String> {
+    let Json::Obj(fields) = v else {
+        return Err(format!("{path}: expected an object"));
+    };
+    for (i, (k, _)) in fields.iter().enumerate() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "{path}: unknown key '{k}' (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+        if fields[..i].iter().any(|(p, _)| p == k) {
+            return Err(format!("{path}: duplicate key '{k}'"));
+        }
+    }
+    Ok(())
+}
+
 impl RoundMode {
     fn tag(self) -> &'static str {
         match self {
@@ -101,25 +122,29 @@ impl LimitSpec {
         }
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    fn from_json(v: &Json, path: &str) -> Result<Self, String> {
         let kind = v
             .get("kind")
             .and_then(Json::as_str)
-            .ok_or("limit missing 'kind'")?;
+            .ok_or(format!("{path}: limit missing 'kind'"))?;
         let base = v
             .get("base")
             .and_then(Json::as_u64)
-            .ok_or("limit missing 'base'")?;
+            .ok_or(format!("{path}: limit missing 'base'"))?;
         match kind {
             "app_misses" => {
+                check_keys(v, path, &["kind", "base", "round"])?;
                 let round = match v.get("round").and_then(Json::as_str) {
-                    Some(tag) => RoundMode::from_tag(tag)?,
+                    Some(tag) => RoundMode::from_tag(tag).map_err(|e| format!("{path}: {e}"))?,
                     None => RoundMode::Exact,
                 };
                 Ok(LimitSpec::AppMisses { base, round })
             }
-            "app_cycles" => Ok(LimitSpec::AppCycles { base }),
-            other => Err(format!("unknown limit kind '{other}'")),
+            "app_cycles" => {
+                check_keys(v, path, &["kind", "base"])?;
+                Ok(LimitSpec::AppCycles { base })
+            }
+            other => Err(format!("{path}: unknown limit kind '{other}'")),
         }
     }
 
@@ -180,6 +205,25 @@ pub fn fault_config_to_json(f: &FaultConfig) -> Json {
 /// Parse a [`FaultConfig`] from its JSON form; absent keys keep their
 /// (inert) defaults.
 pub fn fault_config_from_json(v: &Json) -> Result<FaultConfig, String> {
+    fault_config_from_json_at(v, "faults")
+}
+
+/// [`fault_config_from_json`] with a key path for error messages.
+fn fault_config_from_json_at(v: &Json, path: &str) -> Result<FaultConfig, String> {
+    check_keys(
+        v,
+        path,
+        &[
+            "skid_depth",
+            "skid_rate",
+            "drop_rate",
+            "spurious_rate",
+            "wrap_bits",
+            "delivery_delay_cycles",
+            "read_jitter",
+            "seed",
+        ],
+    )?;
     let mut f = FaultConfig::default();
     if let Some(n) = v.get("skid_depth").and_then(Json::as_u64) {
         f.skid_depth = n as usize;
@@ -297,40 +341,52 @@ impl TechniqueKind {
         }
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    fn from_json(v: &Json, path: &str) -> Result<Self, String> {
         let kind = v
             .get("kind")
             .and_then(Json::as_str)
-            .ok_or("technique missing 'kind'")?;
+            .ok_or(format!("{path}: technique missing 'kind'"))?;
         match kind {
-            "none" => Ok(TechniqueKind::None),
-            "sampling" => Ok(TechniqueKind::Sampling {
-                period: v
-                    .get("period")
-                    .and_then(Json::as_u64)
-                    .ok_or("sampling technique missing 'period'")?,
-                aggregate: matches!(v.get("aggregate"), Some(Json::Bool(true))),
-                hardened: matches!(v.get("hardened"), Some(Json::Bool(true))),
-            }),
-            "jittered" => Ok(TechniqueKind::Jittered {
-                base: v
-                    .get("base")
-                    .and_then(Json::as_u64)
-                    .ok_or("jittered technique missing 'base'")?,
-                spread: v
-                    .get("spread")
-                    .and_then(Json::as_u64)
-                    .ok_or("jittered technique missing 'spread'")?,
-            }),
-            "search" => Ok(TechniqueKind::Search {
-                interval: v.get("interval").and_then(Json::as_u64),
-                logical_ways: v
-                    .get("logical_ways")
-                    .and_then(Json::as_u64)
-                    .map(|w| w as usize),
-                hardened: matches!(v.get("hardened"), Some(Json::Bool(true))),
-            }),
-            other => Err(format!("unknown technique kind '{other}'")),
+            "none" => {
+                check_keys(v, path, &["kind"])?;
+                Ok(TechniqueKind::None)
+            }
+            "sampling" => {
+                check_keys(v, path, &["kind", "period", "aggregate", "hardened"])?;
+                Ok(TechniqueKind::Sampling {
+                    period: v
+                        .get("period")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("{path}: sampling technique missing 'period'"))?,
+                    aggregate: matches!(v.get("aggregate"), Some(Json::Bool(true))),
+                    hardened: matches!(v.get("hardened"), Some(Json::Bool(true))),
+                })
+            }
+            "jittered" => {
+                check_keys(v, path, &["kind", "base", "spread"])?;
+                Ok(TechniqueKind::Jittered {
+                    base: v
+                        .get("base")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("{path}: jittered technique missing 'base'"))?,
+                    spread: v
+                        .get("spread")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("{path}: jittered technique missing 'spread'"))?,
+                })
+            }
+            "search" => {
+                check_keys(v, path, &["kind", "interval", "logical_ways", "hardened"])?;
+                Ok(TechniqueKind::Search {
+                    interval: v.get("interval").and_then(Json::as_u64),
+                    logical_ways: v
+                        .get("logical_ways")
+                        .and_then(Json::as_u64)
+                        .map(|w| w as usize),
+                    hardened: matches!(v.get("hardened"), Some(Json::Bool(true))),
+                })
+            }
+            other => Err(format!("{path}: unknown technique kind '{other}'")),
         }
     }
 
@@ -432,24 +488,34 @@ impl TechniqueSpec {
         Json::obj(fields)
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    fn from_json(v: &Json, path: &str) -> Result<Self, String> {
+        check_keys(
+            v,
+            path,
+            &["label", "technique", "counters", "limit", "faults"],
+        )?;
         Ok(TechniqueSpec {
             label: v
                 .get("label")
                 .and_then(Json::as_str)
-                .ok_or("technique spec missing 'label'")?
+                .ok_or(format!("{path}: technique spec missing 'label'"))?
                 .to_string(),
             kind: TechniqueKind::from_json(
                 v.get("technique")
-                    .ok_or("technique spec missing 'technique'")?,
+                    .ok_or(format!("{path}: technique spec missing 'technique'"))?,
+                &format!("{path}.technique"),
             )?,
             counters: v
                 .get("counters")
                 .and_then(Json::as_u64)
                 .map_or(10, |n| n as usize),
-            limit: LimitSpec::from_json(v.get("limit").ok_or("technique spec missing 'limit'")?)?,
+            limit: LimitSpec::from_json(
+                v.get("limit")
+                    .ok_or(format!("{path}: technique spec missing 'limit'"))?,
+                &format!("{path}.limit"),
+            )?,
             faults: match v.get("faults") {
-                Some(f) => fault_config_from_json(f)?,
+                Some(f) => fault_config_from_json_at(f, &format!("{path}.faults"))?,
                 None => FaultConfig::default(),
             },
         })
@@ -537,8 +603,15 @@ impl CampaignSpec {
         ])
     }
 
-    /// Parse a spec from its JSON form.
+    /// Parse a spec from its JSON form. Strict: unknown and duplicated
+    /// keys anywhere in the spec are errors naming the exact key path, so
+    /// a typo (`"seed"` for `"seeds"`) cannot be silently ignored.
     pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(
+            v,
+            "campaign",
+            &["v", "name", "scale", "workloads", "seeds", "techniques"],
+        )?;
         if v.get("v").and_then(Json::as_u64) != Some(1) {
             return Err("campaign spec missing version field 'v': 1".to_string());
         }
@@ -579,7 +652,8 @@ impl CampaignSpec {
             .and_then(Json::as_arr)
             .ok_or("campaign spec missing 'techniques'")?
             .iter()
-            .map(TechniqueSpec::from_json)
+            .enumerate()
+            .map(|(i, t)| TechniqueSpec::from_json(t, &format!("techniques[{i}]")))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(CampaignSpec {
             name,
@@ -590,13 +664,14 @@ impl CampaignSpec {
         })
     }
 
-    /// Load a spec from a JSON file.
+    /// Load a spec from a JSON file. Every error — unreadable file, bad
+    /// JSON, unknown/duplicate key — is prefixed with the file path.
     pub fn load(path: &std::path::Path) -> Result<Self, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         let v = cachescope_obs::json::parse(&text)
             .map_err(|e| format!("parsing {}: {e}", path.display()))?;
-        CampaignSpec::from_json(&v)
+        CampaignSpec::from_json(&v).map_err(|e| format!("{}: {e}", path.display()))
     }
 
     /// Expand the matrix into concrete cells: workloads × techniques
@@ -642,6 +717,30 @@ impl CampaignSpec {
                     });
                 }
             }
+        }
+        // Content-identical cells share a cache key: the second would
+        // silently replay the first's result, so a spec that expands to
+        // one (duplicated seed, two identically-configured columns) is
+        // rejected with both cell identities named.
+        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for c in &cells {
+            if let Some(&prev) = seen.get(&c.hash()) {
+                let p = &cells[prev];
+                return Err(format!(
+                    "cells {} ({}/{} seed {}) and {} ({}/{} seed {}) have identical content \
+                     (cache key {}): de-duplicate the spec",
+                    p.index,
+                    p.workload,
+                    p.label,
+                    p.seed,
+                    c.index,
+                    c.workload,
+                    c.label,
+                    c.seed,
+                    c.hash()
+                ));
+            }
+            seen.insert(c.hash(), c.index);
         }
         Ok(cells)
     }
@@ -822,6 +921,93 @@ mod tests {
                 LimitSpec::misses(2_000),
             ));
         assert!(dup.expand().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_key_paths() {
+        // Top level: a typo'd "seed" must not be silently ignored.
+        let mut j = sample_spec().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.push(("seed".to_string(), Json::Uint(7)));
+        }
+        let err = CampaignSpec::from_json(&j).unwrap_err();
+        assert!(err.contains("campaign: unknown key 'seed'"), "{err}");
+
+        // Nested: inside a technique object, with the index in the path.
+        let mut j = sample_spec().to_json();
+        if let Some(Json::Arr(ts)) = j.get("techniques").cloned() {
+            let mut ts = ts;
+            if let Json::Obj(fields) = &mut ts[1] {
+                fields.push(("priod".to_string(), Json::Uint(9)));
+            }
+            if let Json::Obj(top) = &mut j {
+                for (k, v) in top.iter_mut() {
+                    if k == "techniques" {
+                        *v = Json::Arr(ts.clone());
+                    }
+                }
+            }
+        }
+        let err = CampaignSpec::from_json(&j).unwrap_err();
+        assert!(err.contains("techniques[1]: unknown key 'priod'"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_json_keys_are_rejected() {
+        let mut j = sample_spec().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.push(("name".to_string(), Json::str("other")));
+        }
+        let err = CampaignSpec::from_json(&j).unwrap_err();
+        assert!(err.contains("campaign: duplicate key 'name'"), "{err}");
+    }
+
+    #[test]
+    fn load_prefixes_the_file_path_on_spec_errors() {
+        let dir = std::env::temp_dir().join("cachescope_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, r#"{"v": 1, "bogus": true}"#).unwrap();
+        let err = CampaignSpec::load(&path).unwrap_err();
+        assert!(err.contains("bad.json"), "{err}");
+        assert!(err.contains("unknown key 'bogus'"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_cells_are_rejected_at_expansion() {
+        // A duplicated seed makes two content-identical jittered cells.
+        let dup_seed = CampaignSpec::new("d", Scale::Test)
+            .workload("mgrid")
+            .seeds(vec![1, 1])
+            .technique(TechniqueSpec::new(
+                "jit",
+                TechniqueKind::Jittered {
+                    base: 1_000,
+                    spread: 100,
+                },
+                LimitSpec::misses(50_000),
+            ));
+        let err = dup_seed.expand().unwrap_err();
+        assert!(err.contains("identical content"), "{err}");
+        assert!(err.contains("mgrid/jit"), "{err}");
+
+        // Two differently-labelled but identically-configured columns
+        // collide in the cache too.
+        let twin_cols = CampaignSpec::new("t", Scale::Test)
+            .workload("mgrid")
+            .technique(TechniqueSpec::new(
+                "a",
+                TechniqueKind::None,
+                LimitSpec::misses(1_000),
+            ))
+            .technique(TechniqueSpec::new(
+                "b",
+                TechniqueKind::None,
+                LimitSpec::misses(1_000),
+            ));
+        let err = twin_cols.expand().unwrap_err();
+        assert!(err.contains("cache key"), "{err}");
     }
 
     #[test]

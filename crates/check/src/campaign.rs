@@ -1,0 +1,183 @@
+//! Campaign-spec verification.
+//!
+//! Loads a `campaigns/*.json` file through the strict parser
+//! ([`CampaignSpec::load`]), expands the matrix, and classifies every
+//! failure into a stable diagnostic code; fully-expanded cells are then
+//! handed to the [`pmu`](crate::pmu) legality pass. The classifier works
+//! on the loader's own error strings — both live in this workspace and
+//! the mapping is pinned by tests, so a reworded message fails loudly
+//! here instead of silently changing a code.
+//!
+//! Codes: `CS-S001` unreadable/unparsable file, `CS-S002` unknown key,
+//! `CS-S003` duplicate key, `CS-S004` missing field or empty matrix,
+//! `CS-S005` unknown enum tag (kind/scale/round mode), `CS-S006` unknown
+//! workload, `CS-S007` duplicate technique label, `CS-S008` duplicate
+//! cell (cache-key collision).
+
+use std::path::Path;
+
+use cachescope_campaign::CampaignSpec;
+
+use crate::diag::Diagnostic;
+
+/// Classify a loader/expander error message into its stable code.
+fn classify(msg: &str) -> &'static str {
+    if msg.contains("unknown key") {
+        "CS-S002"
+    } else if msg.contains("duplicate key") {
+        "CS-S003"
+    } else if msg.contains("identical content") {
+        "CS-S008"
+    } else if msg.contains("duplicate technique label") {
+        "CS-S007"
+    } else if msg.contains("unknown workload") {
+        "CS-S006"
+    } else if msg.contains("unknown technique kind")
+        || msg.contains("unknown limit kind")
+        || msg.contains("unknown scale")
+        || msg.contains("unknown round mode")
+    {
+        "CS-S005"
+    } else if msg.contains("missing") || msg.contains("has no ") {
+        "CS-S004"
+    } else {
+        // Unreadable file, JSON syntax error, type mismatch.
+        "CS-S001"
+    }
+}
+
+fn hint_for(code: &'static str) -> &'static str {
+    match code {
+        "CS-S002" => "remove the key, or check its spelling against the spec schema",
+        "CS-S003" => "keep one copy of the key; later duplicates silently lose otherwise",
+        "CS-S004" => "add the missing field (see campaigns/*.json for working examples)",
+        "CS-S005" => "use one of the documented tags",
+        "CS-S006" => "use a workload the registry knows (see campaign::registry)",
+        "CS-S007" => "labels key manifests and aggregation; make each column unique",
+        "CS-S008" => "content-identical cells share one cache entry; de-duplicate the matrix",
+        _ => "fix the file so it parses as a v1 campaign spec",
+    }
+}
+
+/// Check one campaign spec file end to end (parse, expand, PMU pass).
+pub fn check_campaign_path(path: &Path) -> Vec<Diagnostic> {
+    let source = path.display().to_string();
+    let spec = match CampaignSpec::load(path) {
+        Ok(s) => s,
+        Err(msg) => {
+            let code = classify(&msg);
+            return vec![Diagnostic::error(code, source, msg).with_hint(hint_for(code))];
+        }
+    };
+    check_spec(&spec, &source)
+}
+
+/// Check an in-memory spec (expansion and per-cell PMU legality).
+pub fn check_spec(spec: &CampaignSpec, source: &str) -> Vec<Diagnostic> {
+    let cells = match spec.expand() {
+        Ok(c) => c,
+        Err(msg) => {
+            let code = classify(&msg);
+            let msg = format!("{source}: {msg}");
+            return vec![Diagnostic::error(code, source, msg).with_hint(hint_for(code))];
+        }
+    };
+    let mut diags = Vec::new();
+    for cell in &cells {
+        diags.extend(crate::pmu::check_cell(cell, source));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_spec(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cachescope_check_campaign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, body).unwrap();
+        p
+    }
+
+    const GOOD: &str = r#"{"v": 1, "name": "ok", "scale": "test",
+        "workloads": ["mgrid"], "seeds": [1],
+        "techniques": [{"label": "b",
+            "technique": {"kind": "none"},
+            "counters": 10,
+            "limit": {"kind": "app_misses", "base": 1000, "round": "exact"}}]}"#;
+
+    #[test]
+    fn good_spec_is_clean() {
+        let p = write_spec("good.json", GOOD);
+        assert!(check_campaign_path(&p).is_empty());
+    }
+
+    #[test]
+    fn classifier_maps_each_defect_to_its_code() {
+        for (name, body, code) in [
+            ("syntax.json", r#"{"v": 1,"#, "CS-S001"),
+            (
+                "unknown.json",
+                &GOOD.replace("\"name\"", "\"nam\""),
+                "CS-S002",
+            ),
+            (
+                "dup.json",
+                &GOOD.replace(r#""v": 1,"#, r#""v": 1, "v": 1,"#),
+                "CS-S003",
+            ),
+            (
+                "missing.json",
+                &GOOD.replace(r#""workloads": ["mgrid"],"#, r#""workloads": [],"#),
+                "CS-S004",
+            ),
+            (
+                "badkind.json",
+                &GOOD.replace(r#""kind": "none""#, r#""kind": "warp""#),
+                "CS-S005",
+            ),
+            ("badload.json", &GOOD.replace("mgrid", "quake3"), "CS-S006"),
+        ] {
+            let p = write_spec(name, body);
+            let diags = check_campaign_path(&p);
+            assert_eq!(diags.len(), 1, "{name}: {diags:?}");
+            assert_eq!(diags[0].code, code, "{name}: {}", diags[0].message);
+            assert!(
+                diags[0].message.contains(name),
+                "error names the file: {}",
+                diags[0].message
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_labels_and_cells_classify_to_s007_s008() {
+        let two_cols = GOOD.replace(
+            r#""techniques": [{"label": "b","#,
+            r#""techniques": [{"label": "b",
+                "technique": {"kind": "none"}, "counters": 10,
+                "limit": {"kind": "app_misses", "base": 1000, "round": "exact"}},
+                {"label": "b","#,
+        );
+        let p = write_spec("duplabel.json", &two_cols);
+        assert_eq!(check_campaign_path(&p)[0].code, "CS-S007");
+
+        let twin = two_cols.replacen(r#"{"label": "b","#, r#"{"label": "a","#, 1);
+        let p = write_spec("dupcell.json", &twin);
+        assert_eq!(check_campaign_path(&p)[0].code, "CS-S008");
+    }
+
+    #[test]
+    fn pmu_findings_surface_through_spec_checking() {
+        let zero_period = GOOD.replace(
+            r#"{"kind": "none"}"#,
+            r#"{"kind": "sampling", "period": 0}"#,
+        );
+        let p = write_spec("zeroperiod.json", &zero_period);
+        let diags = check_campaign_path(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "CS-P003");
+    }
+}

@@ -1,0 +1,128 @@
+//! Static verification for cachescope: inputs and the repo itself.
+//!
+//! Every experiment in this repo is a function of its inputs — workload
+//! programs, recorded traces, PMU configurations, campaign specs — and a
+//! malformed input does not crash the simulator; it silently skews
+//! attribution, exactly the failure mode the paper's techniques are
+//! meant to expose in hardware. This crate decides, *without running any
+//! simulation*, whether an input can be trusted, and separately whether
+//! the codebase still upholds its own determinism and error-handling
+//! contracts.
+//!
+//! Two fronts:
+//!
+//! * **Input verification** — linear, abstract-interpretation-style
+//!   passes: allocation lifecycle and extent overlap
+//!   ([`lifecycle`]), chunk-encoding well-formedness ([`chunk`]),
+//!   PMU-configuration legality ([`pmu`]), trace-file framing
+//!   ([`trace`]), and campaign-spec validation ([`campaign`]).
+//! * **Self-lint** — a dependency-free source scanner ([`selflint`])
+//!   enforcing no-panic library code and seed-only determinism.
+//!
+//! Every finding is a [`diag::Diagnostic`] with a stable `CS-…` code, a
+//! location, and a fix hint; reports render for humans or as JSON lines
+//! through the obs event model (`cachescope check --json`).
+
+pub mod campaign;
+pub mod chunk;
+pub mod diag;
+pub mod lifecycle;
+pub mod pmu;
+pub mod selflint;
+pub mod trace;
+pub mod workload;
+
+pub use diag::{Diagnostic, Severity};
+
+/// The outcome of a `check` run: every diagnostic, plus how many inputs
+/// were examined (so "clean" is distinguishable from "checked nothing").
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub inputs_checked: usize,
+}
+
+impl CheckReport {
+    /// Merge another pass's findings, counting it as one checked input.
+    pub fn absorb(&mut self, diags: Vec<Diagnostic>) {
+        self.inputs_checked += 1;
+        self.diagnostics.extend(diags);
+    }
+
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.len() - self.errors()
+    }
+
+    /// Whether the run should fail: errors always; warnings only when
+    /// the caller escalates them (`--deny-warnings`).
+    pub fn has_failures(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && !self.diagnostics.is_empty())
+    }
+
+    /// Human-readable report: one line per diagnostic plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "check: {} input(s), {} error(s), {} warning(s)\n",
+            self.inputs_checked,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// JSON-lines report: one obs event object per diagnostic.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_exit_policy() {
+        let mut r = CheckReport::default();
+        r.absorb(vec![]);
+        assert!(!r.has_failures(false));
+        assert!(!r.has_failures(true));
+        r.absorb(vec![Diagnostic::warning("CS-P002", "t", "w")]);
+        assert_eq!((r.errors(), r.warnings()), (0, 1));
+        assert!(!r.has_failures(false));
+        assert!(r.has_failures(true));
+        r.absorb(vec![Diagnostic::error("CS-T001", "t", "e")]);
+        assert!(r.has_failures(false));
+        assert_eq!(r.inputs_checked, 3);
+    }
+
+    #[test]
+    fn json_report_is_one_object_per_line() {
+        let mut r = CheckReport::default();
+        r.absorb(vec![Diagnostic::error("CS-T001", "t", "bad")]);
+        let json = r.render_json();
+        assert_eq!(json.lines().count(), 1);
+        let v = cachescope_obs::json::parse(json.trim()).expect("valid json");
+        assert_eq!(
+            v.get("code").and_then(|c| c.as_str()),
+            Some("CS-T001"),
+            "{json}"
+        );
+    }
+}

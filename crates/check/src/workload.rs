@@ -1,0 +1,85 @@
+//! Workload-program verification without simulation.
+//!
+//! Instantiates a registry workload and pulls its event stream twice —
+//! once through the chunked hot path ([`chunk`](crate::chunk)) and once
+//! event-by-event through the allocation-lifecycle and extent passes
+//! ([`lifecycle`](crate::lifecycle), [`pmu`](crate::pmu)) — so a
+//! synthetic program is proven well-formed before any campaign spends
+//! simulation time on it. Both pulls are bounded; the position reported
+//! in lifecycle findings is the event ordinal within the stream.
+
+use cachescope_campaign::registry;
+use cachescope_sim::Program;
+use cachescope_workloads::spec::Scale;
+
+use crate::diag::Diagnostic;
+use crate::lifecycle::LifecycleChecker;
+
+/// Events examined per workload in the lifecycle pass.
+pub const MAX_WORKLOAD_EVENTS: u64 = 2_000_000;
+
+/// Chunks examined per workload in the encoding pass.
+pub const MAX_WORKLOAD_CHUNKS: u64 = 256;
+
+/// Check one registry workload at the given scale.
+pub fn check_workload(name: &str, scale: Scale) -> Vec<Diagnostic> {
+    let source = format!("workload:{name}");
+    let mut program = match registry::instantiate(name, scale) {
+        Ok(p) => p,
+        Err(e) => {
+            return vec![Diagnostic::error("CS-S006", source, e)
+                .with_hint("use a workload the registry knows (see campaign::registry)")]
+        }
+    };
+    let mut diags = crate::chunk::check_program_chunks(&mut program, &source, MAX_WORKLOAD_CHUNKS);
+
+    // Fresh instance for the event-granular pass: the chunk pull above
+    // consumed (part of) the stream.
+    let mut program = match registry::instantiate(name, scale) {
+        Ok(p) => p,
+        Err(e) => {
+            diags.push(Diagnostic::error("CS-S006", &source, e));
+            return diags;
+        }
+    };
+    let statics = program.static_objects();
+    diags.extend(crate::pmu::check_objects(&statics, &source));
+    let mut lifecycle = LifecycleChecker::new(&source, &statics);
+    let mut ended = false;
+    let mut pos = 0u64;
+    while pos < MAX_WORKLOAD_EVENTS {
+        match program.next_event() {
+            Some(ev) => {
+                pos += 1;
+                lifecycle.observe(&ev, pos);
+            }
+            None => {
+                ended = true;
+                break;
+            }
+        }
+    }
+    diags.extend(lifecycle.finish(ended));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_workloads_at_test_scale_are_clean() {
+        // The full sweep lives in the integration tests; spot-check two
+        // here (one array-heavy, one allocation-heavy).
+        for name in ["mgrid", "mcf"] {
+            let diags = check_workload(name, Scale::Test);
+            assert!(diags.is_empty(), "{name}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_workloads_report_s006() {
+        let diags = check_workload("quake3", Scale::Test);
+        assert_eq!(diags[0].code, "CS-S006");
+    }
+}

@@ -1,0 +1,63 @@
+//! The committed inputs are clean: every campaign spec in the repo,
+//! every registry workload, and round-tripped traces in both encodings
+//! must produce zero diagnostics. This is the other half of the golden
+//! suite — checkers that start over-reporting fail here, checkers that
+//! stop reporting fail there.
+
+use std::path::{Path, PathBuf};
+
+use cachescope_campaign::registry;
+use cachescope_check::{campaign, trace, workload};
+use cachescope_sim::tracefile::{RecordingProgram, TraceFormat};
+use cachescope_sim::Program;
+use cachescope_workloads::spec::Scale;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn committed_campaign_specs_are_clean() {
+    let dir = repo_root().join("campaigns");
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("campaigns/ exists at the repo root")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let diags = campaign::check_campaign_path(&path);
+        assert!(diags.is_empty(), "{}: {diags:?}", path.display());
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected the committed specs, saw {checked}");
+}
+
+#[test]
+fn every_registry_workload_is_clean_at_test_scale() {
+    for name in registry::SPEC95.iter().chain(registry::SPEC2000.iter()) {
+        let diags = workload::check_workload(name, Scale::Test);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+    }
+}
+
+#[test]
+fn recorded_traces_are_clean_in_both_encodings() {
+    for (format, label) in [(TraceFormat::Text, "text"), (TraceFormat::Bin, "bin")] {
+        let program = registry::instantiate("compress", Scale::Test).expect("known workload");
+        let mut rec = RecordingProgram::with_format(program, Vec::new(), format);
+        // Bound the recording: enough to cover allocs, accesses and
+        // phase markers without writing a giant trace.
+        for _ in 0..200_000 {
+            if rec.next_event().is_none() {
+                break;
+            }
+        }
+        let bytes = rec.into_writer();
+        let diags = trace::check_trace(&bytes[..], label);
+        // A bounded recording legitimately ends mid-program, so leaks
+        // (CS-W004) cannot fire; anything else is a real defect.
+        assert!(diags.is_empty(), "{label}: {diags:?}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Golden diagnostics: one minimal failing input per diagnostic code.
+//!
+//! Every stable `CS-…` code the checker can emit is exercised here from
+//! a smallest-possible defective input, asserting the exact code and —
+//! where the checker reports one — the exact location. A code that stops
+//! firing (or fires from the wrong place) fails this suite, which is
+//! what makes the codes safe to grep for in CI logs and bug reports.
+
+use cachescope_campaign::Cell;
+use cachescope_check::{campaign, chunk, diag::Diagnostic, lifecycle, pmu, selflint, trace};
+use cachescope_core::{FaultConfig, SamplerConfig, SearchConfig, TechniqueConfig};
+use cachescope_sim::{Event, EventChunk, MemRef, ObjectDecl, RunLimit};
+use cachescope_workloads::spec::Scale;
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn check_text_trace(body: &str) -> Vec<Diagnostic> {
+    // Line 1 is the magic, line 2 the program name; records start at 3.
+    let text = format!("cachescope-trace 1\nN golden\n{body}");
+    trace::check_trace(text.as_bytes(), "golden")
+}
+
+// --- CS-W: allocation lifecycle and object extents ---------------------
+
+#[test]
+fn w001_alloc_over_live_block() {
+    let diags = check_text_trace("M 1000 64 a\nM 1020 64 b\nF 1000\nF 1020\n");
+    assert_eq!(codes(&diags), ["CS-W001"]);
+    assert_eq!(diags[0].line, 4, "reported at the second alloc's line");
+}
+
+#[test]
+fn w002_free_without_alloc() {
+    let diags = check_text_trace("F 1000\n");
+    assert_eq!(codes(&diags), ["CS-W002"]);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn w003_access_into_freed_block() {
+    let diags = check_text_trace("M 1000 64 a\nF 1000\nA 1000 8 R\n");
+    assert_eq!(codes(&diags), ["CS-W003"]);
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn w004_leak_at_natural_exit() {
+    let diags = check_text_trace("M 1000 64 a\n");
+    assert_eq!(codes(&diags), ["CS-W004"]);
+    assert_eq!(
+        diags[0].severity,
+        cachescope_check::Severity::Warning,
+        "leaks warn rather than fail: programs may legitimately exit dirty"
+    );
+}
+
+#[test]
+fn w005_overlapping_static_extents() {
+    let statics = [
+        ObjectDecl::global("a", 0x1000, 64),
+        ObjectDecl::global("b", 0x1020, 64),
+    ];
+    let lc = lifecycle::LifecycleChecker::new("golden", &statics);
+    assert_eq!(codes(&lc.finish(true)), ["CS-W005"]);
+}
+
+#[test]
+fn w006_zero_size_object() {
+    let statics = [ObjectDecl::global("z", 0x1000, 0)];
+    let lc = lifecycle::LifecycleChecker::new("golden", &statics);
+    let diags = lc.finish(true);
+    assert_eq!(codes(&diags), ["CS-W006"]);
+    assert_eq!(diags[0].severity, cachescope_check::Severity::Warning);
+}
+
+// --- CS-C: chunk encoding ---------------------------------------------
+
+#[test]
+fn c001_mark_past_the_run() {
+    let mut c = EventChunk::with_capacity(8);
+    c.push_ref(MemRef::read(0x1000, 8));
+    c.marks.push((3, Event::Phase(0)));
+    assert_eq!(codes(&chunk::check_chunk(&c, "golden", 0)), ["CS-C001"]);
+}
+
+#[test]
+fn c002_marks_go_backwards() {
+    let mut c = EventChunk::with_capacity(8);
+    c.push_ref(MemRef::read(0x1000, 8));
+    c.marks.push((1, Event::Phase(0)));
+    c.marks.push((0, Event::Phase(1)));
+    assert_eq!(codes(&chunk::check_chunk(&c, "golden", 0)), ["CS-C002"]);
+}
+
+#[test]
+fn c003_pre_cycles_length_mismatch() {
+    let mut c = EventChunk::with_capacity(8);
+    c.push_ref(MemRef::read(0x1000, 8));
+    c.push_ref(MemRef::read(0x1008, 8));
+    c.pre_cycles.push(5);
+    assert_eq!(codes(&chunk::check_chunk(&c, "golden", 0)), ["CS-C003"]);
+}
+
+#[test]
+fn c004_chunk_over_capacity() {
+    let mut c = EventChunk::with_capacity(1);
+    c.refs.push(MemRef::read(0x1000, 8));
+    c.refs.push(MemRef::read(0x1008, 8));
+    assert_eq!(codes(&chunk::check_chunk(&c, "golden", 0)), ["CS-C004"]);
+}
+
+#[test]
+fn c005_access_hidden_in_marks() {
+    let mut c = EventChunk::with_capacity(8);
+    c.push_ref(MemRef::read(0x1000, 8));
+    c.marks.push((1, Event::Access(MemRef::read(0x2000, 8))));
+    assert_eq!(codes(&chunk::check_chunk(&c, "golden", 0)), ["CS-C005"]);
+}
+
+// --- CS-T: trace framing ----------------------------------------------
+
+#[test]
+fn t001_bad_magic() {
+    let diags = trace::check_trace(&b"mystery-format 9\n"[..], "golden");
+    assert_eq!(codes(&diags), ["CS-T001"]);
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn t002_truncated_binary_header() {
+    let diags = trace::check_trace(&b"cstrace2\x01\x00"[..], "golden");
+    assert_eq!(codes(&diags), ["CS-T002"]);
+}
+
+#[test]
+fn t003_torn_binary_record() {
+    // Valid header (magic, name, empty object table), then 7 bytes of
+    // what should have been a 16-byte record.
+    let mut bin = Vec::new();
+    bin.extend_from_slice(b"cstrace2");
+    bin.extend_from_slice(&1u16.to_le_bytes()); // name length
+    bin.extend_from_slice(b"g");
+    bin.extend_from_slice(&0u32.to_le_bytes()); // object count
+    bin.extend_from_slice(&[2u8, 0, 0, 0, 0, 0, 0]); // torn record
+    let diags = trace::check_trace(&bin[..], "golden");
+    assert_eq!(codes(&diags), ["CS-T003"]);
+}
+
+#[test]
+fn t004_malformed_text_record() {
+    let diags = check_text_trace("A zz 8 R\n");
+    assert_eq!(codes(&diags), ["CS-T004"]);
+    assert_eq!(diags[0].line, 3);
+}
+
+// --- CS-P: PMU configuration ------------------------------------------
+
+fn base_cell() -> Cell {
+    Cell {
+        index: 0,
+        workload: "mgrid".into(),
+        scale: Scale::Test,
+        label: "golden".into(),
+        seed: 1,
+        technique: TechniqueConfig::None,
+        counters: 10,
+        limit: RunLimit::AppMisses(1000),
+        faults: FaultConfig::default(),
+    }
+}
+
+#[test]
+fn p001_extent_wraps_address_space() {
+    let objs = [ObjectDecl::global("x", u64::MAX, 2)];
+    assert_eq!(codes(&pmu::check_objects(&objs, "golden")), ["CS-P001"]);
+}
+
+#[test]
+fn p002_counter_narrower_than_run() {
+    let mut c = base_cell();
+    c.faults.wrap_bits = 8; // 256 << 1000-miss run
+    let diags = pmu::check_cell(&c, "golden");
+    assert_eq!(codes(&diags), ["CS-P002"]);
+    assert_eq!(diags[0].severity, cachescope_check::Severity::Warning);
+}
+
+#[test]
+fn p003_zero_sampling_period() {
+    let mut c = base_cell();
+    c.technique = TechniqueConfig::Sampling(SamplerConfig::fixed(0));
+    assert_eq!(codes(&pmu::check_cell(&c, "golden")), ["CS-P003"]);
+}
+
+#[test]
+fn p004_zero_counters() {
+    let mut c = base_cell();
+    c.counters = 0;
+    assert_eq!(codes(&pmu::check_cell(&c, "golden")), ["CS-P004"]);
+}
+
+#[test]
+fn p005_search_needs_two_counters() {
+    let mut c = base_cell();
+    c.technique = TechniqueConfig::Search(SearchConfig::default());
+    c.counters = 1;
+    assert_eq!(codes(&pmu::check_cell(&c, "golden")), ["CS-P005"]);
+}
+
+#[test]
+fn p006_fault_rate_out_of_range() {
+    let mut c = base_cell();
+    c.faults.skid_rate = -0.5;
+    assert_eq!(codes(&pmu::check_cell(&c, "golden")), ["CS-P006"]);
+}
+
+// --- CS-S: campaign specs ---------------------------------------------
+
+fn spec_file(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cachescope_check_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, body).unwrap();
+    p
+}
+
+const SPEC: &str = r#"{"v": 1, "name": "g", "scale": "test",
+    "workloads": ["mgrid"], "seeds": [1],
+    "techniques": [{"label": "b",
+        "technique": {"kind": "none"},
+        "counters": 10,
+        "limit": {"kind": "app_misses", "base": 1000, "round": "exact"}}]}"#;
+
+fn one_code(path: &std::path::Path) -> &'static str {
+    let diags = campaign::check_campaign_path(path);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    diags[0].code
+}
+
+#[test]
+fn s001_unparsable_file() {
+    assert_eq!(one_code(&spec_file("s001.json", "{ nope")), "CS-S001");
+}
+
+#[test]
+fn s002_unknown_key() {
+    let body = SPEC.replace("\"seeds\"", "\"seedz\"");
+    assert_eq!(one_code(&spec_file("s002.json", &body)), "CS-S002");
+}
+
+#[test]
+fn s003_duplicate_key() {
+    let body = SPEC.replace(r#""v": 1,"#, r#""v": 1, "v": 1,"#);
+    assert_eq!(one_code(&spec_file("s003.json", &body)), "CS-S003");
+}
+
+#[test]
+fn s004_empty_matrix() {
+    let body = SPEC.replace(r#""workloads": ["mgrid"],"#, r#""workloads": [],"#);
+    assert_eq!(one_code(&spec_file("s004.json", &body)), "CS-S004");
+}
+
+#[test]
+fn s005_unknown_technique_kind() {
+    let body = SPEC.replace(r#""kind": "none""#, r#""kind": "oracle""#);
+    assert_eq!(one_code(&spec_file("s005.json", &body)), "CS-S005");
+}
+
+#[test]
+fn s006_unknown_workload() {
+    let body = SPEC.replace("mgrid", "doom");
+    assert_eq!(one_code(&spec_file("s006.json", &body)), "CS-S006");
+}
+
+#[test]
+fn s007_duplicate_label() {
+    let body = SPEC.replace(
+        r#""techniques": [{"label": "b","#,
+        r#""techniques": [{"label": "b",
+            "technique": {"kind": "none"}, "counters": 9,
+            "limit": {"kind": "app_misses", "base": 1000, "round": "exact"}},
+            {"label": "b","#,
+    );
+    assert_eq!(one_code(&spec_file("s007.json", &body)), "CS-S007");
+}
+
+#[test]
+fn s008_content_identical_cells() {
+    // Two labels, identical configuration: same content hash.
+    let body = SPEC.replace(
+        r#""techniques": [{"label": "b","#,
+        r#""techniques": [{"label": "a",
+            "technique": {"kind": "none"}, "counters": 10,
+            "limit": {"kind": "app_misses", "base": 1000, "round": "exact"}},
+            {"label": "b","#,
+    );
+    assert_eq!(one_code(&spec_file("s008.json", &body)), "CS-S008");
+}
+
+// --- CS-L: repo self-lint ---------------------------------------------
+
+fn lint_one(src: &str, krate: &str) -> (&'static str, u64) {
+    let diags = selflint::lint_source(src, krate, "golden.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    (diags[0].code, diags[0].line)
+}
+
+#[test]
+fn l001_unwrap() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    assert_eq!(lint_one(src, "obs"), ("CS-L001", 2));
+}
+
+#[test]
+fn l002_expect() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.expect(\"always\")\n}\n";
+    assert_eq!(lint_one(src, "obs"), ("CS-L002", 2));
+}
+
+#[test]
+fn l003_panic() {
+    let src = "fn f() {\n    panic!(\"boom\");\n}\n";
+    assert_eq!(lint_one(src, "obs"), ("CS-L003", 2));
+}
+
+#[test]
+fn l004_wall_clock_in_deterministic_crate() {
+    let src = "fn f() {\n    let _ = std::time::Instant::now();\n}\n";
+    assert_eq!(lint_one(src, "sim"), ("CS-L004", 2));
+}
+
+#[test]
+fn l005_os_randomness_in_deterministic_crate() {
+    let src = "fn f() {\n    let _ = thread_rng();\n}\n";
+    assert_eq!(lint_one(src, "hwpm"), ("CS-L005", 2));
+}
+
+#[test]
+fn l006_println_in_library() {
+    let src = "fn f() {\n    println!(\"hi\");\n}\n";
+    let (code, line) = lint_one(src, "obs");
+    assert_eq!((code, line), ("CS-L006", 2));
+}

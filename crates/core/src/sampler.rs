@@ -307,6 +307,7 @@ impl Sampler {
         match self.cfg.period {
             SamplingPeriod::Fixed(k) => k,
             SamplingPeriod::Jittered { base, spread, .. } => {
+                // check:allow(rng is constructed whenever the period is jittered)
                 let rng = self.rng.as_mut().expect("jittered sampler has rng");
                 let lo = base.saturating_sub(spread).max(1);
                 let hi = base + spread;
@@ -329,6 +330,7 @@ impl Sampler {
                 // the tuned period cannot resonate with the application.
                 let smoothed = 0.5 * self.current_period as f64 + 0.5 * ideal;
                 let clamped = smoothed.clamp(50.0, 1.0e8);
+                // check:allow(rng is constructed whenever the period is adaptive)
                 let rng = self.rng.as_mut().expect("adaptive sampler has rng");
                 let jitter = rng.random_range(0.95..1.05);
                 ((clamped * jitter) as u64).max(50)

@@ -115,7 +115,12 @@ impl SymTab {
     /// The lowest base and highest end across all variables.
     pub fn extent(&self) -> Option<(Addr, Addr)> {
         let first = self.entries.first()?;
-        let end = self.entries.iter().map(|e| e.end).max().unwrap();
+        let end = self
+            .entries
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(first.end);
         Some((first.base, end))
     }
 }

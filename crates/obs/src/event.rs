@@ -221,6 +221,16 @@ pub enum ObsEvent {
         cache_hits: u64,
         failed: u64,
     },
+    /// The static checker (`cachescope check`) reported a diagnostic.
+    /// `file` names the checked input (a path, workload, or source file);
+    /// `line` is 0 when the input has no line structure.
+    CheckDiagnostic {
+        code: String,
+        severity: &'static str,
+        file: String,
+        line: u64,
+        message: String,
+    },
 }
 
 impl ObsEvent {
@@ -255,6 +265,7 @@ impl ObsEvent {
             ObsEvent::CellRetry { .. } => "cell_retry",
             ObsEvent::CellPanic { .. } => "cell_panic",
             ObsEvent::CampaignEnd { .. } => "campaign_end",
+            ObsEvent::CheckDiagnostic { .. } => "check_diagnostic",
         }
     }
 
@@ -454,6 +465,19 @@ impl ObsEvent {
                 fields.push(("cache_hits", Json::Uint(*cache_hits)));
                 fields.push(("failed", Json::Uint(*failed)));
             }
+            ObsEvent::CheckDiagnostic {
+                code,
+                severity,
+                file,
+                line,
+                message,
+            } => {
+                fields.push(("code", Json::str(code.clone())));
+                fields.push(("severity", Json::str(*severity)));
+                fields.push(("file", Json::str(file.clone())));
+                fields.push(("line", Json::Uint(*line)));
+                fields.push(("message", Json::str(message.clone())));
+            }
         }
         Json::obj(fields)
     }
@@ -600,6 +624,13 @@ mod tests {
                 completed: 13,
                 cache_hits: 5,
                 failed: 1,
+            },
+            ObsEvent::CheckDiagnostic {
+                code: "CS-W001".into(),
+                severity: "error",
+                file: "t.trace".into(),
+                line: 12,
+                message: "double alloc".into(),
             },
         ];
         for ev in events {

@@ -363,7 +363,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
         if !is_float {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::Uint(v));

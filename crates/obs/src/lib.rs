@@ -187,6 +187,12 @@ impl Obs {
                     );
                 }
             }
+            ObsEvent::CheckDiagnostic { severity, .. } => {
+                self.metrics.inc("check.diagnostics");
+                if *severity == "error" {
+                    self.metrics.inc("check.errors");
+                }
+            }
             _ => {}
         }
         self.events.push(ev);

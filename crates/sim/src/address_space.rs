@@ -93,6 +93,7 @@ impl AddressSpace {
         let base = (*cursor + align - 1) & !(align - 1);
         let end = base
             .checked_add(size.max(1))
+            // check:allow(address-space exhaustion is a workload authoring bug)
             .unwrap_or_else(|| panic!("{what} allocation overflows address space"));
         assert!(
             end <= limit,

@@ -596,6 +596,7 @@ impl Engine {
     #[inline(always)]
     fn hierarchy_access(&mut self, r: MemRef) -> Option<crate::cache::AccessOutcome> {
         if let Some(l1) = &mut self.l1 {
+            // check:allow(the l1 cache is only built from an l1 config)
             let cfg = self.cfg.l1.as_ref().expect("l1 cache implies l1 config");
             let out = l1.access(r);
             self.l1_counts.accesses += 1;

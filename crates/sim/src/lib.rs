@@ -49,7 +49,10 @@ pub use program::{
     Event, EventChunk, ObjectDecl, ObjectKind, Program, TraceProgram, CHUNK_CAPACITY,
 };
 pub use stats::{Counts, ObjectStats, RunStats, Timeline, TimelineConfig};
-pub use tracefile::{AnyTraceReader, BinTraceReader, RecordingProgram, TraceFormat, TraceReader};
+pub use tracefile::{
+    AnyTraceReader, BinTraceReader, RecordingProgram, TraceError, TraceErrorKind, TraceFormat,
+    TraceReader,
+};
 
 /// A simulated (virtual) memory address.
 pub type Addr = u64;

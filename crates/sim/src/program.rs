@@ -137,6 +137,11 @@ impl EventChunk {
         self.refs.len() + self.marks.len() + self.pre_count
     }
 
+    /// The capacity this chunk was sized with (total events).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     pub fn is_empty(&self) -> bool {
         self.refs.is_empty() && self.marks.is_empty()
     }

@@ -100,6 +100,7 @@ fn write_bin_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
             rec[0] = 3;
             rec[1] = name.is_some() as u8;
             let nb = name.as_deref().unwrap_or("").as_bytes();
+            // check:allow(names come from in-repo workloads, far below 64 KiB)
             let len = u16::try_from(nb.len()).expect("alloc name too long for binary trace");
             rec[2..4].copy_from_slice(&len.to_le_bytes());
             rec[8..16].copy_from_slice(&base.to_le_bytes());
@@ -163,16 +164,19 @@ impl<P: Program, W: Write> RecordingProgram<P, W> {
                 TraceFormat::Bin => {
                     self.out.write_all(BIN_MAGIC)?;
                     let nb = self.inner.name().as_bytes().to_vec();
+                    // check:allow(names come from in-repo workloads, far below 64 KiB)
                     let len = u16::try_from(nb.len()).expect("program name too long");
                     self.out.write_all(&len.to_le_bytes())?;
                     self.out.write_all(&nb)?;
                     let objects = self.inner.static_objects();
+                    // check:allow(object counts are bounded by workload size, far below u32::MAX)
                     let count = u32::try_from(objects.len()).expect("too many objects");
                     self.out.write_all(&count.to_le_bytes())?;
                     for o in objects {
                         self.out.write_all(&o.base.to_le_bytes())?;
                         self.out.write_all(&o.size.to_le_bytes())?;
                         let ob = o.name.as_bytes();
+                        // check:allow(names come from in-repo workloads, far below 64 KiB)
                         let ol = u16::try_from(ob.len()).expect("object name too long");
                         self.out.write_all(&ol.to_le_bytes())?;
                         self.out.write_all(ob)?;
@@ -181,6 +185,7 @@ impl<P: Program, W: Write> RecordingProgram<P, W> {
             }
             Ok(())
         };
+        // check:allow(recording sinks are in-memory or local files; the Program trait is infallible)
         emit().expect("trace header write failed");
         self.header_written = true;
     }
@@ -190,6 +195,7 @@ impl<P: Program, W: Write> RecordingProgram<P, W> {
             TraceFormat::Text => write_event(&mut self.out, ev),
             TraceFormat::Bin => write_bin_event(&mut self.out, ev),
         }
+        // check:allow(recording sinks are in-memory or local files; the Program trait is infallible)
         .expect("trace event write failed");
     }
 }
@@ -228,23 +234,68 @@ impl<P: Program, W: Write> Program for RecordingProgram<P, W> {
 }
 
 /// Streams a recorded trace back as a [`Program`].
+///
+/// Body errors never panic: [`TraceReader::try_next_event`] returns them
+/// typed, and the infallible [`Program::next_event`] path stashes the
+/// first error (readable via [`TraceReader::error`]) and reports
+/// end-of-program.
 pub struct TraceReader<R: BufRead> {
     name: String,
     objects: Vec<ObjectDecl>,
     lines: io::Lines<R>,
     line_no: usize,
+    error: Option<TraceError>,
 }
 
-/// A malformed trace line.
-#[derive(Debug)]
+/// What class of trace defect a [`TraceError`] reports. Stable across
+/// formats so tooling (the `check` subsystem's trace verifier) can map
+/// reader failures to diagnostic codes without parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// The input does not start with a known trace magic.
+    BadMagic,
+    /// The header (name, static objects) ended mid-field.
+    TruncatedHeader,
+    /// A body record ended mid-field (torn 16-byte word, missing alloc
+    /// tail, line cut mid-token).
+    TruncatedRecord,
+    /// A body record decoded but its contents are not legal (unknown
+    /// tag, unparsable field, bad UTF-8 name).
+    MalformedRecord,
+    /// The underlying reader failed.
+    Io,
+}
+
+impl TraceErrorKind {
+    /// Short human tag (`bad_magic`, `truncated_record`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceErrorKind::BadMagic => "bad_magic",
+            TraceErrorKind::TruncatedHeader => "truncated_header",
+            TraceErrorKind::TruncatedRecord => "truncated_record",
+            TraceErrorKind::MalformedRecord => "malformed_record",
+            TraceErrorKind::Io => "io",
+        }
+    }
+}
+
+/// A malformed or truncated trace. `line` is 1-based for the text
+/// format and 0 for binary traces (which report byte offsets in the
+/// message instead).
+#[derive(Debug, Clone)]
 pub struct TraceError {
     pub line: usize,
+    pub kind: TraceErrorKind,
     pub message: String,
 }
 
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
+        if self.line > 0 {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "trace: {}", self.message)
+        }
     }
 }
 
@@ -262,6 +313,7 @@ impl<R: BufRead> TraceReader<R> {
                 Some(Ok(l)) => Ok(Some(l)),
                 Some(Err(e)) => Err(TraceError {
                     line: *no,
+                    kind: TraceErrorKind::Io,
                     message: e.to_string(),
                 }),
                 None => Ok(None),
@@ -271,6 +323,7 @@ impl<R: BufRead> TraceReader<R> {
         if magic != MAGIC {
             return Err(TraceError {
                 line: 1,
+                kind: TraceErrorKind::BadMagic,
                 message: format!("bad magic {magic:?}"),
             });
         }
@@ -279,6 +332,7 @@ impl<R: BufRead> TraceReader<R> {
             .strip_prefix("N ")
             .ok_or(TraceError {
                 line: line_no,
+                kind: TraceErrorKind::TruncatedHeader,
                 message: "expected program name (N ...)".into(),
             })?
             .to_string();
@@ -290,12 +344,73 @@ impl<R: BufRead> TraceReader<R> {
             objects: Vec::new(),
             lines,
             line_no,
+            error: None,
         })
+    }
+
+    /// The first body error encountered, if the stream ended on one.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    /// Take the stashed body error (leaving the reader error-free).
+    pub fn take_error(&mut self) -> Option<TraceError> {
+        self.error.take()
+    }
+
+    /// 1-based number of the last line consumed.
+    pub fn line(&self) -> usize {
+        self.line_no
+    }
+
+    /// Fallible event pull: `Ok(None)` at clean end-of-trace, `Err` on a
+    /// malformed line or I/O failure. Unlike [`Program::next_event`] this
+    /// surfaces the error instead of stashing it.
+    pub fn try_next_event(&mut self) -> Result<Option<Event>, TraceError> {
+        loop {
+            self.line_no += 1;
+            let line = match self.lines.next() {
+                None => return Ok(None),
+                Some(Ok(l)) => l,
+                Some(Err(e)) => {
+                    return Err(TraceError {
+                        line: self.line_no,
+                        kind: TraceErrorKind::Io,
+                        message: e.to_string(),
+                    })
+                }
+            };
+            // Header object lines (parsed here because the engine calls
+            // static_objects() before the first event — see `load`).
+            if let Some(rest) = line.strip_prefix("O ") {
+                let err = |m: String| TraceError {
+                    line: self.line_no,
+                    kind: TraceErrorKind::MalformedRecord,
+                    message: m,
+                };
+                let mut p = rest.splitn(3, ' ');
+                let base = u64::from_str_radix(p.next().unwrap_or(""), 16)
+                    .map_err(|e| err(format!("bad object base: {e}")))?;
+                let size: u64 = p
+                    .next()
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|e| err(format!("bad object size: {e}")))?;
+                let name = p.next().unwrap_or("").to_string();
+                self.objects.push(ObjectDecl::global(name, base, size));
+                continue;
+            }
+            match Self::parse_event(&line, self.line_no)? {
+                Some(ev) => return Ok(Some(ev)),
+                None => continue,
+            }
+        }
     }
 
     fn parse_event(line: &str, line_no: usize) -> Result<Option<Event>, TraceError> {
         let err = |m: String| TraceError {
             line: line_no,
+            kind: TraceErrorKind::MalformedRecord,
             message: m,
         };
         let mut parts = line.split_whitespace();
@@ -377,30 +492,14 @@ impl<R: BufRead> Program for TraceReader<R> {
     }
 
     fn next_event(&mut self) -> Option<Event> {
-        loop {
-            self.line_no += 1;
-            let line = match self.lines.next()? {
-                Ok(l) => l,
-                Err(e) => panic!("trace read error at line {}: {e}", self.line_no),
-            };
-            // Header object lines (parsed here because the engine calls
-            // static_objects() before the first event — see `load`).
-            if let Some(rest) = line.strip_prefix("O ") {
-                let mut p = rest.splitn(3, ' ');
-                let base = u64::from_str_radix(p.next().unwrap_or(""), 16).unwrap_or_else(|e| {
-                    panic!("trace line {}: bad object base: {e}", self.line_no)
-                });
-                let size: u64 = p.next().unwrap_or("").parse().unwrap_or_else(|e| {
-                    panic!("trace line {}: bad object size: {e}", self.line_no)
-                });
-                let name = p.next().unwrap_or("").to_string();
-                self.objects.push(ObjectDecl::global(name, base, size));
-                continue;
-            }
-            match Self::parse_event(&line, self.line_no) {
-                Ok(Some(ev)) => return Some(ev),
-                Ok(None) => continue,
-                Err(e) => panic!("{e}"),
+        if self.error.is_some() {
+            return None;
+        }
+        match self.try_next_event() {
+            Ok(ev) => ev,
+            Err(e) => {
+                self.error = Some(e);
+                None
             }
         }
     }
@@ -417,26 +516,51 @@ pub struct BinTraceReader<R: BufRead> {
     reader: R,
     /// Byte offset of the next unread record (for error reporting).
     offset: u64,
+    error: Option<TraceError>,
+}
+
+/// Build a binary-trace error (binary errors report byte offsets, so
+/// `line` is always 0).
+fn bin_err(kind: TraceErrorKind, offset: u64, m: String) -> TraceError {
+    TraceError {
+        line: 0,
+        kind,
+        message: format!("{m} (byte offset {offset})"),
+    }
+}
+
+/// Fill `buf` from `reader`, tolerating short reads. Returns the number
+/// of bytes actually read: `buf.len()` normally, `0` at a clean EOF, or
+/// something in between when the stream ends mid-record (torn record).
+fn read_up_to<R: BufRead>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match reader.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
 }
 
 impl<R: BufRead> BinTraceReader<R> {
     /// Parse the binary header; fails on a bad magic or truncated header.
     pub fn new(mut reader: R) -> Result<Self, TraceError> {
-        fn fail(offset: u64, m: String) -> TraceError {
-            TraceError {
-                line: 0,
-                message: format!("{m} (byte offset {offset})"),
-            }
-        }
         fn read<R: BufRead>(
             reader: &mut R,
             offset: &mut u64,
             buf: &mut [u8],
             what: &str,
         ) -> Result<(), TraceError> {
-            reader
-                .read_exact(buf)
-                .map_err(|e| fail(*offset, format!("truncated {what}: {e}")))?;
+            reader.read_exact(buf).map_err(|e| {
+                bin_err(
+                    TraceErrorKind::TruncatedHeader,
+                    *offset,
+                    format!("truncated {what}: {e}"),
+                )
+            })?;
             *offset += buf.len() as u64;
             Ok(())
         }
@@ -449,13 +573,23 @@ impl<R: BufRead> BinTraceReader<R> {
             read(reader, offset, &mut len, what)?;
             let mut bytes = vec![0u8; u16::from_le_bytes(len) as usize];
             read(reader, offset, &mut bytes, what)?;
-            String::from_utf8(bytes).map_err(|e| fail(*offset, format!("bad utf-8 {what}: {e}")))
+            String::from_utf8(bytes).map_err(|e| {
+                bin_err(
+                    TraceErrorKind::MalformedRecord,
+                    *offset,
+                    format!("bad utf-8 {what}: {e}"),
+                )
+            })
         }
         let mut offset = 0u64;
         let mut magic = [0u8; 8];
         read(&mut reader, &mut offset, &mut magic, "magic")?;
         if &magic != BIN_MAGIC {
-            return Err(fail(0, format!("bad magic {magic:?}")));
+            return Err(bin_err(
+                TraceErrorKind::BadMagic,
+                0,
+                format!("bad magic {magic:?}"),
+            ));
         }
         let name = read_str(&mut reader, &mut offset, "program name")?;
         let mut count = [0u8; 4];
@@ -476,64 +610,131 @@ impl<R: BufRead> BinTraceReader<R> {
             objects,
             reader,
             offset,
+            error: None,
         })
     }
 
-    /// Decode one 16-byte record word (plus an Alloc tail, if any) read
-    /// via `read_exact`. `None` on clean EOF at a record boundary.
-    fn read_record(&mut self) -> Option<Event> {
+    /// The first body error encountered, if the stream ended on one.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    /// Take the stashed body error (leaving the reader error-free).
+    pub fn take_error(&mut self) -> Option<TraceError> {
+        self.error.take()
+    }
+
+    /// Byte offset of the next unread record.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Fallible record pull: decode one 16-byte record word (plus an
+    /// Alloc tail, if any). `Ok(None)` at a clean EOF on a record
+    /// boundary; a stream that ends mid-record is a
+    /// [`TraceErrorKind::TruncatedRecord`] error, not EOF.
+    pub fn try_next_event(&mut self) -> Result<Option<Event>, TraceError> {
         let mut rec = [0u8; 16];
-        match self.reader.read_exact(&mut rec) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                // Distinguish clean EOF (zero bytes) from a torn record.
-                return None;
-            }
-            Err(e) => panic!("trace read error at byte {}: {e}", self.offset),
+        let got = read_up_to(&mut self.reader, &mut rec)
+            .map_err(|e| bin_err(TraceErrorKind::Io, self.offset, format!("read error: {e}")))?;
+        if got == 0 {
+            return Ok(None);
+        }
+        if got < 16 {
+            return Err(bin_err(
+                TraceErrorKind::TruncatedRecord,
+                self.offset,
+                format!("torn record: {got} of 16 bytes"),
+            ));
         }
         self.offset += 16;
         let ev = match rec[0] {
-            1 => Some(Event::Access(decode_access(&rec))),
-            2 => Some(Event::Compute(u64::from_le_bytes(
-                rec[8..16].try_into().unwrap(),
-            ))),
+            1 => Event::Access(decode_access(&rec)),
+            2 => Event::Compute(le_u64(&rec, 8)),
             3 => {
-                let base = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+                let base = le_u64(&rec, 8);
                 let has_name = rec[1] != 0;
-                let name_len = u16::from_le_bytes(rec[2..4].try_into().unwrap()) as usize;
+                let name_len = u16::from_le_bytes([rec[2], rec[3]]) as usize;
+                let mut tail = vec![0u8; 8 + name_len];
+                let got = read_up_to(&mut self.reader, &mut tail).map_err(|e| {
+                    bin_err(TraceErrorKind::Io, self.offset, format!("read error: {e}"))
+                })?;
+                if got < tail.len() {
+                    return Err(bin_err(
+                        TraceErrorKind::TruncatedRecord,
+                        self.offset,
+                        format!("truncated alloc tail: {got} of {} bytes", tail.len()),
+                    ));
+                }
                 let mut word = [0u8; 8];
-                self.reader
-                    .read_exact(&mut word)
-                    .unwrap_or_else(|e| panic!("truncated alloc at byte {}: {e}", self.offset));
+                word.copy_from_slice(&tail[..8]);
                 let size = u64::from_le_bytes(word);
-                let mut nb = vec![0u8; name_len];
-                self.reader.read_exact(&mut nb).unwrap_or_else(|e| {
-                    panic!("truncated alloc name at byte {}: {e}", self.offset)
-                });
-                self.offset += 8 + name_len as u64;
-                let name = has_name.then(|| {
-                    String::from_utf8(nb)
-                        .unwrap_or_else(|e| panic!("bad alloc name at byte {}: {e}", self.offset))
-                });
-                Some(Event::Alloc { base, size, name })
+                self.offset += tail.len() as u64;
+                let name = if has_name {
+                    Some(String::from_utf8(tail.split_off(8)).map_err(|e| {
+                        bin_err(
+                            TraceErrorKind::MalformedRecord,
+                            self.offset,
+                            format!("bad utf-8 alloc name: {e}"),
+                        )
+                    })?)
+                } else {
+                    None
+                };
+                Event::Alloc { base, size, name }
             }
-            4 => Some(Event::Free {
-                base: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
-            }),
-            5 => Some(Event::Phase(u32::from_le_bytes(
-                rec[4..8].try_into().unwrap(),
-            ))),
-            t => panic!("unknown record tag {t} at byte {}", self.offset - 16),
+            4 => Event::Free {
+                base: le_u64(&rec, 8),
+            },
+            5 => Event::Phase(le_u32(&rec, 4)),
+            t => {
+                return Err(bin_err(
+                    TraceErrorKind::MalformedRecord,
+                    self.offset - 16,
+                    format!("unknown record tag {t}"),
+                ))
+            }
         };
-        ev
+        Ok(Some(ev))
     }
+
+    /// Infallible pull for the `Program` path: stash the first error and
+    /// report end-of-program (readable via [`BinTraceReader::error`]).
+    fn read_record(&mut self) -> Option<Event> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.try_next_event() {
+            Ok(ev) => ev,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// Decode a little-endian u64 at `at` from a record word.
+#[inline]
+fn le_u64(rec: &[u8; 16], at: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&rec[at..at + 8]);
+    u64::from_le_bytes(w)
+}
+
+/// Decode a little-endian u32 at `at` from a record word.
+#[inline]
+fn le_u32(rec: &[u8; 16], at: usize) -> u32 {
+    let mut w = [0u8; 4];
+    w.copy_from_slice(&rec[at..at + 4]);
+    u32::from_le_bytes(w)
 }
 
 #[inline]
 fn decode_access(rec: &[u8; 16]) -> MemRef {
     MemRef {
-        addr: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
-        size: u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+        addr: le_u64(rec, 8),
+        size: le_u32(rec, 4),
         kind: if rec[1] != 0 {
             AccessKind::Write
         } else {
@@ -558,16 +759,28 @@ impl<R: BufRead> Program for BinTraceReader<R> {
     /// Decode fixed-width records straight out of the read buffer: no
     /// per-event `read_exact`, no enum round-trip for accesses.
     fn next_chunk(&mut self, buf: &mut EventChunk) -> usize {
+        if self.error.is_some() {
+            return buf.len();
+        }
         while !buf.is_full() {
-            let avail = self
-                .reader
-                .fill_buf()
-                .unwrap_or_else(|e| panic!("trace read error at byte {}: {e}", self.offset));
+            let avail = match self.reader.fill_buf() {
+                Ok(a) => a,
+                Err(e) => {
+                    self.error = Some(bin_err(
+                        TraceErrorKind::Io,
+                        self.offset,
+                        format!("read error: {e}"),
+                    ));
+                    break;
+                }
+            };
             if avail.is_empty() {
                 break;
             }
             if avail.len() < 16 {
-                // Record straddles the buffer edge: take the slow path.
+                // Record straddles the buffer edge (or the stream ends on
+                // a torn record): take the slow path, which distinguishes
+                // the two and stashes a typed error for the latter.
                 match self.read_record() {
                     Some(ev) => buf.push_event(ev),
                     None => break,
@@ -576,24 +789,18 @@ impl<R: BufRead> Program for BinTraceReader<R> {
             }
             let mut consumed = 0usize;
             while buf.remaining() > 0 && avail.len() - consumed >= 16 {
+                // check:allow(slice is exactly 16 bytes by the loop guard)
                 let rec: &[u8; 16] = avail[consumed..consumed + 16].try_into().unwrap();
                 match rec[0] {
                     1 => buf.push_ref(decode_access(rec)),
-                    2 => buf.push_mark(Event::Compute(u64::from_le_bytes(
-                        rec[8..16].try_into().unwrap(),
-                    ))),
+                    2 => buf.push_mark(Event::Compute(le_u64(rec, 8))),
                     4 => buf.push_mark(Event::Free {
-                        base: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+                        base: le_u64(rec, 8),
                     }),
-                    5 => buf.push_mark(Event::Phase(u32::from_le_bytes(
-                        rec[4..8].try_into().unwrap(),
-                    ))),
-                    // Alloc has a variable tail; defer to read_record.
-                    3 => break,
-                    t => panic!(
-                        "unknown record tag {t} at byte {}",
-                        self.offset + consumed as u64
-                    ),
+                    5 => buf.push_mark(Event::Phase(le_u32(rec, 4))),
+                    // Alloc has a variable tail, and an unknown tag needs
+                    // a typed error: defer both to the slow path below.
+                    _ => break,
                 }
                 consumed += 16;
             }
@@ -627,6 +834,7 @@ impl<R: BufRead> AnyTraceReader<R> {
             .fill_buf()
             .map_err(|e| TraceError {
                 line: 0,
+                kind: TraceErrorKind::Io,
                 message: format!("trace read error: {e}"),
             })?
             .starts_with(BIN_MAGIC);
@@ -634,6 +842,22 @@ impl<R: BufRead> AnyTraceReader<R> {
             Ok(AnyTraceReader::Bin(BinTraceReader::new(reader)?))
         } else {
             Ok(AnyTraceReader::Text(TraceReader::new(reader)?))
+        }
+    }
+
+    /// The first body error encountered, if the stream ended on one.
+    pub fn error(&self) -> Option<&TraceError> {
+        match self {
+            AnyTraceReader::Text(t) => t.error(),
+            AnyTraceReader::Bin(b) => b.error(),
+        }
+    }
+
+    /// Take the stashed body error (leaving the reader error-free).
+    pub fn take_error(&mut self) -> Option<TraceError> {
+        match self {
+            AnyTraceReader::Text(t) => t.take_error(),
+            AnyTraceReader::Bin(b) => b.take_error(),
         }
     }
 }
@@ -677,6 +901,10 @@ pub fn load_eager<R: BufRead>(reader: R) -> Result<crate::program::TraceProgram,
     let mut events = Vec::new();
     while let Some(ev) = tr.next_event() {
         events.push(ev);
+    }
+    // The infallible Program pull stashes body errors; surface them.
+    if let Some(e) = tr.take_error() {
+        return Err(e);
     }
     Ok(crate::program::TraceProgram::new(
         tr.name().to_string(),
@@ -793,10 +1021,79 @@ mod tests {
     #[test]
     fn malformed_line_reports_line_number() {
         let text = format!("{MAGIC}\nN x\nA zz 8 R\n");
-        let result = std::panic::catch_unwind(|| {
-            let _ = load_eager(text.as_bytes());
-        });
-        assert!(result.is_err(), "bad hex addr must fail loudly");
+        let err = load_eager(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::MalformedRecord);
+        assert_eq!(err.line, 3, "error names the offending line");
+        assert!(err.message.contains("bad addr"), "{err}");
+    }
+
+    #[test]
+    fn streaming_reader_stashes_body_errors() {
+        let text = format!("{MAGIC}\nN x\nC 5\nQ bogus\nC 6\n");
+        let mut tr = TraceReader::new(text.as_bytes()).unwrap();
+        assert_eq!(tr.next_event(), Some(Event::Compute(5)));
+        assert_eq!(tr.next_event(), None, "stream stops at the bad line");
+        assert_eq!(tr.next_event(), None, "and stays stopped");
+        let err = tr.take_error().expect("error was stashed");
+        assert_eq!(err.kind, TraceErrorKind::MalformedRecord);
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn bin_torn_record_is_a_typed_error_not_eof() {
+        let bin = record_to_bin(sample_program());
+        // Cut the final record in half: the old reader treated this as a
+        // clean EOF and silently dropped the data.
+        let torn = &bin[..bin.len() - 8];
+        let err = load_eager(torn).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::TruncatedRecord);
+        assert!(err.message.contains("torn record"), "{err}");
+    }
+
+    #[test]
+    fn bin_truncated_alloc_tail_is_a_typed_error() {
+        let p = TraceProgram::new(
+            "t",
+            vec![],
+            vec![Event::Alloc {
+                base: 0x10,
+                size: 64,
+                name: Some("node".into()),
+            }],
+        );
+        let bin = record_to_bin(p);
+        let cut = &bin[..bin.len() - 2]; // drop the last 2 name bytes
+        let err = load_eager(cut).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::TruncatedRecord);
+        assert!(err.message.contains("alloc tail"), "{err}");
+    }
+
+    #[test]
+    fn bin_unknown_tag_is_a_typed_error() {
+        let mut bin = record_to_bin(TraceProgram::new(
+            "t",
+            vec![],
+            vec![Event::Compute(1), Event::Compute(2)],
+        ));
+        let body = bin.len() - 32;
+        bin[body + 16] = 0xEE; // corrupt the second record's tag
+        let err = load_eager(&bin[..]).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::MalformedRecord);
+        assert!(err.message.contains("unknown record tag 238"), "{err}");
+    }
+
+    #[test]
+    fn bin_chunked_path_reports_errors_too() {
+        let bin = record_to_bin(sample_program());
+        let torn = &bin[..bin.len() - 8];
+        let mut tr = BinTraceReader::new(torn).unwrap();
+        let mut chunk = crate::program::EventChunk::with_capacity(4096);
+        while {
+            chunk.reset();
+            tr.next_chunk(&mut chunk) > 0
+        } {}
+        let err = tr.take_error().expect("torn record stashed via chunks");
+        assert_eq!(err.kind, TraceErrorKind::TruncatedRecord);
     }
 
     #[test]

@@ -210,6 +210,7 @@ impl WorkloadBuilder {
     pub fn random_access(mut self) -> Self {
         self.targets
             .last_mut()
+            // check:allow(documented: panics if no target was declared)
             .expect("random_access must follow a target declaration")
             .mode = AccessMode::RandomLine;
         self
@@ -309,6 +310,7 @@ impl WorkloadBuilder {
             *self
                 .by_name
                 .get(name)
+                // check:allow(a weight naming an unknown target is a builder bug)
                 .unwrap_or_else(|| panic!("weight references unknown target {name}"))
         };
 

@@ -172,12 +172,14 @@ impl Mcf {
     }
 
     fn churn(&mut self) {
+        // check:allow(churn only runs once the live pool is primed)
         let old = self.live.pop_front().expect("pool never empty");
         self.pending.push_back(Event::Free { base: old });
         if self.compact {
             // Measurement-aware allocator: hand the freed slot straight
             // back out (after one spare), keeping the site compact.
             self.free_slots.insert(0, old);
+            // check:allow(the arena is sized with spare slots at construction)
             let slot = self.free_slots.pop().expect("arena has spare slots");
             self.pending.push_back(Event::Alloc {
                 base: slot,

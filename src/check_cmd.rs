@@ -1,0 +1,133 @@
+//! `cachescope check` — static verification of inputs and the repo.
+//!
+//! ```text
+//! cachescope check [inputs] [options]
+//!
+//! inputs (repeatable; --all selects everything below):
+//!   --trace FILE      verify a recorded trace (text or binary, by magic)
+//!   --campaign FILE   verify a campaign spec (strict parse + expansion
+//!                     + per-cell PMU legality)
+//!   --workload NAME   verify a registry workload's event stream and
+//!                     chunk encoding at test scale
+//!   --self-lint       lint the repo's own sources (no-panic library
+//!                     code, seed-only determinism)
+//!   --all             every campaigns/*.json, every registry workload,
+//!                     and the self-lint
+//!
+//! options:
+//!   --root DIR        repo root for --all and --self-lint  [default .]
+//!   --json            emit diagnostics as JSON lines (obs event objects)
+//!   --deny-warnings   exit nonzero on warnings too
+//!
+//! exit status: 0 clean, 1 diagnostics found, 2 usage error.
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use cachescope::workloads::spec::Scale;
+use cachescope_check::{selflint, CheckReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cachescope check [--all] [--trace FILE]... [--campaign FILE]...\n\
+         \x20                       [--workload NAME]... [--self-lint]\n\
+         \x20                       [--root DIR] [--json] [--deny-warnings]"
+    );
+    std::process::exit(2);
+}
+
+pub fn run(args: &[String]) -> ! {
+    let mut traces: Vec<String> = Vec::new();
+    let mut campaigns: Vec<String> = Vec::new();
+    let mut workloads: Vec<String> = Vec::new();
+    let mut self_lint = false;
+    let mut all = false;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root = PathBuf::from(".");
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--trace" => traces.push(value("--trace")),
+            "--campaign" => campaigns.push(value("--campaign")),
+            "--workload" => workloads.push(value("--workload")),
+            "--self-lint" => self_lint = true,
+            "--all" => all = true,
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => root = PathBuf::from(value("--root")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        }
+    }
+
+    if all {
+        self_lint = true;
+        for name in cachescope::campaign::registry::SPEC95 {
+            workloads.push(name.to_string());
+        }
+        for name in cachescope::campaign::registry::SPEC2000 {
+            workloads.push(name.to_string());
+        }
+        let dir = root.join("campaigns");
+        let mut found = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(&dir) {
+            for entry in rd.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "json") {
+                    found.push(path.display().to_string());
+                }
+            }
+        }
+        found.sort();
+        if found.is_empty() {
+            eprintln!("check: no campaign specs under {}", dir.display());
+        }
+        campaigns.extend(found);
+    }
+
+    if traces.is_empty() && campaigns.is_empty() && workloads.is_empty() && !self_lint {
+        eprintln!("check: nothing to check (pass inputs or --all)");
+        usage();
+    }
+
+    let mut report = CheckReport::default();
+    for path in &traces {
+        report.absorb(cachescope_check::trace::check_trace_path(Path::new(path)));
+    }
+    for path in &campaigns {
+        report.absorb(cachescope_check::campaign::check_campaign_path(Path::new(
+            path,
+        )));
+    }
+    for name in &workloads {
+        report.absorb(cachescope_check::workload::check_workload(
+            name,
+            Scale::Test,
+        ));
+    }
+    if self_lint {
+        report.absorb(selflint::lint_repo(&root));
+    }
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    std::process::exit(if report.has_failures(deny_warnings) {
+        1
+    } else {
+        0
+    });
+}

@@ -24,7 +24,11 @@
 //! * [`campaign`] — declarative experiment sweeps: a JSON-loadable spec
 //!   expands into a workload × technique matrix that runs on a bounded
 //!   worker pool with content-addressed result caching, per-cell panic
-//!   isolation and a resume manifest (the `campaign` binary drives it).
+//!   isolation and a resume manifest (the `campaign` binary drives it),
+//! * [`check`] — static verification without simulation: allocation
+//!   lifecycle, chunk encoding, PMU-config legality, trace framing and
+//!   campaign-spec validation for inputs, plus a repo self-lint
+//!   (`cachescope check` drives it).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@
 //! ```
 
 pub use cachescope_campaign as campaign;
+pub use cachescope_check as check;
 pub use cachescope_core as core;
 pub use cachescope_hwpm as hwpm;
 pub use cachescope_objmap as objmap;

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! cachescope <app> [options]
+//! cachescope check [--all] [--trace F] [--campaign F] [--workload W]
+//!                  [--self-lint] [--json] [--deny-warnings]   (static checks)
 //!
 //! apps:       tomcatv swim su2cor mgrid applu compress ijpeg   (SPEC95)
 //!             mcf art equake                                   (SPEC2000)
@@ -45,6 +47,8 @@ use cachescope::sim::{Program, RunLimit};
 use cachescope::workloads::spec::{self, Scale};
 use cachescope::workloads::spec2000;
 
+mod check_cmd;
+
 fn usage() -> ! {
     eprintln!(
         "usage: cachescope <app> [options]\n\
@@ -54,7 +58,8 @@ fn usage() -> ! {
          \x20 --timeline C --top N --l1 KiB --search-log --csv FILE\n\
          \x20 --json FILE --trace-out FILE --metrics\n\
          \x20 --record FILE [--trace-format text|bin] | --replay FILE (with '-' as <app>)\n\
-         apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake"
+         apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake\n\
+         or:   cachescope check --help   (static input/repo verification)"
     );
     std::process::exit(2);
 }
@@ -90,6 +95,9 @@ fn main() {
     // "-" is a valid app placeholder when replaying a recorded trace.
     if args.is_empty() || (args[0] != "-" && args[0].starts_with('-')) {
         usage();
+    }
+    if args[0] == "check" {
+        check_cmd::run(&args[1..]);
     }
     let app = args[0].clone();
 

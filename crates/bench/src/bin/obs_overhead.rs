@@ -1,0 +1,200 @@
+//! Self-overhead of the observability layer: what does profiling cost,
+//! and — the number that matters — what does *disabled* profiling cost?
+//!
+//! The span profiler's disabled path is a single predictable branch per
+//! `enter`/`exit`; the claim this bench defends is that an unprofiled
+//! run is as fast as the pre-profiler hot path. Two variants run in
+//! interleaved reps (ABAB…, so drift hits both equally):
+//!
+//! * **disabled** — a plain `Experiment` run (profiler off, the default
+//!   everywhere); this is the path every study bin and campaign takes.
+//! * **profiled** — the same run with `.profile(true)`: span recording
+//!   on every chunk/resolve/deliver plus latency histograms.
+//!
+//! Reports the median refs/sec per variant, the measurement noise
+//! (relative spread across the disabled reps) and the profiled
+//! overhead. When `BENCH_throughput.json` from a same-machine
+//! `throughput` run with a matching mode is present, the disabled
+//! median is also compared against its mgrid/baseline row — that file
+//! predates nothing (CI regenerates it minutes earlier in the same
+//! job), so "within noise of the throughput numbers" is checked
+//! operationally, not assumed.
+//!
+//! Writes `results/obs_overhead.{txt,json}` and `BENCH_obs_overhead.json`
+//! at the repo root (wall-clock numbers: uploaded as CI artifacts, not
+//! committed).
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin obs_overhead --
+//! [--smoke] [--reps N] [--assert]`
+//!
+//! `--assert` (CI) fails the run when the disabled-vs-throughput delta
+//! exceeds a generous noise bound, or profiled overhead is implausible.
+
+use std::time::Instant;
+
+use cachescope_bench::results_json::ResultsFile;
+use cachescope_core::{Experiment, SamplerConfig, TechniqueConfig};
+use cachescope_obs::{json, Json};
+use cachescope_sim::RunLimit;
+use cachescope_workloads::spec::{self, Scale};
+
+/// Relative disabled-vs-throughput delta allowed under `--assert`, in
+/// percent. Deliberately generous: CI machines are noisy and both sides
+/// are single measurements of the same code path.
+const ASSERT_DELTA_PCT: f64 = 40.0;
+
+/// Profiled-mode overhead allowed under `--assert`, in percent. Span
+/// recording on every chunk and miss is real work (two clock reads per
+/// miss); this only guards against it becoming pathological.
+const ASSERT_OVERHEAD_PCT: f64 = 85.0;
+
+fn measure(profiled: bool, limit: RunLimit) -> f64 {
+    let t0 = Instant::now();
+    let report = Experiment::new(Box::new(spec::mgrid(Scale::Test)))
+        .technique(TechniqueConfig::Sampling(SamplerConfig::fixed(2_000)))
+        .profile(profiled)
+        .limit(limit)
+        .run();
+    let secs = t0.elapsed().as_secs_f64();
+    report.stats.app.accesses as f64 / secs.max(1e-9)
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    s[s.len() / 2]
+}
+
+/// Relative spread (max-min)/median as a percentage.
+fn spread_pct(xs: &[f64]) -> f64 {
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+    (max - min) * 100.0 / median(xs).max(1e-9)
+}
+
+/// The mgrid/baseline refs/sec row from `BENCH_throughput.json`, if the
+/// file exists and was produced in the same mode (smoke vs full).
+fn throughput_reference(smoke: bool) -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_throughput.json").ok()?;
+    let v = json::parse(text.trim()).ok()?;
+    let mode = v.get("mode").and_then(Json::as_str)?;
+    if (mode == "smoke") != smoke {
+        return None;
+    }
+    v.get("rows")?.as_arr()?.iter().find_map(|r| {
+        let w = r.get("workload").and_then(Json::as_str)?;
+        let var = r.get("variant").and_then(Json::as_str)?;
+        if w == "mgrid" && var == "sampler" {
+            r.get("refs_per_sec").and_then(Json::as_f64)
+        } else {
+            None
+        }
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let assert_mode = args.iter().any(|a| a == "--assert");
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 5 });
+    let accesses: u64 = if smoke { 150_000 } else { 4_000_000 };
+    let limit = RunLimit::AppAccesses(accesses);
+
+    // Warm-up rep (uncounted), then interleaved measurement.
+    measure(false, limit);
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        off.push(measure(false, limit));
+        on.push(measure(true, limit));
+    }
+
+    let off_med = median(&off);
+    let on_med = median(&on);
+    let noise_pct = spread_pct(&off);
+    let overhead_pct = (off_med - on_med) * 100.0 / off_med.max(1e-9);
+    let reference = throughput_reference(smoke);
+    let delta_pct = reference.map(|r| (r - off_med) * 100.0 / r.max(1e-9));
+
+    let mut out = ResultsFile::new("obs_overhead");
+    out.line("Observability self-overhead (mgrid, sampler, refs/sec)");
+    out.line(format!(
+        "mode: {}  limit: {accesses} accesses  reps: {reps} (interleaved)\n",
+        if smoke { "smoke" } else { "full" },
+    ));
+    out.line(format!(
+        "{:<10} {:>14} {:>10}",
+        "variant", "median r/s", "spread%"
+    ));
+    out.line(format!(
+        "{:<10} {:>14.0} {:>10.1}",
+        "disabled", off_med, noise_pct
+    ));
+    out.line(format!(
+        "{:<10} {:>14.0} {:>10.1}",
+        "profiled",
+        on_med,
+        spread_pct(&on)
+    ));
+    out.line(format!(
+        "\nprofiled overhead: {overhead_pct:.1}% of disabled throughput"
+    ));
+    match (reference, delta_pct) {
+        (Some(r), Some(d)) => out.line(format!(
+            "throughput bench reference (mgrid/sampler): {r:.0} r/s; disabled is {d:+.1}% away"
+        )),
+        _ => out.line("no comparable BENCH_throughput.json (absent or other mode); skipped"),
+    }
+
+    let mut fields = vec![
+        ("bench", Json::str("obs_overhead")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("limit_accesses", Json::Uint(accesses)),
+        ("reps", Json::Uint(reps as u64)),
+        ("disabled_refs_per_sec", Json::Float(off_med)),
+        ("profiled_refs_per_sec", Json::Float(on_med)),
+        ("disabled_noise_pct", Json::Float(noise_pct)),
+        ("profiled_overhead_pct", Json::Float(overhead_pct)),
+    ];
+    if let (Some(r), Some(d)) = (reference, delta_pct) {
+        fields.push(("throughput_refs_per_sec", Json::Float(r)));
+        fields.push(("disabled_vs_throughput_pct", Json::Float(d)));
+    }
+    let json = Json::obj(fields);
+    let path = out
+        .save(&json)
+        .expect("write results/obs_overhead artifacts");
+    let mut rendered = json.render();
+    rendered.push('\n');
+    std::fs::write("BENCH_obs_overhead.json", &rendered).expect("write BENCH_obs_overhead.json");
+    println!("(saved {} and BENCH_obs_overhead.json)", path.display());
+
+    if assert_mode {
+        let mut failed = false;
+        if overhead_pct > ASSERT_OVERHEAD_PCT {
+            eprintln!(
+                "--assert: profiled overhead {overhead_pct:.1}% exceeds {ASSERT_OVERHEAD_PCT}%"
+            );
+            failed = true;
+        }
+        if let Some(d) = delta_pct {
+            let bound = ASSERT_DELTA_PCT.max(3.0 * noise_pct);
+            if d.abs() > bound {
+                eprintln!(
+                    "--assert: disabled-mode throughput is {d:+.1}% from the throughput \
+                     bench (bound {bound:.1}%)"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("overhead assertions passed");
+    }
+}

@@ -1,0 +1,243 @@
+//! Phase-timeline study: fixed-window refs/misses/top-k aggregation over
+//! applu, recovering the paper's Figure 5 phase structure from the
+//! windowed stream alone, and demonstrating per-window fault marking.
+//!
+//! Two cells, identical except for the fault model:
+//!
+//! * **clean** — miss sampling over applu, no faults. The per-window
+//!   top-k ranking recovers the phase structure: a/b/c dip to zero in
+//!   the RHS windows while rsd stays active, and no window is degraded.
+//! * **faulted** — the same run under seeded skid+drop faults. The
+//!   windows that observed a fault carry `degraded: true`, so a reader
+//!   of the timeline knows *when* the counters went untrustworthy, not
+//!   just that they did.
+//!
+//! Everything runs on the simulated clock with a fixed fault seed, so
+//! the artifacts are deterministic and sit under the CI byte-identity
+//! gate. Writes `results/phase_timeline.{txt,json}` plus the window
+//! streams `results/phase_timeline.timeline.jsonl` (clean) and
+//! `results/phase_timeline_faulted.timeline.jsonl` — both validated by
+//! `cachescope check --all` (CS-O001/O002 framing).
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin phase_timeline
+//! [--quick]`
+
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
+use cachescope_core::export::phase_timeline_jsonl;
+use cachescope_core::{Experiment, ExperimentReport, FaultConfig, SamplerConfig, TechniqueConfig};
+use cachescope_obs::Json;
+use cachescope_sim::RunLimit;
+use cachescope_workloads::spec::{self, Scale};
+
+/// Fixed seed for the faulted cell: the study is a deterministic
+/// function of its configuration (same seed as `fault_study`).
+const FAULT_SEED: u64 = 1729;
+
+/// Objects ranked per window in the JSONL stream.
+const TOP_K: usize = 3;
+
+fn run_cell(faults: Option<FaultConfig>, bucket_cycles: u64, limit: u64) -> ExperimentReport {
+    let mut exp = Experiment::new(Box::new(spec::applu(Scale::Paper)))
+        .technique(TechniqueConfig::Sampling(SamplerConfig::fixed(5_000)))
+        .timeline(bucket_cycles)
+        .limit(RunLimit::AppMisses(limit));
+    if let Some(f) = faults {
+        exp = exp.faults(f);
+    }
+    exp.run()
+}
+
+/// Per-window summary pulled back out of the report's timeline.
+struct Windows {
+    refs: Vec<u64>,
+    misses: Vec<u64>,
+    degraded: Vec<bool>,
+    /// `a`'s and `rsd`'s per-window miss series (phase recovery).
+    a: Vec<u64>,
+    rsd: Vec<u64>,
+}
+
+fn windows(rep: &ExperimentReport) -> Windows {
+    let t = rep.stats.timeline.as_ref().expect("timeline recorded");
+    let series = |name: &str| -> Vec<u64> {
+        rep.stats
+            .objects
+            .iter()
+            .position(|o| o.name == name)
+            .map(|id| t.series(id as u32))
+            .unwrap_or_default()
+    };
+    Windows {
+        refs: t.refs_series(),
+        misses: t.miss_series(),
+        degraded: t.degraded_series(),
+        a: series("a"),
+        rsd: series("rsd"),
+    }
+}
+
+fn sparkline(series: &[u64]) -> String {
+    const LEVELS: [char; 8] = [
+        '.', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+    ];
+    let max = series.iter().copied().max().unwrap_or(0).max(1);
+    series
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                LEVELS[0]
+            } else {
+                LEVELS[1 + (v * 6 / max) as usize]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycle = spec::applu(Scale::Paper).cycle_misses();
+    // Same framing as fig5: ~100 cycles per miss, eight windows per
+    // phase cycle.
+    let bucket_cycles = cycle * 100 / 8;
+    let cycles = if quick { 6 } else { 16 };
+    let limit = cycles * cycle;
+
+    let clean = run_cell(None, bucket_cycles, limit);
+    // A sparse fault model on purpose: a rare dropped interrupt marks
+    // *some* windows degraded, which is the interesting artifact — the
+    // timeline shows when the counters went bad, not just that they did.
+    let faulted = run_cell(
+        Some(FaultConfig {
+            drop_rate: 0.02,
+            seed: FAULT_SEED,
+            ..Default::default()
+        }),
+        bucket_cycles,
+        limit,
+    );
+
+    let cw = windows(&clean);
+    let fw = windows(&faulted);
+
+    // Phase recovery (the Fig. 5 claim, read off the windowed stream):
+    // a dips to zero in some windows, and rsd keeps missing through
+    // those dips.
+    let a_zero = cw.a.iter().filter(|&&v| v == 0).count();
+    let dips_covered =
+        cw.a.iter()
+            .zip(&cw.rsd)
+            .filter(|&(&am, &rm)| am == 0 && rm > 0)
+            .count();
+    let clean_degraded = cw.degraded.iter().filter(|&&d| d).count();
+    let fault_degraded = fw.degraded.iter().filter(|&&d| d).count();
+
+    assert!(
+        a_zero >= 2,
+        "phase recovery: expected a to dip to zero in >=2 windows, saw {a_zero}"
+    );
+    assert!(
+        dips_covered >= 1,
+        "phase recovery: rsd should stay active through a's dips"
+    );
+    assert_eq!(
+        clean_degraded, 0,
+        "a fault-free run must not mark any window degraded"
+    );
+    assert!(
+        fault_degraded >= 1,
+        "the faulted run should mark at least one degraded window"
+    );
+    assert!(
+        fault_degraded < fw.degraded.len(),
+        "sparse faults should leave some windows clean ({fault_degraded} of {})",
+        fw.degraded.len()
+    );
+
+    let mut out = ResultsFile::new("phase_timeline");
+    out.line("Phase timeline: windowed refs/misses/top-k over applu (cf. Fig. 5)");
+    out.line(format!(
+        "(one window = {:.0} Mcycles; {} windows clean, {} faulted;\n\
+         sampling period 5000; fault cell: drop 2%, seed {FAULT_SEED})\n",
+        bucket_cycles as f64 / 1e6,
+        cw.refs.len(),
+        fw.refs.len(),
+    ));
+    out.line(format!("{:<10} {}", "refs", sparkline(&cw.refs)));
+    out.line(format!("{:<10} {}", "misses", sparkline(&cw.misses)));
+    out.line(format!("{:<10} {}", "a", sparkline(&cw.a)));
+    out.line(format!("{:<10} {}", "rsd", sparkline(&cw.rsd)));
+    out.line(format!(
+        "{:<10} {}",
+        "faulted",
+        fw.degraded
+            .iter()
+            .map(|&d| if d { 'x' } else { '.' })
+            .collect::<String>()
+    ));
+    out.line(format!(
+        "\na dips to zero in {} of {} windows; rsd active in {} of those dips.\n\
+         clean run: {} degraded windows; faulted run: {} of {}.",
+        a_zero,
+        cw.a.len(),
+        dips_covered,
+        clean_degraded,
+        fault_degraded,
+        fw.degraded.len(),
+    ));
+
+    out.line("\nFirst 16 windows (clean | faulted):");
+    out.line(format!(
+        "{:<8} {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8}  {}",
+        "window", "refs", "misses", "a", "refs", "misses", "a", "deg"
+    ));
+    for w in 0..cw.refs.len().min(16) {
+        out.line(format!(
+            "{:<8} {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8}  {}",
+            w,
+            cw.refs[w],
+            cw.misses[w],
+            cw.a.get(w).copied().unwrap_or(0),
+            fw.refs.get(w).copied().unwrap_or(0),
+            fw.misses.get(w).copied().unwrap_or(0),
+            fw.a.get(w).copied().unwrap_or(0),
+            if fw.degraded.get(w).copied().unwrap_or(false) {
+                "x"
+            } else {
+                "."
+            },
+        ));
+    }
+
+    let json = Json::obj(vec![
+        ("study", Json::str("phase_timeline")),
+        ("app", Json::str("applu")),
+        ("quick", Json::Bool(quick)),
+        ("bucket_cycles", Json::Uint(bucket_cycles)),
+        ("top_k", Json::Uint(TOP_K as u64)),
+        ("fault_seed", Json::Uint(FAULT_SEED)),
+        ("windows_clean", Json::Uint(cw.refs.len() as u64)),
+        ("windows_faulted", Json::Uint(fw.refs.len() as u64)),
+        ("zero_windows_a", Json::Uint(a_zero as u64)),
+        ("dips_covered_by_rsd", Json::Uint(dips_covered as u64)),
+        ("degraded_windows_clean", Json::Uint(clean_degraded as u64)),
+        (
+            "degraded_windows_faulted",
+            Json::Uint(fault_degraded as u64),
+        ),
+    ]);
+    save_or_warn(&out, &json);
+
+    // The window streams themselves, one JSON object per window
+    // (validated by `cachescope check --timeline`).
+    for (name, rep) in [
+        ("results/phase_timeline.timeline.jsonl", &clean),
+        ("results/phase_timeline_faulted.timeline.jsonl", &faulted),
+    ] {
+        let jsonl = phase_timeline_jsonl(&rep.stats, TOP_K).expect("timeline recorded");
+        match std::fs::write(name, &jsonl) {
+            Ok(()) => println!("(saved {name}: {} windows)", jsonl.lines().count()),
+            // check:allow(artifact writes are best-effort, like save_or_warn)
+            Err(e) => eprintln!("warning: cannot write {name}: {e}"),
+        }
+    }
+}

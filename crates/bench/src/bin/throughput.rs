@@ -12,10 +12,15 @@
 //!   snapshot committed alongside the code.
 //!
 //! Usage: `cargo run --release -p cachescope-bench --bin throughput --
-//! [--smoke] [--tag NAME]`
+//! [--smoke] [--tag NAME] [--profile]`
 //!
 //! `--smoke` shrinks the run for CI; `--tag` labels the JSON rows (used
-//! to compare build profiles, e.g. with and without LTO).
+//! to compare build profiles, e.g. with and without LTO). `--profile`
+//! additionally runs one profiled pass per workload and writes the span
+//! roll-up as `results/throughput.collapsed.txt` (flamegraph collapsed-
+//! stack format) and `results/throughput.spans.jsonl` (span events;
+//! validated by `cachescope check --spans`). Profile artifacts are
+//! wall-clock data: uploaded from CI, never committed.
 
 use std::time::Instant;
 
@@ -97,6 +102,7 @@ fn assert_same_results(a: &RunStats, b: &RunStats, what: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let profile = args.iter().any(|a| a == "--profile");
     let tag = args
         .iter()
         .position(|a| a == "--tag")
@@ -209,4 +215,26 @@ fn main() {
     rendered.push('\n');
     std::fs::write("BENCH_throughput.json", &rendered).expect("write BENCH_throughput.json");
     println!("(saved {} and BENCH_throughput.json)", path.display());
+
+    // One profiled pass per workload (sampler variant): the engine's own
+    // span tree, merged across workloads, exported both as a flamegraph
+    // collapsed-stack text and as a span-event stream.
+    if profile {
+        let mut merged = cachescope_obs::Profiler::new();
+        merged.set_enabled(true);
+        for app in apps {
+            let report = Experiment::new(workload(app))
+                .technique(TechniqueConfig::Sampling(SamplerConfig::fixed(2_000)))
+                .profile(true)
+                .limit(limit)
+                .run();
+            let prof = report.profile.as_ref().expect("profiled run keeps spans");
+            merged.merge(prof);
+        }
+        std::fs::write("results/throughput.collapsed.txt", merged.collapsed())
+            .expect("write collapsed stacks");
+        std::fs::write("results/throughput.spans.jsonl", merged.events_jsonl())
+            .expect("write span events");
+        println!("(saved results/throughput.collapsed.txt and .spans.jsonl)");
+    }
 }

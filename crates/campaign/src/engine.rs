@@ -21,6 +21,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use cachescope_obs::{Json, Obs, ObsEvent};
 
@@ -114,6 +115,7 @@ pub struct CampaignRunner {
     jobs: Option<usize>,
     retries: u32,
     force: bool,
+    profile: bool,
 }
 
 impl Default for CampaignRunner {
@@ -124,6 +126,7 @@ impl Default for CampaignRunner {
             jobs: None,
             retries: 1,
             force: false,
+            profile: false,
         }
     }
 }
@@ -162,6 +165,17 @@ impl CampaignRunner {
     /// the cache afterwards).
     pub fn force(mut self, force: bool) -> Self {
         self.force = force;
+        self
+    }
+
+    /// Campaign-level self-profiling: time every simulated cell and fold
+    /// the durations into the run's [`Obs`] profiler (merged
+    /// `campaign.cell` leaves under `campaign.run`) and a
+    /// `campaign.cell_ns` histogram. Cache hits are not timed — they do
+    /// no simulation. Off by default; the disabled path takes no clock
+    /// readings.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -223,6 +237,7 @@ impl CampaignRunner {
 
         // Stage 2: simulate the cache misses on the worker pool.
         let max_attempts = self.retries + 1;
+        let profile = self.profile;
         let jobs: Vec<_> = to_run
             .iter()
             .map(|&i| {
@@ -231,7 +246,7 @@ impl CampaignRunner {
                 let obs = &obs;
                 let manifest = &manifest;
                 let cache = &cache;
-                move || -> Result<(Json, u32), (String, u32)> {
+                move || -> Result<(Json, u32, u64), (String, u32)> {
                     let mut last_error = String::new();
                     for attempt in 1..=max_attempts {
                         lock(obs).emit(ObsEvent::CellStart {
@@ -240,7 +255,16 @@ impl CampaignRunner {
                             workload: cell.workload.clone(),
                             label: cell.label.clone(),
                         });
+                        // The campaign crate is the one place cell wall
+                        // time may be read; simulation itself stays
+                        // clock-free. Skipped entirely when not
+                        // profiling so the default path never touches
+                        // the clock.
+                        let started = profile.then(Instant::now);
                         let outcome = catch_unwind(AssertUnwindSafe(|| cell.run()));
+                        let elapsed_ns = started
+                            .map(|t| t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+                            .unwrap_or(0);
                         match outcome {
                             Ok(Ok(report)) => {
                                 if let Err(e) = cache.store(cell, &report) {
@@ -257,7 +281,7 @@ impl CampaignRunner {
                                 m.settle(cell.index, CellStatus::Done, attempt);
                                 drop(m);
                                 self.checkpoint(manifest);
-                                return Ok((report, attempt));
+                                return Ok((report, attempt, elapsed_ns));
                             }
                             Ok(Err(e)) => last_error = e,
                             Err(payload) => last_error = panic_message(payload),
@@ -286,10 +310,14 @@ impl CampaignRunner {
 
         // Stage 3: fold pool results back into matrix order.
         let mut failures = Vec::new();
+        let mut cell_ns: Vec<u64> = Vec::new();
         for (&i, result) in to_run.iter().zip(results) {
             let cell = cells[i].clone();
             match result {
-                Ok(Ok((report, attempts))) => {
+                Ok(Ok((report, attempts, elapsed_ns))) => {
+                    if self.profile {
+                        cell_ns.push(elapsed_ns);
+                    }
                     settled[i] = Some(CellOutcome {
                         cell,
                         hash: hashes[i].clone(),
@@ -317,6 +345,21 @@ impl CampaignRunner {
 
         let outcomes: Vec<CellOutcome> = settled.into_iter().flatten().collect();
         let mut obs = obs.into_inner().unwrap_or_else(|e| e.into_inner());
+        if self.profile && !cell_ns.is_empty() {
+            // Roll the per-cell wall times up into the campaign's own
+            // profiler: one merged `campaign.cell` leaf (count = cells
+            // simulated, total = summed wall time) under `campaign.run`,
+            // plus a latency histogram for the spread. The arena is
+            // reused across cells — N cells still produce exactly two
+            // span records.
+            obs.profiler.set_enabled(true);
+            let run_span = obs.profiler.enter("campaign.run");
+            for &ns in &cell_ns {
+                obs.profiler.record_leaf("campaign.cell", ns);
+                obs.metrics.observe("campaign.cell_ns", ns);
+            }
+            obs.profiler.exit(run_span);
+        }
         obs.emit(ObsEvent::CampaignEnd {
             name: spec.name.clone(),
             completed: outcomes.len() as u64,

@@ -222,6 +222,46 @@ fn manifest_records_cell_fates() {
 }
 
 #[test]
+fn profiled_campaign_rolls_cell_times_into_one_merged_leaf() {
+    let dirs = TempDirs::new("profile");
+    let spec = small_spec("profile");
+    let run = dirs.runner().profile(true).run(&spec).unwrap();
+    assert!(run.is_complete());
+
+    // Arena reuse across cells: four simulated cells fold into exactly
+    // two span records — `campaign.run` and one merged `campaign.cell`
+    // leaf with count 4 — not one record per cell.
+    let prof = &run.obs.profiler;
+    assert!(prof.is_enabled());
+    assert_eq!(prof.open_depth(), 0);
+    assert_eq!(prof.spans().len(), 2);
+    let root = &prof.spans()[0];
+    let leaf = &prof.spans()[1];
+    assert_eq!((root.name, root.count), ("campaign.run", 1));
+    assert_eq!((leaf.name, leaf.count), ("campaign.cell", 4));
+    // Cells run on a pool: their summed wall time can exceed the
+    // campaign's own elapsed time, so only positivity is asserted.
+    assert!(leaf.total_ns > 0);
+
+    // The latency histogram saw the same four cells.
+    let cells = run
+        .obs
+        .metrics
+        .histogram("campaign.cell_ns")
+        .expect("cell latency histogram");
+    assert_eq!(cells.count(), 4);
+
+    // A warm profiled re-run times nothing (all cache hits), and an
+    // unprofiled run records no spans and no histogram at all.
+    let warm = dirs.runner().profile(true).run(&spec).unwrap();
+    assert_eq!(warm.obs.profiler.spans().len(), 0);
+    let plain = dirs.runner().force(true).run(&spec).unwrap();
+    assert!(!plain.obs.profiler.is_enabled());
+    assert_eq!(plain.obs.profiler.spans().len(), 0);
+    assert!(plain.obs.metrics.histogram("campaign.cell_ns").is_none());
+}
+
+#[test]
 fn force_resimulates_despite_cache() {
     let dirs = TempDirs::new("force");
     let spec = small_spec("force");

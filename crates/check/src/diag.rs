@@ -17,6 +17,7 @@
 //! | CS-P00x  | PMU legality        | counter/period/width configuration  |
 //! | CS-S00x  | campaign specs      | JSON shape, matrix validity         |
 //! | CS-L00x  | repo self-lint      | source invariants                   |
+//! | CS-O00x  | profile outputs     | timeline/span JSONL framing         |
 //!
 //! Codes are append-only: a released code never changes meaning.
 //!

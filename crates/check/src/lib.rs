@@ -15,7 +15,9 @@
 //!   passes: allocation lifecycle and extent overlap
 //!   ([`lifecycle`]), chunk-encoding well-formedness ([`chunk`]),
 //!   PMU-configuration legality ([`pmu`]), trace-file framing
-//!   ([`trace`]), and campaign-spec validation ([`campaign`]).
+//!   ([`trace`]), campaign-spec validation ([`campaign`]), and
+//!   profile-output framing — phase-timeline and span JSONL
+//!   ([`profile`]).
 //! * **Self-lint** — a dependency-free source scanner ([`selflint`])
 //!   enforcing no-panic library code and seed-only determinism.
 //!
@@ -28,6 +30,7 @@ pub mod chunk;
 pub mod diag;
 pub mod lifecycle;
 pub mod pmu;
+pub mod profile;
 pub mod selflint;
 pub mod trace;
 pub mod workload;

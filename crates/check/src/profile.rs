@@ -1,0 +1,396 @@
+//! Profile-output framing checks: phase-timeline and span JSONL.
+//!
+//! The profiling layer (`cachescope profile`, `--profile`) emits two
+//! line-oriented artifacts: a phase timeline (one JSON object per fixed
+//! window) and a span event stream (balanced `open`/`close` lines
+//! reconstructed from the span tree). Downstream tooling folds these
+//! into figures, so a torn or out-of-order file silently produces wrong
+//! plots — the same failure mode the input checkers guard against for
+//! traces and specs. These passes validate the framing without caring
+//! about the (non-deterministic) wall-clock magnitudes inside.
+//!
+//! Codes: `CS-O001` malformed line, `CS-O002` non-monotonic timeline
+//! windows, `CS-O003` span open/close imbalance, `CS-O004` negative span
+//! duration / timestamp regression.
+
+use std::path::Path;
+
+use cachescope_obs::json::{self, Json};
+
+use crate::diag::Diagnostic;
+
+fn uint_field(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+/// Validate phase-timeline JSONL text (`name` labels diagnostics).
+pub fn check_timeline_str(name: &str, text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut prev: Option<(u64, u64)> = None; // (window, end_cycle)
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i as u64 + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                diags.push(
+                    Diagnostic::error("CS-O001", name, format!("unparseable timeline line: {e}"))
+                        .at_line(lineno),
+                );
+                continue;
+            }
+        };
+        let window = uint_field(&v, "window");
+        let start = uint_field(&v, "start_cycle");
+        let end = uint_field(&v, "end_cycle");
+        let refs = uint_field(&v, "refs");
+        let misses = uint_field(&v, "misses");
+        let degraded_ok = matches!(v.get("degraded"), Some(Json::Bool(_)));
+        let top_ok = matches!(v.get("top"), Some(Json::Arr(_)));
+        let (Some(window), Some(start), Some(end), Some(refs), Some(misses)) =
+            (window, start, end, refs, misses)
+        else {
+            diags.push(
+                Diagnostic::error(
+                    "CS-O001",
+                    name,
+                    "timeline window missing a required numeric field \
+                     (window/start_cycle/end_cycle/refs/misses)",
+                )
+                .at_line(lineno),
+            );
+            continue;
+        };
+        if !degraded_ok || !top_ok {
+            diags.push(
+                Diagnostic::error(
+                    "CS-O001",
+                    name,
+                    "timeline window needs a boolean `degraded` and an array `top`",
+                )
+                .at_line(lineno),
+            );
+            continue;
+        }
+        if misses > refs {
+            diags.push(
+                Diagnostic::error(
+                    "CS-O001",
+                    name,
+                    format!("window {window} counts more misses ({misses}) than refs ({refs})"),
+                )
+                .at_line(lineno),
+            );
+        }
+        if end <= start {
+            diags.push(
+                Diagnostic::error(
+                    "CS-O002",
+                    name,
+                    format!("window {window} is empty or inverted ({start}..{end})"),
+                )
+                .at_line(lineno),
+            );
+        }
+        if let Some((pw, pe)) = prev {
+            if window <= pw {
+                diags.push(
+                    Diagnostic::error(
+                        "CS-O002",
+                        name,
+                        format!("window index went {pw} -> {window}; windows must ascend"),
+                    )
+                    .at_line(lineno),
+                );
+            }
+            if start < pe {
+                diags.push(
+                    Diagnostic::error(
+                        "CS-O002",
+                        name,
+                        format!(
+                            "window {window} starts at {start}, before the previous \
+                             window ends at {pe}"
+                        ),
+                    )
+                    .at_line(lineno),
+                );
+            }
+        }
+        prev = Some((window, end));
+    }
+    diags
+}
+
+/// Validate span-event JSONL text (`name` labels diagnostics).
+pub fn check_spans_str(name: &str, text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Stack of (span name, open timestamp, open line).
+    let mut stack: Vec<(String, u64, u64)> = Vec::new();
+    let mut last_t = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i as u64 + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                diags.push(
+                    Diagnostic::error("CS-O001", name, format!("unparseable span line: {e}"))
+                        .at_line(lineno),
+                );
+                continue;
+            }
+        };
+        let ev = v.get("ev").and_then(Json::as_str);
+        let span = v.get("name").and_then(Json::as_str);
+        let t = uint_field(&v, "t");
+        let (Some(ev), Some(span), Some(t)) = (ev, span, t) else {
+            diags.push(
+                Diagnostic::error("CS-O001", name, "span line needs `ev`, `name` and `t`")
+                    .at_line(lineno),
+            );
+            continue;
+        };
+        if t < last_t {
+            diags.push(
+                Diagnostic::error(
+                    "CS-O004",
+                    name,
+                    format!("timestamp went backwards ({last_t} -> {t})"),
+                )
+                .at_line(lineno),
+            );
+        }
+        last_t = last_t.max(t);
+        match ev {
+            "open" => stack.push((span.to_string(), t, lineno)),
+            "close" => match stack.pop() {
+                Some((open_name, open_t, _)) => {
+                    if open_name != span {
+                        diags.push(
+                            Diagnostic::error(
+                                "CS-O003",
+                                name,
+                                format!(
+                                    "close of '{span}' while '{open_name}' is the \
+                                     innermost open span"
+                                ),
+                            )
+                            .at_line(lineno),
+                        );
+                    }
+                    if t < open_t {
+                        diags.push(
+                            Diagnostic::error(
+                                "CS-O004",
+                                name,
+                                format!(
+                                    "span '{span}' closes at {t}, before it opened at {open_t}"
+                                ),
+                            )
+                            .at_line(lineno),
+                        );
+                    }
+                }
+                None => {
+                    diags.push(
+                        Diagnostic::error(
+                            "CS-O003",
+                            name,
+                            format!("close of '{span}' with no span open"),
+                        )
+                        .at_line(lineno),
+                    );
+                }
+            },
+            other => {
+                diags.push(
+                    Diagnostic::error("CS-O001", name, format!("unknown span event '{other}'"))
+                        .at_line(lineno),
+                );
+            }
+        }
+    }
+    for (open_name, _, lineno) in stack {
+        diags.push(
+            Diagnostic::error(
+                "CS-O003",
+                name,
+                format!("span '{open_name}' is never closed"),
+            )
+            .at_line(lineno)
+            .with_hint("the profiler's events_jsonl always closes abandoned spans; this file was truncated or hand-edited"),
+        );
+    }
+    diags
+}
+
+/// Check a phase-timeline JSONL file on disk.
+pub fn check_timeline_path(path: &Path) -> Vec<Diagnostic> {
+    let name = path.display().to_string();
+    match std::fs::read_to_string(path) {
+        Ok(text) => check_timeline_str(&name, &text),
+        Err(e) => vec![Diagnostic::error(
+            "CS-O001",
+            name,
+            format!("cannot read timeline file: {e}"),
+        )],
+    }
+}
+
+/// Check a span-event JSONL file on disk.
+pub fn check_spans_path(path: &Path) -> Vec<Diagnostic> {
+    let name = path.display().to_string();
+    match std::fs::read_to_string(path) {
+        Ok(text) => check_spans_str(&name, &text),
+        Err(e) => vec![Diagnostic::error(
+            "CS-O001",
+            name,
+            format!("cannot read span file: {e}"),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    const GOOD_TIMELINE: &str = concat!(
+        r#"{"window":0,"start_cycle":0,"end_cycle":100,"refs":12,"misses":4,"degraded":false,"top":[{"object":"a","misses":3}]}"#,
+        "\n",
+        r#"{"window":1,"start_cycle":100,"end_cycle":200,"refs":9,"misses":1,"degraded":true,"top":[]}"#,
+        "\n",
+    );
+
+    #[test]
+    fn clean_timeline_passes() {
+        assert!(check_timeline_str("t", GOOD_TIMELINE).is_empty());
+    }
+
+    #[test]
+    fn timeline_rejects_garbage_and_missing_fields() {
+        let d = check_timeline_str("t", "not json\n");
+        assert_eq!(codes(&d), ["CS-O001"]);
+        let d = check_timeline_str("t", r#"{"window":0,"refs":1}"#);
+        assert_eq!(codes(&d), ["CS-O001"]);
+        let d = check_timeline_str(
+            "t",
+            r#"{"window":0,"start_cycle":0,"end_cycle":9,"refs":1,"misses":0,"degraded":0,"top":[]}"#,
+        );
+        assert_eq!(codes(&d), ["CS-O001"], "degraded must be a boolean");
+        let d = check_timeline_str(
+            "t",
+            r#"{"window":0,"start_cycle":0,"end_cycle":9,"refs":1,"misses":5,"degraded":false,"top":[]}"#,
+        );
+        assert_eq!(codes(&d), ["CS-O001"], "misses cannot exceed refs");
+    }
+
+    #[test]
+    fn timeline_rejects_non_monotonic_windows() {
+        let text = concat!(
+            r#"{"window":1,"start_cycle":100,"end_cycle":200,"refs":1,"misses":0,"degraded":false,"top":[]}"#,
+            "\n",
+            r#"{"window":0,"start_cycle":0,"end_cycle":100,"refs":1,"misses":0,"degraded":false,"top":[]}"#,
+            "\n",
+        );
+        let d = check_timeline_str("t", text);
+        assert!(codes(&d).contains(&"CS-O002"), "{d:?}");
+        let inverted = r#"{"window":0,"start_cycle":50,"end_cycle":50,"refs":1,"misses":0,"degraded":false,"top":[]}"#;
+        assert_eq!(codes(&check_timeline_str("t", inverted)), ["CS-O002"]);
+        let overlap = concat!(
+            r#"{"window":0,"start_cycle":0,"end_cycle":100,"refs":1,"misses":0,"degraded":false,"top":[]}"#,
+            "\n",
+            r#"{"window":1,"start_cycle":50,"end_cycle":150,"refs":1,"misses":0,"degraded":false,"top":[]}"#,
+            "\n",
+        );
+        assert_eq!(codes(&check_timeline_str("t", overlap)), ["CS-O002"]);
+    }
+
+    #[test]
+    fn clean_spans_pass() {
+        let text = concat!(
+            r#"{"ev":"open","name":"run","t":0}"#,
+            "\n",
+            r#"{"ev":"open","name":"chunk","t":5}"#,
+            "\n",
+            r#"{"ev":"close","name":"chunk","t":9}"#,
+            "\n",
+            r#"{"ev":"close","name":"run","t":12}"#,
+            "\n",
+        );
+        assert!(check_spans_str("s", text).is_empty());
+    }
+
+    #[test]
+    fn spans_reject_imbalance() {
+        let unclosed = r#"{"ev":"open","name":"run","t":0}"#;
+        assert_eq!(codes(&check_spans_str("s", unclosed)), ["CS-O003"]);
+        let orphan_close = r#"{"ev":"close","name":"run","t":0}"#;
+        assert_eq!(codes(&check_spans_str("s", orphan_close)), ["CS-O003"]);
+        let crossed = concat!(
+            r#"{"ev":"open","name":"a","t":0}"#,
+            "\n",
+            r#"{"ev":"open","name":"b","t":1}"#,
+            "\n",
+            r#"{"ev":"close","name":"a","t":2}"#,
+            "\n",
+            r#"{"ev":"close","name":"b","t":3}"#,
+            "\n",
+        );
+        let d = check_spans_str("s", crossed);
+        assert!(codes(&d).contains(&"CS-O003"), "{d:?}");
+    }
+
+    #[test]
+    fn spans_reject_negative_durations() {
+        let backwards = concat!(
+            r#"{"ev":"open","name":"a","t":10}"#,
+            "\n",
+            r#"{"ev":"close","name":"a","t":4}"#,
+            "\n",
+        );
+        let d = check_spans_str("s", backwards);
+        assert!(codes(&d).contains(&"CS-O004"), "{d:?}");
+    }
+
+    #[test]
+    fn spans_reject_malformed_lines() {
+        let d = check_spans_str("s", r#"{"ev":"pause","name":"a","t":1}"#);
+        assert_eq!(codes(&d), ["CS-O001"]);
+        let d = check_spans_str("s", r#"{"name":"a"}"#);
+        assert_eq!(codes(&d), ["CS-O001"]);
+    }
+
+    #[test]
+    fn profiler_exports_satisfy_their_own_checkers() {
+        // The round-trip golden: whatever the profiler emits must pass.
+        let mut p = cachescope_obs::Profiler::enabled();
+        let r = p.enter("engine.run");
+        for _ in 0..3 {
+            let c = p.enter("engine.chunk");
+            let s = p.enter("engine.resolve");
+            p.exit(s);
+            p.exit(c);
+        }
+        p.enter("engine.deliver"); // abandoned: exit(r) closes it
+        p.exit(r);
+        let d = check_spans_str("profiler", &p.events_jsonl());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_file_is_a_single_error() {
+        let d = check_timeline_path(Path::new("/nonexistent/t.jsonl"));
+        assert_eq!(codes(&d), ["CS-O001"]);
+        let d = check_spans_path(Path::new("/nonexistent/s.jsonl"));
+        assert_eq!(codes(&d), ["CS-O001"]);
+    }
+}

@@ -111,6 +111,63 @@ fn timeline_to_json(stats: &RunStats) -> Option<Json> {
     ]))
 }
 
+/// The phase timeline as JSONL: one JSON object per fixed window, with
+/// that window's reference/miss totals, its fault-degraded flag, and the
+/// top-`top_k` objects by misses (ranked descending, name tie-break).
+/// `None` when the run recorded no timeline.
+///
+/// This is the export behind the `phase_timeline` study bin: consecutive
+/// windows with distinct top-object rankings are the paper's Figure 5
+/// phases, recovered from windowed aggregation alone.
+pub fn phase_timeline_jsonl(stats: &RunStats, top_k: usize) -> Option<String> {
+    let t = stats.timeline.as_ref()?;
+    let refs = t.refs_series();
+    let misses = t.miss_series();
+    let degraded = t.degraded_series();
+    let per_obj: Vec<Vec<u64>> = (0..stats.objects.len())
+        .map(|id| t.series(id as u32))
+        .collect();
+    let width = t.bucket_cycles();
+    let mut out = String::new();
+    for w in 0..t.num_buckets() {
+        let mut ranked: Vec<(usize, u64)> = per_obj
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s[w]))
+            .filter(|&(_, m)| m > 0)
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| stats.objects[a.0].name.cmp(&stats.objects[b.0].name))
+        });
+        ranked.truncate(top_k);
+        let top: Vec<Json> = ranked
+            .into_iter()
+            .map(|(i, m)| {
+                Json::obj(vec![
+                    ("object", Json::str(stats.objects[i].name.clone())),
+                    ("misses", Json::Uint(m)),
+                ])
+            })
+            .collect();
+        let w64 = w as u64;
+        out.push_str(
+            &Json::obj(vec![
+                ("window", Json::Uint(w64)),
+                ("start_cycle", Json::Uint(w64 * width)),
+                ("end_cycle", Json::Uint((w64 + 1) * width)),
+                ("refs", Json::Uint(refs[w])),
+                ("misses", Json::Uint(misses[w])),
+                ("degraded", Json::Bool(degraded[w])),
+                ("top", Json::Arr(top)),
+            ])
+            .render(),
+        );
+        out.push('\n');
+    }
+    Some(out)
+}
+
 /// The full experiment report as one JSON document: the same joined rows
 /// as [`report_to_csv`], the same cost fields as [`costs_to_csv`], plus
 /// the search log, miss timeline and metrics registry snapshot when
@@ -177,6 +234,10 @@ pub fn report_to_json(report: &ExperimentReport) -> Json {
     }
     if !report.metrics.is_empty() {
         fields.push(("metrics", report.metrics.to_json()));
+    }
+    if let Some(prof) = &report.profile {
+        // Absent for unprofiled runs, keeping their exports byte-stable.
+        fields.push(("profile", prof.tree_json()));
     }
     Json::obj(fields)
 }
@@ -294,6 +355,66 @@ mod tests {
         assert_eq!(field("\""), "\"\"\"\"");
         // Leading/trailing spaces are significant but need no quoting.
         assert_eq!(field("  padded  "), "  padded  ");
+    }
+
+    #[test]
+    fn phase_timeline_jsonl_windows_are_ranked_and_flagged() {
+        use cachescope_sim::{Timeline, TimelineConfig};
+        let mut report = sample_report();
+        let mut t = Timeline::new(TimelineConfig { bucket_cycles: 100 });
+        // Window 0: object 1 dominates; window 1: object 0 only, degraded.
+        t.record_ref(10);
+        t.record_ref(20);
+        t.record_miss(10);
+        t.record_miss(20);
+        t.record(0, 10);
+        t.record(1, 10);
+        t.record(1, 20);
+        t.record_ref(150);
+        t.record_miss(150);
+        t.record(0, 150);
+        t.mark_degraded(150);
+        report.stats.timeline = Some(t);
+
+        assert!(phase_timeline_jsonl(&sample_report().stats, 3).is_none());
+        let jsonl = phase_timeline_jsonl(&report.stats, 3).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+
+        let w0 = json::parse(lines[0]).unwrap();
+        assert_eq!(w0.get("window").unwrap().as_u64(), Some(0));
+        assert_eq!(w0.get("start_cycle").unwrap().as_u64(), Some(0));
+        assert_eq!(w0.get("end_cycle").unwrap().as_u64(), Some(100));
+        assert_eq!(w0.get("refs").unwrap().as_u64(), Some(2));
+        assert_eq!(w0.get("misses").unwrap().as_u64(), Some(2));
+        assert!(matches!(w0.get("degraded"), Some(Json::Bool(false))));
+        let top0 = w0.get("top").unwrap().as_arr().unwrap();
+        assert_eq!(top0[0].get("object").unwrap().as_str(), Some("B"));
+        assert_eq!(top0[0].get("misses").unwrap().as_u64(), Some(2));
+
+        let w1 = json::parse(lines[1]).unwrap();
+        assert!(matches!(w1.get("degraded"), Some(Json::Bool(true))));
+        let top1 = w1.get("top").unwrap().as_arr().unwrap();
+        assert_eq!(top1.len(), 1, "zero-miss objects are omitted");
+        assert_eq!(
+            top1[0].get("object").unwrap().as_str(),
+            Some("A,weird\"name")
+        );
+    }
+
+    #[test]
+    fn json_report_embeds_profile_tree_only_when_profiled() {
+        use cachescope_obs::Profiler;
+        let mut report = sample_report();
+        assert!(report_to_json(&report).get("profile").is_none());
+        let mut prof = Profiler::enabled();
+        let sp = prof.enter("engine.run");
+        prof.exit(sp);
+        report.profile = Some(prof);
+        let j = report_to_json(&report);
+        let tree = j.get("profile").expect("profile exported");
+        let roots = tree.as_arr().unwrap();
+        assert_eq!(roots[0].get("name").unwrap().as_str(), Some("engine.run"));
     }
 
     #[test]

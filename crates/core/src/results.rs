@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cachescope_obs::{Metrics, ObsEvent};
+use cachescope_obs::{Metrics, ObsEvent, Profiler};
 use cachescope_sim::RunStats;
 
 /// One object's estimate as produced by a measurement technique.
@@ -83,6 +83,10 @@ pub struct ExperimentReport {
     /// The run's metrics registry snapshot: counters, gauges and
     /// histograms derived from the event stream plus direct observations.
     pub metrics: Metrics,
+    /// The span self-profiler harvested from the run, when profiling was
+    /// enabled ([`crate::Experiment::profile`] / `--profile`). `None` for
+    /// unprofiled runs, keeping their exports byte-identical.
+    pub profile: Option<Profiler>,
     rows: Vec<ReportRow>,
 }
 
@@ -126,6 +130,7 @@ impl ExperimentReport {
             search_log: None,
             events: Vec::new(),
             metrics: Metrics::default(),
+            profile: None,
             rows,
         }
     }

@@ -40,6 +40,7 @@ pub struct Experiment<P: Program> {
     timeline: Option<TimelineConfig>,
     faults: FaultConfig,
     min_pct: f64,
+    profile: bool,
 }
 
 impl<P: Program> Experiment<P> {
@@ -57,6 +58,7 @@ impl<P: Program> Experiment<P> {
             timeline: None,
             faults: FaultConfig::default(),
             min_pct: 0.01,
+            profile: false,
         }
     }
 
@@ -114,6 +116,15 @@ impl<P: Program> Experiment<P> {
         self
     }
 
+    /// Enable span self-profiling: the engine records where its own
+    /// wall-clock goes and the report carries the harvested
+    /// [`cachescope_obs::Profiler`]. Tool-side only — simulated results
+    /// are bit-identical with and without it.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     fn sim_config(&self) -> SimConfig {
         SimConfig {
             cache: self.cache.clone(),
@@ -133,6 +144,9 @@ impl<P: Program> Experiment<P> {
         let app = self.program.name().to_string();
         let decls = self.program.static_objects();
         let mut engine = Engine::new(cfg);
+        if self.profile {
+            engine.obs_mut().profiler.set_enabled(true);
+        }
 
         let (stats, tech_report, attach_log): (RunStats, TechniqueReport, bool) =
             match self.technique {
@@ -173,6 +187,9 @@ impl<P: Program> Experiment<P> {
             }
         }
         report.events = obs.take_events();
+        if self.profile {
+            report.profile = Some(obs.profiler.clone());
+        }
         report.metrics = obs.metrics;
         report
     }
@@ -182,11 +199,17 @@ impl<P: Program> Experiment<P> {
         let cfg = self.sim_config();
         let app = self.program.name().to_string();
         let mut engine = Engine::new(cfg);
+        if self.profile {
+            engine.obs_mut().profiler.set_enabled(true);
+        }
         let stats = engine.run(&mut self.program, handler, self.limit);
         let mut obs = engine.take_obs();
         let mut report =
             ExperimentReport::new(app, stats, TechniqueReport::default(), self.min_pct);
         report.events = obs.take_events();
+        if self.profile {
+            report.profile = Some(obs.profiler.clone());
+        }
         report.metrics = obs.metrics;
         report
     }
@@ -249,6 +272,41 @@ mod tests {
             .limit(RunLimit::AppMisses(100_000))
             .run();
         assert!(rep.stats.timeline.is_some());
+    }
+
+    #[test]
+    fn profiled_run_records_spans_without_perturbing_results() {
+        let plain = Experiment::new(spec::mgrid(spec::Scale::Test))
+            .technique(TechniqueConfig::sampling(500))
+            .limit(RunLimit::AppMisses(50_000))
+            .run();
+        let profiled = Experiment::new(spec::mgrid(spec::Scale::Test))
+            .technique(TechniqueConfig::sampling(500))
+            .limit(RunLimit::AppMisses(50_000))
+            .profile(true)
+            .run();
+        assert!(plain.profile.is_none());
+        let prof = profiled.profile.as_ref().expect("profiler harvested");
+        for name in [
+            "engine.run",
+            "engine.chunk",
+            "engine.resolve",
+            "engine.deliver",
+        ] {
+            assert!(
+                prof.spans().iter().any(|s| s.name == name),
+                "missing span {name}"
+            );
+        }
+        assert_eq!(prof.open_depth(), 0, "span tree must close balanced");
+        // Profiling is tool-side only: simulated results are identical.
+        assert_eq!(plain.stats.app, profiled.stats.app);
+        assert_eq!(plain.stats.cycles, profiled.stats.cycles);
+        assert_eq!(plain.stats.interrupts, profiled.stats.interrupts);
+        // The chunk-latency histogram exists only under profiling, so
+        // unprofiled metric snapshots stay byte-identical.
+        assert!(profiled.metrics.histogram("engine.chunk_ns").is_some());
+        assert!(plain.metrics.histogram("engine.chunk_ns").is_none());
     }
 
     #[test]

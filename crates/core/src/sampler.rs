@@ -404,6 +404,13 @@ impl Handler for Sampler {
             return;
         }
         let elapsed = ctx.now().saturating_sub(self.last_return);
+        if ctx.obs().profiler.is_enabled() {
+            // Interval-length histogram, profiled runs only: unprofiled
+            // metric snapshots must stay byte-stable for the golden gates.
+            ctx.obs()
+                .metrics
+                .observe("sampler.interval_cycles", elapsed);
+        }
         ctx.charge(self.cfg.fixed_handler_cycles);
         // Hardening: cross-check the interrupt against the global
         // counter's progress since the last accepted one. On a fault-free

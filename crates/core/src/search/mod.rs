@@ -1156,6 +1156,13 @@ impl Handler for Searcher {
             return;
         }
         self.iterations += 1;
+        if ctx.obs().profiler.is_enabled() {
+            // Distribution of measurement-interval lengths (the interval
+            // stretches under zero-activity ticks); profiled runs only.
+            ctx.obs()
+                .metrics
+                .observe("search.interval_cycles", self.interval);
+        }
         ctx.charge(self.cfg.fixed_iteration_cycles);
         if matches!(self.state, State::Done) {
             return;

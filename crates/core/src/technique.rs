@@ -61,6 +61,11 @@ impl TechniqueConfig {
 /// `cycles_per_access` of compute per touched word on top of the cache
 /// cost. Clears the trace for reuse.
 pub fn replay_trace(ctx: &mut EngineCtx, trace: &mut AccessTrace, cycles_per_access: u64) {
+    if ctx.obs().profiler.is_enabled() {
+        // Cache-probe depth per handler invocation (profiled runs only).
+        let depth = trace.len() as u64;
+        ctx.obs().metrics.observe("objmap.probe_depth", depth);
+    }
     for &a in &trace.reads {
         ctx.touch(MemRef::read(a, 8));
     }

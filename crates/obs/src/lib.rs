@@ -29,10 +29,12 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod span;
 
 pub use event::{IterationRecord, MeasuredRegion, ObsEvent, RegionFate};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics};
+pub use span::{Profiler, SpanGuard, SpanId, SpanRecord};
 
 /// The observability sink: an in-memory event log plus a metrics
 /// registry. One per engine run; harvest it afterwards with
@@ -48,6 +50,10 @@ pub struct Obs {
     /// searcher's priority-queue depth); [`Obs::emit`] also derives
     /// standard metrics from the event stream.
     pub metrics: Metrics,
+    /// The span self-profiler. Disabled by default — even when the event
+    /// sink records, span tracing stays a single branch per site until
+    /// `--profile` turns it on.
+    pub profiler: Profiler,
     last_interrupt_at: Option<u64>,
 }
 
@@ -57,6 +63,7 @@ impl Default for Obs {
             enabled: true,
             events: Vec::new(),
             metrics: Metrics::default(),
+            profiler: Profiler::new(),
             last_interrupt_at: None,
         }
     }
@@ -75,6 +82,14 @@ impl Obs {
             enabled: false,
             ..Obs::default()
         }
+    }
+
+    /// A recording sink with span self-profiling turned on: what
+    /// `--profile` / `cachescope profile` construct.
+    pub fn profiled() -> Self {
+        let mut obs = Obs::default();
+        obs.profiler.set_enabled(true);
+        obs
     }
 
     /// Is the sink recording?

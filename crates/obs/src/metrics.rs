@@ -43,7 +43,17 @@ impl Histogram {
         }
     }
 
-    fn observe(&mut self, v: u64) {
+    /// A standalone histogram with explicit ascending bucket bounds;
+    /// `None` if the bounds are empty or not strictly ascending.
+    pub fn with_bounds(bounds: &[u64]) -> Option<Self> {
+        if bounds.is_empty() || bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(Histogram::new(bounds.to_vec()))
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
         let idx = self.bounds.partition_point(|&b| b < v);
         self.counts[idx] += 1;
         self.count += 1;
@@ -84,6 +94,64 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the `ceil(q * count)`-th observation. Observations
+    /// in the overflow bucket report the exact recorded maximum, so the
+    /// estimate never exceeds reality's range. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Overflow bucket (or any bucket wider than the data):
+                // the recorded max is the tightest honest answer.
+                return match self.bounds.get(i) {
+                    Some(&b) => b.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`. Returns `false` (and changes nothing)
+    /// when the bucket bounds differ — histograms only merge with their
+    /// own shape.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        true
+    }
+
     fn to_json(&self) -> Json {
         let mut buckets = Vec::with_capacity(self.counts.len());
         for (i, &c) in self.counts.iter().enumerate() {
@@ -100,6 +168,9 @@ impl Histogram {
             ("min", Json::Uint(self.min())),
             ("max", Json::Uint(self.max())),
             ("mean", Json::Float(self.mean())),
+            ("p50", Json::Uint(self.p50())),
+            ("p95", Json::Uint(self.p95())),
+            ("p99", Json::Uint(self.p99())),
             ("buckets", Json::Arr(buckets)),
         ])
     }
@@ -170,7 +241,37 @@ impl Metrics {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Fold another registry into this one: counters add, gauges take
+    /// `other`'s value (last writer wins), histograms merge bucket-wise.
+    /// Returns `false` if any histogram pair had mismatched bounds (that
+    /// pair is left as-is; everything else still merges).
+    pub fn merge(&mut self, other: &Metrics) -> bool {
+        for (&k, &v) in &other.counters {
+            self.add(k, v);
+        }
+        for (&k, &v) in &other.gauges {
+            self.set_gauge(k, v);
+        }
+        let mut clean = true;
+        for (&k, h) in &other.histograms {
+            match self.histograms.entry(k) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    clean &= e.get_mut().merge(h);
+                }
+            }
+        }
+        clean
+    }
+
     /// Serialize the whole registry.
+    ///
+    /// Keys are emitted in sorted (BTreeMap) order regardless of the
+    /// order metrics were first recorded in, so two runs that touch the
+    /// same metrics render byte-identical JSON — the golden gates in CI
+    /// rely on this.
     pub fn to_json(&self) -> Json {
         let counters = self
             .counters
@@ -215,10 +316,12 @@ impl fmt::Display for Metrics {
             for (name, h) in &self.histograms {
                 writeln!(
                     f,
-                    "  {name:<44} count {:>10}  mean {:>14.1}  min {:>10}  max {:>12}",
+                    "  {name:<44} count {:>10}  mean {:>14.1}  p50 {:>10}  p95 {:>10}  p99 {:>10}  max {:>12}",
                     h.count(),
                     h.mean(),
-                    h.min(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                     h.max(),
                 )?;
             }
@@ -270,6 +373,134 @@ mod tests {
         m.observe("auto", 3);
         m.observe("auto", 1_000_000);
         assert_eq!(m.histogram("auto").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::with_bounds(&[10, 100]).unwrap();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = Histogram::with_bounds(&[10, 100]).unwrap();
+        h.observe(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 7);
+        // Bucket-upper-bound estimate, capped at the recorded max.
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p95(), 7);
+        assert_eq!(h.p99(), 7);
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn saturating_overflow_bucket_reports_recorded_max() {
+        let mut h = Histogram::with_bounds(&[10]).unwrap();
+        for _ in 0..99 {
+            h.observe(1_000_000); // all land in the overflow bucket
+        }
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 100);
+        // The overflow bucket has no upper bound: quantiles fall back to
+        // the exact max instead of inventing a bound.
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.counts, vec![0, 100]);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise_and_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(&[10, 100]).unwrap();
+        let mut b = Histogram::with_bounds(&[10, 100]).unwrap();
+        a.observe(5);
+        a.observe(50);
+        b.observe(7);
+        b.observe(5000);
+        assert!(a.merge(&b));
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.counts, vec![2, 1, 1]);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 5000);
+
+        let other_shape = Histogram::with_bounds(&[1, 2, 3]).unwrap();
+        let before = a.clone();
+        assert!(!a.merge(&other_shape));
+        assert_eq!(a, before, "rejected merge must not mutate");
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_keeps_min_max() {
+        let mut a = Histogram::with_bounds(&[10]).unwrap();
+        a.observe(4);
+        let b = Histogram::with_bounds(&[10]).unwrap();
+        assert!(a.merge(&b));
+        assert_eq!(a.min(), 4);
+        assert_eq!(a.max(), 4);
+    }
+
+    #[test]
+    fn with_bounds_rejects_bad_shapes() {
+        assert!(Histogram::with_bounds(&[]).is_none());
+        assert!(Histogram::with_bounds(&[5, 5]).is_none());
+        assert!(Histogram::with_bounds(&[10, 2]).is_none());
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::with_bounds(&[1, 2, 4, 8, 16]).unwrap();
+        for v in [1, 1, 2, 2, 3, 5, 9] {
+            h.observe(v);
+        }
+        assert_eq!(h.p50(), 2); // 4th of 7 observations sits in the <=2 bucket
+        assert_eq!(h.quantile(1.0), 9); // <=16 bucket, capped at max
+    }
+
+    #[test]
+    fn registry_merge_folds_all_kinds() {
+        let mut a = Metrics::new();
+        a.inc("runs");
+        a.set_gauge("rate", 1.0);
+        a.observe("depth", 4);
+        let mut b = Metrics::new();
+        b.add("runs", 2);
+        b.set_gauge("rate", 3.0);
+        b.observe("depth", 9);
+        b.observe("other", 1);
+        assert!(a.merge(&b));
+        assert_eq!(a.counter("runs"), 3);
+        assert_eq!(a.gauge("rate"), Some(3.0));
+        assert_eq!(a.histogram("depth").unwrap().count(), 2);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn json_export_is_insertion_order_invariant() {
+        // Same metrics recorded in opposite orders must render
+        // byte-identically: the golden gates diff `--metrics` output.
+        let mut a = Metrics::new();
+        a.inc("z.last");
+        a.inc("a.first");
+        a.set_gauge("m.mid", 0.5);
+        a.observe("h.one", 3);
+        a.observe("h.two", 9);
+
+        let mut b = Metrics::new();
+        b.observe("h.two", 9);
+        b.observe("h.one", 3);
+        b.set_gauge("m.mid", 0.5);
+        b.inc("a.first");
+        b.inc("z.last");
+
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        assert_eq!(a.to_string(), b.to_string());
     }
 
     #[test]

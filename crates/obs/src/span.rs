@@ -1,0 +1,571 @@
+//! Nested span self-profiling: where does the *tool's* wall-clock go?
+//!
+//! The simulator charges virtual cycles to the simulated machine; this
+//! module charges real nanoseconds to the simulator itself. Layers open
+//! named spans around their hot regions (engine run, chunk loop,
+//! attribution resolve, interrupt delivery, campaign cells) and the
+//! [`Profiler`] folds them into a merged call-tree arena: one record per
+//! unique `(parent, name)` path, so a million chunk iterations cost one
+//! arena slot, not a million.
+//!
+//! Design constraints, in priority order:
+//!
+//! * **Single-branch disabled path.** [`Profiler::enter`] is
+//!   `#[inline(always)]` and its first statement is the enabled test; a
+//!   disabled profiler costs one predictable branch per span site, which
+//!   `BENCH_obs_overhead.json` proves is within noise of not
+//!   instrumenting at all.
+//! * **Tool-side only.** Like the rest of `cachescope-obs`, nothing here
+//!   ever charges simulated cycles — profiling a run cannot change its
+//!   measured results, only how fast you get them.
+//! * **Deterministic exports.** Wall-clock durations vary run to run, but
+//!   the *shape* of every export (sibling order, open/close balance,
+//!   monotonic synthetic timestamps) is deterministic, so the `check`
+//!   crate can gate the framing (`CS-O003`/`CS-O004`).
+//!
+//! Exports: [`Profiler::collapsed`] (flamegraph collapsed-stack text,
+//! one `root;child;leaf self_ns` line per path), [`Profiler::tree_json`]
+//! (nested span tree), and [`Profiler::events_jsonl`] (balanced
+//! open/close event lines reconstructed from the tree).
+
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Sentinel parent index for root spans.
+const ROOT: u32 = u32::MAX;
+
+/// Handle returned by [`Profiler::enter`]; pass back to
+/// [`Profiler::exit`]. The disabled profiler hands out [`SpanId::NONE`],
+/// which `exit` ignores with the same single branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The "no span" handle from a disabled profiler.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+}
+
+/// One merged call-tree node: every execution of the same `(parent,
+/// name)` path folds into a single record.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    /// Arena index of the parent, or `u32::MAX` for roots.
+    parent: u32,
+    /// Number of times this path was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all entries (inclusive of
+    /// children).
+    pub total_ns: u64,
+    /// Entry timestamp of the currently-open occurrence (ns from origin).
+    start_ns: u64,
+    open: bool,
+}
+
+/// The span arena: a merged call tree plus the currently-open stack.
+///
+/// One per [`crate::Obs`] sink. Disabled by default — profiling is
+/// opt-in (`--profile`), unlike event tracing which is on whenever the
+/// sink is.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    enabled: bool,
+    spans: Vec<SpanRecord>,
+    /// Arena indices of currently-open spans, outermost first.
+    stack: Vec<u32>,
+    /// Wall-clock origin; set lazily on the first span so a never-used
+    /// profiler does no clock reads at all.
+    origin: Option<Instant>,
+}
+
+impl Profiler {
+    /// A disabled profiler (the default): `enter` is one branch.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// An enabled profiler, recording from the first `enter`.
+    pub fn enabled() -> Self {
+        Profiler {
+            enabled: true,
+            ..Profiler::default()
+        }
+    }
+
+    /// Turn recording on or off. Turning off mid-run leaves already
+    /// recorded spans in place; open spans stay open until `exit`.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Is the profiler recording?
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn now_ns(&mut self) -> u64 {
+        let origin = self.origin.get_or_insert_with(Instant::now);
+        origin.elapsed().as_nanos() as u64
+    }
+
+    /// Open a span. **The disabled path is a single branch** — callers
+    /// may leave this in per-access hot loops.
+    #[inline(always)]
+    pub fn enter(&mut self, name: &'static str) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        self.enter_slow(name)
+    }
+
+    #[inline(never)]
+    fn enter_slow(&mut self, name: &'static str) -> SpanId {
+        let now = self.now_ns();
+        let parent = self.stack.last().copied().unwrap_or(ROOT);
+        // Sibling merge: reuse the record for this (parent, name) path.
+        // Linear scan is fine — the arena is bounded by unique paths, not
+        // by entry count, and real trees here have < 20 nodes.
+        let idx = match self
+            .spans
+            .iter()
+            .position(|s| s.parent == parent && s.name == name)
+        {
+            Some(i) => i as u32,
+            None => {
+                self.spans.push(SpanRecord {
+                    name,
+                    parent,
+                    count: 0,
+                    total_ns: 0,
+                    start_ns: 0,
+                    open: false,
+                });
+                (self.spans.len() - 1) as u32
+            }
+        };
+        let rec = &mut self.spans[idx as usize];
+        rec.count += 1;
+        rec.start_ns = now;
+        rec.open = true;
+        self.stack.push(idx);
+        SpanId(idx)
+    }
+
+    /// Close a span; returns this occurrence's duration in nanoseconds
+    /// (0 when disabled). Any deeper spans still open above `id` (e.g.
+    /// left behind by an early `break` out of a loop) are closed first,
+    /// so the arena can never end up unbalanced.
+    #[inline(always)]
+    pub fn exit(&mut self, id: SpanId) -> u64 {
+        if !self.enabled || id == SpanId::NONE {
+            return 0;
+        }
+        self.exit_slow(id)
+    }
+
+    #[inline(never)]
+    fn exit_slow(&mut self, id: SpanId) -> u64 {
+        let now = self.now_ns();
+        while let Some(top) = self.stack.pop() {
+            let rec = &mut self.spans[top as usize];
+            let dur = now.saturating_sub(rec.start_ns);
+            if rec.open {
+                rec.total_ns += dur;
+                rec.open = false;
+            }
+            if top == id.0 {
+                return dur;
+            }
+        }
+        0
+    }
+
+    /// Record a completed span of known duration as a child of the
+    /// current stack top, without clock reads. The campaign roll-up uses
+    /// this to fold per-cell wall timings (measured on worker threads)
+    /// into the coordinator's tree.
+    pub fn record_leaf(&mut self, name: &'static str, dur_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let parent = self.stack.last().copied().unwrap_or(ROOT);
+        let idx = match self
+            .spans
+            .iter()
+            .position(|s| s.parent == parent && s.name == name)
+        {
+            Some(i) => i,
+            None => {
+                self.spans.push(SpanRecord {
+                    name,
+                    parent,
+                    count: 0,
+                    total_ns: 0,
+                    start_ns: 0,
+                    open: false,
+                });
+                self.spans.len() - 1
+            }
+        };
+        self.spans[idx].count += 1;
+        self.spans[idx].total_ns += dur_ns;
+    }
+
+    /// RAII scope: the span closes when the guard drops. Borrows the
+    /// profiler for the scope's duration, so it suits leaf regions; the
+    /// engine's interleaved regions use explicit `enter`/`exit` instead.
+    pub fn scope(&mut self, name: &'static str) -> SpanGuard<'_> {
+        let id = self.enter(name);
+        SpanGuard { prof: self, id }
+    }
+
+    /// The merged call-tree arena, in first-entered order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Depth of the currently-open stack (0 when balanced).
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Clear recorded spans but keep the allocation, the enabled flag
+    /// and the clock origin — campaign cells reuse one arena.
+    pub fn reset(&mut self) {
+        self.spans.clear();
+        self.stack.clear();
+    }
+
+    /// Inclusive time minus children's inclusive time, clamped at 0.
+    fn self_ns(&self, idx: usize) -> u64 {
+        let child_total: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == idx as u32)
+            .map(|s| s.total_ns)
+            .sum();
+        self.spans[idx].total_ns.saturating_sub(child_total)
+    }
+
+    fn path(&self, idx: usize) -> String {
+        let mut parts = vec![self.spans[idx].name];
+        let mut cur = self.spans[idx].parent;
+        while cur != ROOT {
+            parts.push(self.spans[cur as usize].name);
+            cur = self.spans[cur as usize].parent;
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    /// Collapsed-stack flamegraph text: one `a;b;c <self_ns>` line per
+    /// path, in deterministic (first-entered) arena order. Feed to any
+    /// flamegraph renderer; self-time of zero-self nodes is omitted.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.spans.len() {
+            let self_ns = self.self_ns(i);
+            if self_ns == 0 && self.spans.iter().any(|s| s.parent == i as u32) {
+                continue;
+            }
+            out.push_str(&self.path(i));
+            out.push(' ');
+            out.push_str(&self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn subtree_json(&self, idx: usize) -> Json {
+        let children: Vec<Json> = (0..self.spans.len())
+            .filter(|&c| self.spans[c].parent == idx as u32)
+            .map(|c| self.subtree_json(c))
+            .collect();
+        let rec = &self.spans[idx];
+        let mut fields = vec![
+            ("name", Json::str(rec.name)),
+            ("count", Json::Uint(rec.count)),
+            ("total_ns", Json::Uint(rec.total_ns)),
+            ("self_ns", Json::Uint(self.self_ns(idx))),
+        ];
+        if !children.is_empty() {
+            fields.push(("children", Json::Arr(children)));
+        }
+        Json::obj(fields)
+    }
+
+    /// The span tree as nested JSON: `[{name, count, total_ns, self_ns,
+    /// children: [...]}, ...]`, roots in first-entered order.
+    pub fn tree_json(&self) -> Json {
+        Json::Arr(
+            (0..self.spans.len())
+                .filter(|&i| self.spans[i].parent == ROOT)
+                .map(|i| self.subtree_json(i))
+                .collect(),
+        )
+    }
+
+    /// Balanced open/close span events as JSONL, reconstructed from the
+    /// merged tree with a synthetic monotonic clock: every `open` line
+    /// has a matching later `close`, timestamps never decrease, and
+    /// durations are non-negative — the framing `cachescope check
+    /// --spans` validates (CS-O003/CS-O004).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut t = 0u64;
+        for i in 0..self.spans.len() {
+            if self.spans[i].parent == ROOT {
+                t = self.emit_events(i, t, &mut out);
+            }
+        }
+        out
+    }
+
+    fn emit_events(&self, idx: usize, t0: u64, out: &mut String) -> u64 {
+        let rec = &self.spans[idx];
+        out.push_str(
+            &Json::obj(vec![
+                ("ev", Json::str("open")),
+                ("name", Json::str(rec.name)),
+                ("t", Json::Uint(t0)),
+            ])
+            .render(),
+        );
+        out.push('\n');
+        let mut t = t0;
+        for c in 0..self.spans.len() {
+            if self.spans[c].parent == idx as u32 {
+                t = self.emit_events(c, t, out);
+            }
+        }
+        let close = t.max(t0.saturating_add(rec.total_ns));
+        out.push_str(
+            &Json::obj(vec![
+                ("ev", Json::str("close")),
+                ("name", Json::str(rec.name)),
+                ("t", Json::Uint(close)),
+            ])
+            .render(),
+        );
+        out.push('\n');
+        close
+    }
+
+    /// Fold another profiler's tree into this one, merging nodes by
+    /// path. Worker-thread profilers roll up into the coordinator's.
+    pub fn merge(&mut self, other: &Profiler) {
+        self.merge_children(other, ROOT, ROOT);
+    }
+
+    fn merge_children(&mut self, other: &Profiler, other_parent: u32, my_parent: u32) {
+        for oi in 0..other.spans.len() {
+            if other.spans[oi].parent != other_parent {
+                continue;
+            }
+            let name = other.spans[oi].name;
+            let idx = match self
+                .spans
+                .iter()
+                .position(|s| s.parent == my_parent && s.name == name)
+            {
+                Some(i) => i,
+                None => {
+                    self.spans.push(SpanRecord {
+                        name,
+                        parent: my_parent,
+                        count: 0,
+                        total_ns: 0,
+                        start_ns: 0,
+                        open: false,
+                    });
+                    self.spans.len() - 1
+                }
+            };
+            self.spans[idx].count += other.spans[oi].count;
+            self.spans[idx].total_ns += other.spans[oi].total_ns;
+            self.merge_children(other, oi as u32, idx as u32);
+        }
+    }
+}
+
+/// RAII guard from [`Profiler::scope`]; closes the span on drop.
+pub struct SpanGuard<'a> {
+    prof: &'a mut Profiler,
+    id: SpanId,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.prof.exit(self.id);
+    }
+}
+
+/// Open an RAII span over the rest of the enclosing block:
+/// `span!(profiler, "engine.run");`.
+#[macro_export]
+macro_rules! span {
+    ($prof:expr, $name:expr) => {
+        let _cachescope_span_guard = $prof.scope($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::new();
+        let id = p.enter("a");
+        assert_eq!(id, SpanId::NONE);
+        p.exit(id);
+        assert!(p.spans().is_empty());
+        assert!(p.origin.is_none(), "disabled path must not read the clock");
+    }
+
+    #[test]
+    fn sibling_merge_bounds_the_arena() {
+        let mut p = Profiler::enabled();
+        let run = p.enter("run");
+        for _ in 0..1000 {
+            let c = p.enter("chunk");
+            p.exit(c);
+        }
+        p.exit(run);
+        assert_eq!(p.spans().len(), 2, "1000 chunks fold into one record");
+        let chunk = &p.spans()[1];
+        assert_eq!(chunk.name, "chunk");
+        assert_eq!(chunk.count, 1000);
+    }
+
+    #[test]
+    fn exit_closes_abandoned_deeper_spans() {
+        let mut p = Profiler::enabled();
+        let run = p.enter("run");
+        let _chunk = p.enter("chunk"); // abandoned, as after `break 'outer`
+        let _inner = p.enter("resolve");
+        p.exit(run);
+        assert_eq!(p.open_depth(), 0);
+        assert!(p.spans().iter().all(|s| !s.open));
+    }
+
+    #[test]
+    fn recursion_keeps_distinct_paths() {
+        let mut p = Profiler::enabled();
+        let a = p.enter("f");
+        let b = p.enter("f"); // f under f: distinct record
+        p.exit(b);
+        p.exit(a);
+        assert_eq!(p.spans().len(), 2);
+        assert_eq!(p.spans()[1].parent, 0);
+    }
+
+    #[test]
+    fn collapsed_paths_and_tree_shape() {
+        let mut p = Profiler::enabled();
+        let r = p.enter("run");
+        let c = p.enter("chunk");
+        p.exit(c);
+        let d = p.enter("deliver");
+        p.exit(d);
+        p.exit(r);
+        let flame = p.collapsed();
+        assert!(flame.contains("run;chunk "));
+        assert!(flame.contains("run;deliver "));
+        let tree = p.tree_json();
+        let roots = tree.as_arr().unwrap();
+        assert_eq!(roots.len(), 1);
+        let kids = roots[0].get("children").unwrap().as_arr().unwrap();
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn events_jsonl_is_balanced_and_monotonic() {
+        let mut p = Profiler::enabled();
+        let r = p.enter("run");
+        let c = p.enter("chunk");
+        p.exit(c);
+        p.exit(r);
+        let text = p.events_jsonl();
+        let mut depth = 0i64;
+        let mut last_t = 0u64;
+        for line in text.lines() {
+            let v = crate::json::parse(line).expect("valid json");
+            let t = v.get("t").unwrap().as_u64().unwrap();
+            assert!(t >= last_t, "timestamps must not decrease");
+            last_t = t;
+            match v.get("ev").unwrap().as_str().unwrap() {
+                "open" => depth += 1,
+                "close" => depth -= 1,
+                other => panic!("unexpected ev {other}"),
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0, "every open must close");
+    }
+
+    #[test]
+    fn merge_folds_by_path() {
+        let mut a = Profiler::enabled();
+        let r = a.enter("run");
+        let c = a.enter("cell");
+        a.exit(c);
+        a.exit(r);
+
+        let mut b = Profiler::enabled();
+        let r = b.enter("run");
+        let c = b.enter("cell");
+        b.exit(c);
+        let s = b.enter("settle");
+        b.exit(s);
+        b.exit(r);
+
+        a.merge(&b);
+        assert_eq!(a.spans().len(), 3);
+        let run = &a.spans()[0];
+        assert_eq!(run.count, 2);
+        let cell = a
+            .spans()
+            .iter()
+            .find(|sp| sp.name == "cell")
+            .expect("cell merged");
+        assert_eq!(cell.count, 2);
+    }
+
+    #[test]
+    fn reset_keeps_mode_and_clears_spans() {
+        let mut p = Profiler::enabled();
+        let r = p.enter("run");
+        p.exit(r);
+        p.reset();
+        assert!(p.spans().is_empty());
+        assert!(p.is_enabled());
+        let r = p.enter("again");
+        p.exit(r);
+        assert_eq!(p.spans().len(), 1);
+    }
+
+    #[test]
+    fn record_leaf_accumulates_without_clock() {
+        let mut p = Profiler::enabled();
+        let r = p.enter("campaign");
+        p.record_leaf("cell", 500);
+        p.record_leaf("cell", 700);
+        p.exit(r);
+        let cell = p.spans().iter().find(|s| s.name == "cell").unwrap();
+        assert_eq!(cell.count, 2);
+        assert_eq!(cell.total_ns, 1200);
+    }
+
+    #[test]
+    fn scope_guard_closes_on_drop() {
+        let mut p = Profiler::enabled();
+        {
+            span!(p, "scoped");
+        }
+        assert_eq!(p.open_depth(), 0);
+        assert_eq!(p.spans()[0].count, 1);
+    }
+}

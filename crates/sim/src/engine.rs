@@ -191,6 +191,10 @@ pub struct Engine {
     writebacks: u64,
     unmapped_misses: u64,
     timeline: Option<Timeline>,
+    /// Fault-model injections seen so far (`FaultTally::total()` at the
+    /// last poll); a rising edge marks the current timeline bucket
+    /// degraded. Tool-side only.
+    fault_seen: u64,
     /// Tool-side observability sink: events and metrics recorded here
     /// never charge virtual cycles and never touch the simulated cache.
     obs: Obs,
@@ -217,6 +221,7 @@ impl Engine {
             writebacks: 0,
             unmapped_misses: 0,
             timeline,
+            fault_seen: 0,
             obs: Obs::new(),
             cfg,
         }
@@ -274,9 +279,12 @@ impl Engine {
         handler: &mut H,
         limit: RunLimit,
     ) -> RunStats {
+        let sp = self.obs.profiler.enter("engine.run");
         self.begin(program, handler, limit);
         self.run_chunked(program, handler, limit);
-        self.finish(handler)
+        let stats = self.finish(handler);
+        self.obs.profiler.exit(sp);
+        stats
     }
 
     /// Reference execution loop: one event at a time, exactly as the
@@ -349,6 +357,9 @@ impl Engine {
             if program.next_chunk(&mut chunk) == 0 {
                 break;
             }
+            // Per-chunk span; `break 'outer` leaves it open, and the
+            // enclosing `engine.run` exit closes the abandoned frame.
+            let sp_chunk = self.obs.profiler.enter("engine.chunk");
             let refs_len = chunk.refs.len();
             // Whole-chunk fused path. Three conditions make it exact:
             // the limit counts only accesses or misses (so the clock
@@ -389,6 +400,7 @@ impl Engine {
                         self.clock += *c;
                     }
                 }
+                self.close_chunk_span(sp_chunk);
                 continue;
             }
             let mut i = 0; // next access to execute
@@ -462,6 +474,18 @@ impl Engine {
                     self.poll_interrupts(handler);
                 }
             }
+            self.close_chunk_span(sp_chunk);
+        }
+    }
+
+    /// Close a chunk span, folding its latency into the chunk-latency
+    /// histogram (profiled runs only — the histogram must not appear in
+    /// unprofiled metric snapshots, which golden gates diff).
+    #[inline]
+    fn close_chunk_span(&mut self, sp: cachescope_obs::SpanId) {
+        let dur = self.obs.profiler.exit(sp);
+        if self.obs.profiler.is_enabled() {
+            self.obs.metrics.observe("engine.chunk_ns", dur);
         }
     }
 
@@ -622,21 +646,57 @@ impl Engine {
     #[inline(always)]
     fn app_access(&mut self, r: MemRef) {
         self.app.accesses += 1;
+        // One access is one point in time for windowing purposes: the
+        // ref, a miss, and its object attribution all land in the bucket
+        // of the access's *entry* clock, even though the hierarchy
+        // charges cycles in between. Otherwise a miss whose penalty
+        // crosses a window boundary would count in a later window than
+        // its own reference, breaking the per-window `misses <= refs`
+        // invariant (CS-O001).
+        let now = self.clock;
+        if let Some(t) = &mut self.timeline {
+            t.record_ref(now);
+        }
         let Some(out) = self.hierarchy_access(r) else {
             return;
         };
         if !out.hit {
             self.app.misses += 1;
+            let sp = self.obs.profiler.enter("engine.resolve");
             match self.truth.resolve(r.addr) {
                 Some(id) => {
                     self.truth.objects[id as usize].misses += 1;
                     if let Some(t) = &mut self.timeline {
-                        t.record(id, self.clock);
+                        t.record(id, now);
                     }
                 }
                 None => self.unmapped_misses += 1,
             }
+            if let Some(t) = &mut self.timeline {
+                t.record_miss(now);
+            }
+            self.obs.profiler.exit(sp);
             self.pmu.record_miss(r.addr);
+            self.poll_faults();
+        }
+    }
+
+    /// Poll the fault model's tally; a rising edge since the last poll
+    /// marks the current timeline bucket degraded. Gated on the timeline
+    /// (the only consumer) so unwindowed runs pay nothing.
+    #[inline]
+    fn poll_faults(&mut self) {
+        if self.timeline.is_none() {
+            return;
+        }
+        if let Some(tally) = self.pmu.fault_tally() {
+            let total = tally.total();
+            if total > self.fault_seen {
+                self.fault_seen = total;
+                if let Some(t) = &mut self.timeline {
+                    t.mark_degraded(self.clock);
+                }
+            }
         }
     }
 
@@ -656,8 +716,13 @@ impl Engine {
             },
         });
         self.pmu.freeze();
+        let sp = self.obs.profiler.enter("engine.deliver");
         handler.on_interrupt(intr, &mut EngineCtx { e: self });
+        self.obs.profiler.exit(sp);
         self.pmu.unfreeze();
+        // Delivery-side faults (delays, spurious interrupts) surface
+        // here rather than at a miss.
+        self.poll_faults();
     }
 
     fn collect(&self) -> RunStats {
@@ -737,7 +802,11 @@ impl EngineCtx<'_> {
     /// Read a region counter (charges the register-read cost).
     pub fn read_counter(&mut self, id: CounterId) -> u64 {
         self.charge(self.e.cfg.costs.counter_read);
-        self.e.pmu.read_counter(id)
+        let v = self.e.pmu.read_counter(id);
+        // Wrap/jitter faults fire on reads; keep the timeline's degraded
+        // marks current.
+        self.e.poll_faults();
+        v
     }
 
     /// Program a region counter's base/bounds (charges the program cost).
@@ -765,19 +834,25 @@ impl EngineCtx<'_> {
     /// Read the global (unqualified) miss counter.
     pub fn read_global(&mut self) -> u64 {
         self.charge(self.e.cfg.costs.counter_read);
-        self.e.pmu.read_global()
+        let v = self.e.pmu.read_global();
+        self.e.poll_faults();
+        v
     }
 
     /// Read and clear the global miss counter.
     pub fn read_and_clear_global(&mut self) -> u64 {
         self.charge(self.e.cfg.costs.counter_read);
-        self.e.pmu.read_and_clear_global()
+        let v = self.e.pmu.read_and_clear_global();
+        self.e.poll_faults();
+        v
     }
 
     /// Read the last-miss-address register.
     pub fn last_miss_addr(&mut self) -> Option<Addr> {
         self.charge(self.e.cfg.costs.last_miss_read);
-        self.e.pmu.last_miss_addr()
+        let v = self.e.pmu.last_miss_addr();
+        self.e.poll_faults();
+        v
     }
 
     /// Arm a miss-overflow interrupt `period` misses from now.

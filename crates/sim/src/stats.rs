@@ -11,13 +11,22 @@ pub struct TimelineConfig {
     pub bucket_cycles: Cycle,
 }
 
-/// Per-object miss counts bucketed over virtual time.
+/// Per-object miss counts bucketed over virtual time, plus per-bucket
+/// totals (references, misses, fault-degraded flag) for the phase
+/// timeline export.
 #[derive(Debug, Clone)]
 pub struct Timeline {
     bucket_cycles: Cycle,
     /// `series[object_id][bucket]` = misses by that object in that bucket.
     series: Vec<Vec<u64>>,
     buckets: usize,
+    /// Application references per bucket (all accesses, hit or miss).
+    refs: Vec<u64>,
+    /// Application misses per bucket (mapped and unmapped alike).
+    misses: Vec<u64>,
+    /// Buckets during which the PMU fault model injected at least one
+    /// fault (skid, drop, spurious, wrap, delay, jitter).
+    degraded: Vec<bool>,
 }
 
 impl Timeline {
@@ -27,15 +36,24 @@ impl Timeline {
             bucket_cycles: cfg.bucket_cycles,
             series: Vec::new(),
             buckets: 0,
+            refs: Vec::new(),
+            misses: Vec::new(),
+            degraded: Vec::new(),
         }
     }
 
-    /// Record one miss by `object` at virtual time `now`.
-    pub fn record(&mut self, object: u32, now: Cycle) {
+    #[inline]
+    fn bucket_at(&mut self, now: Cycle) -> usize {
         let bucket = (now / self.bucket_cycles) as usize;
         if bucket >= self.buckets {
             self.buckets = bucket + 1;
         }
+        bucket
+    }
+
+    /// Record one miss by `object` at virtual time `now`.
+    pub fn record(&mut self, object: u32, now: Cycle) {
+        let bucket = self.bucket_at(now);
         let id = object as usize;
         if id >= self.series.len() {
             self.series.resize_with(id + 1, Vec::new);
@@ -45,6 +63,35 @@ impl Timeline {
             row.resize(bucket + 1, 0);
         }
         row[bucket] += 1;
+    }
+
+    /// Record one application reference at virtual time `now`.
+    #[inline]
+    pub fn record_ref(&mut self, now: Cycle) {
+        let bucket = self.bucket_at(now);
+        if self.refs.len() <= bucket {
+            self.refs.resize(bucket + 1, 0);
+        }
+        self.refs[bucket] += 1;
+    }
+
+    /// Record one application miss (mapped or unmapped) at `now`.
+    #[inline]
+    pub fn record_miss(&mut self, now: Cycle) {
+        let bucket = self.bucket_at(now);
+        if self.misses.len() <= bucket {
+            self.misses.resize(bucket + 1, 0);
+        }
+        self.misses[bucket] += 1;
+    }
+
+    /// Mark the bucket containing `now` as fault-degraded.
+    pub fn mark_degraded(&mut self, now: Cycle) {
+        let bucket = self.bucket_at(now);
+        if self.degraded.len() <= bucket {
+            self.degraded.resize(bucket + 1, false);
+        }
+        self.degraded[bucket] = true;
     }
 
     /// Bucket width in cycles.
@@ -65,6 +112,27 @@ impl Timeline {
             .cloned()
             .unwrap_or_default();
         row.resize(self.buckets, 0);
+        row
+    }
+
+    /// References per bucket, padded to the full length.
+    pub fn refs_series(&self) -> Vec<u64> {
+        let mut row = self.refs.clone();
+        row.resize(self.buckets, 0);
+        row
+    }
+
+    /// Misses per bucket, padded to the full length.
+    pub fn miss_series(&self) -> Vec<u64> {
+        let mut row = self.misses.clone();
+        row.resize(self.buckets, 0);
+        row
+    }
+
+    /// Degraded flags per bucket, padded to the full length.
+    pub fn degraded_series(&self) -> Vec<bool> {
+        let mut row = self.degraded.clone();
+        row.resize(self.buckets, false);
         row
     }
 }
@@ -236,5 +304,23 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn timeline_rejects_zero_bucket() {
         Timeline::new(TimelineConfig { bucket_cycles: 0 });
+    }
+
+    #[test]
+    fn timeline_window_totals_and_degraded_flags() {
+        let mut t = Timeline::new(TimelineConfig { bucket_cycles: 100 });
+        t.record_ref(10);
+        t.record_ref(20);
+        t.record_miss(20);
+        t.record(0, 20);
+        t.record_ref(150);
+        t.mark_degraded(150);
+        // A trailing ref-only bucket still extends every padded series.
+        t.record_ref(310);
+        assert_eq!(t.num_buckets(), 4);
+        assert_eq!(t.refs_series(), vec![2, 1, 0, 1]);
+        assert_eq!(t.miss_series(), vec![1, 0, 0, 0]);
+        assert_eq!(t.degraded_series(), vec![false, true, false, false]);
+        assert_eq!(t.series(0), vec![1, 0, 0, 0]);
     }
 }

@@ -12,6 +12,8 @@
 //!   --force             ignore the cache and re-simulate every cell
 //!   --dry-run           expand and list the cells without simulating
 //!   --metrics           print the campaign metrics registry
+//!   --profile           time every simulated cell; print the campaign's
+//!                       span roll-up and cell-latency histogram
 //!   --trace-out FILE    write the campaign's event stream as JSONL
 //!   --assert-all-cached exit 1 unless every cell was served from cache
 //!                       (CI uses this to prove cache round-trips)
@@ -35,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign <spec.json> [options]\n\
          \x20 --jobs N --retries N --cache-dir DIR --manifest-dir DIR\n\
-         \x20 --force --dry-run --metrics --trace-out FILE\n\
+         \x20 --force --dry-run --metrics --profile --trace-out FILE\n\
          \x20 --assert-all-cached"
     );
     std::process::exit(2);
@@ -58,6 +60,7 @@ fn main() {
     let mut runner = CampaignRunner::new();
     let mut dry_run = false;
     let mut show_metrics = false;
+    let mut profile = false;
     let mut assert_all_cached = false;
     let mut trace_out: Option<String> = None;
 
@@ -79,6 +82,10 @@ fn main() {
             "--force" => runner = runner.force(true),
             "--dry-run" => dry_run = true,
             "--metrics" => show_metrics = true,
+            "--profile" => {
+                profile = true;
+                runner = runner.profile(true);
+            }
             "--trace-out" => trace_out = Some(value("--trace-out")),
             "--assert-all-cached" => assert_all_cached = true,
             "--help" | "-h" => usage(),
@@ -163,6 +170,27 @@ fn main() {
     if show_metrics {
         println!("metrics:");
         print!("{}", run.obs.metrics);
+    }
+
+    if profile {
+        println!("profile:");
+        let collapsed = run.obs.profiler.collapsed();
+        if collapsed.is_empty() {
+            println!("  (no cells simulated — nothing to time)");
+        } else {
+            for line in collapsed.lines() {
+                println!("  {line}");
+            }
+            if let Some(h) = run.obs.metrics.histogram("campaign.cell_ns") {
+                println!(
+                    "  cell wall time: count {} p50 {} p95 {} max {} ns",
+                    h.count(),
+                    h.p50(),
+                    h.p95(),
+                    h.max(),
+                );
+            }
+        }
     }
 
     if assert_all_cached {

@@ -9,10 +9,14 @@
 //!                     + per-cell PMU legality)
 //!   --workload NAME   verify a registry workload's event stream and
 //!                     chunk encoding at test scale
+//!   --timeline FILE   verify a phase-timeline JSONL (monotonic windows)
+//!   --spans FILE      verify a span-event JSONL (balanced open/close,
+//!                     non-negative durations)
 //!   --self-lint       lint the repo's own sources (no-panic library
 //!                     code, seed-only determinism)
 //!   --all             every campaigns/*.json, every registry workload,
-//!                     and the self-lint
+//!                     every results/*.timeline.jsonl and
+//!                     results/*.spans.jsonl, and the self-lint
 //!
 //! options:
 //!   --root DIR        repo root for --all and --self-lint  [default .]
@@ -30,7 +34,8 @@ use cachescope_check::{selflint, CheckReport};
 fn usage() -> ! {
     eprintln!(
         "usage: cachescope check [--all] [--trace FILE]... [--campaign FILE]...\n\
-         \x20                       [--workload NAME]... [--self-lint]\n\
+         \x20                       [--workload NAME]... [--timeline FILE]...\n\
+         \x20                       [--spans FILE]... [--self-lint]\n\
          \x20                       [--root DIR] [--json] [--deny-warnings]"
     );
     std::process::exit(2);
@@ -40,6 +45,8 @@ pub fn run(args: &[String]) -> ! {
     let mut traces: Vec<String> = Vec::new();
     let mut campaigns: Vec<String> = Vec::new();
     let mut workloads: Vec<String> = Vec::new();
+    let mut timelines: Vec<String> = Vec::new();
+    let mut spans: Vec<String> = Vec::new();
     let mut self_lint = false;
     let mut all = false;
     let mut json = false;
@@ -58,6 +65,8 @@ pub fn run(args: &[String]) -> ! {
             "--trace" => traces.push(value("--trace")),
             "--campaign" => campaigns.push(value("--campaign")),
             "--workload" => workloads.push(value("--workload")),
+            "--timeline" => timelines.push(value("--timeline")),
+            "--spans" => spans.push(value("--spans")),
             "--self-lint" => self_lint = true,
             "--all" => all = true,
             "--json" => json = true,
@@ -94,9 +103,35 @@ pub fn run(args: &[String]) -> ! {
             eprintln!("check: no campaign specs under {}", dir.display());
         }
         campaigns.extend(found);
+        // Committed profile artifacts: results/*.timeline.jsonl and
+        // results/*.spans.jsonl (absent until a profile run saved some).
+        let results = root.join("results");
+        let mut found_t = Vec::new();
+        let mut found_s = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(&results) {
+            for entry in rd.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.ends_with(".timeline.jsonl") {
+                    found_t.push(path.display().to_string());
+                } else if name.ends_with(".spans.jsonl") {
+                    found_s.push(path.display().to_string());
+                }
+            }
+        }
+        found_t.sort();
+        found_s.sort();
+        timelines.extend(found_t);
+        spans.extend(found_s);
     }
 
-    if traces.is_empty() && campaigns.is_empty() && workloads.is_empty() && !self_lint {
+    if traces.is_empty()
+        && campaigns.is_empty()
+        && workloads.is_empty()
+        && timelines.is_empty()
+        && spans.is_empty()
+        && !self_lint
+    {
         eprintln!("check: nothing to check (pass inputs or --all)");
         usage();
     }
@@ -115,6 +150,14 @@ pub fn run(args: &[String]) -> ! {
             name,
             Scale::Test,
         ));
+    }
+    for path in &timelines {
+        report.absorb(cachescope_check::profile::check_timeline_path(Path::new(
+            path,
+        )));
+    }
+    for path in &spans {
+        report.absorb(cachescope_check::profile::check_spans_path(Path::new(path)));
     }
     if self_lint {
         report.absorb(selflint::lint_repo(&root));

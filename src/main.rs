@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! cachescope <app> [options]
+//! cachescope profile <app> [options]       (same run, self-profiled:
+//!                  span tree + histograms; see --flamegraph/--spans-out/
+//!                  --timeline-out)
 //! cachescope check [--all] [--trace F] [--campaign F] [--workload W]
 //!                  [--self-lint] [--json] [--deny-warnings]   (static checks)
 //!
@@ -34,6 +37,13 @@
 //!   --trace-format <f>  trace encoding for --record: text (default) | bin
 //!   --replay <file>     drive the experiment from a recorded trace
 //!                       instead of a synthetic app (pass `-` as <app>)
+//!
+//! profile-mode options (`cachescope profile <app> ...`):
+//!   --flamegraph <file> write the span roll-up as collapsed stacks
+//!                       (feed to inferno/flamegraph.pl)
+//!   --spans-out <file>  write the span event stream as JSONL
+//!   --timeline-out <f>  write the phase-timeline windows as JSONL
+//!                       (requires --timeline)
 //! ```
 //!
 //! Example:
@@ -59,6 +69,8 @@ fn usage() -> ! {
          \x20 --json FILE --trace-out FILE --metrics\n\
          \x20 --record FILE [--trace-format text|bin] | --replay FILE (with '-' as <app>)\n\
          apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake\n\
+         or:   cachescope profile <app> [options] [--flamegraph FILE]\n\
+         \x20      [--spans-out FILE] [--timeline-out FILE]   (self-profiled run)\n\
          or:   cachescope check --help   (static input/repo verification)"
     );
     std::process::exit(2);
@@ -91,13 +103,19 @@ fn workload(app: &str, scale: Scale) -> Box<dyn Program> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() && args[0] == "check" {
+        check_cmd::run(&args[1..]);
+    }
+    // `cachescope profile <app> ...` is the ordinary run with the span
+    // profiler enabled and profile outputs surfaced at the end.
+    let profile_mode = !args.is_empty() && args[0] == "profile";
+    if profile_mode {
+        args.remove(0);
+    }
     // "-" is a valid app placeholder when replaying a recorded trace.
     if args.is_empty() || (args[0] != "-" && args[0].starts_with('-')) {
         usage();
-    }
-    if args[0] == "check" {
-        check_cmd::run(&args[1..]);
     }
     let app = args[0].clone();
 
@@ -118,6 +136,9 @@ fn main() {
     let mut show_metrics = false;
     let mut search_log = false;
     let mut l1_kib: Option<u64> = None;
+    let mut flamegraph_out: Option<String> = None;
+    let mut spans_out: Option<String> = None;
+    let mut timeline_out: Option<String> = None;
 
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -154,6 +175,9 @@ fn main() {
             "--metrics" => show_metrics = true,
             "--search-log" => search_log = true,
             "--l1" => l1_kib = Some(parse_u64(&value("--l1"), "L1 size (KiB)")),
+            "--flamegraph" if profile_mode => flamegraph_out = Some(value("--flamegraph")),
+            "--spans-out" if profile_mode => spans_out = Some(value("--spans-out")),
+            "--timeline-out" if profile_mode => timeline_out = Some(value("--timeline-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -238,6 +262,7 @@ fn main() {
     let mut exp = Experiment::new(program)
         .technique(tech)
         .counters(counters)
+        .profile(profile_mode)
         .limit(RunLimit::AppMisses(misses));
     if let Some(bucket) = timeline {
         exp = exp.timeline(bucket);
@@ -338,6 +363,74 @@ fn main() {
             "unattributed evidence (stack frames etc.): {} samples/misses",
             report.technique.unattributed_weight
         );
+    }
+
+    if let Some(prof) = &report.profile {
+        println!("\nself-profile (simulator wall time, merged call tree):");
+        fn print_tree(node: &cachescope::obs::Json, depth: usize) {
+            use cachescope::obs::Json;
+            let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+            let count = node.get("count").and_then(Json::as_u64).unwrap_or(0);
+            let total = node.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "  {:indent$}{name:<24} {count:>10}x {:>10.2} ms",
+                "",
+                total as f64 / 1e6,
+                indent = depth * 2
+            );
+            if let Some(children) = node.get("children").and_then(Json::as_arr) {
+                for c in children {
+                    print_tree(c, depth + 1);
+                }
+            }
+        }
+        let tree = prof.tree_json();
+        for root in tree.as_arr().unwrap_or(&[]) {
+            print_tree(root, 0);
+        }
+        for name in [
+            "engine.chunk_ns",
+            "sampler.interval_cycles",
+            "search.interval_cycles",
+            "objmap.probe_depth",
+        ] {
+            if let Some(h) = report.metrics.histogram(name) {
+                println!(
+                    "  {name:<24} count {} p50 {} p95 {} p99 {} max {}",
+                    h.count(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.max(),
+                );
+            }
+        }
+        if let Some(path) = &flamegraph_out {
+            std::fs::write(path, prof.collapsed()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("(flamegraph collapsed stacks written to {path})");
+        }
+        if let Some(path) = &spans_out {
+            std::fs::write(path, prof.events_jsonl()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("(span events written to {path})");
+        }
+    }
+    if let Some(path) = &timeline_out {
+        match cachescope::core::export::phase_timeline_jsonl(&report.stats, top) {
+            Some(jsonl) => {
+                std::fs::write(path, jsonl).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("(phase timeline written to {path})");
+            }
+            None => eprintln!("--timeline-out: no timeline recorded (pass --timeline <C>)"),
+        }
     }
 
     if let Some(t) = &report.stats.timeline {

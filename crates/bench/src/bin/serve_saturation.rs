@@ -1,0 +1,285 @@
+//! Saturation bench for the `cachescope serve` daemon.
+//!
+//! Spins up an in-process daemon on a loopback TCP socket and drives it
+//! with N concurrent clients, each streaming M distinct recorded traces
+//! and waiting for the report. The headline numbers are end-to-end:
+//! sessions per second, aggregate application references attributed per
+//! second, client-observed session latency percentiles, and the busy
+//! rejection rate under deliberate admission pressure (the daemon is
+//! given fewer session slots than there are clients, so clients retry
+//! on `busy` exactly as a well-behaved production client would).
+//!
+//! A final round has every client submit the *same* trace at once,
+//! exercising the dedup path: one simulation serves all N clients.
+//!
+//! Writes `results/serve_saturation.{txt,json}` (wall-clock artifacts)
+//! and `BENCH_serve_saturation.json` (bench-trajectory snapshot).
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin serve_saturation --
+//! [--smoke] [--clients N] [--per-client M] [--tag NAME]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cachescope_bench::results_json::ResultsFile;
+use cachescope_obs::Json;
+use cachescope_serve::{submit_bytes, Addr, Daemon, ServeConfig, SessionConfig, SubmitOutcome};
+use cachescope_sim::tracefile::{RecordingProgram, TraceFormat};
+use cachescope_sim::{Event, MemRef, ObjectDecl, Program, TraceProgram};
+
+/// One recorded binary-v2 trace with a seed-dependent access pattern.
+/// Returns the encoded bytes and the number of application references.
+fn make_trace(seed: u64, accesses: u64) -> (Vec<u8>, u64) {
+    let objects = vec![
+        ObjectDecl::global("field", 0x100_000, 256 * 1024),
+        ObjectDecl::global("index", 0x200_000, 32 * 1024),
+        ObjectDecl::global("scratch", 0x300_000, 8 * 1024),
+    ];
+    let mut events = Vec::with_capacity(accesses as usize + accesses as usize / 8);
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for i in 0..accesses {
+        // xorshift: cheap, deterministic per seed.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let (base, span) = match x % 10 {
+            0..=5 => (0x100_000u64, 256 * 1024u64),
+            6..=8 => (0x200_000, 32 * 1024),
+            _ => (0x300_000, 8 * 1024),
+        };
+        let addr = base + (x / 16) % (span - 8);
+        if x.is_multiple_of(3) {
+            events.push(Event::Access(MemRef::write(addr, 8)));
+        } else {
+            events.push(Event::Access(MemRef::read(addr, 8)));
+        }
+        if i % 64 == 0 {
+            events.push(Event::Compute(50 + x % 100));
+        }
+    }
+    let p = TraceProgram::new(format!("sat{seed}"), objects, events);
+    let mut rec = RecordingProgram::with_format(p, Vec::new(), TraceFormat::Bin);
+    while rec.next_event().is_some() {}
+    (rec.into_writer(), accesses)
+}
+
+fn session_config() -> SessionConfig {
+    SessionConfig {
+        technique_spec: "sampling:100".to_string(),
+        misses: u64::MAX,
+        counters: 10,
+        interval: 25_000_000,
+    }
+}
+
+/// Submit with retry-on-`busy`, counting rejections. Returns the
+/// client-observed latency of the successful attempt in ms.
+fn submit_with_retry(addr: &Addr, trace: &[u8], cfg: &SessionConfig, busy: &AtomicU64) -> f64 {
+    loop {
+        let t0 = Instant::now();
+        match submit_bytes(addr, trace, cfg, 64 * 1024) {
+            Ok(SubmitOutcome::Report(_)) => return t0.elapsed().as_secs_f64() * 1e3,
+            Ok(SubmitOutcome::Rejected(r)) if r.code == "busy" => {
+                busy.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(SubmitOutcome::Rejected(r)) => panic!("unexpected rejection: {r:?}"),
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let tag = args
+        .iter()
+        .position(|a| a == "--tag")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_default();
+    let clients = get("--clients").unwrap_or(if smoke { 4 } else { 8 }) as usize;
+    let per_client = get("--per-client").unwrap_or(if smoke { 2 } else { 6 }) as usize;
+    let accesses_per_trace: u64 = if smoke { 4_000 } else { 40_000 };
+    // Deliberate admission pressure: half as many slots as clients.
+    let max_sessions = (clients / 2).max(2);
+
+    let cache_dir = std::env::temp_dir().join(format!(
+        "cachescope-serve-saturation-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let daemon = Daemon::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        max_sessions,
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = Addr::Tcp(daemon.tcp_addr().expect("tcp bound").to_string());
+
+    // Phase 1: saturation — N clients × M distinct traces each.
+    let busy = Arc::new(AtomicU64::new(0));
+    let cfg = session_config();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            let busy = Arc::clone(&busy);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                for m in 0..per_client {
+                    let seed = (c * per_client + m) as u64 + 1;
+                    let (trace, _) = make_trace(seed, accesses_per_trace);
+                    latencies.push(submit_with_retry(&addr, &trace, &cfg, &busy));
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    let submissions = (clients * per_client) as u64;
+    let busy_rejects = busy.load(Ordering::Relaxed);
+    let attempts = submissions + busy_rejects;
+    let sessions_per_sec = submissions as f64 / elapsed.max(1e-9);
+    let refs_per_sec = (submissions * accesses_per_trace) as f64 / elapsed.max(1e-9);
+
+    // Phase 2: dedup — every client submits the same trace at once.
+    let (shared_trace, _) = make_trace(0xDED0, accesses_per_trace);
+    let t1 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            let trace = shared_trace.clone();
+            let busy = Arc::clone(&busy);
+            std::thread::spawn(move || submit_with_retry(&addr, &trace, &cfg, &busy))
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("dedup client");
+    }
+    let dedup_elapsed = t1.elapsed().as_secs_f64();
+
+    // Counters are bumped by connection threads after the client already
+    // has its report; give them a beat to settle before snapshotting.
+    let expect_served = (clients * per_client + clients) as u64;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let status = loop {
+        let status = daemon.status();
+        let served = status.get("served").and_then(|j| j.as_u64()).unwrap_or(0);
+        if served >= expect_served || Instant::now() >= deadline {
+            break status;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let stat = |k: &str| status.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+    let (served, sim_starts, dedup_hits) = (stat("served"), stat("sim_starts"), stat("dedup_hits"));
+    let summary = daemon.shutdown(Duration::from_secs(30));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut out = ResultsFile::new("serve_saturation");
+    out.line("Serve daemon saturation (end-to-end, loopback TCP)");
+    out.line(format!(
+        "mode: {}  clients: {clients}  per-client: {per_client}  \
+         max-sessions: {max_sessions}  refs/trace: {accesses_per_trace}{}",
+        if smoke { "smoke" } else { "full" },
+        if tag.is_empty() {
+            String::new()
+        } else {
+            format!("  tag: {tag}")
+        },
+    ));
+    out.line("");
+    out.line(format!(
+        "saturation: {submissions} sessions in {:.1} ms  ({sessions_per_sec:.1} sessions/s, \
+         {refs_per_sec:.0} refs/s attributed)",
+        elapsed * 1e3
+    ));
+    out.line(format!(
+        "admission:  {busy_rejects} busy rejections over {attempts} attempts \
+         ({:.1}% rejected, all retried to completion)",
+        100.0 * busy_rejects as f64 / attempts.max(1) as f64
+    ));
+    out.line(format!(
+        "latency:    p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  max {:.1} ms",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0.0),
+    ));
+    out.line(format!(
+        "dedup:      {clients} identical submissions answered in {:.1} ms by \
+         {} simulation(s) ({dedup_hits} dedup hits total)",
+        dedup_elapsed * 1e3,
+        sim_starts.saturating_sub(submissions),
+    ));
+    out.line(format!(
+        "shutdown:   {} served, {} rejected, {} unfinished, {} pool jobs abandoned",
+        summary.served, summary.rejected, summary.unfinished_sessions, summary.pool.abandoned
+    ));
+    assert_eq!(served, expect_served, "every session served");
+
+    let json = Json::obj(vec![
+        ("bench", Json::str("serve_saturation")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("tag", Json::str(tag)),
+        ("clients", Json::Uint(clients as u64)),
+        ("per_client", Json::Uint(per_client as u64)),
+        ("max_sessions", Json::Uint(max_sessions as u64)),
+        ("refs_per_trace", Json::Uint(accesses_per_trace)),
+        ("sessions", Json::Uint(submissions)),
+        ("elapsed_ms", Json::Float(elapsed * 1e3)),
+        ("sessions_per_sec", Json::Float(sessions_per_sec)),
+        ("refs_per_sec", Json::Float(refs_per_sec)),
+        ("busy_rejects", Json::Uint(busy_rejects)),
+        (
+            "busy_reject_rate",
+            Json::Float(busy_rejects as f64 / attempts.max(1) as f64),
+        ),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("p50", Json::Float(percentile(&latencies, 0.50))),
+                ("p95", Json::Float(percentile(&latencies, 0.95))),
+                ("p99", Json::Float(percentile(&latencies, 0.99))),
+                ("max", Json::Float(latencies.last().copied().unwrap_or(0.0))),
+            ]),
+        ),
+        ("dedup_clients", Json::Uint(clients as u64)),
+        ("dedup_elapsed_ms", Json::Float(dedup_elapsed * 1e3)),
+        ("dedup_hits", Json::Uint(dedup_hits)),
+        ("sim_starts", Json::Uint(sim_starts)),
+        ("served", Json::Uint(served)),
+    ]);
+    let path = out
+        .save(&json)
+        .expect("write results/serve_saturation artifacts");
+    let mut rendered = json.render();
+    rendered.push('\n');
+    std::fs::write("BENCH_serve_saturation.json", &rendered)
+        .expect("write BENCH_serve_saturation.json");
+    println!("(saved {} and BENCH_serve_saturation.json)", path.display());
+}

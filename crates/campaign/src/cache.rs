@@ -73,7 +73,16 @@ impl ResultCache {
     /// [`ResultCache::load`], but distinguishing "no entry" from "an
     /// entry existed and was bad" so callers can report corruption.
     pub fn load_classified(&self, cell: &Cell) -> CacheLookup {
-        let path = self.entry_path(&cell.hash());
+        self.load_keyed(&cell.hash(), &cell.canonical_json())
+    }
+
+    /// Load the entry at `key`, verifying the stored identity JSON
+    /// matches `ident`. This is the primitive under
+    /// [`ResultCache::load_classified`], also used directly by callers
+    /// whose identity is not a sweep [`Cell`] (the serve daemon keys on
+    /// trace-content hash + session configuration).
+    pub fn load_keyed(&self, key: &str, ident: &Json) -> CacheLookup {
+        let path = self.entry_path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
@@ -90,7 +99,7 @@ impl ResultCache {
         // back as an integer, so tree equality would treat every entry
         // containing one as a permanent miss. Rendering is stable across
         // a parse round-trip; tree equality is not.
-        if entry.get("cell").map(Json::render) != Some(cell.canonical_json().render()) {
+        if entry.get("cell").map(Json::render) != Some(ident.render()) {
             return CacheLookup::Corrupt;
         }
         match entry.get("report") {
@@ -101,17 +110,22 @@ impl ResultCache {
 
     /// Store `report` for `cell` atomically (temp file + rename).
     pub fn store(&self, cell: &Cell, report: &Json) -> Result<(), String> {
+        self.store_keyed(&cell.hash(), &cell.canonical_json(), report)
+    }
+
+    /// Store `report` at `key` with identity `ident` atomically. The
+    /// primitive under [`ResultCache::store`]; see
+    /// [`ResultCache::load_keyed`] for when to use it directly.
+    pub fn store_keyed(&self, key: &str, ident: &Json, report: &Json) -> Result<(), String> {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
         let entry = Json::obj(vec![
             ("v", Json::Uint(1)),
-            ("cell", cell.canonical_json()),
+            ("cell", ident.clone()),
             ("report", report.clone()),
         ]);
-        let final_path = self.entry_path(&cell.hash());
-        let tmp = self
-            .dir
-            .join(format!("{}.tmp.{}", cell.hash(), std::process::id()));
+        let final_path = self.entry_path(key);
+        let tmp = self.dir.join(format!("{key}.tmp.{}", std::process::id()));
         std::fs::write(&tmp, entry.render())
             .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &final_path)
@@ -198,6 +212,25 @@ mod tests {
         ]);
         std::fs::write(cache.entry_path(&c.hash()), wrong.render()).unwrap();
         assert!(cache.load(&c).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keyed_entries_round_trip_and_verify_identity() {
+        let dir = temp_dir("keyed");
+        let cache = ResultCache::new(&dir);
+        let ident = Json::obj(vec![
+            ("trace", Json::str("00c0ffee00c0ffee")),
+            ("technique", Json::str("sampling:1000")),
+        ]);
+        let key = "1234567890abcdef";
+        assert_eq!(cache.load_keyed(key, &ident), CacheLookup::Miss);
+        let report = Json::obj(vec![("app", Json::str("replay"))]);
+        cache.store_keyed(key, &ident, &report).unwrap();
+        assert_eq!(cache.load_keyed(key, &ident), CacheLookup::Hit(report));
+        // Same key, different identity: a collision degrades to corrupt.
+        let other = Json::obj(vec![("trace", Json::str("deadbeefdeadbeef"))]);
+        assert_eq!(cache.load_keyed(key, &other), CacheLookup::Corrupt);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -26,6 +26,48 @@ pub fn stable_hash(canonical: &str) -> String {
     format!("{:016x}", fnv1a64(canonical.as_bytes()))
 }
 
+/// Incremental FNV-1a 64: feed bytes as they arrive (e.g. off a socket)
+/// and finish with the same digest [`fnv1a64`] computes over the whole
+/// buffer at once.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64 {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Fnv1a64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a64::default()
+    }
+
+    /// Absorb a chunk of bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// The digest over everything absorbed so far.
+    pub fn digest(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as the 16-hex-digit key used in cache paths.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,6 +78,22 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_hasher_matches_one_shot_for_any_split() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = fnv1a64(data);
+        for split in 0..=data.len() {
+            let mut h = Fnv1a64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.digest(), whole, "split at {split}");
+        }
+        let mut h = Fnv1a64::new();
+        h.update(b"");
+        assert_eq!(h.digest(), fnv1a64(b""));
+        assert_eq!(h.hex().len(), 16);
     }
 
     #[test]

@@ -38,8 +38,12 @@ pub use aggregate::{by_workload, view, ReportView, RowView};
 pub use cache::{CacheLookup, ResultCache};
 pub use cell::Cell;
 pub use engine::{CampaignRun, CampaignRunner, CellFailure, CellOutcome};
+pub use hash::{fnv1a64, stable_hash, Fnv1a64};
 pub use manifest::{CellStatus, Manifest};
-pub use pool::{parse_jobs_flag, run_isolated, worker_cap, JOBS_ENV};
+pub use pool::{
+    panic_message, parse_jobs_flag, run_isolated, worker_cap, Pool, PoolClosed, PoolShutdown,
+    JOBS_ENV,
+};
 pub use spec::{
     fault_config_from_json, fault_config_to_json, search_config_auto, search_run_misses,
     whole_cycles, CampaignSpec, LimitSpec, RoundMode, TechniqueKind, TechniqueSpec,

@@ -10,8 +10,10 @@
 //! `CACHESCOPE_JOBS` environment variable, then
 //! `std::thread::available_parallelism()`.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Environment variable consulted for the default worker cap.
 pub const JOBS_ENV: &str = "CACHESCOPE_JOBS";
@@ -104,6 +106,184 @@ where
         .collect()
 }
 
+/// One queued unit of work for a [`Pool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a [`Pool::submit`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool is shutting down and no longer accepts jobs")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+/// What [`Pool::shutdown`] observed while draining.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolShutdown {
+    /// Jobs that ran to completion over the pool's lifetime (including
+    /// jobs whose closure panicked — the panic is caught and counted in
+    /// `panicked`, but the job is done).
+    pub completed: u64,
+    /// Jobs caught by `catch_unwind` (a subset of `completed`).
+    pub panicked: u64,
+    /// Jobs still queued when the drain deadline expired; they were
+    /// dropped without running.
+    pub abandoned: usize,
+    /// Jobs still executing when the deadline expired; their worker
+    /// threads were detached, not joined.
+    pub unfinished: usize,
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    accepting: bool,
+    /// Workers currently executing a job.
+    active: usize,
+    completed: u64,
+    panicked: u64,
+    /// Set once `shutdown` has run; later calls are no-ops.
+    drained: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signals workers (job available / shutdown) and the drainer
+    /// (queue empty and idle).
+    cv: Condvar,
+}
+
+/// A persistent bounded worker pool: the long-lived counterpart to
+/// [`run_isolated`].
+///
+/// [`run_isolated`] is a batch primitive — it owns a fixed job list and
+/// its scoped workers exit when the list drains. A daemon instead
+/// submits jobs one at a time over its whole lifetime and must be able
+/// to *stop*: [`Pool::shutdown`] closes the queue to new work, drains
+/// what was accepted, and accounts for anything the deadline cut off.
+/// Each job still runs under `catch_unwind`, so one exploding session
+/// never takes down a worker.
+pub struct Pool {
+    shared: std::sync::Arc<PoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawn `workers` threads (at least one) waiting for jobs.
+    pub fn new(workers: usize) -> Pool {
+        let shared = std::sync::Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                accepting: true,
+                ..PoolQueue::default()
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || Pool::worker(&shared))
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    fn worker(shared: &PoolShared) {
+        loop {
+            let job = {
+                let mut q = lock(&shared.queue);
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        q.active += 1;
+                        break job;
+                    }
+                    if !q.accepting {
+                        return;
+                    }
+                    q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+            let mut q = lock(&shared.queue);
+            q.active -= 1;
+            q.completed += 1;
+            if panicked {
+                q.panicked += 1;
+            }
+            shared.cv.notify_all();
+        }
+    }
+
+    /// Enqueue a job; fails once [`Pool::shutdown`] has begun.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) -> Result<(), PoolClosed> {
+        let mut q = lock(&self.shared.queue);
+        if !q.accepting {
+            return Err(PoolClosed);
+        }
+        q.jobs.push_back(Box::new(f));
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting plus jobs executing right now.
+    pub fn backlog(&self) -> usize {
+        let q = lock(&self.shared.queue);
+        q.jobs.len() + q.active
+    }
+
+    /// Stop accepting jobs, drain the queue, and join the workers.
+    ///
+    /// Already-accepted jobs keep running until the queue is empty or
+    /// `deadline` expires, whichever comes first. At the deadline any
+    /// still-queued jobs are dropped (`abandoned`) and still-running
+    /// workers are detached rather than joined (`unfinished`) — the
+    /// caller gets an honest account instead of an unbounded hang.
+    pub fn shutdown(&self, deadline: Duration) -> PoolShutdown {
+        let start = Instant::now();
+        let mut q = lock(&self.shared.queue);
+        if q.drained {
+            return PoolShutdown::default();
+        }
+        q.accepting = false;
+        q.drained = true;
+        self.shared.cv.notify_all();
+        while (!q.jobs.is_empty() || q.active > 0) && start.elapsed() < deadline {
+            let left = deadline.saturating_sub(start.elapsed());
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(q, left)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        let abandoned = q.jobs.len();
+        q.jobs.clear(); // workers see an empty closed queue and exit
+        let unfinished = q.active;
+        let report = PoolShutdown {
+            completed: q.completed,
+            panicked: q.panicked,
+            abandoned,
+            unfinished,
+        };
+        drop(q);
+        self.shared.cv.notify_all();
+        let handles = std::mem::take(&mut *lock(&self.workers));
+        for h in handles {
+            if unfinished == 0 {
+                let _ = h.join();
+            }
+            // else: detach — a wedged job must not hang the drain.
+        }
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +346,81 @@ mod tests {
         let out: Vec<Result<u8, String>> =
             run_isolated(Vec::<Box<dyn FnOnce() -> u8 + Send>>::new(), 4);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_runs_submitted_jobs_and_drains_clean() {
+        let pool = Pool::new(3);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..16usize {
+            let tx = tx.clone();
+            pool.submit(move || {
+                let _ = tx.send(i * i);
+            })
+            .unwrap();
+        }
+        drop(tx);
+        let report = pool.shutdown(Duration::from_secs(30));
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(report.completed, 16);
+        assert_eq!(report.panicked, 0);
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(report.unfinished, 0);
+    }
+
+    #[test]
+    fn pool_refuses_jobs_after_shutdown() {
+        let pool = Pool::new(1);
+        pool.shutdown(Duration::from_secs(5));
+        assert_eq!(pool.submit(|| {}), Err(PoolClosed));
+        // A second shutdown is a harmless no-op.
+        assert_eq!(
+            pool.shutdown(Duration::from_secs(5)),
+            PoolShutdown::default()
+        );
+    }
+
+    #[test]
+    fn pool_reports_abandoned_jobs_past_the_deadline() {
+        let pool = Pool::new(1);
+        let gate = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let gate = std::sync::Arc::clone(&gate);
+            pool.submit(move || {
+                while !gate.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+            .unwrap();
+        }
+        // Give the single worker time to pick up the blocking job, then
+        // queue two more that can never start before the deadline.
+        while pool.backlog() > 1 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pool.submit(|| {}).unwrap();
+        pool.submit(|| {}).unwrap();
+        let report = pool.shutdown(Duration::from_millis(50));
+        assert_eq!(report.abandoned, 2);
+        assert_eq!(report.unfinished, 1);
+        gate.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = Pool::new(1);
+        pool.submit(|| panic!("session exploded")).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(move || {
+            let _ = tx.send(42u8);
+        })
+        .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(42));
+        let report = pool.shutdown(Duration::from_secs(10));
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.panicked, 1);
+        assert_eq!(report.unfinished, 0);
     }
 }

@@ -18,6 +18,7 @@
 //! | CS-S00x  | campaign specs      | JSON shape, matrix validity         |
 //! | CS-L00x  | repo self-lint      | source invariants                   |
 //! | CS-O00x  | profile outputs     | timeline/span JSONL framing         |
+//! | CS-V00x  | serve wire frames   | frame magic/length/type, handshake  |
 //!
 //! Codes are append-only: a released code never changes meaning.
 //!

@@ -33,6 +33,7 @@ pub mod pmu;
 pub mod profile;
 pub mod selflint;
 pub mod trace;
+pub mod wire;
 pub mod workload;
 
 pub use diag::{Diagnostic, Severity};

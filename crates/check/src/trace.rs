@@ -24,8 +24,10 @@ use crate::lifecycle::LifecycleChecker;
 /// an adversarially long stream should not hold the checker hostage.
 pub const MAX_TRACE_EVENTS: u64 = 50_000_000;
 
-/// Map a reader error to its stable diagnostic code.
-fn error_code(kind: TraceErrorKind) -> &'static str {
+/// Map a reader error to its stable diagnostic code. Public so the
+/// serve daemon rejects a malformed in-flight stream with the same code
+/// `cachescope check` would report for the equivalent file.
+pub fn error_code(kind: TraceErrorKind) -> &'static str {
     match kind {
         TraceErrorKind::BadMagic => "CS-T001",
         TraceErrorKind::TruncatedHeader => "CS-T002",

@@ -1,0 +1,281 @@
+//! Serve wire-frame verification: the `CS-V00x` family.
+//!
+//! The `cachescope serve` daemon speaks a length-prefixed frame protocol
+//! (defined here so the checker and the daemon can never disagree):
+//!
+//! ```text
+//! frame := magic[4] = "csfr" | type u8 | payload_len u32 LE | payload
+//! ```
+//!
+//! A session opens with a `Hello` frame whose payload starts with a
+//! u16 LE protocol version; everything after the version is a JSON
+//! session configuration. Trace bytes travel in `Data` frames and the
+//! stream closes with an empty `End` frame; the daemon answers with
+//! `Report` or `Reject` frames in the same framing.
+//!
+//! [`check_wire_stream`] validates a captured stream dump (or any byte
+//! prefix of one) without interpreting payloads beyond the handshake:
+//! `CS-V001` bad frame magic, `CS-V002` oversize frame, `CS-V003`
+//! protocol-version mismatch, `CS-V004` unknown frame type, `CS-V005`
+//! truncated stream (ends mid-frame). The daemon maps the same findings
+//! to typed `Reject` frames at ingress.
+
+use crate::diag::Diagnostic;
+
+/// Every frame starts with these four bytes.
+pub const FRAME_MAGIC: [u8; 4] = *b"csfr";
+
+/// Frame header length: magic + type byte + u32 payload length.
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// Hard ceiling on one frame's payload (4 MiB). Streams larger than
+/// this arrive as multiple `Data` frames; a longer declared length is a
+/// malformed or hostile frame, rejected before any allocation.
+pub const FRAME_MAX_PAYLOAD: u32 = 4 * 1024 * 1024;
+
+/// The protocol version this build speaks (the first u16 of `Hello`).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame types on the serve wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → daemon: u16 version + JSON session configuration.
+    Hello = 1,
+    /// Daemon → client: admission granted (payload: JSON session info).
+    HelloAck = 2,
+    /// Client → daemon: a chunk of binary-v2 trace bytes.
+    Data = 3,
+    /// Client → daemon: end of trace stream (empty payload).
+    End = 4,
+    /// Daemon → client: the final report JSON.
+    Report = 5,
+    /// Daemon → client: typed refusal (JSON: code, message, retryable).
+    Reject = 6,
+    /// Client → daemon: request a daemon status snapshot.
+    Status = 7,
+    /// Daemon → client: the status snapshot JSON.
+    StatusReport = 8,
+}
+
+impl FrameType {
+    /// Decode a wire type byte.
+    pub fn from_u8(b: u8) -> Option<FrameType> {
+        match b {
+            1 => Some(FrameType::Hello),
+            2 => Some(FrameType::HelloAck),
+            3 => Some(FrameType::Data),
+            4 => Some(FrameType::End),
+            5 => Some(FrameType::Report),
+            6 => Some(FrameType::Reject),
+            7 => Some(FrameType::Status),
+            8 => Some(FrameType::StatusReport),
+            _ => None,
+        }
+    }
+
+    /// The type's wire name (used in diagnostics and status output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameType::Hello => "hello",
+            FrameType::HelloAck => "hello_ack",
+            FrameType::Data => "data",
+            FrameType::End => "end",
+            FrameType::Report => "report",
+            FrameType::Reject => "reject",
+            FrameType::Status => "status",
+            FrameType::StatusReport => "status_report",
+        }
+    }
+}
+
+/// Validate one frame header (first [`FRAME_HEADER_LEN`] bytes of a
+/// frame). Returns the frame type and payload length, or the diagnostic
+/// the daemon would reject with. `offset` locates the frame in the
+/// stream for the message; `source` names the input.
+pub fn check_frame_header(
+    header: &[u8; FRAME_HEADER_LEN],
+    offset: u64,
+    source: &str,
+) -> Result<(FrameType, u32), Diagnostic> {
+    if header[..4] != FRAME_MAGIC {
+        return Err(Diagnostic::error(
+            "CS-V001",
+            source,
+            format!(
+                "bad frame magic {:02x}{:02x}{:02x}{:02x} at byte {offset} (want \"csfr\")",
+                header[0], header[1], header[2], header[3]
+            ),
+        )
+        .with_hint("the stream is not cachescope serve framing, or lost sync"));
+    }
+    let ty = header[4];
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+    let Some(frame) = FrameType::from_u8(ty) else {
+        return Err(Diagnostic::error(
+            "CS-V004",
+            source,
+            format!("unknown frame type {ty} at byte {offset}"),
+        )
+        .with_hint("known types are 1..=8 (hello..status_report)"));
+    };
+    if len > FRAME_MAX_PAYLOAD {
+        return Err(Diagnostic::error(
+            "CS-V002",
+            source,
+            format!(
+                "{} frame at byte {offset} declares a {len}-byte payload \
+                 (limit {FRAME_MAX_PAYLOAD})",
+                frame.name()
+            ),
+        )
+        .with_hint("split trace bytes across multiple data frames"));
+    }
+    Ok((frame, len))
+}
+
+/// Validate a `Hello` payload's leading protocol version.
+pub fn check_hello_version(payload: &[u8], source: &str) -> Result<u16, Diagnostic> {
+    if payload.len() < 2 {
+        return Err(Diagnostic::error(
+            "CS-V005",
+            source,
+            format!(
+                "hello payload is {} byte(s); too short for a protocol version",
+                payload.len()
+            ),
+        )
+        .with_hint("a hello payload starts with a u16 LE protocol version"));
+    }
+    let version = u16::from_le_bytes([payload[0], payload[1]]);
+    if version != PROTOCOL_VERSION {
+        return Err(Diagnostic::error(
+            "CS-V003",
+            source,
+            format!(
+                "protocol version {version} not supported (this build speaks {PROTOCOL_VERSION})"
+            ),
+        )
+        .with_hint("upgrade the client or the daemon so both speak the same version"));
+    }
+    Ok(version)
+}
+
+/// Walk a captured wire-stream dump frame by frame, validating framing
+/// and the handshake version. Stops at the first error: once framing is
+/// lost there is no reliable resynchronisation point.
+pub fn check_wire_stream(bytes: &[u8], source: &str) -> Vec<Diagnostic> {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < FRAME_HEADER_LEN {
+            return vec![Diagnostic::error(
+                "CS-V005",
+                source,
+                format!(
+                    "stream ends with {remaining} dangling byte(s) at byte {pos}: \
+                     a frame header needs {FRAME_HEADER_LEN}"
+                ),
+            )
+            .with_hint("the capture was cut short; the peer closed mid-frame")];
+        }
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&bytes[pos..pos + FRAME_HEADER_LEN]);
+        let (frame, len) = match check_frame_header(&header, pos as u64, source) {
+            Ok(v) => v,
+            Err(d) => return vec![d],
+        };
+        let body = pos + FRAME_HEADER_LEN;
+        if bytes.len() - body < len as usize {
+            return vec![Diagnostic::error(
+                "CS-V005",
+                source,
+                format!(
+                    "{} frame at byte {pos} declares {len} payload byte(s) but only \
+                     {} remain",
+                    frame.name(),
+                    bytes.len() - body
+                ),
+            )
+            .with_hint("the capture was cut short; the peer closed mid-frame")];
+        }
+        if frame == FrameType::Hello {
+            if let Err(d) = check_hello_version(&bytes[body..body + len as usize], source) {
+                return vec![d];
+            }
+        }
+        pos = body + len as usize;
+    }
+    Vec::new()
+}
+
+/// Check a wire-stream dump on disk.
+pub fn check_wire_path(path: &std::path::Path) -> Vec<Diagnostic> {
+    let source = path.display().to_string();
+    match std::fs::read(path) {
+        Ok(bytes) => check_wire_stream(&bytes, &source),
+        Err(e) => vec![Diagnostic::error(
+            "CS-V005",
+            source,
+            format!("cannot read wire dump: {e}"),
+        )],
+    }
+}
+
+/// Encode one frame (header + payload) — shared by the daemon, the
+/// client, and tests so framing bytes come from exactly one place.
+pub fn encode_frame(frame: FrameType, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(frame as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello(version: u16) -> Vec<u8> {
+        let mut payload = version.to_le_bytes().to_vec();
+        payload.extend_from_slice(b"{}");
+        encode_frame(FrameType::Hello, &payload)
+    }
+
+    #[test]
+    fn a_clean_session_stream_passes() {
+        let mut stream = hello(PROTOCOL_VERSION);
+        stream.extend(encode_frame(FrameType::Data, b"some trace bytes"));
+        stream.extend(encode_frame(FrameType::End, b""));
+        assert!(check_wire_stream(&stream, "t").is_empty());
+        assert!(
+            check_wire_stream(&[], "t").is_empty(),
+            "empty stream is clean"
+        );
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        for ty in 1u8..=8 {
+            let frame = FrameType::from_u8(ty).expect("known type");
+            assert_eq!(frame as u8, ty);
+            let enc = encode_frame(frame, b"x");
+            let mut header = [0u8; FRAME_HEADER_LEN];
+            header.copy_from_slice(&enc[..FRAME_HEADER_LEN]);
+            let (decoded, len) = check_frame_header(&header, 0, "t").expect("valid");
+            assert_eq!(decoded, frame);
+            assert_eq!(len, 1);
+        }
+        assert_eq!(FrameType::from_u8(0), None);
+        assert_eq!(FrameType::from_u8(9), None);
+    }
+
+    #[test]
+    fn oversize_declared_length_is_rejected_without_allocating() {
+        let mut frame = encode_frame(FrameType::Data, b"");
+        frame[5..9].copy_from_slice(&(FRAME_MAX_PAYLOAD + 1).to_le_bytes());
+        let diags = check_wire_stream(&frame, "t");
+        assert_eq!(diags[0].code, "CS-V002");
+    }
+}

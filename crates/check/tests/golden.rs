@@ -7,7 +7,7 @@
 //! what makes the codes safe to grep for in CI logs and bug reports.
 
 use cachescope_campaign::Cell;
-use cachescope_check::{campaign, chunk, diag::Diagnostic, lifecycle, pmu, selflint, trace};
+use cachescope_check::{campaign, chunk, diag::Diagnostic, lifecycle, pmu, selflint, trace, wire};
 use cachescope_core::{FaultConfig, SamplerConfig, SearchConfig, TechniqueConfig};
 use cachescope_sim::{Event, EventChunk, MemRef, ObjectDecl, RunLimit};
 use cachescope_workloads::spec::Scale;
@@ -341,4 +341,63 @@ fn l006_println_in_library() {
     let src = "fn f() {\n    println!(\"hi\");\n}\n";
     let (code, line) = lint_one(src, "obs");
     assert_eq!((code, line), ("CS-L006", 2));
+}
+
+// --- CS-V: serve wire frames ------------------------------------------
+
+fn one_wire_code(stream: &[u8]) -> &'static str {
+    let diags = wire::check_wire_stream(stream, "golden.wire");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    diags[0].code
+}
+
+fn wire_hello(version: u16) -> Vec<u8> {
+    let mut payload = version.to_le_bytes().to_vec();
+    payload.extend_from_slice(b"{}");
+    wire::encode_frame(wire::FrameType::Hello, &payload)
+}
+
+#[test]
+fn v001_bad_frame_magic() {
+    let mut frame = wire::encode_frame(wire::FrameType::Data, b"x");
+    frame[0] = b'X';
+    assert_eq!(one_wire_code(&frame), "CS-V001");
+}
+
+#[test]
+fn v002_oversize_frame() {
+    let mut frame = wire::encode_frame(wire::FrameType::Data, b"");
+    frame[5..9].copy_from_slice(&(wire::FRAME_MAX_PAYLOAD + 1).to_le_bytes());
+    assert_eq!(one_wire_code(&frame), "CS-V002");
+}
+
+#[test]
+fn v003_version_mismatch() {
+    assert_eq!(
+        one_wire_code(&wire_hello(wire::PROTOCOL_VERSION + 1)),
+        "CS-V003"
+    );
+}
+
+#[test]
+fn v004_unknown_frame_type() {
+    let mut frame = wire::encode_frame(wire::FrameType::Data, b"");
+    frame[4] = 99;
+    assert_eq!(one_wire_code(&frame), "CS-V004");
+}
+
+#[test]
+fn v005_truncated_stream() {
+    // Cut mid-header and mid-payload; both are CS-V005.
+    let frame = wire::encode_frame(wire::FrameType::Data, b"payload");
+    assert_eq!(one_wire_code(&frame[..5]), "CS-V005");
+    assert_eq!(one_wire_code(&frame[..frame.len() - 2]), "CS-V005");
+}
+
+#[test]
+fn clean_wire_stream_has_no_findings() {
+    let mut stream = wire_hello(wire::PROTOCOL_VERSION);
+    stream.extend(wire::encode_frame(wire::FrameType::Data, b"trace bytes"));
+    stream.extend(wire::encode_frame(wire::FrameType::End, b""));
+    assert!(wire::check_wire_stream(&stream, "golden.wire").is_empty());
 }

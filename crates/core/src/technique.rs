@@ -37,6 +37,66 @@ impl TechniqueConfig {
         }
     }
 
+    /// Parse a CLI/wire technique spec:
+    ///
+    /// * `sampling:<period>` — fixed-period miss-address sampling
+    /// * `adaptive:<pct>` — self-tuning sampling targeting `<pct>` overhead
+    /// * `jittered:<base>:<spread>` — pseudo-random-interval sampling
+    ///   (fixed seed, so a spec names one deterministic configuration)
+    /// * `search` / `search:<n>` — n-way search over every counter, or
+    ///   an n-way logical search
+    /// * `none` — baseline, no instrumentation
+    ///
+    /// `interval` is the search measurement interval in cycles;
+    /// `aggregate` folds per-site heap names; `log_progress` attaches
+    /// the search iteration log. The same parser backs `cachescope`
+    /// batch runs and serve-session handshakes, so a spec means the same
+    /// technique everywhere.
+    pub fn parse_spec(
+        spec: &str,
+        interval: u64,
+        aggregate: bool,
+        log_progress: bool,
+    ) -> Result<Self, String> {
+        fn num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("invalid {what}: {v}"))
+        }
+        match spec.split(':').collect::<Vec<_>>().as_slice() {
+            ["sampling", k] => {
+                let mut cfg = SamplerConfig::fixed(num(k, "sampling period")?);
+                cfg.aggregate_heap_names = aggregate;
+                Ok(TechniqueConfig::Sampling(cfg))
+            }
+            ["adaptive", pct] => {
+                let mut cfg = SamplerConfig::adaptive(num(pct, "overhead target")?);
+                cfg.aggregate_heap_names = aggregate;
+                Ok(TechniqueConfig::Sampling(cfg))
+            }
+            ["jittered", base, spread] => {
+                let mut cfg = SamplerConfig::jittered(
+                    num(base, "jitter base")?,
+                    num(spread, "jitter spread")?,
+                    0xC11,
+                );
+                cfg.aggregate_heap_names = aggregate;
+                Ok(TechniqueConfig::Sampling(cfg))
+            }
+            ["search"] => Ok(TechniqueConfig::Search(SearchConfig {
+                interval,
+                log_progress,
+                ..Default::default()
+            })),
+            ["search", n] => Ok(TechniqueConfig::Search(SearchConfig {
+                interval,
+                log_progress,
+                logical_ways: Some(num::<u64>(n, "search width")? as usize),
+                ..Default::default()
+            })),
+            ["none"] => Ok(TechniqueConfig::None),
+            _ => Err(format!("unknown technique: {spec}")),
+        }
+    }
+
     /// Canonical JSON for content-addressed caching (see
     /// [`SamplerConfig::to_json`] / [`SearchConfig::to_json`]): a tagged
     /// object with a fixed key order, so equal configurations render to
@@ -88,6 +148,41 @@ mod tests {
         assert_eq!(TechniqueConfig::None.label(), "");
         assert!(TechniqueConfig::sampling(50_000).label().contains("50000"));
         assert!(TechniqueConfig::search().label().contains("search"));
+    }
+
+    #[test]
+    fn parse_spec_covers_every_form_and_rejects_garbage() {
+        let t = TechniqueConfig::parse_spec("sampling:1000", 0, false, false).unwrap();
+        assert!(matches!(t, TechniqueConfig::Sampling(_)));
+        assert!(t.label().contains("1000"));
+        let t = TechniqueConfig::parse_spec("adaptive:5.0", 0, true, false).unwrap();
+        assert!(matches!(t, TechniqueConfig::Sampling(ref c) if c.aggregate_heap_names));
+        let t = TechniqueConfig::parse_spec("jittered:1000:100", 0, false, false).unwrap();
+        assert!(matches!(t, TechniqueConfig::Sampling(_)));
+        // A spec names one deterministic configuration: same bytes.
+        assert_eq!(
+            TechniqueConfig::parse_spec("jittered:1000:100", 0, false, false)
+                .unwrap()
+                .to_json()
+                .render(),
+            t.to_json().render()
+        );
+        let t = TechniqueConfig::parse_spec("search", 9_000, false, true).unwrap();
+        assert!(
+            matches!(t, TechniqueConfig::Search(ref c) if c.interval == 9_000 && c.log_progress)
+        );
+        let t = TechniqueConfig::parse_spec("search:4", 9_000, false, false).unwrap();
+        assert!(matches!(t, TechniqueConfig::Search(ref c) if c.logical_ways == Some(4)));
+        assert!(matches!(
+            TechniqueConfig::parse_spec("none", 0, false, false).unwrap(),
+            TechniqueConfig::None
+        ));
+        for bad in ["sampling", "sampling:x", "adaptive:", "search:x", "magic"] {
+            assert!(
+                TechniqueConfig::parse_spec(bad, 0, false, false).is_err(),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

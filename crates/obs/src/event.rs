@@ -231,6 +231,41 @@ pub enum ObsEvent {
         line: u64,
         message: String,
     },
+    /// The serve daemon admitted a client session.
+    SessionStart { id: u64, peer: String },
+    /// The serve daemon rejected a session (admission, validation, or
+    /// budget). `code` is a stable reason ("busy", "draining",
+    /// "byte_budget", or a CS-V*/CS-T*/CS-C* diagnostic code).
+    SessionReject {
+        id: u64,
+        code: String,
+        reason: String,
+    },
+    /// A session's attribution simulation started (dedup miss). `hash`
+    /// is the content hash over the trace bytes plus configuration.
+    SessionSimStart { id: u64, hash: String },
+    /// A session's report was served without simulating: `source` is
+    /// `"inflight"` (piggybacked on a running identical session) or
+    /// `"disk"` (content-addressed cache hit).
+    SessionDedup {
+        id: u64,
+        hash: String,
+        source: &'static str,
+    },
+    /// A session completed and its report was sent. `ms` is wall-clock
+    /// from admission to report write.
+    SessionEnd {
+        id: u64,
+        bytes: u64,
+        events: u64,
+        ms: u64,
+    },
+    /// The daemon began draining: finishing `active` in-flight sessions,
+    /// refusing new ones.
+    ServeDrain { active: u64 },
+    /// The daemon stopped after serving `served` and rejecting
+    /// `rejected` sessions.
+    ServeStop { served: u64, rejected: u64 },
 }
 
 impl ObsEvent {
@@ -266,6 +301,13 @@ impl ObsEvent {
             ObsEvent::CellPanic { .. } => "cell_panic",
             ObsEvent::CampaignEnd { .. } => "campaign_end",
             ObsEvent::CheckDiagnostic { .. } => "check_diagnostic",
+            ObsEvent::SessionStart { .. } => "session_start",
+            ObsEvent::SessionReject { .. } => "session_reject",
+            ObsEvent::SessionSimStart { .. } => "session_sim_start",
+            ObsEvent::SessionDedup { .. } => "session_dedup",
+            ObsEvent::SessionEnd { .. } => "session_end",
+            ObsEvent::ServeDrain { .. } => "serve_drain",
+            ObsEvent::ServeStop { .. } => "serve_stop",
         }
     }
 
@@ -478,6 +520,42 @@ impl ObsEvent {
                 fields.push(("line", Json::Uint(*line)));
                 fields.push(("message", Json::str(message.clone())));
             }
+            ObsEvent::SessionStart { id, peer } => {
+                fields.push(("id", Json::Uint(*id)));
+                fields.push(("peer", Json::str(peer.clone())));
+            }
+            ObsEvent::SessionReject { id, code, reason } => {
+                fields.push(("id", Json::Uint(*id)));
+                fields.push(("code", Json::str(code.clone())));
+                fields.push(("reason", Json::str(reason.clone())));
+            }
+            ObsEvent::SessionSimStart { id, hash } => {
+                fields.push(("id", Json::Uint(*id)));
+                fields.push(("hash", Json::str(hash.clone())));
+            }
+            ObsEvent::SessionDedup { id, hash, source } => {
+                fields.push(("id", Json::Uint(*id)));
+                fields.push(("hash", Json::str(hash.clone())));
+                fields.push(("source", Json::str(*source)));
+            }
+            ObsEvent::SessionEnd {
+                id,
+                bytes,
+                events,
+                ms,
+            } => {
+                fields.push(("id", Json::Uint(*id)));
+                fields.push(("bytes", Json::Uint(*bytes)));
+                fields.push(("events", Json::Uint(*events)));
+                fields.push(("ms", Json::Uint(*ms)));
+            }
+            ObsEvent::ServeDrain { active } => {
+                fields.push(("active", Json::Uint(*active)));
+            }
+            ObsEvent::ServeStop { served, rejected } => {
+                fields.push(("served", Json::Uint(*served)));
+                fields.push(("rejected", Json::Uint(*rejected)));
+            }
         }
         Json::obj(fields)
     }
@@ -631,6 +709,35 @@ mod tests {
                 file: "t.trace".into(),
                 line: 12,
                 message: "double alloc".into(),
+            },
+            ObsEvent::SessionStart {
+                id: 1,
+                peer: "unix".into(),
+            },
+            ObsEvent::SessionReject {
+                id: 2,
+                code: "busy".into(),
+                reason: "8 sessions active".into(),
+            },
+            ObsEvent::SessionSimStart {
+                id: 1,
+                hash: "deadbeefdeadbeef".into(),
+            },
+            ObsEvent::SessionDedup {
+                id: 3,
+                hash: "deadbeefdeadbeef".into(),
+                source: "inflight",
+            },
+            ObsEvent::SessionEnd {
+                id: 1,
+                bytes: 4096,
+                events: 100,
+                ms: 12,
+            },
+            ObsEvent::ServeDrain { active: 2 },
+            ObsEvent::ServeStop {
+                served: 10,
+                rejected: 1,
             },
         ];
         for ev in events {

@@ -208,6 +208,19 @@ impl Obs {
                     self.metrics.inc("check.errors");
                 }
             }
+            ObsEvent::SessionStart { .. } => self.metrics.inc("serve.sessions"),
+            ObsEvent::SessionReject { .. } => self.metrics.inc("serve.rejects"),
+            ObsEvent::SessionSimStart { .. } => self.metrics.inc("serve.sim_starts"),
+            ObsEvent::SessionDedup { .. } => self.metrics.inc("serve.dedup_hits"),
+            ObsEvent::SessionEnd { bytes, ms, .. } => {
+                self.metrics.inc("serve.sessions_served");
+                self.metrics.add("serve.bytes_in", *bytes);
+                self.metrics.observe("serve.session_ms", *ms);
+            }
+            ObsEvent::ServeDrain { active } => {
+                self.metrics.set_gauge("serve.drain_active", *active as f64);
+            }
+            ObsEvent::ServeStop { .. } => self.metrics.inc("serve.stops"),
             _ => {}
         }
         self.events.push(ev);
@@ -325,6 +338,49 @@ mod tests {
         assert_eq!(obs.metrics.counter("campaign.cells_completed"), 1);
         assert_eq!(obs.metrics.counter("campaign.retries"), 1);
         assert_eq!(obs.metrics.counter("campaign.panics"), 1);
+    }
+
+    #[test]
+    fn serve_events_derive_daemon_metrics() {
+        let mut obs = Obs::new();
+        obs.emit(ObsEvent::SessionStart {
+            id: 1,
+            peer: "unix".into(),
+        });
+        obs.emit(ObsEvent::SessionSimStart {
+            id: 1,
+            hash: "aa".into(),
+        });
+        obs.emit(ObsEvent::SessionEnd {
+            id: 1,
+            bytes: 1024,
+            events: 10,
+            ms: 7,
+        });
+        obs.emit(ObsEvent::SessionDedup {
+            id: 2,
+            hash: "aa".into(),
+            source: "disk",
+        });
+        obs.emit(ObsEvent::SessionReject {
+            id: 3,
+            code: "busy".into(),
+            reason: "full".into(),
+        });
+        obs.emit(ObsEvent::ServeDrain { active: 1 });
+        obs.emit(ObsEvent::ServeStop {
+            served: 2,
+            rejected: 1,
+        });
+        assert_eq!(obs.metrics.counter("serve.sessions"), 1);
+        assert_eq!(obs.metrics.counter("serve.sim_starts"), 1);
+        assert_eq!(obs.metrics.counter("serve.sessions_served"), 1);
+        assert_eq!(obs.metrics.counter("serve.dedup_hits"), 1);
+        assert_eq!(obs.metrics.counter("serve.rejects"), 1);
+        assert_eq!(obs.metrics.counter("serve.bytes_in"), 1024);
+        assert_eq!(obs.metrics.gauge("serve.drain_active"), Some(1.0));
+        let h = obs.metrics.histogram("serve.session_ms").expect("latency");
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

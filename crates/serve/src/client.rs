@@ -1,0 +1,195 @@
+//! A minimal client for the serve wire protocol.
+//!
+//! Drives one session end to end ([`submit_bytes`] / [`submit_path`]):
+//! handshake, chunked `Data` upload, and either the final report or the
+//! daemon's typed [`Refusal`]. Also answers status probes
+//! ([`query_status`]). The `cachescope submit` CLI, the integration
+//! tests and the saturation bench all go through this module, so they
+//! exercise the exact byte stream a third-party client would produce.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+use cachescope_check::wire::FrameType;
+use cachescope_obs::json::parse;
+use cachescope_obs::Json;
+
+use crate::session::{Refusal, SessionConfig};
+use crate::wire::{recv_frame, send_frame, FrameDecoder, Recv, RecvError, PROTOCOL_VERSION};
+
+/// Default `Data` frame payload size.
+pub const DEFAULT_CHUNK: usize = 256 * 1024;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Addr {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+/// How a submission ended (when the protocol itself succeeded).
+#[derive(Debug, Clone)]
+pub enum SubmitOutcome {
+    /// The daemon's report, byte-identical to the batch `--json` body.
+    Report(String),
+    /// The daemon's typed refusal.
+    Rejected(Refusal),
+}
+
+/// A client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+trait Conn: Read + Write {}
+impl<T: Read + Write> Conn for T {}
+
+fn connect(addr: &Addr) -> std::io::Result<Box<dyn Conn>> {
+    match addr {
+        Addr::Unix(path) => Ok(Box::new(UnixStream::connect(path)?)),
+        Addr::Tcp(spec) => Ok(Box::new(TcpStream::connect(spec.as_str())?)),
+    }
+}
+
+fn recv_or_protocol(
+    stream: &mut dyn Conn,
+    dec: &mut FrameDecoder,
+    expecting: &str,
+) -> Result<crate::wire::Frame, ClientError> {
+    let mut never = || false;
+    match recv_frame(stream, dec, &mut never) {
+        Ok(Recv::Frame(f)) => Ok(f),
+        Ok(Recv::Closed) => Err(ClientError::Protocol(format!(
+            "daemon closed the connection while the client waited for {expecting}"
+        ))),
+        Ok(Recv::Aborted) => Err(ClientError::Protocol("receive aborted".to_string())),
+        Err(RecvError::Io(e)) => Err(ClientError::Io(e)),
+        Err(RecvError::Bad(d)) => Err(ClientError::Protocol(d.render())),
+    }
+}
+
+fn reject_from(frame: &crate::wire::Frame) -> Refusal {
+    Refusal::from_json(&frame.payload).unwrap_or_else(|| {
+        Refusal::new(
+            "unknown",
+            String::from_utf8_lossy(&frame.payload).into_owned(),
+            false,
+        )
+    })
+}
+
+/// Submit an in-memory binary-v2 trace. `chunk == 0` uses
+/// [`DEFAULT_CHUNK`]. Returns the daemon's report or refusal.
+pub fn submit_bytes(
+    addr: &Addr,
+    trace: &[u8],
+    config: &SessionConfig,
+    chunk: usize,
+) -> Result<SubmitOutcome, ClientError> {
+    let chunk = if chunk == 0 { DEFAULT_CHUNK } else { chunk };
+    let mut stream = connect(addr)?;
+    let mut dec = FrameDecoder::new();
+
+    let mut hello = PROTOCOL_VERSION.to_le_bytes().to_vec();
+    hello.extend_from_slice(config.to_json().render().as_bytes());
+    send_frame(&mut stream, FrameType::Hello, &hello)?;
+
+    let ack = recv_or_protocol(&mut *stream, &mut dec, "hello-ack")?;
+    match ack.kind {
+        FrameType::HelloAck => {}
+        FrameType::Reject => return Ok(SubmitOutcome::Rejected(reject_from(&ack))),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected hello-ack, got {}",
+                other.name()
+            )))
+        }
+    }
+
+    // Stream the trace. A daemon that rejects mid-upload (budget, bad
+    // bytes) closes after its Reject frame, so a failed write means
+    // "stop sending and read what the daemon said".
+    let mut upload_err = None;
+    for piece in trace.chunks(chunk.max(1)) {
+        if let Err(e) = send_frame(&mut stream, FrameType::Data, piece) {
+            upload_err = Some(e);
+            break;
+        }
+    }
+    if upload_err.is_none() {
+        if let Err(e) = send_frame(&mut stream, FrameType::End, b"") {
+            upload_err = Some(e);
+        }
+    }
+
+    let reply = match recv_or_protocol(&mut *stream, &mut dec, "report") {
+        Ok(f) => f,
+        Err(e) => {
+            return Err(match upload_err {
+                Some(io) => ClientError::Io(io),
+                None => e,
+            })
+        }
+    };
+    match reply.kind {
+        FrameType::Report => match String::from_utf8(reply.payload) {
+            Ok(report) => Ok(SubmitOutcome::Report(report)),
+            Err(_) => Err(ClientError::Protocol(
+                "report payload is not utf-8".to_string(),
+            )),
+        },
+        FrameType::Reject => Ok(SubmitOutcome::Rejected(reject_from(&reply))),
+        other => Err(ClientError::Protocol(format!(
+            "expected report or reject, got {}",
+            other.name()
+        ))),
+    }
+}
+
+/// Submit a binary-v2 trace file.
+pub fn submit_path(
+    addr: &Addr,
+    path: &Path,
+    config: &SessionConfig,
+    chunk: usize,
+) -> Result<SubmitOutcome, ClientError> {
+    let trace = std::fs::read(path)?;
+    submit_bytes(addr, &trace, config, chunk)
+}
+
+/// Ask a running daemon for its status snapshot.
+pub fn query_status(addr: &Addr) -> Result<Json, ClientError> {
+    let mut stream = connect(addr)?;
+    let mut dec = FrameDecoder::new();
+    send_frame(&mut stream, FrameType::Status, b"")?;
+    let reply = recv_or_protocol(&mut *stream, &mut dec, "status-report")?;
+    if reply.kind != FrameType::StatusReport {
+        return Err(ClientError::Protocol(format!(
+            "expected status-report, got {}",
+            reply.kind.name()
+        )));
+    }
+    let text = String::from_utf8_lossy(&reply.payload);
+    parse(&text).map_err(ClientError::Protocol)
+}

@@ -1,0 +1,766 @@
+//! The long-running attribution daemon.
+//!
+//! [`Daemon::start`] binds unix and/or TCP listeners and serves framed
+//! sessions (see [`crate::wire`]): each accepted connection runs the
+//! `Hello → Data… → End → Report|Reject` state machine on its own
+//! thread, while attribution simulations execute on a bounded
+//! [`Pool`]. Cross-cutting daemon state lives in one shared structure:
+//!
+//! * **Admission control** — at most `max_sessions` concurrent
+//!   sessions; excess `Hello`s get a retryable `busy` rejection, and a
+//!   draining daemon answers `draining` instead of hanging clients.
+//! * **Dedup** — sessions are content-addressed (trace-byte hash +
+//!   canonical configuration). A session identical to one currently
+//!   simulating piggybacks on that run; one identical to a cached past
+//!   run is served from the campaign [`ResultCache`] without
+//!   simulating. Lookups and registry updates happen under one lock,
+//!   so two simultaneous identical submissions cannot both miss.
+//! * **Observability** — every lifecycle step emits a typed
+//!   [`ObsEvent`] into an [`Obs`] sink (deriving the `serve.*` metrics,
+//!   including the p50/p95/p99 session-latency histogram) and,
+//!   optionally, onto a JSONL event feed.
+//! * **Graceful drain** — [`Daemon::shutdown`] finishes in-flight
+//!   sessions up to a deadline, refuses new ones, drains the pool, and
+//!   accounts for anything the deadline cut off.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use cachescope_campaign::{
+    panic_message, stable_hash, worker_cap, CacheLookup, Pool, PoolShutdown, ResultCache,
+};
+use cachescope_check::wire::{check_hello_version, FrameType};
+use cachescope_core::export::report_to_json;
+use cachescope_core::Experiment;
+use cachescope_obs::{Json, Obs, ObsEvent};
+use cachescope_sim::RunLimit;
+
+use crate::session::{FinishedStream, Refusal, SessionConfig, SessionStream};
+use crate::wire::{recv_frame, send_frame, FrameDecoder, Recv, RecvError};
+
+/// How a daemon is configured. `Default` serves nothing — set at least
+/// one of `unix` / `tcp`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix-domain socket path to bind (removed and re-created).
+    pub unix: Option<PathBuf>,
+    /// TCP address to bind (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub tcp: Option<String>,
+    /// Concurrent-session ceiling; excess sessions get `busy`.
+    pub max_sessions: usize,
+    /// Per-session raw-trace byte ceiling.
+    pub byte_budget: u64,
+    /// Attribution worker threads (`None`: the shared `--jobs` default).
+    pub workers: Option<usize>,
+    /// Content-addressed report cache directory (`None` disables disk
+    /// dedup; in-flight dedup still applies).
+    pub cache_dir: Option<PathBuf>,
+    /// JSONL event-feed path (`None` keeps events in memory only).
+    pub events_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            unix: None,
+            tcp: None,
+            max_sessions: 8,
+            byte_budget: 64 * 1024 * 1024,
+            workers: None,
+            cache_dir: None,
+            events_path: None,
+        }
+    }
+}
+
+/// What [`Daemon::shutdown`] observed.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    /// Sessions that received a `Report`.
+    pub served: u64,
+    /// Sessions and connections refused (any `Reject`).
+    pub rejected: u64,
+    /// Sessions still active when the drain deadline expired.
+    pub unfinished_sessions: usize,
+    /// The worker pool's own drain accounting.
+    pub pool: PoolShutdown,
+}
+
+/// Lock, recovering from poisoning (conn threads run under their own
+/// error handling; shared state stays coherent).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The obs sink plus its optional JSONL feed.
+struct ObsState {
+    obs: Obs,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+/// One in-flight simulation, awaited by every identical session.
+struct Inflight {
+    done: Mutex<Option<Result<String, Refusal>>>,
+    cv: Condvar,
+}
+
+struct Shared {
+    config: ServeConfig,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    active: Mutex<usize>,
+    active_cv: Condvar,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    cache: Option<ResultCache>,
+    pool: Pool,
+    obs: Mutex<ObsState>,
+}
+
+impl Shared {
+    fn emit(&self, ev: ObsEvent) {
+        let mut st = lock(&self.obs);
+        st.obs.emit(ev);
+        // The feed drains the in-memory event vec, bounding a long-lived
+        // daemon's footprint; without a feed the events stay harvestable.
+        let events = st.obs.take_events();
+        if let Some(w) = st.writer.as_mut() {
+            for ev in &events {
+                let _ = w.write_all(ev.to_json().render().as_bytes());
+                let _ = w.write_all(b"\n");
+            }
+            let _ = w.flush();
+        }
+    }
+
+    fn status_json(&self) -> Json {
+        let active = *lock(&self.active) as u64;
+        let st = lock(&self.obs);
+        let m = &st.obs.metrics;
+        Json::obj(vec![
+            (
+                "protocol_version",
+                Json::Uint(u64::from(crate::wire::PROTOCOL_VERSION)),
+            ),
+            ("active", Json::Uint(active)),
+            ("max_sessions", Json::Uint(self.config.max_sessions as u64)),
+            ("draining", Json::Bool(self.draining.load(Ordering::SeqCst))),
+            ("sessions", Json::Uint(m.counter("serve.sessions"))),
+            ("served", Json::Uint(m.counter("serve.sessions_served"))),
+            ("rejected", Json::Uint(m.counter("serve.rejects"))),
+            ("sim_starts", Json::Uint(m.counter("serve.sim_starts"))),
+            ("dedup_hits", Json::Uint(m.counter("serve.dedup_hits"))),
+        ])
+    }
+}
+
+/// Execute one attribution run: the exact pipeline the batch CLI
+/// drives, so a served report is byte-identical to the equivalent
+/// `cachescope - --replay <trace> --json` output.
+fn run_attribution(fin: FinishedStream, cfg: &SessionConfig) -> Result<Json, Refusal> {
+    let technique = cfg.technique()?;
+    let report = Experiment::new(fin.into_program())
+        .technique(technique)
+        .counters(cfg.counters)
+        .limit(RunLimit::AppMisses(cfg.misses))
+        .run();
+    Ok(report_to_json(&report))
+}
+
+/// How a finished stream resolves to a report.
+enum Resolution {
+    /// First of its content hash: simulate on the pool.
+    Fresh(Arc<Inflight>),
+    /// An identical session is simulating right now: await it.
+    Inflight(Arc<Inflight>),
+    /// An identical past run is on disk: serve it as-is.
+    Disk(String),
+}
+
+fn resolve(
+    shared: &Arc<Shared>,
+    key: &str,
+    ident: &Json,
+    fin: FinishedStream,
+    cfg: SessionConfig,
+) -> Resolution {
+    let mut map = lock(&shared.inflight);
+    if let Some(slot) = map.get(key) {
+        return Resolution::Inflight(Arc::clone(slot));
+    }
+    if let Some(cache) = &shared.cache {
+        if let CacheLookup::Hit(report) = cache.load_keyed(key, ident) {
+            return Resolution::Disk(report.render());
+        }
+    }
+    let slot = Arc::new(Inflight {
+        done: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    map.insert(key.to_string(), Arc::clone(&slot));
+    drop(map);
+
+    let job_shared = Arc::clone(shared);
+    let job_slot = Arc::clone(&slot);
+    let job_key = key.to_string();
+    let job_ident = ident.clone();
+    let submitted = shared.pool.submit(move || {
+        let outcome =
+            match std::panic::catch_unwind(AssertUnwindSafe(|| run_attribution(fin, &cfg))) {
+                Ok(Ok(report)) => Ok(report),
+                Ok(Err(refusal)) => Err(refusal),
+                Err(payload) => Err(Refusal::new(
+                    "sim_failed",
+                    format!("attribution panicked: {}", panic_message(payload)),
+                    false,
+                )),
+            };
+        // Store to disk *before* the registry entry disappears, under
+        // the registry lock: a concurrent identical session therefore
+        // always sees either the in-flight slot or the disk entry,
+        // never neither.
+        let mut map = lock(&job_shared.inflight);
+        let rendered = match outcome {
+            Ok(report) => {
+                if let Some(cache) = &job_shared.cache {
+                    let _ = cache.store_keyed(&job_key, &job_ident, &report);
+                }
+                Ok(report.render())
+            }
+            Err(r) => Err(r),
+        };
+        map.remove(&job_key);
+        *lock(&job_slot.done) = Some(rendered);
+        job_slot.cv.notify_all();
+    });
+    if submitted.is_err() {
+        // Pool already draining: fail the slot so no one blocks on it.
+        let mut map = lock(&shared.inflight);
+        map.remove(key);
+        *lock(&slot.done) = Some(Err(Refusal::new(
+            "draining",
+            "daemon is shutting down".to_string(),
+            true,
+        )));
+        slot.cv.notify_all();
+    }
+    Resolution::Fresh(slot)
+}
+
+/// Await an in-flight slot, bailing out if the daemon stops.
+fn await_slot(shared: &Shared, slot: &Inflight) -> Result<String, Refusal> {
+    let mut done = lock(&slot.done);
+    loop {
+        if let Some(outcome) = done.clone() {
+            return outcome;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return Err(Refusal::new(
+                "draining",
+                "daemon stopped before the simulation finished".to_string(),
+                true,
+            ));
+        }
+        let (guard, _) = slot
+            .cv
+            .wait_timeout(done, Duration::from_millis(200))
+            .unwrap_or_else(|e| e.into_inner());
+        done = guard;
+    }
+}
+
+fn send_reject<S: Write>(stream: &mut S, refusal: &Refusal) {
+    let _ = send_frame(
+        stream,
+        FrameType::Reject,
+        refusal.to_json().render().as_bytes(),
+    );
+}
+
+/// Serve one connection end to end. Runs on its own thread; every exit
+/// path accounts the session and replies when the socket still works.
+fn handle_conn<S: Read + Write>(shared: &Arc<Shared>, mut stream: S, peer: &str) {
+    let mut dec = FrameDecoder::new();
+    let stop_flag = Arc::clone(shared);
+    let mut abort = move || stop_flag.stop.load(Ordering::SeqCst);
+
+    // Pre-session: accept Status probes until a Hello opens a session.
+    let hello = loop {
+        match recv_frame(&mut stream, &mut dec, &mut abort) {
+            Ok(Recv::Frame(f)) if f.kind == FrameType::Status => {
+                let _ = send_frame(
+                    &mut stream,
+                    FrameType::StatusReport,
+                    shared.status_json().render().as_bytes(),
+                );
+            }
+            Ok(Recv::Frame(f)) if f.kind == FrameType::Hello => break f,
+            Ok(Recv::Frame(f)) => {
+                let refusal = Refusal::new(
+                    "protocol",
+                    format!("expected hello or status, got {}", f.kind.name()),
+                    false,
+                );
+                shared.rejected.fetch_add(1, Ordering::SeqCst);
+                shared.emit(ObsEvent::SessionReject {
+                    id: 0,
+                    code: refusal.code.clone(),
+                    reason: refusal.message.clone(),
+                });
+                send_reject(&mut stream, &refusal);
+                return;
+            }
+            Ok(Recv::Closed) | Ok(Recv::Aborted) => return,
+            Err(RecvError::Bad(d)) => {
+                let refusal = Refusal::new(d.code, d.message, false);
+                shared.rejected.fetch_add(1, Ordering::SeqCst);
+                shared.emit(ObsEvent::SessionReject {
+                    id: 0,
+                    code: refusal.code.clone(),
+                    reason: refusal.message.clone(),
+                });
+                send_reject(&mut stream, &refusal);
+                return;
+            }
+            Err(RecvError::Io(_)) => return,
+        }
+    };
+
+    // Handshake: version, then configuration.
+    let config = match check_hello_version(&hello.payload, peer) {
+        Ok(_) => SessionConfig::from_json(&hello.payload[2..]),
+        Err(d) => Err(Refusal::new(d.code, d.message, false)),
+    };
+    let config = match config {
+        Ok(c) => c,
+        Err(refusal) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            shared.emit(ObsEvent::SessionReject {
+                id: 0,
+                code: refusal.code.clone(),
+                reason: refusal.message.clone(),
+            });
+            send_reject(&mut stream, &refusal);
+            return;
+        }
+    };
+
+    // Admission.
+    if shared.draining.load(Ordering::SeqCst) {
+        let refusal = Refusal::new("draining", "daemon is draining; retry later", true);
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        shared.emit(ObsEvent::SessionReject {
+            id: 0,
+            code: refusal.code.clone(),
+            reason: refusal.message.clone(),
+        });
+        send_reject(&mut stream, &refusal);
+        return;
+    }
+    let admitted = {
+        let mut active = lock(&shared.active);
+        if *active >= shared.config.max_sessions {
+            false
+        } else {
+            *active += 1;
+            true
+        }
+    };
+    if !admitted {
+        let refusal = Refusal::new(
+            "busy",
+            format!(
+                "{} sessions active (limit {}); retry later",
+                shared.config.max_sessions, shared.config.max_sessions
+            ),
+            true,
+        );
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        shared.emit(ObsEvent::SessionReject {
+            id: 0,
+            code: refusal.code.clone(),
+            reason: refusal.message.clone(),
+        });
+        send_reject(&mut stream, &refusal);
+        return;
+    }
+
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+    let started = Instant::now();
+    shared.emit(ObsEvent::SessionStart {
+        id,
+        peer: peer.to_string(),
+    });
+    let ack = Json::obj(vec![
+        ("id", Json::Uint(id)),
+        (
+            "version",
+            Json::Uint(u64::from(crate::wire::PROTOCOL_VERSION)),
+        ),
+    ]);
+    let _ = send_frame(&mut stream, FrameType::HelloAck, ack.render().as_bytes());
+
+    // Session body: stream Data frames into the incremental ingest.
+    let outcome = session_body(shared, &mut stream, &mut dec, &mut abort, id, &config);
+
+    {
+        let mut active = lock(&shared.active);
+        *active -= 1;
+        shared.active_cv.notify_all();
+    }
+
+    match outcome {
+        Ok((report, bytes, events)) => {
+            let sent = send_frame(&mut stream, FrameType::Report, report.as_bytes());
+            if sent.is_ok() {
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                shared.emit(ObsEvent::SessionEnd {
+                    id,
+                    bytes,
+                    events,
+                    ms: started.elapsed().as_millis() as u64,
+                });
+            }
+        }
+        Err(Some(refusal)) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            shared.emit(ObsEvent::SessionReject {
+                id,
+                code: refusal.code.clone(),
+                reason: refusal.message.clone(),
+            });
+            send_reject(&mut stream, &refusal);
+        }
+        Err(None) => {} // peer vanished; nothing to answer
+    }
+}
+
+/// The Data/End loop for an admitted session. `Err(None)` means the
+/// peer disappeared mid-stream (nothing to reply to); `Err(Some)` is a
+/// refusal to send.
+fn session_body<S: Read + Write>(
+    shared: &Arc<Shared>,
+    stream: &mut S,
+    dec: &mut FrameDecoder,
+    abort: &mut dyn FnMut() -> bool,
+    id: u64,
+    config: &SessionConfig,
+) -> Result<(String, u64, u64), Option<Refusal>> {
+    let mut ingest = SessionStream::new();
+    loop {
+        match recv_frame(stream, dec, abort) {
+            Ok(Recv::Frame(f)) => match f.kind {
+                FrameType::Data => {
+                    ingest
+                        .feed(&f.payload, shared.config.byte_budget)
+                        .map_err(Some)?;
+                }
+                FrameType::End => break,
+                other => {
+                    return Err(Some(Refusal::new(
+                        "protocol",
+                        format!("expected data or end, got {}", other.name()),
+                        false,
+                    )))
+                }
+            },
+            Ok(Recv::Closed) => return Err(None),
+            Ok(Recv::Aborted) => {
+                return Err(Some(Refusal::new(
+                    "draining",
+                    "daemon stopped mid-stream".to_string(),
+                    true,
+                )))
+            }
+            Err(RecvError::Bad(d)) => return Err(Some(Refusal::new(d.code, d.message, false))),
+            Err(RecvError::Io(_)) => return Err(None),
+        }
+    }
+
+    let fin = ingest.finish().map_err(Some)?;
+    let (bytes, events) = (fin.bytes, fin.events.len() as u64);
+    let canonical = config.canonical().map_err(Some)?;
+    let key = stable_hash(&format!("{}|{}", fin.trace_digest, canonical.render()));
+    let ident = Json::obj(vec![
+        ("trace", Json::str(fin.trace_digest.clone())),
+        ("config", canonical),
+    ]);
+
+    let report = match resolve(shared, &key, &ident, fin, config.clone()) {
+        Resolution::Fresh(slot) => {
+            shared.emit(ObsEvent::SessionSimStart {
+                id,
+                hash: key.clone(),
+            });
+            await_slot(shared, &slot).map_err(Some)?
+        }
+        Resolution::Inflight(slot) => {
+            shared.emit(ObsEvent::SessionDedup {
+                id,
+                hash: key.clone(),
+                source: "inflight",
+            });
+            await_slot(shared, &slot).map_err(Some)?
+        }
+        Resolution::Disk(report) => {
+            shared.emit(ObsEvent::SessionDedup {
+                id,
+                hash: key.clone(),
+                source: "disk",
+            });
+            report
+        }
+    };
+    Ok((report, bytes, events))
+}
+
+/// A bound listener accepting framed connections.
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// Per-connection socket timeouts: reads wake every 200 ms so the
+/// connection notices a drain; writes give a stalled client 5 s.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn accept_loop(
+    shared: Arc<Shared>,
+    listener: Listener,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let accepted: Option<(Box<dyn FnOnce() + Send>, String)> = match &listener {
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    let _ = s.set_read_timeout(Some(READ_TIMEOUT));
+                    let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
+                    let shared = Arc::clone(&shared);
+                    Some((
+                        Box::new(move || handle_conn(&shared, s, "unix")),
+                        "unix".to_string(),
+                    ))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, peer)) => {
+                    let _ = s.set_read_timeout(Some(READ_TIMEOUT));
+                    let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
+                    let shared = Arc::clone(&shared);
+                    let name = peer.to_string();
+                    let label = name.clone();
+                    Some((Box::new(move || handle_conn(&shared, s, &label)), name))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+        };
+        match accepted {
+            Some((run, _peer)) => {
+                let handle = std::thread::spawn(run);
+                lock(&conns).push(handle);
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// A running daemon: listeners, connection threads, worker pool.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    accepts: Vec<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    tcp_addr: Option<std::net::SocketAddr>,
+    unix_path: Option<PathBuf>,
+    finished: bool,
+}
+
+impl Daemon {
+    /// Bind listeners and start serving.
+    pub fn start(config: ServeConfig) -> std::io::Result<Daemon> {
+        if config.unix.is_none() && config.tcp.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "serve: need at least one of a unix path or a tcp address",
+            ));
+        }
+        let mut listeners = Vec::new();
+        let mut unix_path = None;
+        let mut tcp_addr = None;
+        if let Some(path) = &config.unix {
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            listeners.push(Listener::Unix(l));
+        }
+        if let Some(addr) = &config.tcp {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            tcp_addr = Some(l.local_addr()?);
+            listeners.push(Listener::Tcp(l));
+        }
+        let writer = match &config.events_path {
+            Some(path) => {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                Some(std::io::BufWriter::new(std::fs::File::create(path)?))
+            }
+            None => None,
+        };
+        let cache = config.cache_dir.as_ref().map(ResultCache::new);
+        let workers = worker_cap(config.workers);
+        let shared = Arc::new(Shared {
+            config,
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            active: Mutex::new(0),
+            active_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            cache,
+            pool: Pool::new(workers),
+            obs: Mutex::new(ObsState {
+                obs: Obs::new(),
+                writer,
+            }),
+        });
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accepts = listeners
+            .into_iter()
+            .map(|l| {
+                let shared = Arc::clone(&shared);
+                let conns = Arc::clone(&conns);
+                std::thread::spawn(move || accept_loop(shared, l, conns))
+            })
+            .collect();
+        Ok(Daemon {
+            shared,
+            accepts,
+            conns,
+            tcp_addr,
+            unix_path,
+            finished: false,
+        })
+    }
+
+    /// The bound TCP address (useful with `tcp: "127.0.0.1:0"`).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The daemon's live status snapshot (same JSON as a `Status` frame).
+    pub fn status(&self) -> Json {
+        self.shared.status_json()
+    }
+
+    /// Stop admitting sessions; in-flight ones continue.
+    pub fn begin_drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::SeqCst) {
+            let active = *lock(&self.shared.active) as u64;
+            self.shared.emit(ObsEvent::ServeDrain { active });
+        }
+    }
+
+    /// Drain and stop: finish in-flight sessions up to `deadline`,
+    /// refuse new ones, drain the pool, flush the event feed.
+    pub fn shutdown(mut self, deadline: Duration) -> ServeSummary {
+        self.finished = true;
+        self.begin_drain();
+        let start = Instant::now();
+
+        // Wait for in-flight sessions to finish.
+        let unfinished_sessions = {
+            let mut active = lock(&self.shared.active);
+            while *active > 0 && start.elapsed() < deadline {
+                let left = deadline.saturating_sub(start.elapsed());
+                let (guard, _) = self
+                    .shared
+                    .active_cv
+                    .wait_timeout(active, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                active = guard;
+            }
+            *active
+        };
+
+        let pool = self.shared.pool.shutdown(
+            deadline
+                .saturating_sub(start.elapsed())
+                .max(Duration::from_millis(50)),
+        );
+
+        // Fail any slots whose jobs were abandoned so no waiter hangs.
+        {
+            let mut map = lock(&self.shared.inflight);
+            for (_, slot) in map.drain() {
+                let mut done = lock(&slot.done);
+                if done.is_none() {
+                    *done = Some(Err(Refusal::new(
+                        "draining",
+                        "daemon stopped before the simulation ran".to_string(),
+                        true,
+                    )));
+                    slot.cv.notify_all();
+                }
+            }
+        }
+
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for h in self.accepts.drain(..) {
+            let _ = h.join();
+        }
+        for h in lock(&self.conns).drain(..) {
+            let _ = h.join();
+        }
+        self.shared.emit(ObsEvent::ServeStop {
+            served: self.shared.served.load(Ordering::SeqCst),
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+        });
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        ServeSummary {
+            served: self.shared.served.load(Ordering::SeqCst),
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+            unfinished_sessions,
+            pool,
+        }
+    }
+
+    /// Serve until SIGTERM/SIGINT, then drain with `drain_deadline`.
+    pub fn run_until_signal(self, drain_deadline: Duration) -> ServeSummary {
+        crate::signal::install_term_latch();
+        while !crate::signal::term_requested() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown(drain_deadline)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if !self.finished {
+            // An abandoned daemon still stops its threads.
+            self.shared.stop.store(true, Ordering::SeqCst);
+        }
+    }
+}

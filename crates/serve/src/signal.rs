@@ -1,0 +1,43 @@
+//! Minimal shutdown-signal latch (SIGTERM / SIGINT), dependency-free.
+//!
+//! The daemon needs exactly one bit from the OS: "a termination signal
+//! arrived, begin draining". Rather than pull in a signal-handling
+//! crate, this installs an async-signal-safe handler over the C
+//! `signal` entry point that flips a process-global [`AtomicBool`] —
+//! the only operation that is legal inside a signal handler anyway.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_term(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Install the SIGTERM/SIGINT latch. Idempotent; later installs are
+/// harmless re-registrations of the same handler.
+pub fn install_term_latch() {
+    // SAFETY: `on_term` only performs an atomic store, which is
+    // async-signal-safe; `signal` is the C standard registration call.
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+/// Has a termination signal arrived since the latch was installed?
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Reset the latch (tests only; a real daemon exits after one drain).
+pub fn reset_term_latch() {
+    TERM_REQUESTED.store(false, Ordering::SeqCst);
+}

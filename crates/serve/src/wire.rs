@@ -1,0 +1,236 @@
+//! Framed transport over any byte stream.
+//!
+//! The frame layout and its validation live in
+//! [`cachescope_check::wire`] (so `cachescope check --wire` and the
+//! daemon can never disagree about what a legal frame is); this module
+//! adds the runtime half: an incremental [`FrameDecoder`] that accepts
+//! arbitrarily-sliced reads, and blocking send/receive helpers shared by
+//! the daemon's connection loop and the bundled client.
+
+use std::io::{Read, Write};
+
+use cachescope_check::wire::{check_frame_header, FrameType, FRAME_HEADER_LEN};
+use cachescope_check::Diagnostic;
+
+pub use cachescope_check::wire::{encode_frame, FRAME_MAGIC, FRAME_MAX_PAYLOAD, PROTOCOL_VERSION};
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: FrameType,
+    pub payload: Vec<u8>,
+}
+
+/// Incremental frame parser: push bytes as they arrive off a socket (in
+/// any slicing — a frame split across two reads resumes, never errors)
+/// and pop complete frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    consumed: u64,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append newly-arrived bytes. Accepts any slicing.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pop the next complete frame. `Ok(None)` means "need more bytes";
+    /// `Err` is a framing violation (`CS-V001/2/4`) — the stream has
+    /// lost sync and must be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, Diagnostic> {
+        let b = &self.buf[self.pos..];
+        if b.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&b[..FRAME_HEADER_LEN]);
+        let (kind, len) = check_frame_header(&header, self.consumed, "wire")?;
+        let total = FRAME_HEADER_LEN + len as usize;
+        if b.len() < total {
+            return Ok(None);
+        }
+        let payload = b[FRAME_HEADER_LEN..total].to_vec();
+        self.pos += total;
+        self.consumed += total as u64;
+        Ok(Some(Frame { kind, payload }))
+    }
+
+    /// The diagnostic for a stream that closed mid-frame, if any bytes
+    /// are left dangling.
+    pub fn dangling(&self) -> Option<Diagnostic> {
+        let left = self.pending();
+        if left == 0 {
+            return None;
+        }
+        Some(
+            Diagnostic::error(
+                "CS-V005",
+                "wire",
+                format!(
+                    "peer closed mid-frame ({left} dangling byte(s) after {} consumed)",
+                    self.consumed
+                ),
+            )
+            .with_hint("the connection was cut short; retry the session"),
+        )
+    }
+}
+
+/// Why a receive stopped.
+#[derive(Debug)]
+pub enum Recv {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// The peer closed cleanly between frames.
+    Closed,
+    /// `should_abort` returned true during an idle wait.
+    Aborted,
+}
+
+/// A receive failure: an I/O error or a framing violation.
+#[derive(Debug)]
+pub enum RecvError {
+    Io(std::io::Error),
+    Bad(Diagnostic),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Io(e) => write!(f, "i/o error: {e}"),
+            RecvError::Bad(d) => write!(f, "{}", d.render()),
+        }
+    }
+}
+
+/// Blocking receive of the next frame. The reader should carry a read
+/// timeout; every time a read times out, `should_abort` decides whether
+/// to keep waiting (this is how daemon connections notice a drain and
+/// clients notice a dead daemon).
+pub fn recv_frame<R: Read + ?Sized>(
+    reader: &mut R,
+    dec: &mut FrameDecoder,
+    should_abort: &mut dyn FnMut() -> bool,
+) -> Result<Recv, RecvError> {
+    let mut buf = [0u8; 65536];
+    loop {
+        match dec.next_frame() {
+            Ok(Some(frame)) => return Ok(Recv::Frame(frame)),
+            Ok(None) => {}
+            Err(d) => return Err(RecvError::Bad(d)),
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => {
+                return match dec.dangling() {
+                    Some(d) => Err(RecvError::Bad(d)),
+                    None => Ok(Recv::Closed),
+                }
+            }
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if should_abort() {
+                    return Ok(Recv::Aborted);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+}
+
+/// Send one frame, fully.
+pub fn send_frame<W: Write>(
+    writer: &mut W,
+    kind: FrameType,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    writer.write_all(&encode_frame(kind, payload))?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_reassemble_from_one_byte_reads() {
+        let mut stream = encode_frame(FrameType::Hello, b"hi");
+        stream.extend(encode_frame(FrameType::End, b""));
+        for step in 1..=3usize {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(step) {
+                dec.push(piece);
+                while let Some(f) = dec.next_frame().expect("clean stream") {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got.len(), 2, "step {step}");
+            assert_eq!(got[0].kind, FrameType::Hello);
+            assert_eq!(got[0].payload, b"hi");
+            assert_eq!(got[1].kind, FrameType::End);
+            assert!(dec.dangling().is_none());
+        }
+    }
+
+    #[test]
+    fn framing_violations_surface_as_diagnostics() {
+        let mut dec = FrameDecoder::new();
+        dec.push(b"XXXXXXXXX");
+        let d = dec.next_frame().expect_err("bad magic");
+        assert_eq!(d.code, "CS-V001");
+
+        let mut dec = FrameDecoder::new();
+        let mut frame = encode_frame(FrameType::Data, b"");
+        frame[4] = 42;
+        dec.push(&frame);
+        assert_eq!(dec.next_frame().expect_err("unknown type").code, "CS-V004");
+    }
+
+    #[test]
+    fn dangling_bytes_after_close_are_v005() {
+        let frame = encode_frame(FrameType::Data, b"payload");
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..frame.len() - 1]);
+        assert!(dec.next_frame().expect("no violation yet").is_none());
+        assert_eq!(dec.dangling().expect("dangling").code, "CS-V005");
+    }
+
+    #[test]
+    fn recv_frame_reads_until_a_frame_completes() {
+        let stream = encode_frame(FrameType::Report, b"{}");
+        let mut cursor = std::io::Cursor::new(stream);
+        let mut dec = FrameDecoder::new();
+        let mut never = || false;
+        match recv_frame(&mut cursor, &mut dec, &mut never).expect("ok") {
+            Recv::Frame(f) => {
+                assert_eq!(f.kind, FrameType::Report);
+                assert_eq!(f.payload, b"{}");
+            }
+            other => unreachable!("{other:?}"),
+        }
+        match recv_frame(&mut cursor, &mut dec, &mut never).expect("ok") {
+            Recv::Closed => {}
+            other => unreachable!("{other:?}"),
+        }
+    }
+}

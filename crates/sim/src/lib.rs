@@ -50,8 +50,8 @@ pub use program::{
 };
 pub use stats::{Counts, ObjectStats, RunStats, Timeline, TimelineConfig};
 pub use tracefile::{
-    AnyTraceReader, BinTraceReader, RecordingProgram, TraceError, TraceErrorKind, TraceFormat,
-    TraceReader,
+    AnyTraceReader, BinStreamDecoder, BinTraceReader, RecordingProgram, TraceError, TraceErrorKind,
+    TraceFormat, TraceReader,
 };
 
 /// A simulated (virtual) memory address.

@@ -820,6 +820,253 @@ impl<R: BufRead> Program for BinTraceReader<R> {
     }
 }
 
+/// Push-based incremental decoder for the binary (v2) trace format.
+///
+/// [`BinTraceReader`] pulls from a `BufRead`, which makes "no more bytes
+/// yet" indistinguishable from end-of-stream — fine for files, wrong for
+/// sockets, where a record routinely arrives split across `read()`
+/// calls. This decoder inverts control: callers [`push`](Self::push)
+/// whatever bytes the transport delivered (any slicing, down to one byte
+/// at a time) and drain complete events with
+/// [`next_event`](Self::next_event), which returns `Ok(None)` when the
+/// buffered bytes end mid-record — decoding resumes exactly there on the
+/// next push. Only [`finish`](Self::finish), called when the caller
+/// knows the stream is truly over, turns a dangling partial record into
+/// a [`TraceErrorKind::TruncatedRecord`] / `TruncatedHeader` error.
+///
+/// The daemon's ingress path (`cachescope serve`) is the primary user;
+/// the decode logic and error codes are identical to
+/// [`BinTraceReader`]'s, so a stream accepted here replays identically
+/// from disk.
+#[derive(Debug, Default)]
+pub struct BinStreamDecoder {
+    buf: Vec<u8>,
+    /// Read position within `buf` (consumed bytes are compacted away
+    /// periodically, not on every event).
+    pos: usize,
+    /// Total bytes consumed off the front of the stream so far.
+    consumed: u64,
+    /// Header fields, once fully parsed.
+    header: Option<(String, Vec<ObjectDecl>)>,
+    error: Option<TraceError>,
+}
+
+/// Outcome of one incremental header-parse attempt.
+enum HeaderParse {
+    /// Not enough buffered bytes yet; try again after the next push.
+    NeedMore,
+    /// Header complete: name, objects, and its total encoded length.
+    Done(String, Vec<ObjectDecl>, usize),
+}
+
+impl BinStreamDecoder {
+    pub fn new() -> Self {
+        BinStreamDecoder::default()
+    }
+
+    /// Append newly-arrived stream bytes. Accepts any slicing.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Program name and static objects, once the header has decoded.
+    pub fn header(&self) -> Option<(&str, &[ObjectDecl])> {
+        self.header
+            .as_ref()
+            .map(|(n, o)| (n.as_str(), o.as_slice()))
+    }
+
+    /// Total bytes consumed (header plus completed records).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The first decode error encountered, if any. Once set, the decoder
+    /// is stuck: further pushes are ignored by `next_event`.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    fn fail(&mut self, e: TraceError) -> TraceError {
+        self.error = Some(e.clone());
+        e
+    }
+
+    /// Attempt to parse the header from the buffered prefix.
+    fn try_parse_header(&mut self) -> Result<HeaderParse, TraceError> {
+        let b = &self.buf[self.pos..];
+        if b.len() < 8 {
+            // An early mismatch is still detectable: a 3-byte prefix that
+            // already disagrees with the magic need not wait for 8 bytes.
+            if !BIN_MAGIC.starts_with(&b[..b.len().min(8)]) {
+                return Err(bin_err(
+                    TraceErrorKind::BadMagic,
+                    0,
+                    format!("bad magic {b:?}"),
+                ));
+            }
+            return Ok(HeaderParse::NeedMore);
+        }
+        if &b[..8] != BIN_MAGIC {
+            return Err(bin_err(
+                TraceErrorKind::BadMagic,
+                0,
+                format!("bad magic {:?}", &b[..8]),
+            ));
+        }
+        let mut at = 8usize;
+        let take = |at: &mut usize, n: usize| -> Option<usize> {
+            if b.len() - *at < n {
+                return None;
+            }
+            let start = *at;
+            *at += n;
+            Some(start)
+        };
+        let read_str = |at: &mut usize| -> Option<Result<String, TraceError>> {
+            let lp = take(at, 2)?;
+            let len = u16::from_le_bytes([b[lp], b[lp + 1]]) as usize;
+            let sp = take(at, len)?;
+            Some(String::from_utf8(b[sp..sp + len].to_vec()).map_err(|e| {
+                bin_err(
+                    TraceErrorKind::MalformedRecord,
+                    *at as u64,
+                    format!("bad utf-8 header string: {e}"),
+                )
+            }))
+        };
+        let name = match read_str(&mut at) {
+            None => return Ok(HeaderParse::NeedMore),
+            Some(r) => r?,
+        };
+        let Some(cp) = take(&mut at, 4) else {
+            return Ok(HeaderParse::NeedMore);
+        };
+        let count = u32::from_le_bytes([b[cp], b[cp + 1], b[cp + 2], b[cp + 3]]);
+        let mut objects = Vec::with_capacity(count.min(4096) as usize);
+        for _ in 0..count {
+            let Some(wp) = take(&mut at, 16) else {
+                return Ok(HeaderParse::NeedMore);
+            };
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[wp..wp + 8]);
+            let base = u64::from_le_bytes(w);
+            w.copy_from_slice(&b[wp + 8..wp + 16]);
+            let size = u64::from_le_bytes(w);
+            let oname = match read_str(&mut at) {
+                None => return Ok(HeaderParse::NeedMore),
+                Some(r) => r?,
+            };
+            objects.push(ObjectDecl::global(oname, base, size));
+        }
+        Ok(HeaderParse::Done(name, objects, at))
+    }
+
+    /// Decode the next complete event, if the buffer holds one.
+    /// `Ok(None)` means "need more bytes" — never an error; a stream cut
+    /// mid-record only errors through [`finish`](Self::finish).
+    pub fn next_event(&mut self) -> Result<Option<Event>, TraceError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        if self.header.is_none() {
+            match self.try_parse_header() {
+                Ok(HeaderParse::NeedMore) => return Ok(None),
+                Ok(HeaderParse::Done(name, objects, len)) => {
+                    self.pos += len;
+                    self.consumed += len as u64;
+                    self.header = Some((name, objects));
+                }
+                Err(e) => return Err(self.fail(e)),
+            }
+        }
+        let b = &self.buf[self.pos..];
+        if b.len() < 16 {
+            return Ok(None);
+        }
+        // check:allow(slice is exactly 16 bytes by the length guard)
+        let rec: &[u8; 16] = b[..16].try_into().unwrap();
+        let mut used = 16usize;
+        let ev = match rec[0] {
+            1 => Event::Access(decode_access(rec)),
+            2 => Event::Compute(le_u64(rec, 8)),
+            3 => {
+                let base = le_u64(rec, 8);
+                let has_name = rec[1] != 0;
+                let name_len = u16::from_le_bytes([rec[2], rec[3]]) as usize;
+                let tail = 8 + name_len;
+                if b.len() < 16 + tail {
+                    return Ok(None);
+                }
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&b[16..24]);
+                let size = u64::from_le_bytes(w);
+                let name = if has_name {
+                    match String::from_utf8(b[24..24 + name_len].to_vec()) {
+                        Ok(n) => Some(n),
+                        Err(e) => {
+                            let err = bin_err(
+                                TraceErrorKind::MalformedRecord,
+                                self.consumed,
+                                format!("bad utf-8 alloc name: {e}"),
+                            );
+                            return Err(self.fail(err));
+                        }
+                    }
+                } else {
+                    None
+                };
+                used += tail;
+                Event::Alloc { base, size, name }
+            }
+            4 => Event::Free {
+                base: le_u64(rec, 8),
+            },
+            5 => Event::Phase(le_u32(rec, 4)),
+            t => {
+                let err = bin_err(
+                    TraceErrorKind::MalformedRecord,
+                    self.consumed,
+                    format!("unknown record tag {t}"),
+                );
+                return Err(self.fail(err));
+            }
+        };
+        self.pos += used;
+        self.consumed += used as u64;
+        Ok(Some(ev))
+    }
+
+    /// Declare end-of-stream. Clean only when no partial record (or
+    /// partial header) is left dangling in the buffer.
+    pub fn finish(&self) -> Result<(), TraceError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let left = self.buf.len() - self.pos;
+        if left == 0 && self.header.is_some() {
+            return Ok(());
+        }
+        if self.header.is_none() {
+            return Err(bin_err(
+                TraceErrorKind::TruncatedHeader,
+                self.consumed,
+                format!("stream ended inside the header ({left} trailing bytes)"),
+            ));
+        }
+        Err(bin_err(
+            TraceErrorKind::TruncatedRecord,
+            self.consumed,
+            format!("stream ended mid-record ({left} trailing bytes)"),
+        ))
+    }
+}
+
 /// A trace reader for either on-disk format, detected by magic.
 pub enum AnyTraceReader<R: BufRead> {
     Text(TraceReader<R>),
@@ -1203,6 +1450,187 @@ mod tests {
             panic!("truncated header must be rejected");
         };
         assert!(err.message.contains("truncated"), "{err}");
+    }
+
+    /// A `BufRead` that reveals the underlying bytes at most `step` at a
+    /// time: models a socket delivering a record split across reads.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        at: usize,
+        step: usize,
+    }
+
+    impl std::io::Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.step.min(self.data.len() - self.at).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    impl BufRead for Dribble<'_> {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            let n = self.step.min(self.data.len() - self.at);
+            Ok(&self.data[self.at..self.at + n])
+        }
+        fn consume(&mut self, amt: usize) {
+            self.at += amt;
+        }
+    }
+
+    #[test]
+    fn reader_resumes_across_split_reads() {
+        // Every record boundary lands mid-read for steps 1..=3: the
+        // reader must resume, never mistake a short read for a torn
+        // record. Both the event path and the chunked path are checked.
+        let bin = record_to_bin(sample_program());
+        let want = sample_events();
+        for step in 1..=3usize {
+            let mut tr = BinTraceReader::new(Dribble {
+                data: &bin,
+                at: 0,
+                step,
+            })
+            .expect("header survives split reads");
+            assert_eq!(tr.static_objects().len(), 2);
+            let mut got = Vec::new();
+            while let Some(ev) = tr.next_event() {
+                got.push(ev);
+            }
+            assert!(tr.error().is_none(), "step {step}: {:?}", tr.error());
+            assert_eq!(got, want, "step {step}");
+
+            let mut tr = BinTraceReader::new(Dribble {
+                data: &bin,
+                at: 0,
+                step,
+            })
+            .unwrap();
+            let mut chunked = Vec::new();
+            let mut chunk = crate::program::EventChunk::with_capacity(4);
+            loop {
+                chunk.reset();
+                if tr.next_chunk(&mut chunk) == 0 {
+                    break;
+                }
+                chunked.extend(chunk.to_events());
+            }
+            assert!(
+                tr.error().is_none(),
+                "chunked step {step}: {:?}",
+                tr.error()
+            );
+            assert_eq!(chunked, want, "chunked step {step}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_handles_one_to_three_bytes_at_a_time() {
+        let bin = record_to_bin(sample_program());
+        let want = sample_events();
+        for step in 1..=3usize {
+            let mut dec = BinStreamDecoder::new();
+            let mut got = Vec::new();
+            for piece in bin.chunks(step) {
+                dec.push(piece);
+                while let Some(ev) = dec.next_event().expect("clean trace") {
+                    got.push(ev);
+                }
+            }
+            dec.finish().expect("no dangling partial record");
+            assert_eq!(dec.consumed(), bin.len() as u64, "step {step}");
+            let (name, objects) = dec.header().expect("header parsed");
+            assert_eq!(name, "roundtrip");
+            assert_eq!(objects.len(), 2);
+            assert_eq!(got, want, "step {step}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_mid_record_is_need_more_until_finish() {
+        let bin = record_to_bin(sample_program());
+        let torn = &bin[..bin.len() - 8];
+        let mut dec = BinStreamDecoder::new();
+        dec.push(torn);
+        while dec.next_event().expect("records decode").is_some() {}
+        // Mid-record is not an error while the stream may continue...
+        let err = dec.finish().expect_err("...but is one at end-of-stream");
+        assert_eq!(err.kind, TraceErrorKind::TruncatedRecord);
+        // ...and pushing the rest resumes cleanly.
+        dec.push(&bin[bin.len() - 8..]);
+        assert!(dec.next_event().expect("resumed").is_some());
+        dec.finish().expect("now complete");
+    }
+
+    #[test]
+    fn stream_decoder_rejects_bad_magic_early() {
+        let mut dec = BinStreamDecoder::new();
+        dec.push(b"css"); // already disagrees with "cstrace2"
+        let err = dec.next_event().expect_err("mismatching prefix");
+        assert_eq!(err.kind, TraceErrorKind::BadMagic);
+    }
+
+    #[test]
+    fn stream_decoder_reports_unknown_tag_and_stays_stuck() {
+        let mut bin = record_to_bin(TraceProgram::new(
+            "t",
+            vec![],
+            vec![Event::Compute(1), Event::Compute(2)],
+        ));
+        let body = bin.len() - 32;
+        bin[body] = 0xEE;
+        let mut dec = BinStreamDecoder::new();
+        dec.push(&bin);
+        let err = dec.next_event().expect_err("unknown tag");
+        assert_eq!(err.kind, TraceErrorKind::MalformedRecord);
+        assert!(err.message.contains("unknown record tag 238"), "{err}");
+        assert!(dec.next_event().is_err(), "decoder stays stuck");
+        assert!(dec.finish().is_err());
+    }
+
+    #[test]
+    fn stream_decoder_truncated_header_reported_at_finish() {
+        let bin = record_to_bin(sample_program());
+        let mut dec = BinStreamDecoder::new();
+        dec.push(&bin[..10]); // magic + part of the name length
+        assert!(dec.next_event().expect("need more").is_none());
+        let err = dec.finish().expect_err("header incomplete");
+        assert_eq!(err.kind, TraceErrorKind::TruncatedHeader);
+    }
+
+    #[test]
+    fn stream_decoder_matches_reader_on_alloc_tails() {
+        // Alloc records carry a variable tail; split it every way.
+        let p = TraceProgram::new(
+            "t",
+            vec![],
+            vec![
+                Event::Alloc {
+                    base: 0x10,
+                    size: 64,
+                    name: Some("tree node".into()),
+                },
+                Event::Access(MemRef::read(0x10, 8)),
+                Event::Free { base: 0x10 },
+            ],
+        );
+        let bin = record_to_bin(p);
+        for split in 1..bin.len() {
+            let mut dec = BinStreamDecoder::new();
+            dec.push(&bin[..split]);
+            let mut got = Vec::new();
+            while let Some(ev) = dec.next_event().unwrap() {
+                got.push(ev);
+            }
+            dec.push(&bin[split..]);
+            while let Some(ev) = dec.next_event().unwrap() {
+                got.push(ev);
+            }
+            dec.finish()
+                .unwrap_or_else(|e| panic!("split {split}: {e}"));
+            assert_eq!(got.len(), 3, "split {split}");
+        }
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //!   --timeline FILE   verify a phase-timeline JSONL (monotonic windows)
 //!   --spans FILE      verify a span-event JSONL (balanced open/close,
 //!                     non-negative durations)
+//!   --wire FILE       verify a captured serve wire-stream dump
+//!                     (framing, handshake version)
 //!   --self-lint       lint the repo's own sources (no-panic library
 //!                     code, seed-only determinism)
 //!   --all             every campaigns/*.json, every registry workload,
-//!                     every results/*.timeline.jsonl and
-//!                     results/*.spans.jsonl, and the self-lint
+//!                     every results/*.timeline.jsonl,
+//!                     results/*.spans.jsonl and results/*.wire.bin,
+//!                     and the self-lint
 //!
 //! options:
 //!   --root DIR        repo root for --all and --self-lint  [default .]
@@ -35,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: cachescope check [--all] [--trace FILE]... [--campaign FILE]...\n\
          \x20                       [--workload NAME]... [--timeline FILE]...\n\
-         \x20                       [--spans FILE]... [--self-lint]\n\
+         \x20                       [--spans FILE]... [--wire FILE]... [--self-lint]\n\
          \x20                       [--root DIR] [--json] [--deny-warnings]"
     );
     std::process::exit(2);
@@ -47,6 +50,7 @@ pub fn run(args: &[String]) -> ! {
     let mut workloads: Vec<String> = Vec::new();
     let mut timelines: Vec<String> = Vec::new();
     let mut spans: Vec<String> = Vec::new();
+    let mut wires: Vec<String> = Vec::new();
     let mut self_lint = false;
     let mut all = false;
     let mut json = false;
@@ -67,6 +71,7 @@ pub fn run(args: &[String]) -> ! {
             "--workload" => workloads.push(value("--workload")),
             "--timeline" => timelines.push(value("--timeline")),
             "--spans" => spans.push(value("--spans")),
+            "--wire" => wires.push(value("--wire")),
             "--self-lint" => self_lint = true,
             "--all" => all = true,
             "--json" => json = true,
@@ -103,11 +108,13 @@ pub fn run(args: &[String]) -> ! {
             eprintln!("check: no campaign specs under {}", dir.display());
         }
         campaigns.extend(found);
-        // Committed profile artifacts: results/*.timeline.jsonl and
-        // results/*.spans.jsonl (absent until a profile run saved some).
+        // Committed profile artifacts: results/*.timeline.jsonl,
+        // results/*.spans.jsonl and results/*.wire.bin (absent until a
+        // profile run or a wire capture saved some).
         let results = root.join("results");
         let mut found_t = Vec::new();
         let mut found_s = Vec::new();
+        let mut found_w = Vec::new();
         if let Ok(rd) = std::fs::read_dir(&results) {
             for entry in rd.filter_map(|e| e.ok()) {
                 let path = entry.path();
@@ -116,13 +123,17 @@ pub fn run(args: &[String]) -> ! {
                     found_t.push(path.display().to_string());
                 } else if name.ends_with(".spans.jsonl") {
                     found_s.push(path.display().to_string());
+                } else if name.ends_with(".wire.bin") {
+                    found_w.push(path.display().to_string());
                 }
             }
         }
         found_t.sort();
         found_s.sort();
+        found_w.sort();
         timelines.extend(found_t);
         spans.extend(found_s);
+        wires.extend(found_w);
     }
 
     if traces.is_empty()
@@ -130,6 +141,7 @@ pub fn run(args: &[String]) -> ! {
         && workloads.is_empty()
         && timelines.is_empty()
         && spans.is_empty()
+        && wires.is_empty()
         && !self_lint
     {
         eprintln!("check: nothing to check (pass inputs or --all)");
@@ -158,6 +170,9 @@ pub fn run(args: &[String]) -> ! {
     }
     for path in &spans {
         report.absorb(cachescope_check::profile::check_spans_path(Path::new(path)));
+    }
+    for path in &wires {
+        report.absorb(cachescope_check::wire::check_wire_path(Path::new(path)));
     }
     if self_lint {
         report.absorb(selflint::lint_repo(&root));

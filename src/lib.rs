@@ -25,6 +25,10 @@
 //!   expands into a workload × technique matrix that runs on a bounded
 //!   worker pool with content-addressed result caching, per-cell panic
 //!   isolation and a resume manifest (the `campaign` binary drives it),
+//! * [`serve`] — the streaming attribution daemon: framed trace
+//!   sessions over unix/TCP sockets with admission control, in-flight
+//!   and on-disk dedup, and graceful drain (`cachescope serve` /
+//!   `cachescope submit` drive it),
 //! * [`check`] — static verification without simulation: allocation
 //!   lifecycle, chunk encoding, PMU-config legality, trace framing and
 //!   campaign-spec validation for inputs, plus a repo self-lint
@@ -56,5 +60,6 @@ pub use cachescope_core as core;
 pub use cachescope_hwpm as hwpm;
 pub use cachescope_objmap as objmap;
 pub use cachescope_obs as obs;
+pub use cachescope_serve as serve;
 pub use cachescope_sim as sim;
 pub use cachescope_workloads as workloads;

@@ -7,6 +7,10 @@
 //!                  --timeline-out)
 //! cachescope check [--all] [--trace F] [--campaign F] [--workload W]
 //!                  [--self-lint] [--json] [--deny-warnings]   (static checks)
+//! cachescope serve [--unix PATH] [--tcp ADDR] ...   (streaming attribution
+//!                  daemon; see `cachescope serve --help`)
+//! cachescope submit (--unix PATH | --tcp ADDR) --trace FILE ...
+//!                  (stream a recorded trace to a running daemon)
 //!
 //! apps:       tomcatv swim su2cor mgrid applu compress ijpeg   (SPEC95)
 //!             mcf art equake                                   (SPEC2000)
@@ -52,12 +56,13 @@
 //! cargo run --release -- mcf --technique sampling:1000 --aggregate
 //! ```
 
-use cachescope::core::{Experiment, SamplerConfig, SearchConfig, TechniqueConfig};
+use cachescope::core::{Experiment, TechniqueConfig};
 use cachescope::sim::{Program, RunLimit};
 use cachescope::workloads::spec::{self, Scale};
 use cachescope::workloads::spec2000;
 
 mod check_cmd;
+mod serve_cmd;
 
 fn usage() -> ! {
     eprintln!(
@@ -71,7 +76,9 @@ fn usage() -> ! {
          apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake\n\
          or:   cachescope profile <app> [options] [--flamegraph FILE]\n\
          \x20      [--spans-out FILE] [--timeline-out FILE]   (self-profiled run)\n\
-         or:   cachescope check --help   (static input/repo verification)"
+         or:   cachescope check --help   (static input/repo verification)\n\
+         or:   cachescope serve --help | cachescope submit --help\n\
+         \x20      (streaming attribution daemon and its client)"
     );
     std::process::exit(2);
 }
@@ -106,6 +113,12 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if !args.is_empty() && args[0] == "check" {
         check_cmd::run(&args[1..]);
+    }
+    if !args.is_empty() && args[0] == "serve" {
+        serve_cmd::run_serve(&args[1..]);
+    }
+    if !args.is_empty() && args[0] == "submit" {
+        serve_cmd::run_submit(&args[1..]);
     }
     // `cachescope profile <app> ...` is the ordinary run with the span
     // profiler enabled and profile outputs surfaced at the end.
@@ -186,47 +199,11 @@ fn main() {
         }
     }
 
-    let tech = match technique.split(':').collect::<Vec<_>>().as_slice() {
-        ["sampling", k] => {
-            let mut cfg = SamplerConfig::fixed(parse_u64(k, "sampling period"));
-            cfg.aggregate_heap_names = aggregate;
-            TechniqueConfig::Sampling(cfg)
-        }
-        ["adaptive", pct] => {
-            let target: f64 = pct.parse().unwrap_or_else(|_| {
-                eprintln!("invalid overhead target: {pct}");
-                std::process::exit(2);
-            });
-            let mut cfg = SamplerConfig::adaptive(target);
-            cfg.aggregate_heap_names = aggregate;
-            TechniqueConfig::Sampling(cfg)
-        }
-        ["jittered", base, spread] => {
-            let mut cfg = SamplerConfig::jittered(
-                parse_u64(base, "jitter base"),
-                parse_u64(spread, "jitter spread"),
-                0xC11,
-            );
-            cfg.aggregate_heap_names = aggregate;
-            TechniqueConfig::Sampling(cfg)
-        }
-        ["search"] => TechniqueConfig::Search(SearchConfig {
-            interval,
-            log_progress: search_log,
-            ..Default::default()
-        }),
-        ["search", n] => TechniqueConfig::Search(SearchConfig {
-            interval,
-            log_progress: search_log,
-            logical_ways: Some(parse_u64(n, "search width") as usize),
-            ..Default::default()
-        }),
-        ["none"] => TechniqueConfig::None,
-        _ => {
-            eprintln!("unknown technique: {technique}");
+    let tech = TechniqueConfig::parse_spec(&technique, interval, aggregate, search_log)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
             usage();
-        }
-    };
+        });
 
     // Resolve the program: a synthetic app, a recorded trace, or a
     // synthetic app teed to a trace file.

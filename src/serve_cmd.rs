@@ -1,0 +1,211 @@
+//! `cachescope serve` / `cachescope submit` — the daemon and its client.
+//!
+//! ```text
+//! cachescope serve [--unix PATH] [--tcp ADDR] [--max-sessions N]
+//!                  [--byte-budget BYTES] [--jobs N] [--cache-dir DIR]
+//!                  [--events-out FILE] [--drain-timeout SECS]
+//!
+//!   Runs the streaming attribution daemon until SIGTERM/SIGINT, then
+//!   drains: in-flight sessions finish (up to --drain-timeout), new
+//!   ones are refused. At least one of --unix / --tcp is required.
+//!
+//! cachescope submit (--unix PATH | --tcp ADDR) --trace FILE
+//!                   [--technique T] [--misses N] [--counters K]
+//!                   [--interval C] [--chunk BYTES] [--json FILE]
+//! cachescope submit (--unix PATH | --tcp ADDR) --status
+//!
+//!   Streams a recorded binary trace to a running daemon and prints the
+//!   report (or writes it with --json, byte-identical to the batch
+//!   pipeline's --json output). --status prints the daemon's status
+//!   snapshot instead.
+//!
+//! exit status: 0 report served / status ok, 1 session rejected,
+//!              2 usage error, 3 transport failure.
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cachescope::serve::{
+    query_status, submit_path, Addr, Daemon, ServeConfig, SessionConfig, SubmitOutcome,
+};
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: cachescope serve [--unix PATH] [--tcp ADDR] [--max-sessions N]\n\
+         \x20                       [--byte-budget BYTES] [--jobs N] [--cache-dir DIR]\n\
+         \x20                       [--events-out FILE] [--drain-timeout SECS]\n\
+         (at least one of --unix / --tcp)"
+    );
+    std::process::exit(2);
+}
+
+fn submit_usage() -> ! {
+    eprintln!(
+        "usage: cachescope submit (--unix PATH | --tcp ADDR) --trace FILE\n\
+         \x20                        [--technique T] [--misses N] [--counters K]\n\
+         \x20                        [--interval C] [--chunk BYTES] [--json FILE]\n\
+         or:    cachescope submit (--unix PATH | --tcp ADDR) --status"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(s: &str, what: &str) -> u64 {
+    s.replace('_', "").parse().unwrap_or_else(|_| {
+        eprintln!("bad {what}: {s}");
+        std::process::exit(2);
+    })
+}
+
+/// `cachescope serve ...`
+pub fn run_serve(args: &[String]) -> ! {
+    let mut config = ServeConfig::default();
+    let mut drain_timeout = 30u64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--unix" => config.unix = Some(PathBuf::from(value("--unix"))),
+            "--tcp" => config.tcp = Some(value("--tcp")),
+            "--max-sessions" => {
+                config.max_sessions = parse_num(&value("--max-sessions"), "session count") as usize
+            }
+            "--byte-budget" => {
+                config.byte_budget = parse_num(&value("--byte-budget"), "byte budget")
+            }
+            "--jobs" => config.workers = Some(parse_num(&value("--jobs"), "worker count") as usize),
+            "--cache-dir" => config.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--events-out" => config.events_path = Some(PathBuf::from(value("--events-out"))),
+            "--drain-timeout" => drain_timeout = parse_num(&value("--drain-timeout"), "seconds"),
+            "--help" | "-h" => serve_usage(),
+            other => {
+                eprintln!("unknown serve option: {other}");
+                serve_usage();
+            }
+        }
+    }
+    if config.unix.is_none() && config.tcp.is_none() {
+        eprintln!("serve: need at least one of --unix / --tcp");
+        serve_usage();
+    }
+
+    let daemon = match Daemon::start(config.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: failed to start: {e}");
+            std::process::exit(3);
+        }
+    };
+    if let Some(path) = &config.unix {
+        eprintln!("serve: listening on unix socket {}", path.display());
+    }
+    if let Some(addr) = daemon.tcp_addr() {
+        eprintln!("serve: listening on tcp {addr}");
+    }
+    eprintln!(
+        "serve: max {} sessions, {} byte budget per session; SIGTERM/SIGINT drains",
+        config.max_sessions, config.byte_budget
+    );
+    let summary = daemon.run_until_signal(Duration::from_secs(drain_timeout));
+    eprintln!(
+        "serve: drained — {} served, {} rejected, {} unfinished, {} pool jobs abandoned",
+        summary.served, summary.rejected, summary.unfinished_sessions, summary.pool.abandoned
+    );
+    std::process::exit(0);
+}
+
+/// `cachescope submit ...`
+pub fn run_submit(args: &[String]) -> ! {
+    let mut addr: Option<Addr> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut config = SessionConfig::default();
+    let mut chunk = 0usize;
+    let mut json_out: Option<PathBuf> = None;
+    let mut status = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--unix" => addr = Some(Addr::Unix(PathBuf::from(value("--unix")))),
+            "--tcp" => addr = Some(Addr::Tcp(value("--tcp"))),
+            "--trace" => trace = Some(PathBuf::from(value("--trace"))),
+            "--technique" => config.technique_spec = value("--technique"),
+            "--misses" => config.misses = parse_num(&value("--misses"), "miss count"),
+            "--counters" => config.counters = parse_num(&value("--counters"), "counters") as usize,
+            "--interval" => config.interval = parse_num(&value("--interval"), "interval"),
+            "--chunk" => chunk = parse_num(&value("--chunk"), "chunk size") as usize,
+            "--json" => json_out = Some(PathBuf::from(value("--json"))),
+            "--status" => status = true,
+            "--help" | "-h" => submit_usage(),
+            other => {
+                eprintln!("unknown submit option: {other}");
+                submit_usage();
+            }
+        }
+    }
+    let addr = addr.unwrap_or_else(|| {
+        eprintln!("submit: need --unix PATH or --tcp ADDR");
+        submit_usage();
+    });
+
+    if status {
+        match query_status(&addr) {
+            Ok(snapshot) => {
+                println!("{}", snapshot.render());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("submit: status query failed: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+
+    let trace = trace.unwrap_or_else(|| {
+        eprintln!("submit: need --trace FILE (or --status)");
+        submit_usage();
+    });
+    match submit_path(&addr, &trace, &config, chunk) {
+        Ok(SubmitOutcome::Report(report)) => {
+            match json_out {
+                Some(path) => {
+                    // Same shape as the batch pipeline's --json file:
+                    // the report body plus a trailing newline.
+                    let body = format!("{report}\n");
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("submit: cannot write {}: {e}", path.display());
+                        std::process::exit(3);
+                    }
+                    eprintln!("submit: report written to {}", path.display());
+                }
+                None => println!("{report}"),
+            }
+            std::process::exit(0);
+        }
+        Ok(SubmitOutcome::Rejected(r)) => {
+            eprintln!(
+                "submit: rejected [{}] {}{}",
+                r.code,
+                r.message,
+                if r.retryable { " (retryable)" } else { "" }
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("submit: {e}");
+            std::process::exit(3);
+        }
+    }
+}

@@ -122,12 +122,7 @@ fn techniques(level: &str, faults: &FaultConfig, period: u64, base: u64) -> Vec<
 /// Top-N objects (by actual rank) whose estimated rank disagrees with
 /// their actual rank; a missing estimate counts as an inversion.
 fn top_n_inversions(outcome: &CellOutcome) -> u64 {
-    view(outcome)
-        .rows()
-        .iter()
-        .take(TOP_N)
-        .filter(|r| r.est_rank != Some(r.actual_rank))
-        .count() as u64
+    view(outcome).top_n_inversions(TOP_N)
 }
 
 /// Objects the report flagged as degraded (measured under detected PMU

@@ -1,0 +1,218 @@
+//! Fuzzing study: what the adversarial workload fuzzer finds, and what
+//! it costs.
+//!
+//! Runs one differential sweep — seeded generative scenarios, every
+//! technique variant, the PR 3 fault matrix — and summarizes it two
+//! ways. `results/fuzz_study.{txt,json}` holds the *deterministic* side:
+//! per-technique/per-level inversion and degradation totals, the
+//! hardened-regression findings, and the silent-inversion count; a rerun
+//! of the same seed block renders these byte-identically, so they are
+//! diffable run-over-run. `BENCH_fuzz.json` holds the *trajectory* side:
+//! wall-clock scenarios/sec plus the warm-rerun cache economics — the
+//! sweep is replayed against the same result cache and must be 100%
+//! cache hits (the content-addressed cache makes a warm fuzz sweep free).
+//!
+//! Usage: `cargo run --release -p cachescope-bench --bin fuzz_study
+//! [--smoke] [--jobs N]`
+
+use cachescope_bench::results_json::{save_or_warn, ResultsFile};
+use cachescope_campaign::parse_jobs_flag;
+use cachescope_fuzzgen::{
+    fault_levels, rerun_cache_stats, run_differential, DifferentialConfig, DifferentialReport,
+    TECHNIQUES, TOP_N,
+};
+use cachescope_obs::{Json, Obs};
+
+/// Totals for one technique × fault-level column of the sweep.
+struct CellTotals {
+    technique: &'static str,
+    level: String,
+    inversions: u64,
+    degraded: u64,
+}
+
+fn totals(report: &DifferentialReport) -> Vec<CellTotals> {
+    let mut rows = Vec::new();
+    for t in TECHNIQUES {
+        for (level, _) in &fault_levels() {
+            let (mut inv, mut deg) = (0u64, 0u64);
+            for s in report
+                .scores
+                .iter()
+                .filter(|s| s.technique == *t && s.level == *level)
+            {
+                inv += s.inversions;
+                deg += s.degraded;
+            }
+            rows.push(CellTotals {
+                technique: t,
+                level: (*level).to_string(),
+                inversions: inv,
+                degraded: deg,
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut cfg = if smoke {
+        DifferentialConfig::smoke()
+    } else {
+        DifferentialConfig {
+            seed_base: 0,
+            seeds: 16,
+            budget_refs: 20_000,
+            jobs: None,
+            cache_dir: None,
+        }
+    };
+    cfg.jobs = parse_jobs_flag(std::env::args());
+
+    let mut obs = Obs::new();
+    let start = std::time::Instant::now();
+    let report = run_differential(&cfg, &mut obs).unwrap_or_else(|e| {
+        eprintln!("error: differential sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // The warm replay: identical sweep against the same cache. Every
+    // cell must come back as a hit — a cold cell here means the cache
+    // key drifted between identical configurations.
+    let warm_start = std::time::Instant::now();
+    let (warm_hits, warm_cells) = rerun_cache_stats(&cfg).unwrap_or_else(|e| {
+        eprintln!("error: warm rerun failed: {e}");
+        std::process::exit(1);
+    });
+    let warm_elapsed = warm_start.elapsed().as_secs_f64();
+    assert_eq!(
+        warm_hits, warm_cells,
+        "warm rerun must be all cache hits ({warm_hits}/{warm_cells})"
+    );
+
+    let mut out = ResultsFile::new("fuzz_study");
+    out.line("Fuzzing study: adversarial scenarios vs technique variants");
+    out.line(format!(
+        "(seeds {}..{}, {} refs/scenario; top-{TOP_N} rank inversions vs ground\n\
+         truth summed over scenarios; degraded = objects flagged untrusted)\n",
+        cfg.seed_base,
+        cfg.seed_base + cfg.seeds,
+        cfg.budget_refs
+    ));
+    out.line(format!(
+        "{:<12} {:<12} {:>9} {:>9}",
+        "technique", "faults", "top3-inv", "degraded"
+    ));
+    let rows = totals(&report);
+    for row in &rows {
+        out.line(format!(
+            "{:<12} {:<12} {:>9} {:>9}",
+            row.technique, row.level, row.inversions, row.degraded
+        ));
+    }
+    out.line("");
+
+    let silent = report.silent_findings().count();
+    out.line(format!(
+        "findings: {} hardened regression(s) past the fault-free baseline, \
+         {silent} silent",
+        report.findings.len()
+    ));
+    for f in &report.findings {
+        out.line(format!(
+            "  {} under {}@{}: {} inversions (baseline {}, degraded {}){}",
+            f.scenario,
+            f.technique,
+            f.level,
+            f.inversions,
+            f.baseline_inversions,
+            f.degraded,
+            if f.silent { "  ** SILENT **" } else { "" }
+        ));
+    }
+    out.line(format!(
+        "\nobs metrics: fuzz.scenarios={} fuzz.silent_inversions={}",
+        obs.metrics.counter("fuzz.scenarios"),
+        obs.metrics.counter("fuzz.silent_inversions")
+    ));
+
+    // The deterministic artifact: no wall-clock numbers in here, so a
+    // rerun of the same seed block diffs clean.
+    let json = Json::obj(vec![
+        ("bench", Json::str("fuzz_study")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("seed_base", Json::Uint(cfg.seed_base)),
+        ("seeds", Json::Uint(cfg.seeds)),
+        ("budget_refs", Json::Uint(cfg.budget_refs)),
+        ("scenarios", Json::Uint(report.scenarios)),
+        ("cells", Json::Uint(report.cells as u64)),
+        (
+            "totals",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("technique", Json::str(r.technique)),
+                            ("level", Json::str(r.level.clone())),
+                            ("inversions", Json::Uint(r.inversions)),
+                            ("degraded", Json::Uint(r.degraded)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "findings",
+            Json::Arr(
+                report
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("scenario", Json::str(f.scenario.clone())),
+                            ("technique", Json::str(f.technique.clone())),
+                            ("level", Json::str(f.level.clone())),
+                            ("inversions", Json::Uint(f.inversions)),
+                            ("baseline_inversions", Json::Uint(f.baseline_inversions)),
+                            ("degraded", Json::Uint(f.degraded)),
+                            ("silent", Json::Bool(f.silent)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("silent", Json::Uint(silent as u64)),
+    ]);
+    save_or_warn(&out, &json);
+
+    // The trajectory artifact: wall-clock throughput plus the proof that
+    // a warm sweep does no simulation.
+    let bench = Json::obj(vec![
+        ("bench", Json::str("fuzz")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("scenarios", Json::Uint(report.scenarios)),
+        ("cells", Json::Uint(report.cells as u64)),
+        ("budget_refs", Json::Uint(cfg.budget_refs)),
+        ("elapsed_ms", Json::Float(elapsed * 1e3)),
+        (
+            "scenarios_per_sec",
+            Json::Float(report.scenarios as f64 / elapsed.max(1e-9)),
+        ),
+        (
+            "cells_per_sec",
+            Json::Float(report.cells as f64 / elapsed.max(1e-9)),
+        ),
+        ("cold_cache_hits", Json::Uint(report.cache_hits as u64)),
+        ("warm_cache_hits", Json::Uint(warm_hits as u64)),
+        ("warm_cells", Json::Uint(warm_cells as u64)),
+        ("warm_elapsed_ms", Json::Float(warm_elapsed * 1e3)),
+        ("findings", Json::Uint(report.findings.len() as u64)),
+        ("silent", Json::Uint(silent as u64)),
+    ]);
+    let mut rendered = bench.render();
+    rendered.push('\n');
+    std::fs::write("BENCH_fuzz.json", &rendered).expect("write BENCH_fuzz.json");
+    println!("(saved BENCH_fuzz.json)");
+}

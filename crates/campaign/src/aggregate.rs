@@ -83,6 +83,17 @@ impl<'a> ReportView<'a> {
             .filter_map(|r| Some((r.actual_pct - r.est_pct?).abs()))
             .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
     }
+
+    /// How many of the top-`n` rows (by actual rank) the technique ranked
+    /// differently — the shared `rank_delta` primitive applied to this view.
+    pub fn top_n_inversions(&self, n: usize) -> u64 {
+        let pairs: Vec<(u64, Option<u64>)> = self
+            .rows()
+            .iter()
+            .map(|r| (r.actual_rank, r.est_rank))
+            .collect();
+        cachescope_core::results::rank_delta(&pairs, n)
+    }
 }
 
 fn row_view(v: &Json) -> Option<RowView<'_>> {

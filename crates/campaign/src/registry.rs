@@ -6,6 +6,7 @@
 //! which run-length rounding (whole cycles, search runs) depends on.
 
 use cachescope_sim::Program;
+use cachescope_workloads::fuzz::{parse_fuzz_name, FuzzWorkload, Scenario};
 use cachescope_workloads::spec::{self, Scale};
 use cachescope_workloads::spec2000;
 
@@ -25,11 +26,22 @@ pub const PANIC_WORKLOAD: &str = "__panic__";
 
 /// Is `name` resolvable by [`instantiate`]?
 pub fn is_known(name: &str) -> bool {
-    SPEC95.contains(&name) || SPEC2000.contains(&name) || name == PANIC_WORKLOAD
+    SPEC95.contains(&name)
+        || SPEC2000.contains(&name)
+        || name == PANIC_WORKLOAD
+        || parse_fuzz_name(name).is_some()
 }
 
 /// Build the named workload. `Err` lists the known names.
 pub fn instantiate(name: &str, scale: Scale) -> Result<Box<dyn Program>, String> {
+    // Generated adversarial scenarios: `fuzz:<seed>:<budget-refs>`. Fully
+    // determined by the name, so campaign cells over them are
+    // content-addressable like any other workload. Scale does not apply
+    // (the budget is explicit in the name).
+    if let Some((seed, budget)) = parse_fuzz_name(name) {
+        return FuzzWorkload::new(Scenario::generate(seed, budget))
+            .map(|w| Box::new(w) as Box<dyn Program>);
+    }
     let w: Box<dyn Program> = match name {
         "tomcatv" => Box::new(spec::tomcatv(scale)),
         "swim" => Box::new(spec::swim(scale)),
@@ -94,5 +106,14 @@ mod tests {
         assert!(instantiate("quake3", Scale::Test).is_err());
         assert!(!is_known("quake3"));
         assert!(is_known("tomcatv"));
+    }
+
+    #[test]
+    fn fuzz_names_instantiate_and_have_no_cycle_length() {
+        assert!(is_known("fuzz:7:20000"));
+        assert!(!is_known("fuzz:7"));
+        let w = instantiate("fuzz:7:20000", Scale::Test).expect("fuzz workload");
+        assert_eq!(w.name(), "fuzz:7:20000");
+        assert!(cycle_misses("fuzz:7:20000", Scale::Test).is_none());
     }
 }

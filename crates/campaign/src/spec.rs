@@ -81,6 +81,9 @@ pub enum LimitSpec {
     AppMisses { base: u64, round: RoundMode },
     /// Stop after this many application (non-instrumentation) cycles.
     AppCycles { base: u64 },
+    /// Stop after this many application memory accesses (used by fuzz
+    /// scenarios, whose budgets are denominated in references).
+    AppAccesses { base: u64 },
 }
 
 impl LimitSpec {
@@ -108,6 +111,11 @@ impl LimitSpec {
         }
     }
 
+    /// Exact application-access run length.
+    pub fn accesses(base: u64) -> Self {
+        LimitSpec::AppAccesses { base }
+    }
+
     fn to_json(&self) -> Json {
         match self {
             LimitSpec::AppMisses { base, round } => Json::obj(vec![
@@ -117,6 +125,10 @@ impl LimitSpec {
             ]),
             LimitSpec::AppCycles { base } => Json::obj(vec![
                 ("kind", Json::str("app_cycles")),
+                ("base", Json::Uint(*base)),
+            ]),
+            LimitSpec::AppAccesses { base } => Json::obj(vec![
+                ("kind", Json::str("app_accesses")),
                 ("base", Json::Uint(*base)),
             ]),
         }
@@ -144,6 +156,10 @@ impl LimitSpec {
                 check_keys(v, path, &["kind", "base"])?;
                 Ok(LimitSpec::AppCycles { base })
             }
+            "app_accesses" => {
+                check_keys(v, path, &["kind", "base"])?;
+                Ok(LimitSpec::AppAccesses { base })
+            }
             other => Err(format!("{path}: unknown limit kind '{other}'")),
         }
     }
@@ -152,6 +168,7 @@ impl LimitSpec {
     pub fn resolve(&self, workload: &str, scale: Scale) -> RunLimit {
         match *self {
             LimitSpec::AppCycles { base } => RunLimit::AppCycles(base),
+            LimitSpec::AppAccesses { base } => RunLimit::AppAccesses(base),
             LimitSpec::AppMisses { base, round } => {
                 let cycle = registry::cycle_misses(workload, scale);
                 let misses = match (round, cycle) {

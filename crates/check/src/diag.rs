@@ -19,6 +19,7 @@
 //! | CS-L00x  | repo self-lint      | source invariants                   |
 //! | CS-O00x  | profile outputs     | timeline/span JSONL framing         |
 //! | CS-V00x  | serve wire frames   | frame magic/length/type, handshake  |
+//! | CS-F00x  | fuzz artifacts      | scenario/verdict/golden JSON shape  |
 //!
 //! Codes are append-only: a released code never changes meaning.
 //!

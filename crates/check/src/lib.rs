@@ -28,6 +28,7 @@
 pub mod campaign;
 pub mod chunk;
 pub mod diag;
+pub mod fuzz;
 pub mod lifecycle;
 pub mod pmu;
 pub mod profile;

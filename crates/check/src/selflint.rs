@@ -20,7 +20,7 @@ use crate::diag::Diagnostic;
 
 /// Crates whose results must be bit-reproducible from the seed alone:
 /// wall-clock reads and OS entropy are banned outright there.
-const DETERMINISTIC_CRATES: &[&str] = &["sim", "hwpm", "objmap", "core", "workloads"];
+const DETERMINISTIC_CRATES: &[&str] = &["sim", "hwpm", "objmap", "core", "workloads", "fuzzgen"];
 
 /// Per line of a source file: the code text (string contents masked out,
 /// delimiters kept) and the comment text.

@@ -35,7 +35,7 @@ pub mod search;
 pub mod technique;
 
 pub use cachescope_hwpm::{FaultConfig, FaultTally};
-pub use results::{Estimate, ExperimentReport, ReportRow, TechniqueReport};
+pub use results::{rank_delta, Estimate, ExperimentReport, ReportRow, TechniqueReport};
 pub use runner::Experiment;
 pub use sampler::{Sampler, SamplerConfig, SamplingPeriod};
 pub use search::{SearchConfig, SearchStrategy, Searcher};

@@ -50,6 +50,34 @@ impl TechniqueReport {
     }
 }
 
+/// Count the top-`n` rank disagreements between a ground-truth ranking
+/// and a technique's ranking.
+///
+/// `pairs` is one `(actual_rank, est_rank)` per object, 1-based, in any
+/// order; only the rows with the `n` smallest actual ranks are scored. A
+/// row whose estimated rank differs from its actual rank — or that the
+/// technique never reported (`None`) — counts as one inversion. Ties on
+/// `actual_rank` (which a well-formed report never produces, but joined
+/// external data might) are resolved by input order, so the score is a
+/// pure function of the input sequence.
+///
+/// This is the single rank-comparison primitive shared by `fault_study`,
+/// campaign aggregation ([`top_n_inversions`] on the campaign crate's
+/// report view) and the fuzz differential runner: "top-3 inversions"
+/// means the same thing everywhere.
+///
+/// [`top_n_inversions`]: ExperimentReport::top_n_inversions
+pub fn rank_delta(pairs: &[(u64, Option<u64>)], n: usize) -> u64 {
+    let mut ordered: Vec<&(u64, Option<u64>)> = pairs.iter().collect();
+    // Stable sort: equal actual ranks keep their input order.
+    ordered.sort_by_key(|&&(actual, _)| actual);
+    ordered
+        .iter()
+        .take(n)
+        .filter(|&&&(actual, est)| est != Some(actual))
+        .count() as u64
+}
+
 /// One row of the final actual-vs-estimated table (one program object).
 #[derive(Debug, Clone)]
 pub struct ReportRow {
@@ -143,6 +171,18 @@ impl ExperimentReport {
     /// The row for object `name`, if listed.
     pub fn row(&self, name: &str) -> Option<&ReportRow> {
         self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Top-`n` objects (by actual rank) whose estimated rank disagrees
+    /// with their actual rank; a missing estimate counts as an inversion.
+    /// See [`rank_delta`].
+    pub fn top_n_inversions(&self, n: usize) -> u64 {
+        let pairs: Vec<(u64, Option<u64>)> = self
+            .rows
+            .iter()
+            .map(|r| (r.actual_rank as u64, r.est_rank.map(|e| e as u64)))
+            .collect();
+        rank_delta(&pairs, n)
     }
 
     /// Largest absolute error between estimated and actual percentage over
@@ -325,6 +365,47 @@ mod tests {
         );
         assert!(r.row("B").is_none());
         assert!(r.row("A").is_some());
+    }
+
+    #[test]
+    fn rank_delta_scores_the_top_n_window() {
+        // Perfect agreement.
+        assert_eq!(
+            rank_delta(&[(1, Some(1)), (2, Some(2)), (3, Some(3))], 3),
+            0
+        );
+        // A swap inverts two rows.
+        assert_eq!(
+            rank_delta(&[(1, Some(2)), (2, Some(1)), (3, Some(3))], 3),
+            2
+        );
+        // A missing estimate counts as an inversion.
+        assert_eq!(rank_delta(&[(1, Some(1)), (2, None)], 3), 1);
+        // Rows outside the window are ignored, regardless of input order.
+        assert_eq!(rank_delta(&[(4, None), (1, Some(1)), (2, Some(2))], 2), 0);
+        // Empty input is zero inversions.
+        assert_eq!(rank_delta(&[], 3), 0);
+    }
+
+    #[test]
+    fn rank_delta_breaks_actual_rank_ties_by_input_order() {
+        // Two rows claim actual rank 2: the first stays in the window of 2,
+        // the second falls out. The result is a pure function of order.
+        assert_eq!(rank_delta(&[(1, Some(1)), (2, None), (2, Some(2))], 2), 1);
+        assert_eq!(rank_delta(&[(1, Some(1)), (2, Some(2)), (2, None)], 2), 0);
+    }
+
+    #[test]
+    fn report_top_n_inversions_uses_rank_delta() {
+        let r = ExperimentReport::new(
+            "app".into(),
+            stats(&[("A", 600), ("B", 300), ("C", 100)]),
+            tech(&[("B", 50.0), ("A", 40.0), ("C", 10.0)]),
+            0.01,
+        );
+        // A and B are swapped; C agrees.
+        assert_eq!(r.top_n_inversions(3), 2);
+        assert_eq!(r.top_n_inversions(1), 1);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Adversarial workload fuzzing and differential technique verification.
+//!
+//! The attribution techniques in this repo (miss-address sampling and the
+//! n-way search, plain and hardened) are validated elsewhere against the
+//! paper's workloads — programs chosen to be *representative*. This crate
+//! asks the opposite question: what does an *adversarial* program do to
+//! them? It closes a flywheel in four stages:
+//!
+//! 1. **Generate** — [`Scenario::generate`] (in `cachescope-workloads`)
+//!    composes adversarial building blocks into valid workloads, fully
+//!    determined by `(seed, budget)`; every scenario is proven clean by
+//!    the `CS-W*`/`CS-C*` checkers before any simulation time is spent.
+//! 2. **Differentiate** — [`differential`] drives each scenario through
+//!    every technique variant across the PR 3 fault levels via the
+//!    campaign engine (content-addressed, resumable, parallel), scoring
+//!    each cell's top-3 ranking against the simulator's ground truth.
+//! 3. **Classify** — a hardened technique whose top-3 ranking inverts
+//!    beyond its own fault-free baseline *without* raising the
+//!    `degraded` flag is a **silent-degradation bug**: the exact failure
+//!    mode hardening exists to prevent.
+//! 4. **Minimize** — [`minimize`] delta-debugs a failing scenario (drop
+//!    phases, drop churn, drop targets, shrink patterns, shrink refs,
+//!    shrink objects), re-checking validity and the silent-inversion
+//!    property at every step, and [`golden`] commits the shrunken
+//!    reproducer with a pinned verdict so CI replays it forever.
+//!
+//! [`verdict`] renders the whole run as the `fuzz_verdict` JSON that
+//! `cachescope check` knows how to audit (`CS-F00x`).
+//!
+//! [`Scenario::generate`]: cachescope_workloads::fuzz::Scenario::generate
+
+pub mod differential;
+pub mod golden;
+pub mod minimize;
+pub mod verdict;
+
+pub use differential::{
+    fault_level, fault_levels, fuzz_search_interval, rerun_cache_stats, run_differential,
+    technique_config, DifferentialConfig, DifferentialReport, Finding, ScenarioScore, COUNTERS,
+    FAULT_SEED, SAMPLE_PERIOD, TECHNIQUES, TOP_N,
+};
+pub use golden::{Expected, Golden, Provenance};
+pub use minimize::{
+    is_silent, measure, minimize, planted_inversion, Measurement, MinimizeOutcome, Property,
+};
+pub use verdict::Verdict;

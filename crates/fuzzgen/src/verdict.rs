@@ -1,0 +1,189 @@
+//! The `fuzz_verdict` report: one JSON object summarizing a sweep.
+//!
+//! The verdict is the artifact CI archives and `cachescope check`
+//! audits (`CS-F00x`): the swept seed block, every hardened-regression
+//! finding with its silent/flagged classification, and the replay
+//! status of each committed golden. `new_silent` counts silent findings
+//! *not* matched by any golden's provenance — the number CI fails on.
+
+use cachescope_obs::Json;
+
+use crate::differential::{DifferentialConfig, DifferentialReport, Finding};
+use crate::golden::Golden;
+
+/// A rendered sweep verdict.
+#[derive(Debug)]
+pub struct Verdict {
+    pub seed_base: u64,
+    pub seeds: u64,
+    pub budget_refs: u64,
+    pub scenarios: u64,
+    pub findings: Vec<Finding>,
+    /// `(name, passed)` for every replayed golden.
+    pub goldens: Vec<(String, bool)>,
+}
+
+impl Verdict {
+    /// Assemble a verdict from a sweep report and the goldens it was
+    /// gated against (with their replay results).
+    pub fn new(
+        cfg: &DifferentialConfig,
+        report: &DifferentialReport,
+        goldens: &[(Golden, bool)],
+    ) -> Verdict {
+        Verdict {
+            seed_base: cfg.seed_base,
+            seeds: cfg.seeds,
+            budget_refs: cfg.budget_refs,
+            scenarios: report.scenarios,
+            findings: report.findings.clone(),
+            goldens: goldens
+                .iter()
+                .map(|(g, pass)| (g.name.clone(), *pass))
+                .collect(),
+        }
+    }
+
+    /// Silent findings not covered by any golden's provenance: the new
+    /// bugs this sweep surfaced.
+    pub fn new_silent<'a>(
+        &'a self,
+        goldens: impl IntoIterator<Item = &'a Golden> + Copy,
+    ) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.silent && !goldens.into_iter().any(|g| g.matches_finding(f)))
+            .collect()
+    }
+
+    /// Did any replayed golden fail to reproduce?
+    pub fn golden_failures(&self) -> usize {
+        self.goldens.iter().filter(|(_, pass)| !pass).count()
+    }
+
+    /// Serialize to the `fuzz_verdict` shape the checker enforces
+    /// (`kind: "fuzz_verdict"`, `v: 1`). `new_silent` is recomputed from
+    /// `goldens` so the emitted number and the finding list can never
+    /// disagree.
+    pub fn to_json<'a>(&'a self, goldens: impl IntoIterator<Item = &'a Golden> + Copy) -> Json {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("scenario", Json::str(f.scenario.clone())),
+                    ("technique", Json::str(f.technique.clone())),
+                    ("level", Json::str(f.level.clone())),
+                    ("inversions", Json::Uint(f.inversions)),
+                    ("baseline_inversions", Json::Uint(f.baseline_inversions)),
+                    ("degraded", Json::Uint(f.degraded)),
+                    ("silent", Json::Bool(f.silent)),
+                ])
+            })
+            .collect();
+        let golden_rows = self
+            .goldens
+            .iter()
+            .map(|(name, pass)| {
+                Json::obj(vec![
+                    ("name", Json::str(name.clone())),
+                    ("pass", Json::Bool(*pass)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("kind", Json::str("fuzz_verdict")),
+            ("v", Json::Uint(1)),
+            ("seed_base", Json::Uint(self.seed_base)),
+            ("seeds", Json::Uint(self.seeds)),
+            ("budget_refs", Json::Uint(self.budget_refs)),
+            ("scenarios", Json::Uint(self.scenarios)),
+            (
+                "new_silent",
+                Json::Uint(self.new_silent(goldens).len() as u64),
+            ),
+            ("findings", Json::Arr(findings)),
+            ("goldens", Json::Arr(golden_rows)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{Expected, Provenance};
+    use crate::minimize::planted_inversion;
+
+    fn finding(seed: u64, silent: bool) -> Finding {
+        Finding {
+            scenario: format!("fuzz:{seed}:1000"),
+            seed,
+            budget_refs: 1000,
+            technique: "sample+h".to_string(),
+            level: "skid".to_string(),
+            inversions: 3,
+            baseline_inversions: 1,
+            degraded: u64::from(!silent),
+            silent,
+        }
+    }
+
+    fn verdict(findings: Vec<Finding>, goldens: Vec<(String, bool)>) -> Verdict {
+        Verdict {
+            seed_base: 0,
+            seeds: 4,
+            budget_refs: 1000,
+            scenarios: 4,
+            findings,
+            goldens,
+        }
+    }
+
+    #[test]
+    fn known_findings_do_not_count_as_new() {
+        let golden = Golden {
+            name: "g".to_string(),
+            technique: "sample+h".to_string(),
+            level: "skid".to_string(),
+            faults: crate::differential::fault_level("skid").expect("level"),
+            expected: Expected {
+                min_inversions: 2,
+                max_degraded: 0,
+            },
+            provenance: Some(Provenance {
+                seed: 1,
+                budget_refs: 1000,
+            }),
+            scenario: planted_inversion(),
+        };
+        let v = verdict(
+            vec![finding(1, true), finding(2, true), finding(3, false)],
+            vec![],
+        );
+        let goldens = [golden];
+        let new = v.new_silent(&goldens);
+        assert_eq!(new.len(), 1, "seed 1 is known, seed 3 is flagged");
+        assert_eq!(new[0].seed, 2);
+    }
+
+    #[test]
+    fn json_matches_checker_schema_and_is_consistent() {
+        let v = verdict(
+            vec![finding(1, true), finding(2, false)],
+            vec![("g".to_string(), true), ("h".to_string(), false)],
+        );
+        assert_eq!(v.golden_failures(), 1);
+        let j = v.to_json(&[]);
+        assert_eq!(j.get("new_silent").and_then(Json::as_u64), Some(1));
+        let diags = cachescope_check::fuzz::check_fuzz_json(&j, "t");
+        // The schema itself is clean; the unresolved silent finding and
+        // the failed golden replay each surface as a CS-F005 warning.
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.code == "CS-F005" && d.severity == cachescope_check::Severity::Warning),
+            "{diags:?}"
+        );
+        assert_eq!(diags.len(), 2);
+    }
+}

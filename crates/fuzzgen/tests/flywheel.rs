@@ -1,0 +1,112 @@
+//! Flywheel integration tests: the three properties the fuzzer's value
+//! rests on. Determinism (same seed block → byte-identical verdict),
+//! convergence (the minimizer actually shrinks a known failure without
+//! losing it), and validity (the generator never emits a scenario the
+//! static checkers would reject).
+
+use std::path::PathBuf;
+
+use cachescope_check::Severity;
+use cachescope_fuzzgen::{
+    is_silent, minimize, planted_inversion, run_differential, DifferentialConfig, Golden, Property,
+    Verdict,
+};
+use cachescope_obs::Obs;
+use cachescope_workloads::fuzz::Scenario;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cachescope-fuzzgen-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Same seed block, two independent sweeps with separate result caches:
+/// the scenario JSON and the full verdict JSON must match byte for byte.
+#[test]
+fn same_seed_sweeps_render_byte_identical_verdicts() {
+    let dir = temp_dir("determinism");
+    let sweep = |cache: &str| {
+        let cfg = DifferentialConfig {
+            seed_base: 3,
+            seeds: 2,
+            budget_refs: 2_000,
+            jobs: Some(2),
+            cache_dir: Some(dir.join(cache)),
+        };
+        let report = run_differential(&cfg, &mut Obs::disabled()).unwrap();
+        let goldens: &[Golden] = &[];
+        let verdict = Verdict::new(&cfg, &report, &[]).to_json(goldens).render();
+        let scenarios: Vec<String> = cfg
+            .seed_range()
+            .map(|seed| Scenario::generate(seed, cfg.budget_refs).to_json().render())
+            .collect();
+        (verdict, scenarios)
+    };
+
+    let (verdict_a, scenarios_a) = sweep("cache-a");
+    let (verdict_b, scenarios_b) = sweep("cache-b");
+    assert_eq!(
+        scenarios_a, scenarios_b,
+        "scenario generation must be a pure function of (seed, budget)"
+    );
+    assert_eq!(
+        verdict_a, verdict_b,
+        "two sweeps of the same seed block must render identical verdicts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The planted failure shrinks well below its starting budget and the
+/// minimized scenario still exhibits the silent inversion.
+#[test]
+fn minimizer_converges_on_the_planted_inversion() {
+    let planted = planted_inversion();
+    let start_refs = planted.budget_refs;
+    let prop = Property::named("sample+h", "skid").unwrap();
+    let outcome = minimize(&planted, &prop, &mut Obs::disabled()).unwrap();
+
+    assert!(outcome.steps > 0, "no shrink step was accepted");
+    assert!(
+        outcome.scenario.budget_refs <= start_refs / 2,
+        "minimized budget {} did not shrink below half of {start_refs}",
+        outcome.scenario.budget_refs
+    );
+    assert!(
+        is_silent(&outcome.measurement),
+        "minimization lost the silent inversion: {:?}",
+        outcome.measurement
+    );
+    // The shrunken scenario is still a valid, checker-clean workload.
+    outcome.scenario.validate().unwrap();
+    let diags =
+        cachescope_check::fuzz::check_scenario_default(&outcome.scenario, &outcome.scenario.name);
+    assert!(
+        diags.iter().all(|d| d.severity != Severity::Error),
+        "minimized scenario fails static checks: {diags:?}"
+    );
+}
+
+/// A thousand generated scenarios, zero static-checker errors: the
+/// generator's output space stays inside the checkers' contract.
+#[test]
+fn one_thousand_generated_scenarios_all_check_clean() {
+    for seed in 0..1_000u64 {
+        let scenario = Scenario::generate(seed, 2_000);
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: invalid scenario: {e}"));
+        let diags = cachescope_check::fuzz::check_scenario_default(&scenario, &scenario.name);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "seed {seed}: generator emitted a checker-rejected scenario: {errors:?}"
+        );
+    }
+}

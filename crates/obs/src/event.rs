@@ -266,6 +266,26 @@ pub enum ObsEvent {
     /// The daemon stopped after serving `served` and rejecting
     /// `rejected` sessions.
     ServeStop { served: u64, rejected: u64 },
+    /// A fuzz scenario entered the differential harness.
+    FuzzScenario {
+        name: String,
+        seed: u64,
+        budget_refs: u64,
+    },
+    /// A hardened technique's top-k ranking inverted versus ground truth
+    /// without the degraded flag — a silent-degradation bug.
+    FuzzSilentInversion {
+        scenario: String,
+        technique: String,
+        level: String,
+        inversions: u64,
+    },
+    /// One accepted shrink step of the delta-debugging minimizer.
+    FuzzMinimizeStep {
+        scenario: String,
+        action: String,
+        refs: u64,
+    },
 }
 
 impl ObsEvent {
@@ -308,6 +328,9 @@ impl ObsEvent {
             ObsEvent::SessionEnd { .. } => "session_end",
             ObsEvent::ServeDrain { .. } => "serve_drain",
             ObsEvent::ServeStop { .. } => "serve_stop",
+            ObsEvent::FuzzScenario { .. } => "fuzz_scenario",
+            ObsEvent::FuzzSilentInversion { .. } => "fuzz_silent_inversion",
+            ObsEvent::FuzzMinimizeStep { .. } => "fuzz_minimize_step",
         }
     }
 
@@ -555,6 +578,35 @@ impl ObsEvent {
             ObsEvent::ServeStop { served, rejected } => {
                 fields.push(("served", Json::Uint(*served)));
                 fields.push(("rejected", Json::Uint(*rejected)));
+            }
+            ObsEvent::FuzzScenario {
+                name,
+                seed,
+                budget_refs,
+            } => {
+                fields.push(("name", Json::str(name.clone())));
+                fields.push(("seed", Json::Uint(*seed)));
+                fields.push(("budget_refs", Json::Uint(*budget_refs)));
+            }
+            ObsEvent::FuzzSilentInversion {
+                scenario,
+                technique,
+                level,
+                inversions,
+            } => {
+                fields.push(("scenario", Json::str(scenario.clone())));
+                fields.push(("technique", Json::str(technique.clone())));
+                fields.push(("level", Json::str(level.clone())));
+                fields.push(("inversions", Json::Uint(*inversions)));
+            }
+            ObsEvent::FuzzMinimizeStep {
+                scenario,
+                action,
+                refs,
+            } => {
+                fields.push(("scenario", Json::str(scenario.clone())));
+                fields.push(("action", Json::str(action.clone())));
+                fields.push(("refs", Json::Uint(*refs)));
             }
         }
         Json::obj(fields)

@@ -221,6 +221,9 @@ impl Obs {
                 self.metrics.set_gauge("serve.drain_active", *active as f64);
             }
             ObsEvent::ServeStop { .. } => self.metrics.inc("serve.stops"),
+            ObsEvent::FuzzScenario { .. } => self.metrics.inc("fuzz.scenarios"),
+            ObsEvent::FuzzSilentInversion { .. } => self.metrics.inc("fuzz.silent_inversions"),
+            ObsEvent::FuzzMinimizeStep { .. } => self.metrics.inc("fuzz.minimize_steps"),
             _ => {}
         }
         self.events.push(ev);

@@ -178,6 +178,79 @@ pub fn submit_path(
     submit_bytes(addr, &trace, config, chunk)
 }
 
+/// A deterministic bounded-exponential retry schedule for *retryable*
+/// refusals (`busy`, `draining`): attempt `i` (0-based) waits
+/// `backoff_ms << i` before reconnecting, capped at [`RetryPolicy::MAX_DELAY_MS`].
+/// No jitter — two clients with the same policy probe on the same
+/// schedule, which keeps tests and saturation benches reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = fail fast).
+    pub retries: u32,
+    /// Base delay before the first retry.
+    pub backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Ceiling on any single delay, whatever the doubling says.
+    pub const MAX_DELAY_MS: u64 = 10_000;
+
+    /// Fail fast: the plain [`submit_bytes`] behaviour.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff_ms: 0,
+        }
+    }
+
+    /// The delay before retry attempt `attempt` (0-based): doubled each
+    /// time, capped.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64 << attempt.min(14);
+        self.backoff_ms
+            .saturating_mul(factor)
+            .min(Self::MAX_DELAY_MS)
+    }
+}
+
+/// How a retried submission ended.
+#[derive(Debug)]
+pub struct SubmitResult {
+    pub outcome: SubmitOutcome,
+    /// Total connection attempts made (≥ 1).
+    pub attempts: u32,
+}
+
+/// [`submit_bytes`], honouring typed retryable refusals.
+///
+/// Each attempt is a fresh connection (a refused session's socket is
+/// closed by the daemon). Non-retryable refusals, reports and transport
+/// errors return immediately; a retryable refusal (`busy`, `draining`)
+/// sleeps out the policy's deterministic schedule and tries again until
+/// the attempts run out, returning the last refusal.
+pub fn submit_bytes_with_retry(
+    addr: &Addr,
+    trace: &[u8],
+    config: &SessionConfig,
+    chunk: usize,
+    policy: RetryPolicy,
+) -> Result<SubmitResult, ClientError> {
+    let mut attempts = 0u32;
+    loop {
+        let outcome = submit_bytes(addr, trace, config, chunk)?;
+        attempts += 1;
+        match &outcome {
+            SubmitOutcome::Rejected(r) if r.retryable && attempts <= policy.retries => {
+                let delay = policy.delay_ms(attempts - 1);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+            }
+            _ => return Ok(SubmitResult { outcome, attempts }),
+        }
+    }
+}
+
 /// Ask a running daemon for its status snapshot.
 pub fn query_status(addr: &Addr) -> Result<Json, ClientError> {
     let mut stream = connect(addr)?;
@@ -192,4 +265,45 @@ pub fn query_status(addr: &Addr) -> Result<Json, ClientError> {
     }
     let text = String::from_utf8_lossy(&reply.payload);
     parse(&text).map_err(ClientError::Protocol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RetryPolicy;
+
+    #[test]
+    fn delay_doubles_then_caps() {
+        let p = RetryPolicy {
+            retries: 8,
+            backoff_ms: 100,
+        };
+        assert_eq!(p.delay_ms(0), 100);
+        assert_eq!(p.delay_ms(1), 200);
+        assert_eq!(p.delay_ms(2), 400);
+        assert_eq!(p.delay_ms(3), 800);
+        assert_eq!(p.delay_ms(6), 6_400);
+        // 100 << 7 = 12_800, capped.
+        assert_eq!(p.delay_ms(7), RetryPolicy::MAX_DELAY_MS);
+        // Far past the cap the shift saturates instead of overflowing.
+        assert_eq!(p.delay_ms(63), RetryPolicy::MAX_DELAY_MS);
+        assert_eq!(p.delay_ms(u32::MAX), RetryPolicy::MAX_DELAY_MS);
+    }
+
+    #[test]
+    fn none_policy_never_sleeps() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.retries, 0);
+        assert_eq!(p.delay_ms(0), 0);
+        assert_eq!(p.delay_ms(20), 0);
+    }
+
+    #[test]
+    fn huge_base_saturates_at_cap() {
+        let p = RetryPolicy {
+            retries: 1,
+            backoff_ms: u64::MAX,
+        };
+        assert_eq!(p.delay_ms(0), RetryPolicy::MAX_DELAY_MS);
+        assert_eq!(p.delay_ms(5), RetryPolicy::MAX_DELAY_MS);
+    }
 }

@@ -30,7 +30,10 @@ pub mod session;
 pub mod signal;
 pub mod wire;
 
-pub use client::{query_status, submit_bytes, submit_path, Addr, ClientError, SubmitOutcome};
+pub use client::{
+    query_status, submit_bytes, submit_bytes_with_retry, submit_path, Addr, ClientError,
+    RetryPolicy, SubmitOutcome, SubmitResult,
+};
 pub use daemon::{Daemon, ServeConfig, ServeSummary};
 pub use session::{FinishedStream, Refusal, SessionConfig, SessionStream};
 pub use wire::{Frame, FrameDecoder, PROTOCOL_VERSION};

@@ -12,8 +12,8 @@ use cachescope_core::export::report_to_json;
 use cachescope_core::Experiment;
 use cachescope_serve::wire::{recv_frame, send_frame, FrameDecoder, Recv};
 use cachescope_serve::{
-    query_status, submit_bytes, Addr, Daemon, Refusal, ServeConfig, SessionConfig, SessionStream,
-    SubmitOutcome, PROTOCOL_VERSION,
+    query_status, submit_bytes, submit_bytes_with_retry, Addr, Daemon, Refusal, RetryPolicy,
+    ServeConfig, SessionConfig, SessionStream, SubmitOutcome, PROTOCOL_VERSION,
 };
 use cachescope_sim::tracefile::{RecordingProgram, TraceFormat};
 use cachescope_sim::{Event, MemRef, ObjectDecl, Program, RunLimit, TraceProgram};
@@ -314,6 +314,116 @@ fn admission_control_rejects_excess_sessions_as_busy() {
     let trace = bin_trace(6);
     let report = expect_report(submit_bytes(&addr, &trace, &session_config(), 0).unwrap());
     assert_eq!(report, batch_report(&trace, &session_config()));
+    daemon.shutdown(Duration::from_secs(5));
+}
+
+/// Admit (and hold) one session by hand so the daemon's single slot is
+/// occupied; returns the held connection. Dropping it frees the slot.
+fn hold_session(tcp: &str) -> std::net::TcpStream {
+    let mut held = std::net::TcpStream::connect(tcp).unwrap();
+    let mut hello = PROTOCOL_VERSION.to_le_bytes().to_vec();
+    hello.extend_from_slice(session_config().to_json().render().as_bytes());
+    send_frame(&mut held, FrameType::Hello, &hello).unwrap();
+    let mut dec = FrameDecoder::new();
+    let mut never = || false;
+    match recv_frame(&mut held, &mut dec, &mut never).unwrap() {
+        Recv::Frame(f) => assert_eq!(f.kind, FrameType::HelloAck),
+        other => panic!("expected hello-ack, got {other:?}"),
+    }
+    held
+}
+
+#[test]
+fn retry_waits_out_busy_slot_then_serves_the_batch_report() {
+    let (daemon, addr) = tcp_daemon(ServeConfig {
+        max_sessions: 1,
+        ..ServeConfig::default()
+    });
+    let tcp = match &addr {
+        Addr::Tcp(a) => a.clone(),
+        _ => unreachable!(),
+    };
+    let held = hold_session(&tcp);
+
+    // Release the held slot shortly after the first (refused) attempt.
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(120));
+        drop(held);
+    });
+
+    let cfg = session_config();
+    let trace = bin_trace(21);
+    let result = submit_bytes_with_retry(
+        &addr,
+        &trace,
+        &cfg,
+        0,
+        RetryPolicy {
+            retries: 50,
+            backoff_ms: 40,
+        },
+    )
+    .unwrap();
+    releaser.join().unwrap();
+
+    assert!(
+        result.attempts > 1,
+        "first attempt should have been refused busy"
+    );
+    let report = expect_report(result.outcome);
+    assert_eq!(report, batch_report(&trace, &cfg));
+    daemon.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn retries_exhausted_return_the_last_busy_refusal() {
+    let (daemon, addr) = tcp_daemon(ServeConfig {
+        max_sessions: 1,
+        ..ServeConfig::default()
+    });
+    let tcp = match &addr {
+        Addr::Tcp(a) => a.clone(),
+        _ => unreachable!(),
+    };
+    let _held = hold_session(&tcp);
+
+    let result = submit_bytes_with_retry(
+        &addr,
+        &bin_trace(22),
+        &session_config(),
+        0,
+        RetryPolicy {
+            retries: 2,
+            backoff_ms: 1,
+        },
+    )
+    .unwrap();
+    // 1 initial + 2 retries, every one refused.
+    assert_eq!(result.attempts, 3);
+    let r = expect_reject(result.outcome);
+    assert_eq!(r.code, "busy");
+    assert!(r.retryable);
+    daemon.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn non_retryable_refusals_fail_on_the_first_attempt() {
+    let (daemon, addr) = tcp_daemon(ServeConfig::default());
+    let result = submit_bytes_with_retry(
+        &addr,
+        b"this is not a trace",
+        &session_config(),
+        0,
+        RetryPolicy {
+            retries: 5,
+            backoff_ms: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(result.attempts, 1, "malformed traces must not be retried");
+    let r = expect_reject(result.outcome);
+    assert_eq!(r.code, "CS-T001");
+    assert!(!r.retryable);
     daemon.shutdown(Duration::from_secs(5));
 }
 

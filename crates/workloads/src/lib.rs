@@ -19,6 +19,7 @@
 //! constructing custom workloads.
 
 pub mod builder;
+pub mod fuzz;
 pub mod pattern;
 pub mod spec;
 pub mod spec2000;

@@ -14,12 +14,16 @@
 //!                     non-negative durations)
 //!   --wire FILE       verify a captured serve wire-stream dump
 //!                     (framing, handshake version)
+//!   --fuzz FILE       verify a fuzz artifact: a fuzz_verdict report or
+//!                     a fuzz_golden reproducer (embedded scenarios get
+//!                     the full lifecycle/chunk passes)
 //!   --self-lint       lint the repo's own sources (no-panic library
 //!                     code, seed-only determinism)
 //!   --all             every campaigns/*.json, every registry workload,
 //!                     every results/*.timeline.jsonl,
 //!                     results/*.spans.jsonl and results/*.wire.bin,
-//!                     and the self-lint
+//!                     every goldens/fuzz/*.json and any
+//!                     results/fuzz_verdict.json, and the self-lint
 //!
 //! options:
 //!   --root DIR        repo root for --all and --self-lint  [default .]
@@ -38,8 +42,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: cachescope check [--all] [--trace FILE]... [--campaign FILE]...\n\
          \x20                       [--workload NAME]... [--timeline FILE]...\n\
-         \x20                       [--spans FILE]... [--wire FILE]... [--self-lint]\n\
-         \x20                       [--root DIR] [--json] [--deny-warnings]"
+         \x20                       [--spans FILE]... [--wire FILE]... [--fuzz FILE]...\n\
+         \x20                       [--self-lint] [--root DIR] [--json] [--deny-warnings]"
     );
     std::process::exit(2);
 }
@@ -51,6 +55,7 @@ pub fn run(args: &[String]) -> ! {
     let mut timelines: Vec<String> = Vec::new();
     let mut spans: Vec<String> = Vec::new();
     let mut wires: Vec<String> = Vec::new();
+    let mut fuzzes: Vec<String> = Vec::new();
     let mut self_lint = false;
     let mut all = false;
     let mut json = false;
@@ -72,6 +77,7 @@ pub fn run(args: &[String]) -> ! {
             "--timeline" => timelines.push(value("--timeline")),
             "--spans" => spans.push(value("--spans")),
             "--wire" => wires.push(value("--wire")),
+            "--fuzz" => fuzzes.push(value("--fuzz")),
             "--self-lint" => self_lint = true,
             "--all" => all = true,
             "--json" => json = true,
@@ -134,6 +140,23 @@ pub fn run(args: &[String]) -> ! {
         timelines.extend(found_t);
         spans.extend(found_s);
         wires.extend(found_w);
+        // Committed fuzz artifacts: golden reproducers plus the latest
+        // verdict report, when one has been saved.
+        let mut found_f = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(root.join("goldens/fuzz")) {
+            for entry in rd.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "json") {
+                    found_f.push(path.display().to_string());
+                }
+            }
+        }
+        found_f.sort();
+        let verdict = results.join("fuzz_verdict.json");
+        if verdict.is_file() {
+            found_f.push(verdict.display().to_string());
+        }
+        fuzzes.extend(found_f);
     }
 
     if traces.is_empty()
@@ -142,6 +165,7 @@ pub fn run(args: &[String]) -> ! {
         && timelines.is_empty()
         && spans.is_empty()
         && wires.is_empty()
+        && fuzzes.is_empty()
         && !self_lint
     {
         eprintln!("check: nothing to check (pass inputs or --all)");
@@ -173,6 +197,9 @@ pub fn run(args: &[String]) -> ! {
     }
     for path in &wires {
         report.absorb(cachescope_check::wire::check_wire_path(Path::new(path)));
+    }
+    for path in &fuzzes {
+        report.absorb(cachescope_check::fuzz::check_fuzz_file(path));
     }
     if self_lint {
         report.absorb(selflint::lint_repo(&root));

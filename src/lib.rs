@@ -32,7 +32,12 @@
 //! * [`check`] — static verification without simulation: allocation
 //!   lifecycle, chunk encoding, PMU-config legality, trace framing and
 //!   campaign-spec validation for inputs, plus a repo self-lint
-//!   (`cachescope check` drives it).
+//!   (`cachescope check` drives it),
+//! * [`fuzzgen`] — adversarial workload fuzzing: a seeded generative
+//!   scenario fuzzer, the differential technique-verification harness
+//!   that hunts silent hardened-technique degradations, a delta-debug
+//!   minimizer, and committed golden reproducers (`cachescope fuzz`
+//!   drives it).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +62,7 @@
 pub use cachescope_campaign as campaign;
 pub use cachescope_check as check;
 pub use cachescope_core as core;
+pub use cachescope_fuzzgen as fuzzgen;
 pub use cachescope_hwpm as hwpm;
 pub use cachescope_objmap as objmap;
 pub use cachescope_obs as obs;

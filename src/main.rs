@@ -7,6 +7,9 @@
 //!                  --timeline-out)
 //! cachescope check [--all] [--trace F] [--campaign F] [--workload W]
 //!                  [--self-lint] [--json] [--deny-warnings]   (static checks)
+//! cachescope fuzz [--smoke] [--seeds N] [--budget-refs M] [--minimize]
+//!                  [--json FILE]   (adversarial fuzzing + differential
+//!                  technique verification; see `cachescope fuzz --help`)
 //! cachescope serve [--unix PATH] [--tcp ADDR] ...   (streaming attribution
 //!                  daemon; see `cachescope serve --help`)
 //! cachescope submit (--unix PATH | --tcp ADDR) --trace FILE ...
@@ -62,6 +65,7 @@ use cachescope::workloads::spec::{self, Scale};
 use cachescope::workloads::spec2000;
 
 mod check_cmd;
+mod fuzz_cmd;
 mod serve_cmd;
 
 fn usage() -> ! {
@@ -77,6 +81,8 @@ fn usage() -> ! {
          or:   cachescope profile <app> [options] [--flamegraph FILE]\n\
          \x20      [--spans-out FILE] [--timeline-out FILE]   (self-profiled run)\n\
          or:   cachescope check --help   (static input/repo verification)\n\
+         or:   cachescope fuzz --help    (adversarial fuzzing + differential\n\
+         \x20      technique verification)\n\
          or:   cachescope serve --help | cachescope submit --help\n\
          \x20      (streaming attribution daemon and its client)"
     );
@@ -113,6 +119,9 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if !args.is_empty() && args[0] == "check" {
         check_cmd::run(&args[1..]);
+    }
+    if !args.is_empty() && args[0] == "fuzz" {
+        fuzz_cmd::run(&args[1..]);
     }
     if !args.is_empty() && args[0] == "serve" {
         serve_cmd::run_serve(&args[1..]);

@@ -12,12 +12,16 @@
 //! cachescope submit (--unix PATH | --tcp ADDR) --trace FILE
 //!                   [--technique T] [--misses N] [--counters K]
 //!                   [--interval C] [--chunk BYTES] [--json FILE]
+//!                   [--retries N] [--retry-backoff-ms MS]
 //! cachescope submit (--unix PATH | --tcp ADDR) --status
 //!
 //!   Streams a recorded binary trace to a running daemon and prints the
 //!   report (or writes it with --json, byte-identical to the batch
 //!   pipeline's --json output). --status prints the daemon's status
-//!   snapshot instead.
+//!   snapshot instead. Typed retryable refusals (`busy`, `draining`)
+//!   are retried up to --retries times on a deterministic bounded
+//!   exponential backoff (--retry-backoff-ms doubled per attempt, no
+//!   jitter); non-retryable refusals fail immediately.
 //!
 //! exit status: 0 report served / status ok, 1 session rejected,
 //!              2 usage error, 3 transport failure.
@@ -27,7 +31,8 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use cachescope::serve::{
-    query_status, submit_path, Addr, Daemon, ServeConfig, SessionConfig, SubmitOutcome,
+    query_status, submit_bytes_with_retry, Addr, Daemon, RetryPolicy, ServeConfig, SessionConfig,
+    SubmitOutcome,
 };
 
 fn serve_usage() -> ! {
@@ -45,6 +50,7 @@ fn submit_usage() -> ! {
         "usage: cachescope submit (--unix PATH | --tcp ADDR) --trace FILE\n\
          \x20                        [--technique T] [--misses N] [--counters K]\n\
          \x20                        [--interval C] [--chunk BYTES] [--json FILE]\n\
+         \x20                        [--retries N] [--retry-backoff-ms MS]\n\
          or:    cachescope submit (--unix PATH | --tcp ADDR) --status"
     );
     std::process::exit(2);
@@ -128,6 +134,10 @@ pub fn run_submit(args: &[String]) -> ! {
     let mut chunk = 0usize;
     let mut json_out: Option<PathBuf> = None;
     let mut status = false;
+    let mut policy = RetryPolicy {
+        retries: 0,
+        backoff_ms: 100,
+    };
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -147,6 +157,10 @@ pub fn run_submit(args: &[String]) -> ! {
             "--interval" => config.interval = parse_num(&value("--interval"), "interval"),
             "--chunk" => chunk = parse_num(&value("--chunk"), "chunk size") as usize,
             "--json" => json_out = Some(PathBuf::from(value("--json"))),
+            "--retries" => policy.retries = parse_num(&value("--retries"), "retry count") as u32,
+            "--retry-backoff-ms" => {
+                policy.backoff_ms = parse_num(&value("--retry-backoff-ms"), "retry backoff")
+            }
             "--status" => status = true,
             "--help" | "-h" => submit_usage(),
             other => {
@@ -177,8 +191,32 @@ pub fn run_submit(args: &[String]) -> ! {
         eprintln!("submit: need --trace FILE (or --status)");
         submit_usage();
     });
-    match submit_path(&addr, &trace, &config, chunk) {
-        Ok(SubmitOutcome::Report(report)) => {
+    let trace_bytes = match std::fs::read(&trace) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("submit: cannot read {}: {e}", trace.display());
+            std::process::exit(3);
+        }
+    };
+    match submit_bytes_with_retry(&addr, &trace_bytes, &config, chunk, policy) {
+        Ok(result) if result.attempts > 1 => {
+            eprintln!(
+                "submit: succeeded note — {} attempt(s) used",
+                result.attempts
+            );
+            finish_submit(result.outcome, json_out);
+        }
+        Ok(result) => finish_submit(result.outcome, json_out),
+        Err(e) => {
+            eprintln!("submit: {e}");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn finish_submit(outcome: SubmitOutcome, json_out: Option<PathBuf>) -> ! {
+    match outcome {
+        SubmitOutcome::Report(report) => {
             match json_out {
                 Some(path) => {
                     // Same shape as the batch pipeline's --json file:
@@ -194,7 +232,7 @@ pub fn run_submit(args: &[String]) -> ! {
             }
             std::process::exit(0);
         }
-        Ok(SubmitOutcome::Rejected(r)) => {
+        SubmitOutcome::Rejected(r) => {
             eprintln!(
                 "submit: rejected [{}] {}{}",
                 r.code,
@@ -202,10 +240,6 @@ pub fn run_submit(args: &[String]) -> ! {
                 if r.retryable { " (retryable)" } else { "" }
             );
             std::process::exit(1);
-        }
-        Err(e) => {
-            eprintln!("submit: {e}");
-            std::process::exit(3);
         }
     }
 }

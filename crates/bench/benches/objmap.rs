@@ -38,7 +38,7 @@ fn bench_rbtree() {
             let mut trace = AccessTrace::new();
             for i in 0..1000u64 {
                 let base = (i.wrapping_mul(2654435761)) % 1_000_000 * 100;
-                tree.insert(base, base + 50, ObjectId(i as u32), &mut trace);
+                let _ = tree.insert(base, base + 50, ObjectId(i as u32), &mut trace);
             }
             for i in 0..1000u64 {
                 let base = (i.wrapping_mul(2654435761)) % 1_000_000 * 100;
@@ -50,7 +50,7 @@ fn bench_rbtree() {
         let mut tree = RbTree::new(0x7_0000_0000);
         let mut trace = AccessTrace::new();
         for i in 0..1000u64 {
-            tree.insert(i * 1000, i * 1000 + 500, ObjectId(i as u32), &mut trace);
+            let _ = tree.insert(i * 1000, i * 1000 + 500, ObjectId(i as u32), &mut trace);
         }
         let mut k = 0u64;
         bench("rbtree/lookup_1k", move || {

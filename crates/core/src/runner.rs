@@ -41,6 +41,7 @@ pub struct Experiment<P: Program> {
     faults: FaultConfig,
     min_pct: f64,
     profile: bool,
+    attribution: bool,
 }
 
 impl<P: Program> Experiment<P> {
@@ -59,6 +60,7 @@ impl<P: Program> Experiment<P> {
             faults: FaultConfig::default(),
             min_pct: 0.01,
             profile: false,
+            attribution: true,
         }
     }
 
@@ -125,6 +127,18 @@ impl<P: Program> Experiment<P> {
         self
     }
 
+    /// Toggle ground-truth per-object miss attribution (default on).
+    /// With attribution off the engine skips the resolve/tally work on
+    /// every miss: the simulated machine — cache, PMU, clock, handler
+    /// interrupts — is bit-identical, but the report's "Actual" columns
+    /// are empty. This is the measurement-harness analogue of running
+    /// without the paper's lower simulator levels, and it bounds how much
+    /// of the engine's own wall-clock attribution costs.
+    pub fn attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
+    }
+
     fn sim_config(&self) -> SimConfig {
         SimConfig {
             cache: self.cache.clone(),
@@ -144,6 +158,7 @@ impl<P: Program> Experiment<P> {
         let app = self.program.name().to_string();
         let decls = self.program.static_objects();
         let mut engine = Engine::new(cfg);
+        engine.set_attribution(self.attribution);
         if self.profile {
             engine.obs_mut().profiler.set_enabled(true);
         }
@@ -199,6 +214,7 @@ impl<P: Program> Experiment<P> {
         let cfg = self.sim_config();
         let app = self.program.name().to_string();
         let mut engine = Engine::new(cfg);
+        engine.set_attribution(self.attribution);
         if self.profile {
             engine.obs_mut().profiler.set_enabled(true);
         }
@@ -307,6 +323,31 @@ mod tests {
         // unprofiled metric snapshots stay byte-identical.
         assert!(profiled.metrics.histogram("engine.chunk_ns").is_some());
         assert!(plain.metrics.histogram("engine.chunk_ns").is_none());
+    }
+
+    #[test]
+    fn attribution_off_preserves_the_simulated_machine() {
+        let run = |attr: bool| {
+            Experiment::new(spec::mgrid(spec::Scale::Test))
+                .technique(TechniqueConfig::sampling(500))
+                .limit(RunLimit::AppMisses(50_000))
+                .attribution(attr)
+                .run()
+        };
+        let on = run(true);
+        let off = run(false);
+        // The simulated machine does not see the knob.
+        assert_eq!(on.stats.app, off.stats.app);
+        assert_eq!(on.stats.cycles, off.stats.cycles);
+        assert_eq!(on.stats.instr_cycles, off.stats.instr_cycles);
+        assert_eq!(on.stats.interrupts, off.stats.interrupts);
+        // Technique estimates still come out; ground-truth tallies don't.
+        assert!(off.technique.label.contains("sampling"));
+        let on_misses: u64 = on.stats.objects.iter().map(|o| o.misses).sum();
+        let off_misses: u64 = off.stats.objects.iter().map(|o| o.misses).sum();
+        assert!(on_misses > 0);
+        assert_eq!(off_misses, 0);
+        assert_eq!(off.stats.unmapped_misses, 0);
     }
 
     #[test]

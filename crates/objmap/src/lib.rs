@@ -30,9 +30,14 @@ pub mod trace;
 
 pub use map::ObjectMap;
 pub use object::{MemoryObject, ObjectId};
-pub use rbtree::RbTree;
+pub use rbtree::{ArenaFull, RbTree};
 pub use symtab::SymTab;
 pub use trace::AccessTrace;
+
+// The shared epoch-versioned extent index (defined in `cachescope-sim`
+// so the engine's ground truth can use it too) is re-exported here as
+// the canonical resolve structure behind [`SymTab`] and [`ObjectMap`].
+pub use cachescope_sim::{EpochIndex, ExtentMemo, ExtentOverlap};
 
 /// A simulated (virtual) memory address.
 pub type Addr = u64;

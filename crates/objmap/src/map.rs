@@ -10,7 +10,7 @@
 //!   the extents of the regions each time they are split so that objects
 //!   do not span region boundaries", section 2.2).
 
-use cachescope_sim::{AddressSpace, ObjectDecl, ObjectKind};
+use cachescope_sim::{AddressSpace, EpochIndex, ObjectDecl, ObjectKind};
 
 use crate::object::{MemoryObject, ObjectId};
 use crate::rbtree::RbTree;
@@ -29,12 +29,20 @@ pub struct ObjectMap {
     coalesce_sites: bool,
     /// Live block count per object id (used to retire coalesced sites).
     live_blocks: Vec<u32>,
-    /// One-entry memo of the last successful [`ObjectMap::lookup`]: the
-    /// containing leaf extent, its id, and the simulated accesses the
-    /// structures made resolving it. Miss addresses cluster (streaming
-    /// sweeps, pointer chases within one block), so consecutive samples
-    /// usually land in the same leaf and skip both walks entirely.
-    memo: Option<LookupMemo>,
+    /// Flat mirror of the live heap-block extents, kept in lock-step with
+    /// the tree. Extent queries answer from here in O(log n) instead of
+    /// walking every tree node.
+    live_heap: EpochIndex,
+    /// Allocator-event counter versioning every memo entry: bumping it
+    /// invalidates the whole cache in O(1), stale entries are simply
+    /// never replayed.
+    epoch: u64,
+    /// Direct-mapped memo of recent successful lookups (see [`MemoCache`]).
+    memo: MemoCache,
+    /// Heap blocks discarded because the tree arena hit its segment cap.
+    /// Attribution for those blocks degrades to "unknown" but the run
+    /// keeps going.
+    dropped_blocks: u64,
 }
 
 /// See [`ObjectMap::lookup`]. Any address inside `[base, end)` follows the
@@ -47,8 +55,66 @@ struct LookupMemo {
     base: Addr,
     end: Addr,
     id: ObjectId,
+    /// [`ObjectMap::epoch`] at fill time; a mismatch means an allocator
+    /// event happened since and the entry is dead.
+    epoch: u64,
     reads: Vec<Addr>,
     writes: Vec<Addr>,
+}
+
+const MEMO_SLOTS: usize = 32;
+
+/// Small direct-mapped cache of [`LookupMemo`] entries.
+///
+/// The old one-entry memo thrashed whenever misses alternated between two
+/// hot objects (an A-B-A-B interleave re-walked both structures on every
+/// sample). Slots are indexed by a hash of the *miss address* at 4 KiB
+/// granularity, so distinct hot blocks usually occupy distinct slots;
+/// `recent` remembers the slot that hit or filled last, which keeps long
+/// streaming sweeps through one large block on the fast path even as the
+/// sweep crosses page-hash boundaries.
+#[derive(Debug, Clone)]
+struct MemoCache {
+    slots: Vec<Option<LookupMemo>>,
+    recent: usize,
+}
+
+impl MemoCache {
+    fn new() -> Self {
+        MemoCache {
+            slots: (0..MEMO_SLOTS).map(|_| None).collect(),
+            recent: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(addr: Addr) -> usize {
+        (((addr >> 12) ^ (addr >> 17)) as usize) & (MEMO_SLOTS - 1)
+    }
+
+    /// Replay the memoised trace for `addr` if a live entry covers it.
+    #[inline]
+    fn replay(&mut self, addr: Addr, epoch: u64, trace: &mut AccessTrace) -> Option<ObjectId> {
+        let direct = Self::slot_of(addr);
+        for s in [self.recent, direct] {
+            if let Some(m) = &self.slots[s] {
+                if m.epoch == epoch && addr >= m.base && addr < m.end {
+                    trace.reads.extend_from_slice(&m.reads);
+                    trace.writes.extend_from_slice(&m.writes);
+                    self.recent = s;
+                    return Some(m.id);
+                }
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn fill(&mut self, addr: Addr, memo: LookupMemo) {
+        let s = Self::slot_of(addr);
+        self.slots[s] = Some(memo);
+        self.recent = s;
+    }
 }
 
 impl ObjectMap {
@@ -88,7 +154,9 @@ impl ObjectMap {
         }
         let symtab_base =
             aspace.alloc_instr(extents.len().max(1) as u64 * crate::symtab::ENTRY_BYTES);
-        // Reserve a fixed arena for the heap tree (supports 64Ki blocks).
+        // Reserve the heap tree's base arena segment (64Ki blocks); past
+        // that the tree spills into fixed segments laid out top-down from
+        // the end of the instrumentation segment (see `rbtree`).
         let heap_base = aspace.alloc_instr(64 * 1024 * crate::rbtree::NODE_BYTES);
         let live_blocks = vec![1; objects.len()];
         ObjectMap {
@@ -97,7 +165,10 @@ impl ObjectMap {
             objects,
             coalesce_sites,
             live_blocks,
-            memo: None,
+            live_heap: EpochIndex::new(),
+            epoch: 0,
+            memo: MemoCache::new(),
+            dropped_blocks: 0,
         }
     }
 
@@ -133,7 +204,7 @@ impl ObjectMap {
         name: Option<&str>,
         trace: &mut AccessTrace,
     ) -> ObjectId {
-        self.memo = None;
+        self.epoch += 1;
         let end = base + size.max(1);
         if self.coalesce_sites {
             if let Some(n) = name {
@@ -145,14 +216,19 @@ impl ObjectMap {
                         && end >= o.base
                 });
                 if let Some(i) = site {
-                    let o = &mut self.objects[i];
-                    let new_base = o.base.min(base);
-                    let new_end = o.end().max(end);
-                    o.base = new_base;
-                    o.size = new_end - new_base;
-                    let id = o.id;
-                    self.live_blocks[i] += 1;
-                    self.heap.insert(base, end, id, trace);
+                    let id = self.objects[i].id;
+                    match self.heap.insert(base, end, id, trace) {
+                        Ok(()) => {
+                            let o = &mut self.objects[i];
+                            let new_base = o.base.min(base);
+                            let new_end = o.end().max(end);
+                            o.base = new_base;
+                            o.size = new_end - new_base;
+                            self.live_blocks[i] += 1;
+                            let _ = self.live_heap.insert(base, end, id.0);
+                        }
+                        Err(_) => self.dropped_blocks += 1,
+                    }
                     return id;
                 }
             }
@@ -169,7 +245,19 @@ impl ObjectMap {
             live: true,
         });
         self.live_blocks.push(1);
-        self.heap.insert(base, end, id, trace);
+        match self.heap.insert(base, end, id, trace) {
+            Ok(()) => {
+                let _ = self.live_heap.insert(base, end, id.0);
+            }
+            Err(_) => {
+                // Arena exhausted: keep the registry entry (the id was
+                // promised to the caller) but the block is untracked — it
+                // can never resolve or be freed, so retire it at once.
+                self.dropped_blocks += 1;
+                self.live_blocks[id.index()] = 0;
+                self.objects[id.index()].live = false;
+            }
+        }
         id
     }
 
@@ -177,8 +265,9 @@ impl ObjectMap {
     /// block's object id if the base was known. A coalesced site stays
     /// live until its last block is freed.
     pub fn on_free(&mut self, base: Addr, trace: &mut AccessTrace) -> Option<ObjectId> {
-        self.memo = None;
+        self.epoch += 1;
         let (_, id) = self.heap.remove(base, trace)?;
+        self.live_heap.remove(base);
         let i = id.index();
         self.live_blocks[i] = self.live_blocks[i].saturating_sub(1);
         if self.live_blocks[i] == 0 {
@@ -193,17 +282,14 @@ impl ObjectMap {
     /// the segments are disjoint so order only affects the recorded trace.
     ///
     /// Successful lookups are memoised per containing leaf extent: a
-    /// repeat hit in the same global or heap block replays the saved
-    /// access trace instead of re-walking the structures, producing an
-    /// identical result *and* identical recorded accesses (see
-    /// [`LookupMemo`]). The memo is invalidated by any allocator event.
+    /// repeat hit in any recently-resolved global or heap block replays
+    /// the saved access trace instead of re-walking the structures,
+    /// producing an identical result *and* identical recorded accesses
+    /// (see [`LookupMemo`] and [`MemoCache`]). Every allocator event
+    /// bumps the map epoch, which invalidates all memo entries at once.
     pub fn lookup(&mut self, addr: Addr, trace: &mut AccessTrace) -> Option<ObjectId> {
-        if let Some(m) = &self.memo {
-            if addr >= m.base && addr < m.end {
-                trace.reads.extend_from_slice(&m.reads);
-                trace.writes.extend_from_slice(&m.writes);
-                return Some(m.id);
-            }
+        if let Some(id) = self.memo.replay(addr, self.epoch, trace) {
+            return Some(id);
         }
         let r0 = trace.reads.len();
         let w0 = trace.writes.len();
@@ -212,17 +298,24 @@ impl ObjectMap {
             .lookup(addr, trace)
             .or_else(|| self.heap.lookup(addr, trace));
         let (base, end, id) = hit?;
-        self.memo = Some(LookupMemo {
-            base,
-            end,
-            id,
-            reads: trace.reads[r0..].to_vec(),
-            writes: trace.writes[w0..].to_vec(),
-        });
+        self.memo.fill(
+            addr,
+            LookupMemo {
+                base,
+                end,
+                id,
+                epoch: self.epoch,
+                reads: trace.reads[r0..].to_vec(),
+                writes: trace.writes[w0..].to_vec(),
+            },
+        );
         Some(id)
     }
 
     /// The smallest base and largest end over all *live* objects.
+    ///
+    /// Heap blocks answer from the flat extent mirror in O(log n); the
+    /// tree is not walked.
     pub fn extent(&self) -> Option<(Addr, Addr)> {
         let mut lo = Addr::MAX;
         let mut hi = 0;
@@ -230,11 +323,31 @@ impl ObjectMap {
             lo = lo.min(b);
             hi = hi.max(e);
         }
-        for &(b, e, _) in &self.heap.iter_all() {
+        if let Some((b, e)) = self.live_heap.extent() {
             lo = lo.min(b);
             hi = hi.max(e);
         }
         (lo < hi).then_some((lo, hi))
+    }
+
+    /// Simulated bytes of instrumentation memory backing the map's
+    /// structures (symbol-table array plus heap-tree arena segments).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.symtab.footprint_bytes() + self.heap.footprint_bytes()
+    }
+
+    /// Arena segments currently backing the heap tree (1 = the base
+    /// reservation, more = spill segments at the top of the
+    /// instrumentation segment).
+    pub fn heap_segments(&self) -> u32 {
+        self.heap.segments()
+    }
+
+    /// Heap blocks dropped because the tree arena reached its segment
+    /// cap. Non-zero means attribution is degraded, not wrong: dropped
+    /// blocks simply resolve to no object.
+    pub fn dropped_blocks(&self) -> u64 {
+        self.dropped_blocks
     }
 
     /// Ids of live objects whose extents intersect `[lo, hi)`, in ascending
@@ -544,6 +657,91 @@ mod tests {
         assert!(id.is_some());
         with_memo.on_free(heap, &mut t());
         assert_eq!(with_memo.lookup(heap + 8, &mut t()), None);
+    }
+
+    #[test]
+    fn memo_survives_an_interleave_of_hot_blocks() {
+        // ABAB across two heap blocks and a global: the widened memo
+        // keeps all three resident where the old one-entry memo would
+        // thrash, and every replay stays trace-identical to a cold walk.
+        let mut m = map();
+        let a = 0x1_4100_0000u64;
+        let b = 0x1_4900_0000u64;
+        m.on_alloc(a, 0x2000, Some("a"), &mut t());
+        m.on_alloc(b, 0x2000, Some("b"), &mut t());
+
+        let cold = |addr: u64| {
+            let mut c = map();
+            c.on_alloc(a, 0x2000, Some("a"), &mut t());
+            c.on_alloc(b, 0x2000, Some("b"), &mut t());
+            let mut tr = t();
+            let id = c.lookup(addr, &mut tr);
+            (id, tr.reads, tr.writes)
+        };
+
+        for round in 0..4u64 {
+            for addr in [a + round * 8, b + round * 8, 0x1000_2080 + round] {
+                let mut tr = t();
+                let id = m.lookup(addr, &mut tr);
+                let (cold_id, cold_reads, cold_writes) = cold(addr);
+                assert_eq!(id, cold_id, "addr {addr:#x}");
+                assert_eq!(tr.reads, cold_reads, "addr {addr:#x}");
+                assert_eq!(tr.writes, cold_writes, "addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_past_the_old_64ki_cap_grows_the_arena() {
+        // The historical arena was a fixed 64Ki-node reservation; pushing
+        // the live-block count past it under alloc/free churn must spill
+        // into a second segment and keep every lookup exact.
+        let mut m = map();
+        let base_of = |i: u64| 0x1_4100_0000 + i * 64;
+        let n = 66_000u64;
+        for i in 0..n {
+            m.on_alloc(base_of(i), 32, None, &mut t());
+            // Interleave frees so node reuse and churn are exercised, but
+            // net growth still crosses the cap.
+            if i % 16 == 15 {
+                assert!(m.on_free(base_of(i - 8), &mut t()).is_some());
+                m.on_alloc(base_of(i - 8), 32, None, &mut t());
+            }
+        }
+        assert_eq!(m.dropped_blocks(), 0, "nothing dropped below the cap");
+        assert!(m.heap_segments() >= 2, "arena spilled past 64Ki blocks");
+        assert!(m.footprint_bytes() > 64 * 1024 * crate::rbtree::NODE_BYTES);
+        // Blocks on both sides of the old cap resolve.
+        let lo = m.lookup(base_of(3) + 8, &mut t()).unwrap();
+        let hi = m.lookup(base_of(n - 1) + 8, &mut t()).unwrap();
+        assert_eq!(m.object(lo).base, base_of(3));
+        assert_eq!(m.object(hi).base, base_of(n - 1));
+        assert_eq!(m.extent().unwrap().1, base_of(n - 1) + 32);
+    }
+
+    #[test]
+    fn arena_cap_drops_blocks_instead_of_aborting() {
+        let mut m = map();
+        // Pin the tree to a single segment so the cap is reachable fast.
+        m.heap = RbTree::with_segment_cap(0x7_0000_0000, 1);
+        let base_of = |i: u64| 0x1_4100_0000 + i * 64;
+        let cap = 65_535u64;
+        for i in 0..cap {
+            m.on_alloc(base_of(i), 32, None, &mut t());
+        }
+        assert_eq!(m.dropped_blocks(), 0);
+        // One past the cap: the alloc is acknowledged but untracked.
+        let id = m.on_alloc(base_of(cap), 32, None, &mut t());
+        assert_eq!(m.dropped_blocks(), 1);
+        assert!(!m.object(id).live, "dropped block is retired immediately");
+        assert_eq!(m.lookup(base_of(cap) + 8, &mut t()), None);
+        assert_eq!(m.on_free(base_of(cap), &mut t()), None);
+        // Earlier blocks are unaffected, and freeing one reopens a slot.
+        assert!(m.lookup(base_of(7) + 8, &mut t()).is_some());
+        assert!(m.on_free(base_of(9), &mut t()).is_some());
+        let again = m.on_alloc(base_of(cap) + 0x1000, 32, None, &mut t());
+        assert_eq!(m.dropped_blocks(), 1, "freed slot absorbed the alloc");
+        assert!(m.object(again).live);
     }
 
     #[test]

@@ -17,6 +17,45 @@ use crate::Addr;
 /// Simulated bytes occupied by one tree node (one cache line).
 pub const NODE_BYTES: u64 = 64;
 
+/// Nodes per arena segment. Segment 0 is the 4 MiB block reserved up
+/// front in the instrumentation segment (the historical 64Ki-block cap);
+/// spill segments are fixed 4 MiB reservations laid out downward from
+/// [`cachescope_sim::address_space::INSTR_LIMIT`], so growing never moves
+/// an existing node's simulated address and never collides with the
+/// upward bump allocator until the whole 256 MiB segment is exhausted.
+const SEG_NODES: u32 = 64 * 1024;
+const SEG_SHIFT: u32 = 16;
+const SEG_MASK: u32 = SEG_NODES - 1;
+/// Simulated bytes per arena segment (4 MiB).
+const SEG_BYTES: u64 = SEG_NODES as u64 * NODE_BYTES;
+/// Default segment cap: 1 base + 31 spill segments ≈ 2M live blocks,
+/// occupying at most the top 124 MiB of the 256 MiB instrumentation
+/// segment.
+const DEFAULT_MAX_SEGMENTS: u32 = 32;
+
+/// The node arena is at its segment cap: the tree cannot register
+/// another live block. Typed so instrumentation can degrade (drop the
+/// block, keep measuring) instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaFull {
+    /// Live blocks at the time of rejection.
+    pub live_blocks: usize,
+    /// Hard node capacity (sentinel excluded).
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for ArenaFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "heap-tree arena full: {} live blocks at capacity {}",
+            self.live_blocks, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for ArenaFull {}
+
 const NIL: u32 = 0;
 
 #[derive(Debug, Clone, Copy)]
@@ -47,21 +86,41 @@ pub struct RbTree {
     root: u32,
     free: Vec<u32>,
     len: usize,
-    /// Base simulated address of the node arena.
+    /// Base simulated address of the node arena (segment 0).
     sim_base: Addr,
+    /// Arena growth cap, in segments of [`SEG_NODES`] nodes.
+    max_segments: u32,
 }
 
 impl RbTree {
     /// Create an empty tree whose node arena begins at simulated address
-    /// `sim_base` (within the instrumentation segment).
+    /// `sim_base` (within the instrumentation segment). The arena grows
+    /// by spill segments up to the default cap ([`DEFAULT_MAX_SEGMENTS`]).
     pub fn new(sim_base: Addr) -> Self {
+        Self::with_segment_cap(sim_base, DEFAULT_MAX_SEGMENTS)
+    }
+
+    /// Like [`RbTree::new`] with an explicit segment cap (`1` = the
+    /// historical fixed 64Ki-node arena, no growth).
+    pub fn with_segment_cap(sim_base: Addr, max_segments: u32) -> Self {
         RbTree {
             nodes: vec![EMPTY], // index 0 is the sentinel
             root: NIL,
             free: Vec::new(),
             len: 0,
             sim_base,
+            max_segments: max_segments.max(1),
         }
+    }
+
+    /// Hard node capacity under the segment cap (sentinel excluded).
+    pub fn capacity(&self) -> usize {
+        (self.max_segments as usize * SEG_NODES as usize) - 1
+    }
+
+    /// Arena segments currently backed (1 base + spill).
+    pub fn segments(&self) -> u32 {
+        ((self.nodes.len() as u32).saturating_sub(1) >> SEG_SHIFT) + 1
     }
 
     /// Number of live blocks in the tree.
@@ -74,10 +133,18 @@ impl RbTree {
         self.len == 0
     }
 
-    /// Simulated address of node `n`.
+    /// Simulated address of node `n`. Segment 0 keeps the historical
+    /// `sim_base + n * NODE_BYTES` layout; spill segments sit top-down
+    /// from the end of the instrumentation segment.
     #[inline]
     fn sim_addr(&self, n: u32) -> Addr {
-        self.sim_base + n as u64 * NODE_BYTES
+        let seg = n >> SEG_SHIFT;
+        if seg == 0 {
+            self.sim_base + n as u64 * NODE_BYTES
+        } else {
+            let spill_base = cachescope_sim::address_space::INSTR_LIMIT - seg as u64 * SEG_BYTES;
+            spill_base + (n & SEG_MASK) as u64 * NODE_BYTES
+        }
     }
 
     /// Simulated size of the node arena (for footprint reporting).
@@ -168,10 +235,24 @@ impl RbTree {
 
     /// Insert the block `[base, end)` with object id `id`.
     ///
-    /// Panics if a block with the same base is already present (the
-    /// instrumented allocator can never produce duplicate bases).
-    pub fn insert(&mut self, base: Addr, end: Addr, id: ObjectId, trace: &mut AccessTrace) {
+    /// Returns [`ArenaFull`] — before touching the tree or the trace —
+    /// when every node under the segment cap is live. Panics if a block
+    /// with the same base is already present (the instrumented allocator
+    /// can never produce duplicate bases).
+    pub fn insert(
+        &mut self,
+        base: Addr,
+        end: Addr,
+        id: ObjectId,
+        trace: &mut AccessTrace,
+    ) -> Result<(), ArenaFull> {
         assert!(base < end, "empty block [{base:#x}, {end:#x})");
+        if self.free.is_empty() && self.nodes.len() >= (self.max_segments as usize) << SEG_SHIFT {
+            return Err(ArenaFull {
+                live_blocks: self.len,
+                capacity: self.capacity(),
+            });
+        }
         let mut parent = NIL;
         let mut cur = self.root;
         while cur != NIL {
@@ -200,6 +281,7 @@ impl RbTree {
         }
         self.len += 1;
         self.insert_fixup(z, trace);
+        Ok(())
     }
 
     fn insert_fixup(&mut self, mut z: u32, trace: &mut AccessTrace) {
@@ -562,7 +644,7 @@ mod tests {
     #[test]
     fn single_insert_and_lookup() {
         let mut tr = tree();
-        tr.insert(100, 200, ObjectId(7), &mut t());
+        tr.insert(100, 200, ObjectId(7), &mut t()).unwrap();
         tr.validate();
         assert_eq!(tr.lookup(100, &mut t()), Some((100, 200, ObjectId(7))));
         assert_eq!(tr.lookup(199, &mut t()), Some((100, 200, ObjectId(7))));
@@ -574,7 +656,8 @@ mod tests {
     fn ascending_inserts_stay_balanced() {
         let mut tr = tree();
         for i in 0..1000u64 {
-            tr.insert(i * 100, i * 100 + 50, ObjectId(i as u32), &mut t());
+            tr.insert(i * 100, i * 100 + 50, ObjectId(i as u32), &mut t())
+                .unwrap();
             tr.validate();
         }
         assert_eq!(tr.len(), 1000);
@@ -592,7 +675,8 @@ mod tests {
     fn descending_inserts_stay_balanced() {
         let mut tr = tree();
         for i in (0..500u64).rev() {
-            tr.insert(i * 64, i * 64 + 64, ObjectId(i as u32), &mut t());
+            tr.insert(i * 64, i * 64 + 64, ObjectId(i as u32), &mut t())
+                .unwrap();
         }
         tr.validate();
         assert_eq!(tr.len(), 500);
@@ -601,8 +685,8 @@ mod tests {
     #[test]
     fn lookup_respects_block_extent_gaps() {
         let mut tr = tree();
-        tr.insert(100, 150, ObjectId(0), &mut t());
-        tr.insert(200, 250, ObjectId(1), &mut t());
+        tr.insert(100, 150, ObjectId(0), &mut t()).unwrap();
+        tr.insert(200, 250, ObjectId(1), &mut t()).unwrap();
         assert_eq!(tr.lookup(175, &mut t()), None, "gap between blocks");
         assert_eq!(tr.lookup(225, &mut t()).unwrap().2, ObjectId(1));
     }
@@ -611,7 +695,7 @@ mod tests {
     fn remove_leaf_root_and_internal() {
         let mut tr = tree();
         for &k in &[50u64, 25, 75, 10, 30, 60, 90] {
-            tr.insert(k, k + 5, ObjectId(k as u32), &mut t());
+            tr.insert(k, k + 5, ObjectId(k as u32), &mut t()).unwrap();
         }
         tr.validate();
         assert_eq!(tr.remove(10, &mut t()), Some((15, ObjectId(10))));
@@ -629,7 +713,8 @@ mod tests {
         let mut tr = tree();
         let keys: Vec<u64> = (0..200).map(|i| (i * 37) % 2000).collect();
         for &k in &keys {
-            tr.insert(k * 10 + 1, k * 10 + 9, ObjectId(k as u32), &mut t());
+            tr.insert(k * 10 + 1, k * 10 + 9, ObjectId(k as u32), &mut t())
+                .unwrap();
         }
         tr.validate();
         for &k in keys.iter().rev() {
@@ -643,10 +728,10 @@ mod tests {
     #[test]
     fn freed_nodes_are_reused() {
         let mut tr = tree();
-        tr.insert(10, 20, ObjectId(0), &mut t());
+        tr.insert(10, 20, ObjectId(0), &mut t()).unwrap();
         let before = tr.footprint_bytes();
-        tr.remove(10, &mut t());
-        tr.insert(30, 40, ObjectId(1), &mut t());
+        tr.remove(10, &mut t()).unwrap();
+        tr.insert(30, 40, ObjectId(1), &mut t()).unwrap();
         assert_eq!(tr.footprint_bytes(), before, "arena did not grow");
     }
 
@@ -654,7 +739,8 @@ mod tests {
     fn for_each_in_visits_range_in_order() {
         let mut tr = tree();
         for k in [5u64, 1, 9, 3, 7] {
-            tr.insert(k * 100, k * 100 + 10, ObjectId(k as u32), &mut t());
+            tr.insert(k * 100, k * 100 + 10, ObjectId(k as u32), &mut t())
+                .unwrap();
         }
         let mut seen = Vec::new();
         tr.for_each_in(300, 900, &mut t(), |b, _, _| seen.push(b));
@@ -665,7 +751,7 @@ mod tests {
     fn iter_all_is_sorted() {
         let mut tr = tree();
         for k in [50u64, 20, 80, 10, 60] {
-            tr.insert(k, k + 1, ObjectId(0), &mut t());
+            tr.insert(k, k + 1, ObjectId(0), &mut t()).unwrap();
         }
         let bases: Vec<Addr> = tr.iter_all().iter().map(|&(b, _, _)| b).collect();
         assert_eq!(bases, vec![10, 20, 50, 60, 80]);
@@ -675,21 +761,113 @@ mod tests {
     #[should_panic(expected = "duplicate block base")]
     fn duplicate_base_panics() {
         let mut tr = tree();
-        tr.insert(10, 20, ObjectId(0), &mut t());
-        tr.insert(10, 30, ObjectId(1), &mut t());
+        tr.insert(10, 20, ObjectId(0), &mut t()).unwrap();
+        tr.insert(10, 30, ObjectId(1), &mut t()).unwrap();
     }
 
     #[test]
     #[should_panic(expected = "empty block")]
     fn empty_block_panics() {
-        tree().insert(10, 10, ObjectId(0), &mut t());
+        tree().insert(10, 10, ObjectId(0), &mut t()).unwrap();
+    }
+
+    #[test]
+    fn default_cap_allows_growth_past_the_base_segment() {
+        let tr = tree();
+        assert_eq!(tr.capacity(), 32 * 65_536 - 1);
+        assert_eq!(tr.segments(), 1);
+    }
+
+    #[test]
+    fn arena_grows_into_spill_segments_past_64ki_blocks() {
+        use cachescope_sim::address_space::INSTR_LIMIT;
+        let sim_base = 0x7_0000_0000u64;
+        let mut tr = RbTree::with_segment_cap(sim_base, 2);
+        let n = 70_000u64;
+        let mut trace = t();
+        for i in 0..n {
+            tr.insert(i * 16, i * 16 + 8, ObjectId(i as u32), &mut trace)
+                .unwrap();
+        }
+        assert_eq!(tr.len(), n as usize);
+        assert_eq!(tr.segments(), 2, "second segment backed");
+        tr.validate();
+
+        // A lookup reaching a spilled node records addresses inside the
+        // top-down spill window, never aliasing segment 0 or the bump
+        // allocator's territory below it.
+        let seg0_end = sim_base + SEG_BYTES;
+        let spill_lo = INSTR_LIMIT - SEG_BYTES;
+        let mut probe = t();
+        assert_eq!(
+            tr.lookup((n - 1) * 16, &mut probe).unwrap().2,
+            ObjectId((n - 1) as u32)
+        );
+        let mut saw_spill = false;
+        for &a in &probe.reads {
+            let in_seg0 = a >= sim_base && a < seg0_end;
+            let in_spill = a >= spill_lo && a < INSTR_LIMIT;
+            assert!(
+                in_seg0 || in_spill,
+                "trace address {a:#x} outside both segments"
+            );
+            saw_spill |= in_spill;
+        }
+        assert!(
+            saw_spill,
+            "highest block's node must live in the spill segment"
+        );
+
+        // Removal works across the segment boundary and empties cleanly.
+        for i in 0..n {
+            assert!(tr.remove(i * 16, &mut trace).is_some());
+        }
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn arena_full_is_a_typed_error_at_the_segment_cap() {
+        let mut tr = RbTree::with_segment_cap(0x7_0000_0000, 1);
+        let mut trace = t();
+        let cap = tr.capacity() as u64;
+        assert_eq!(cap, 65_535);
+        for i in 0..cap {
+            tr.insert(i * 16, i * 16 + 8, ObjectId(i as u32), &mut trace)
+                .unwrap();
+        }
+        assert_eq!(tr.segments(), 1, "cap 1 never spills");
+        let before_reads = trace.reads.len();
+        let err = tr
+            .insert(cap * 16, cap * 16 + 8, ObjectId(0), &mut trace)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArenaFull {
+                live_blocks: 65_535,
+                capacity: 65_535
+            }
+        );
+        assert_eq!(
+            trace.reads.len(),
+            before_reads,
+            "a rejected insert charges no simulated traffic"
+        );
+        assert!(err.to_string().contains("arena full"));
+        // Freeing any block reopens exactly one slot.
+        assert!(tr.remove(0, &mut trace).is_some());
+        tr.insert(cap * 16, cap * 16 + 8, ObjectId(1), &mut trace)
+            .unwrap();
+        assert_eq!(tr.len(), 65_535);
+        assert!(tr
+            .insert(cap * 16 + 32, cap * 16 + 40, ObjectId(2), &mut trace)
+            .is_err());
     }
 
     #[test]
     fn traces_report_instrumentation_segment_addresses() {
         let mut tr = tree();
         let mut trace = t();
-        tr.insert(10, 20, ObjectId(0), &mut trace);
+        tr.insert(10, 20, ObjectId(0), &mut trace).unwrap();
         for &a in trace.reads.iter().chain(trace.writes.iter()) {
             assert!(a >= 0x7_0000_0000, "trace address {a:#x} outside arena");
         }
@@ -721,7 +899,8 @@ mod proptests {
                         // Blocks of width 8 at multiples of 10: never overlap.
                         let base = rng.random_range(0u64..200) * 10;
                         if let std::collections::btree_map::Entry::Vacant(e) = model.entry(base) {
-                            tr.insert(base, base + 8, ObjectId(next_id), &mut trace);
+                            tr.insert(base, base + 8, ObjectId(next_id), &mut trace)
+                                .unwrap();
                             e.insert((base + 8, next_id));
                             next_id += 1;
                         }

@@ -3,8 +3,12 @@
 //! "For global and static variables, this can be done easily using data
 //! from symbol tables and debug information" (section 2.1). The extents are
 //! known before execution begins and never change, so the paper keeps them
-//! in a sorted array searched by binary search; we do the same, and model
-//! the array's simulated memory footprint so lookups perturb the cache.
+//! in a sorted array searched by binary search; we do the same, storing the
+//! extents in a frozen [`EpochIndex`] (the same flat `(base, end, id)`
+//! snapshot ground truth resolves through) and modelling the array's
+//! simulated memory footprint so lookups perturb the cache.
+
+use cachescope_sim::EpochIndex;
 
 use crate::object::ObjectId;
 use crate::trace::AccessTrace;
@@ -13,17 +17,12 @@ use crate::Addr;
 /// Simulated bytes per symbol-table entry (base, end, id and padding).
 pub const ENTRY_BYTES: u64 = 32;
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    base: Addr,
-    end: Addr,
-    id: ObjectId,
-}
-
 /// An immutable, binary-searched table of global/static variable extents.
 #[derive(Debug, Clone)]
 pub struct SymTab {
-    entries: Vec<Entry>,
+    /// Never mutated after construction, so its eager snapshot stays
+    /// exact and every probe reads the flat sorted array.
+    index: EpochIndex,
     /// Base simulated address of the entry array.
     sim_base: Addr,
 }
@@ -32,41 +31,45 @@ impl SymTab {
     /// Build a table from `(base, end, id)` triples; the triples need not
     /// be sorted but must not overlap. The array itself is modelled at
     /// simulated address `sim_base`.
-    pub fn new(mut extents: Vec<(Addr, Addr, ObjectId)>, sim_base: Addr) -> Self {
-        extents.sort_by_key(|&(b, _, _)| b);
-        for w in extents.windows(2) {
-            assert!(
-                w[0].1 <= w[1].0,
-                "overlapping globals at {:#x} and {:#x}",
-                w[0].0,
-                w[1].0
-            );
+    pub fn new(extents: Vec<(Addr, Addr, ObjectId)>, sim_base: Addr) -> Self {
+        for &(base, end, _) in &extents {
+            assert!(base < end, "empty global at {base:#x}");
         }
-        SymTab {
-            entries: extents
-                .into_iter()
-                .map(|(base, end, id)| {
-                    assert!(base < end, "empty global at {base:#x}");
-                    Entry { base, end, id }
-                })
-                .collect(),
-            sim_base,
-        }
+        let index = match EpochIndex::from_extents(
+            extents.into_iter().map(|(base, end, id)| (base, end, id.0)),
+        ) {
+            Ok(index) => index,
+            Err(o) => {
+                // check:allow(overlapping globals are a workload authoring bug; same contract as before)
+                panic!(
+                    "overlapping globals at {:#x} and {:#x}",
+                    o.other_base, o.base
+                )
+            }
+        };
+        SymTab { index, sim_base }
+    }
+
+    /// The sorted entry array. The index is frozen after construction,
+    /// so the snapshot is always exact.
+    #[inline]
+    fn entries(&self) -> &[(Addr, Addr, u32)] {
+        self.index.frozen_sorted()
     }
 
     /// Number of variables in the table.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Is the table empty?
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Simulated size of the entry array.
     pub fn footprint_bytes(&self) -> u64 {
-        self.entries.len() as u64 * ENTRY_BYTES
+        self.index.len() as u64 * ENTRY_BYTES
     }
 
     #[inline]
@@ -77,21 +80,22 @@ impl SymTab {
     /// Binary-search for the variable containing `addr`, recording each
     /// probed entry's simulated address.
     pub fn lookup(&self, addr: Addr, trace: &mut AccessTrace) -> Option<(Addr, Addr, ObjectId)> {
+        let entries = self.entries();
         let mut lo = 0usize;
-        let mut hi = self.entries.len();
+        let mut hi = entries.len();
         let mut best: Option<usize> = None;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             trace.read(self.sim_addr(mid));
-            if self.entries[mid].base <= addr {
+            if entries[mid].0 <= addr {
                 best = Some(mid);
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        let e = &self.entries[best?];
-        (addr < e.end).then_some((e.base, e.end, e.id))
+        let &(base, end, id) = &entries[best?];
+        (addr < end).then_some((base, end, ObjectId(id)))
     }
 
     /// Visit every variable with base in `[lo, hi)` in ascending order.
@@ -102,26 +106,27 @@ impl SymTab {
         trace: &mut AccessTrace,
         mut f: F,
     ) {
-        let start = self.entries.partition_point(|e| e.base < lo);
-        for (i, e) in self.entries[start..].iter().enumerate() {
-            if e.base >= hi {
+        let entries = self.entries();
+        let start = entries.partition_point(|&(base, _, _)| base < lo);
+        for (i, &(base, end, id)) in entries[start..].iter().enumerate() {
+            if base >= hi {
                 break;
             }
             trace.read(self.sim_addr(start + i));
-            f(e.base, e.end, e.id);
+            f(base, end, ObjectId(id));
         }
     }
 
     /// The lowest base and highest end across all variables.
     pub fn extent(&self) -> Option<(Addr, Addr)> {
-        let first = self.entries.first()?;
-        let end = self
-            .entries
+        let entries = self.entries();
+        let &(first_base, first_end, _) = entries.first()?;
+        let end = entries
             .iter()
-            .map(|e| e.end)
+            .map(|&(_, e, _)| e)
             .max()
-            .unwrap_or(first.end);
-        Some((first.base, end))
+            .unwrap_or(first_end);
+        Some((first_base, end))
     }
 }
 

@@ -34,6 +34,7 @@ pub mod address_space;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod epoch;
 pub mod memref;
 pub mod program;
 pub mod rng;
@@ -44,6 +45,7 @@ pub use address_space::{AddressSpace, Segment};
 pub use cache::{AccessOutcome, SetAssocCache};
 pub use config::{CacheConfig, ReplacementPolicy, SimConfig};
 pub use engine::{Engine, EngineCtx, Handler, NullHandler, RunLimit};
+pub use epoch::{EpochIndex, ExtentMemo, ExtentOverlap};
 pub use memref::{AccessKind, MemRef};
 pub use program::{
     Event, EventChunk, ObjectDecl, ObjectKind, Program, TraceProgram, CHUNK_CAPACITY,

@@ -1,0 +1,359 @@
+//! `CS-A00x`: the static bounds oracle, cross-checked against engines.
+//!
+//! `crates/analyze` computes provable per-object miss bounds without
+//! running any simulation. This module turns its output into
+//! diagnostics:
+//!
+//! * **CS-A001..A003** (warnings) — statically provable pathologies:
+//!   an object provably thrashes, two hot objects provably alias into
+//!   the same sets, a phase's working set provably exceeds capacity.
+//! * **CS-A004** (error) — a simulated report's ground-truth per-object
+//!   miss count falls *outside* the provable bounds. The bounds are
+//!   sound by construction, so a violation is an engine or analyzer
+//!   bug, not a workload property; this is the bug class differential
+//!   testing cannot see.
+//! * **CS-A005** (error) — a trace is provably unattributable: every
+//!   access resolves to no live extent, so attribution would produce an
+//!   empty report (the serve fast-reject predicate).
+//!
+//! The report gate recovers absolute per-object misses from the report
+//! rows' `actual_pct` (the export writes shortest-roundtrip floats, so
+//! `pct * app_misses / 100` recovers the integer exactly) and checks
+//! every row, the unmapped tally and the attributed total.
+
+use cachescope_analyze::{analyze_program, AnalysisLimit, AnalyzeConfig, BoundsReport, Pathology};
+use cachescope_campaign::registry;
+use cachescope_obs::Json;
+use cachescope_sim::RunLimit;
+use cachescope_workloads::spec::Scale;
+
+use crate::diag::Diagnostic;
+
+/// The soundness regime a run limit puts the analyzer in: access-count
+/// limits are prefix-exact; miss/cycle limits make the analyzer
+/// interpret until its provable floor reaches the budget (the real run
+/// provably stops at or before that point, so prefix accesses stay
+/// sound upper bounds while min bounds widen to 0).
+pub fn analysis_limit(limit: RunLimit) -> AnalysisLimit {
+    match limit {
+        RunLimit::Exhausted => AnalysisLimit::FullStream,
+        RunLimit::AppAccesses(n) => AnalysisLimit::Accesses(n),
+        RunLimit::AppMisses(n) => AnalysisLimit::Misses(n),
+        RunLimit::Cycles(n) | RunLimit::AppCycles(n) => AnalysisLimit::Cycles(n),
+    }
+}
+
+/// Static bounds for a registry workload under the default monitored
+/// cache — the shared entry point for `check --bounds`, the campaign
+/// gate and the fuzz gate.
+pub fn bounds_for_workload(
+    name: &str,
+    scale: Scale,
+    limit: AnalysisLimit,
+) -> Result<BoundsReport, String> {
+    let mut program = registry::instantiate(name, scale)?;
+    let cfg = AnalyzeConfig {
+        limit,
+        ..AnalyzeConfig::default()
+    };
+    Ok(analyze_program(&mut *program, &cfg))
+}
+
+/// CS-A001..A003: statically provable pathologies as diagnostics.
+/// These are warnings — the workload zoo is engineered to thrash, so
+/// they describe the workload, not a bug.
+pub fn pathology_diagnostics(bounds: &BoundsReport, source: &str) -> Vec<Diagnostic> {
+    bounds
+        .pathologies
+        .iter()
+        .map(|p| {
+            Diagnostic::warning(p.code(), source, p.message()).with_hint(match p {
+                Pathology::Thrash { .. } => {
+                    "no measurement technique can make this object look cheap; \
+                     restructure or tile its accesses"
+                }
+                Pathology::SetAlias { .. } => {
+                    "pad or offset one object so their set footprints separate"
+                }
+                Pathology::PhaseOverCapacity { .. } => {
+                    "the phase streams more lines than the cache holds; expect \
+                     capacity misses regardless of layout"
+                }
+            })
+        })
+        .collect()
+}
+
+fn gate_error(source: &str, message: String) -> Diagnostic {
+    Diagnostic::error("CS-A004", source, message).with_hint(
+        "the static bounds are sound by construction: a violation means an \
+         engine or analyzer bug, not a workload property",
+    )
+}
+
+/// Recover the absolute miss count a report row encodes. `actual_pct`
+/// is written as a shortest-roundtrip float of `misses * 100 / total`,
+/// so the inverse rounds back to the exact integer.
+fn recover_misses(pct: f64, app_misses: u64) -> u64 {
+    // check:allow(value is a rounded non-negative count far below 2^53)
+    (pct / 100.0 * app_misses as f64).round() as u64
+}
+
+/// CS-A004 gate: check a simulated experiment report (the
+/// `report_to_json` shape) against static bounds for the same workload
+/// and run limit. Empty means the ground truth is consistent with the
+/// oracle.
+pub fn check_report_bounds(report: &Json, bounds: &BoundsReport, source: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(costs) = report.get("costs") else {
+        diags.push(gate_error(
+            source,
+            "report has no 'costs' object".to_string(),
+        ));
+        return diags;
+    };
+    let need = |key: &str| costs.get(key).and_then(Json::as_u64);
+    let (Some(app_misses), Some(unmapped_misses)) = (need("app_misses"), need("unmapped_misses"))
+    else {
+        diags.push(gate_error(
+            source,
+            "report costs lack app_misses/unmapped_misses".to_string(),
+        ));
+        return diags;
+    };
+
+    let rows = report.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    for row in rows {
+        let (Some(name), Some(pct)) = (
+            row.get("object").and_then(Json::as_str),
+            row.get("actual_pct").and_then(Json::as_f64),
+        ) else {
+            continue; // malformed rows are CS-S territory, not ours
+        };
+        let misses = recover_misses(pct, app_misses);
+        match bounds.object(name) {
+            None => {
+                if misses > 0 {
+                    diags.push(gate_error(
+                        source,
+                        format!(
+                            "ground truth attributes {misses} misses to '{name}', \
+                             an object the analyzer never saw touched"
+                        ),
+                    ));
+                }
+            }
+            Some(b) => {
+                if !b.contains(misses) {
+                    diags.push(gate_error(
+                        source,
+                        format!(
+                            "object '{name}': measured {misses} misses outside \
+                             provable bounds [{}, {}]",
+                            b.min_misses, b.max_misses
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    if !bounds.unmapped.contains(unmapped_misses) {
+        diags.push(gate_error(
+            source,
+            format!(
+                "unmapped misses {unmapped_misses} outside provable bounds [{}, {}]",
+                bounds.unmapped.min_misses, bounds.unmapped.max_misses
+            ),
+        ));
+    }
+
+    let min_total: u64 = bounds
+        .objects
+        .iter()
+        .map(|o| o.min_misses)
+        .sum::<u64>()
+        .saturating_add(bounds.unmapped.min_misses);
+    let max_total: u64 = bounds
+        .objects
+        .iter()
+        .map(|o| o.max_misses)
+        .sum::<u64>()
+        .saturating_add(bounds.unmapped.max_misses);
+    if app_misses < min_total || app_misses > max_total {
+        diags.push(gate_error(
+            source,
+            format!(
+                "total app misses {app_misses} outside provable bounds \
+                 [{min_total}, {max_total}]"
+            ),
+        ));
+    }
+    diags
+}
+
+/// CS-A005: is this stream provably unattributable? True when it has
+/// traffic but *every* access resolves to no live extent — attribution
+/// would produce an empty report, so serve rejects it before paying for
+/// a simulation.
+pub fn unattributable(bounds: &BoundsReport, source: &str) -> Option<Diagnostic> {
+    let attributed: u64 = bounds.objects.iter().map(|o| o.accesses).sum();
+    (bounds.total_accesses > 0 && attributed == 0).then(|| {
+        Diagnostic::error(
+            "CS-A005",
+            source,
+            format!(
+                "trace is provably unattributable: all {} accesses resolve to \
+                 no declared or allocated object",
+                bounds.total_accesses
+            ),
+        )
+        .with_hint("declare the objects (statics or allocation events) the trace touches")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachescope_analyze::Analyzer;
+    use cachescope_sim::{AccessKind, MemRef, ObjectDecl};
+
+    fn stream_bounds() -> BoundsReport {
+        let mut a = Analyzer::new("t", AnalyzeConfig::default());
+        a.declare_static(&ObjectDecl::global("arr", 0x1000, 64 * 64));
+        for i in 0..64u64 {
+            a.access(&MemRef {
+                addr: 0x1000 + i * 64,
+                size: 8,
+                kind: AccessKind::Read,
+            });
+        }
+        a.finish()
+    }
+
+    fn report(pct: f64, app_misses: u64, unmapped: u64) -> Json {
+        Json::obj(vec![
+            (
+                "rows",
+                Json::Arr(vec![Json::obj(vec![
+                    ("object", Json::str("arr")),
+                    ("actual_rank", Json::Uint(1)),
+                    ("actual_pct", Json::Float(pct)),
+                ])]),
+            ),
+            (
+                "costs",
+                Json::obj(vec![
+                    ("app_misses", Json::Uint(app_misses)),
+                    ("unmapped_misses", Json::Uint(unmapped)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn consistent_report_passes() {
+        let b = stream_bounds();
+        // 64 cold misses, all attributed to arr.
+        assert!(check_report_bounds(&report(100.0, 64, 0), &b, "t").is_empty());
+    }
+
+    #[test]
+    fn corrupted_per_object_count_is_flagged() {
+        let b = stream_bounds();
+        // Engine "lost" half of arr's misses: 32 < provable min 64.
+        let diags = check_report_bounds(&report(50.0, 64, 0), &b, "t");
+        assert!(
+            diags.iter().any(|d| d.code == "CS-A004"),
+            "a deliberately corrupted engine result must be flagged: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn phantom_object_is_flagged() {
+        let b = stream_bounds();
+        let mut j = report(100.0, 64, 0);
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Arr(vec![Json::obj(vec![
+                ("object", Json::str("ghost")),
+                ("actual_pct", Json::Float(100.0)),
+            ])]);
+        }
+        let diags = check_report_bounds(&j, &b, "t");
+        assert!(
+            diags.iter().any(|d| d.message.contains("ghost")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_total_is_flagged() {
+        let b = stream_bounds();
+        // 100 misses from 64 accesses is impossible.
+        let diags = check_report_bounds(&report(100.0, 100, 0), &b, "t");
+        assert!(!diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unattributable_stream_gets_cs_a005() {
+        let mut a = Analyzer::new("t", AnalyzeConfig::default());
+        a.access(&MemRef {
+            addr: 0xdead_0000,
+            size: 8,
+            kind: AccessKind::Read,
+        });
+        let b = a.finish();
+        let d = unattributable(&b, "t").expect("provably unattributable");
+        assert_eq!(d.code, "CS-A005");
+        assert!(unattributable(&stream_bounds(), "t").is_none());
+    }
+
+    #[test]
+    fn pathologies_render_as_warnings() {
+        let mut a = Analyzer::new("t", AnalyzeConfig::default());
+        let lines = 2 * (2 * 1024 * 1024 / 64);
+        a.declare_static(&ObjectDecl::global("huge", 0x1000, lines * 64));
+        for _ in 0..2 {
+            for i in 0..lines {
+                a.access(&MemRef {
+                    addr: 0x1000 + i * 64,
+                    size: 8,
+                    kind: AccessKind::Read,
+                });
+            }
+        }
+        let diags = pathology_diagnostics(&a.finish(), "t");
+        assert!(diags.iter().any(|d| d.code == "CS-A001"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "CS-A003"), "{diags:?}");
+        assert!(diags.iter().all(|d| d.severity == crate::Severity::Warning));
+    }
+
+    #[test]
+    fn registry_workloads_analyze_deterministically() {
+        // Spec workload streams are infinite: analysis must carry an
+        // explicit limit, exactly like a real run.
+        let limit = AnalysisLimit::Accesses(50_000);
+        let b1 = bounds_for_workload("mgrid", Scale::Test, limit).expect("mgrid analyzes");
+        let b2 = bounds_for_workload("mgrid", Scale::Test, limit).expect("mgrid analyzes");
+        assert_eq!(b1.to_json().render(), b2.to_json().render());
+        assert_eq!(b1.total_accesses, 50_000);
+        assert!(bounds_for_workload("nope", Scale::Test, limit).is_err());
+    }
+
+    #[test]
+    fn miss_limited_registry_workload_reaches_its_provable_floor() {
+        let b = bounds_for_workload("compress", Scale::Test, AnalysisLimit::Misses(2_000))
+            .expect("compress analyzes");
+        let certain: u64 =
+            b.objects.iter().map(|o| o.certain_misses).sum::<u64>() + b.unmapped.certain_misses;
+        assert!(
+            certain >= 2_000,
+            "stopped only once 2000 misses were provable"
+        );
+        assert!(
+            b.widened.iter().any(|w| w.contains("data-dependent")),
+            "{:?}",
+            b.widened
+        );
+    }
+}

@@ -20,6 +20,7 @@
 //! | CS-O00x  | profile outputs     | timeline/span JSONL framing         |
 //! | CS-V00x  | serve wire frames   | frame magic/length/type, handshake  |
 //! | CS-F00x  | fuzz artifacts      | scenario/verdict/golden JSON shape  |
+//! | CS-A00x  | static bounds       | provable pathologies, bounds gates  |
 //!
 //! Codes are append-only: a released code never changes meaning.
 //!
@@ -27,6 +28,88 @@
 //! [`ObsEvent::CheckDiagnostic`]: cachescope_obs::ObsEvent::CheckDiagnostic
 
 use cachescope_obs::{Json, ObsEvent};
+
+/// The machine-readable code registry: every stable diagnostic code the
+/// checker can emit, with a one-line meaning. The registry drives the
+/// drift test in `tests/registry.rs` — every code must be unique,
+/// documented in README's code table, emitted somewhere in the checker
+/// or analyzer sources, and covered by at least one golden test — so
+/// adding a code without updating the docs and goldens fails the build.
+pub const REGISTRY: &[(&str, &str)] = &[
+    ("CS-W001", "allocation overlaps a live block"),
+    ("CS-W002", "free of an address with no live allocation"),
+    ("CS-W003", "access references a freed block"),
+    ("CS-W004", "heap block still live at program exit"),
+    ("CS-W005", "object extents overlap"),
+    ("CS-W006", "zero-size object can never be attributed a miss"),
+    ("CS-C001", "chunk mark position exceeds the access run"),
+    ("CS-C002", "chunk mark positions decrease"),
+    (
+        "CS-C003",
+        "pre_cycles length is neither zero nor the run length",
+    ),
+    ("CS-C004", "chunk holds more events than its capacity"),
+    ("CS-C005", "chunk mark holds an access event"),
+    ("CS-T001", "trace file has a bad magic"),
+    ("CS-T002", "trace header is truncated"),
+    ("CS-T003", "trace record is truncated"),
+    ("CS-T004", "trace record is malformed or unreadable"),
+    ("CS-P001", "object extent wraps the address space"),
+    ("CS-P002", "counter width wraps within the configured run"),
+    ("CS-P003", "sampling period is or can reach zero"),
+    ("CS-P004", "zero PMU counters configured"),
+    ("CS-P005", "search counter or logical-way arity is unusable"),
+    ("CS-P006", "fault knob is out of range"),
+    ("CS-S001", "campaign spec is not valid JSON"),
+    ("CS-S002", "campaign spec has an unknown key"),
+    ("CS-S003", "campaign spec has a duplicate key"),
+    ("CS-S004", "campaign spec is missing a required field"),
+    ("CS-S005", "campaign spec uses an unknown kind tag"),
+    ("CS-S006", "campaign spec names an unknown workload"),
+    ("CS-S007", "campaign spec has duplicate technique labels"),
+    ("CS-S008", "campaign matrix contains duplicate cells"),
+    ("CS-L001", "unwrap() in library code"),
+    ("CS-L002", "expect() in library code"),
+    ("CS-L003", "panic! in library code"),
+    ("CS-L004", "wall-clock time in a deterministic crate"),
+    ("CS-L005", "OS randomness in a deterministic crate"),
+    ("CS-L006", "println! in library code"),
+    ("CS-L007", "narrowing as-cast in a hot-path crate"),
+    ("CS-O001", "timeline line is malformed"),
+    (
+        "CS-O002",
+        "timeline windows are empty, inverted or out of order",
+    ),
+    ("CS-O003", "span opens and closes do not nest"),
+    ("CS-O004", "span timestamps go backwards"),
+    ("CS-V001", "wire frame has a bad magic"),
+    ("CS-V002", "wire frame payload exceeds the length budget"),
+    ("CS-V003", "wire protocol version is not supported"),
+    ("CS-V004", "unknown wire frame type"),
+    ("CS-V005", "wire payload is truncated or too short"),
+    (
+        "CS-F001",
+        "fuzz artifact has an unknown kind or is unreadable",
+    ),
+    ("CS-F002", "fuzz artifact is missing a required field"),
+    ("CS-F003", "fuzz scenario fails structural validation"),
+    ("CS-F004", "fuzz verdict counts disagree with its findings"),
+    (
+        "CS-F005",
+        "unresolved silent finding or failed golden replay",
+    ),
+    ("CS-A001", "object provably thrashes the cache"),
+    (
+        "CS-A002",
+        "two hot objects provably alias into the same sets",
+    ),
+    ("CS-A003", "phase working set provably exceeds capacity"),
+    (
+        "CS-A004",
+        "simulated misses violate the provable static bounds",
+    ),
+    ("CS-A005", "trace is provably unattributable"),
+];
 
 /// How bad a finding is. `Error` findings make `cachescope check` exit
 /// nonzero; `Warning` findings only do under `--deny-warnings`.

@@ -14,7 +14,9 @@
 //! mistyped field, `CS-F003` embedded scenario invalid, `CS-F004`
 //! internally inconsistent finding, `CS-F005` unresolved failure
 //! recorded (warning — the fuzz CLI, not the static checker, is the
-//! gate that fails the build).
+//! gate that fails the build). A verdict's recorded static-bounds
+//! violations re-surface here under `CS-A004` (same warning-not-gate
+//! convention as `CS-F005`).
 
 use cachescope_obs::json::{self, Json};
 use cachescope_workloads::fuzz::{FuzzWorkload, Scenario};
@@ -227,6 +229,41 @@ pub fn check_verdict_json(v: &Json, source: &str) -> Vec<Diagnostic> {
                 }
                 diags.extend(local);
             }
+        }
+    }
+    // Optional (older verdicts predate it): `CS-A004` static-bounds
+    // violations the sweep recorded. The fuzz CLI, not the static
+    // checker, is the gate — here each recorded violation surfaces as a
+    // warning so a committed verdict carrying one can't look clean.
+    if let Some(violations) = v.get("bounds_violations").and_then(Json::as_arr) {
+        for (i, b) in violations.iter().enumerate() {
+            let mut local = Vec::new();
+            let scenario = need_str(b, "scenario", source, &mut local);
+            need_str(b, "technique", source, &mut local);
+            need_str(b, "level", source, &mut local);
+            let message = need_str(b, "message", source, &mut local);
+            if !local.is_empty() {
+                for d in &mut local {
+                    d.message = format!("bounds violation {i}: {}", d.message);
+                }
+                diags.extend(local);
+                continue;
+            }
+            diags.push(
+                Diagnostic::warning(
+                    "CS-A004",
+                    source,
+                    format!(
+                        "verdict records a static-bounds violation on '{}': {}",
+                        scenario.unwrap_or_default(),
+                        message.unwrap_or_default()
+                    ),
+                )
+                .with_hint(
+                    "the bounds are sound by construction — this is an engine or \
+                     analyzer bug; the fuzz CLI fails on it",
+                ),
+            );
         }
     }
     if let Some(goldens) = v.get("goldens").and_then(Json::as_arr) {

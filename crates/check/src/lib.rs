@@ -20,11 +20,16 @@
 //!   ([`profile`]).
 //! * **Self-lint** — a dependency-free source scanner ([`selflint`])
 //!   enforcing no-panic library code and seed-only determinism.
+//! * **Bounds oracle** — the static attribution oracle from
+//!   `crates/analyze` surfaced as diagnostics ([`bounds`]): provable
+//!   pathologies (`CS-A001..A003`) and the ground-truth-vs-bounds gate
+//!   (`CS-A004`, `CS-A005`).
 //!
 //! Every finding is a [`diag::Diagnostic`] with a stable `CS-…` code, a
 //! location, and a fix hint; reports render for humans or as JSON lines
 //! through the obs event model (`cachescope check --json`).
 
+pub mod bounds;
 pub mod campaign;
 pub mod chunk;
 pub mod diag;

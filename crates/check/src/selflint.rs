@@ -12,7 +12,10 @@
 //! in library code, `CS-L003` `panic!` in library code, `CS-L004`
 //! wall-clock time in a deterministic crate, `CS-L005` OS randomness in a
 //! deterministic crate, `CS-L006` `println!`/`eprintln!` in library code
-//! (warning).
+//! (warning), `CS-L007` narrowing `as` cast in a hot-path crate (a
+//! silently truncating cast on an address, count or cycle value is
+//! exactly the class of engine bug the static bounds oracle exists to
+//! catch — widen the type or annotate why the value provably fits).
 
 use std::path::{Path, PathBuf};
 
@@ -20,7 +23,21 @@ use crate::diag::Diagnostic;
 
 /// Crates whose results must be bit-reproducible from the seed alone:
 /// wall-clock reads and OS entropy are banned outright there.
-const DETERMINISTIC_CRATES: &[&str] = &["sim", "hwpm", "objmap", "core", "workloads", "fuzzgen"];
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "sim",
+    "hwpm",
+    "objmap",
+    "core",
+    "workloads",
+    "fuzzgen",
+    "analyze",
+];
+
+/// Crates on the per-access hot path, where a narrowing `as` cast can
+/// silently truncate an address, a counter or a cycle count. `CS-L007`
+/// bans them there outside `#[cfg(test)]` unless a `check:allow`
+/// explains why the value provably fits.
+const HOT_PATH_CRATES: &[&str] = &["sim", "objmap", "hwpm"];
 
 /// Per line of a source file: the code text (string contents masked out,
 /// delimiters kept) and the comment text.
@@ -171,6 +188,7 @@ struct Rule {
     code: &'static str,
     warning: bool,
     deterministic_only: bool,
+    hot_path_only: bool,
     what: &'static str,
 }
 
@@ -180,6 +198,7 @@ const RULES: &[Rule] = &[
         code: "CS-L001",
         warning: false,
         deterministic_only: false,
+        hot_path_only: false,
         what: "call to .unwrap() in library code",
     },
     Rule {
@@ -187,6 +206,7 @@ const RULES: &[Rule] = &[
         code: "CS-L002",
         warning: false,
         deterministic_only: false,
+        hot_path_only: false,
         what: "call to .expect(\"…\") in library code",
     },
     Rule {
@@ -194,6 +214,7 @@ const RULES: &[Rule] = &[
         code: "CS-L003",
         warning: false,
         deterministic_only: false,
+        hot_path_only: false,
         what: "panic! in library code",
     },
     Rule {
@@ -201,6 +222,7 @@ const RULES: &[Rule] = &[
         code: "CS-L004",
         warning: false,
         deterministic_only: true,
+        hot_path_only: false,
         what: "wall-clock time in a deterministic crate",
     },
     Rule {
@@ -208,6 +230,7 @@ const RULES: &[Rule] = &[
         code: "CS-L004",
         warning: false,
         deterministic_only: true,
+        hot_path_only: false,
         what: "wall-clock time in a deterministic crate",
     },
     Rule {
@@ -215,6 +238,7 @@ const RULES: &[Rule] = &[
         code: "CS-L005",
         warning: false,
         deterministic_only: true,
+        hot_path_only: false,
         what: "OS randomness in a deterministic crate",
     },
     Rule {
@@ -222,6 +246,7 @@ const RULES: &[Rule] = &[
         code: "CS-L005",
         warning: false,
         deterministic_only: true,
+        hot_path_only: false,
         what: "OS randomness in a deterministic crate",
     },
     Rule {
@@ -229,7 +254,64 @@ const RULES: &[Rule] = &[
         code: "CS-L006",
         warning: true,
         deterministic_only: false,
+        hot_path_only: false,
         what: "println!/eprintln! in library code",
+    },
+    Rule {
+        needle: " as u8",
+        code: "CS-L007",
+        warning: false,
+        deterministic_only: false,
+        hot_path_only: true,
+        what: "narrowing `as u8` cast in a hot-path crate",
+    },
+    Rule {
+        needle: " as u16",
+        code: "CS-L007",
+        warning: false,
+        deterministic_only: false,
+        hot_path_only: true,
+        what: "narrowing `as u16` cast in a hot-path crate",
+    },
+    Rule {
+        needle: " as u32",
+        code: "CS-L007",
+        warning: false,
+        deterministic_only: false,
+        hot_path_only: true,
+        what: "narrowing `as u32` cast in a hot-path crate",
+    },
+    Rule {
+        needle: " as i8",
+        code: "CS-L007",
+        warning: false,
+        deterministic_only: false,
+        hot_path_only: true,
+        what: "narrowing `as i8` cast in a hot-path crate",
+    },
+    Rule {
+        needle: " as i16",
+        code: "CS-L007",
+        warning: false,
+        deterministic_only: false,
+        hot_path_only: true,
+        what: "narrowing `as i16` cast in a hot-path crate",
+    },
+    Rule {
+        needle: " as i32",
+        code: "CS-L007",
+        warning: false,
+        deterministic_only: false,
+        hot_path_only: true,
+        what: "narrowing `as i32` cast in a hot-path crate",
+    },
+    Rule {
+        needle: " as f32",
+        code: "CS-L007",
+        warning: false,
+        deterministic_only: false,
+        hot_path_only: true,
+        what: "narrowing `as f32` cast in a hot-path crate",
     },
 ];
 
@@ -240,6 +322,10 @@ fn rule_hint(code: &str) -> &'static str {
         "CS-L003" => "return a Result, or annotate // check:allow(reason) for test fixtures",
         "CS-L004" => "thread a virtual clock through instead; results must replay from the seed",
         "CS-L005" => "use the seeded SplitMix/Xoshiro helpers; OS entropy breaks reproducibility",
+        "CS-L007" => {
+            "a truncating cast silently corrupts addresses/counts; widen the type, use \
+             TryFrom/u8::from, or annotate // check:allow(why the value provably fits)"
+        }
         _ => "route output through the obs event stream or a returned value",
     }
 }
@@ -247,6 +333,7 @@ fn rule_hint(code: &str) -> &'static str {
 /// Lint one source file. `crate_name` selects the determinism rules.
 pub fn lint_source(src: &str, crate_name: &str, source: &str) -> Vec<Diagnostic> {
     let deterministic = DETERMINISTIC_CRATES.contains(&crate_name);
+    let hot_path = HOT_PATH_CRATES.contains(&crate_name);
     let lines = classify_lines(src);
     let mut diags = Vec::new();
     let mut depth = 0usize;
@@ -288,6 +375,9 @@ pub fn lint_source(src: &str, crate_name: &str, source: &str) -> Vec<Diagnostic>
         }
         for rule in RULES {
             if rule.deterministic_only && !deterministic {
+                continue;
+            }
+            if rule.hot_path_only && !hot_path {
                 continue;
             }
             if code_text.contains(rule.needle) {
@@ -434,6 +524,29 @@ mod tests {
     fn eprintln_matches_the_println_rule() {
         let src = "fn f() {\n    eprintln!(\"out\");\n}\n";
         assert_eq!(codes(&lint_source(src, "obs", "t.rs")), [("CS-L006", 2)]);
+    }
+
+    #[test]
+    fn narrowing_casts_fire_only_in_hot_path_crates() {
+        let src = "fn f(x: u64) -> u32 {\n    x as u32\n}\n";
+        assert_eq!(codes(&lint_source(src, "sim", "t.rs")), [("CS-L007", 2)]);
+        assert_eq!(codes(&lint_source(src, "objmap", "t.rs")), [("CS-L007", 2)]);
+        assert_eq!(codes(&lint_source(src, "hwpm", "t.rs")), [("CS-L007", 2)]);
+        // analyze/check/campaign etc. are off the per-access hot path.
+        assert!(lint_source(src, "analyze", "t.rs").is_empty());
+        assert!(lint_source(src, "check", "t.rs").is_empty());
+    }
+
+    #[test]
+    fn widening_casts_are_not_narrowing() {
+        let src = "fn f(x: u32) -> u64 {\n    let _m = x as usize;\n    x as u64\n}\n";
+        assert!(lint_source(src, "sim", "t.rs").is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_allows_and_test_exemption_compose() {
+        let src = "fn f(x: u64) -> u32 {\n    // check:allow(len bounded by u32 object cap)\n    x as u32\n}\n#[cfg(test)]\nmod tests {\n    fn t(x: u64) -> u8 {\n        x as u8\n    }\n}\n";
+        assert!(lint_source(src, "sim", "t.rs").is_empty());
     }
 
     #[test]

@@ -6,9 +6,13 @@
 //! firing (or fires from the wrong place) fails this suite, which is
 //! what makes the codes safe to grep for in CI logs and bug reports.
 
+use cachescope_analyze::{AnalyzeConfig, Analyzer};
 use cachescope_campaign::Cell;
-use cachescope_check::{campaign, chunk, diag::Diagnostic, lifecycle, pmu, selflint, trace, wire};
+use cachescope_check::{
+    bounds, campaign, chunk, diag::Diagnostic, fuzz, lifecycle, pmu, profile, selflint, trace, wire,
+};
 use cachescope_core::{FaultConfig, SamplerConfig, SearchConfig, TechniqueConfig};
+use cachescope_obs::json::{self, Json};
 use cachescope_sim::{Event, EventChunk, MemRef, ObjectDecl, RunLimit};
 use cachescope_workloads::spec::Scale;
 
@@ -343,6 +347,14 @@ fn l006_println_in_library() {
     assert_eq!((code, line), ("CS-L006", 2));
 }
 
+#[test]
+fn l007_narrowing_cast_in_hot_path_crate() {
+    let src = "fn f(x: u64) -> u32 {\n    x as u32\n}\n";
+    assert_eq!(lint_one(src, "sim"), ("CS-L007", 2));
+    // The same cast is fine outside the hot-path crates.
+    assert!(selflint::lint_source(src, "obs", "golden.rs").is_empty());
+}
+
 // --- CS-V: serve wire frames ------------------------------------------
 
 fn one_wire_code(stream: &[u8]) -> &'static str {
@@ -400,4 +412,187 @@ fn clean_wire_stream_has_no_findings() {
     stream.extend(wire::encode_frame(wire::FrameType::Data, b"trace bytes"));
     stream.extend(wire::encode_frame(wire::FrameType::End, b""));
     assert!(wire::check_wire_stream(&stream, "golden.wire").is_empty());
+}
+
+// --- CS-O: profile outputs --------------------------------------------
+
+#[test]
+fn o001_malformed_timeline_line() {
+    let diags = profile::check_timeline_str("golden", "not json\n");
+    assert_eq!(codes(&diags), ["CS-O001"]);
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn o002_non_monotonic_timeline_windows() {
+    let text = concat!(
+        r#"{"window":1,"start_cycle":100,"end_cycle":200,"refs":1,"misses":0,"degraded":false,"top":[]}"#,
+        "\n",
+        r#"{"window":0,"start_cycle":200,"end_cycle":300,"refs":1,"misses":0,"degraded":false,"top":[]}"#,
+        "\n",
+    );
+    let diags = profile::check_timeline_str("golden", text);
+    assert_eq!(codes(&diags), ["CS-O002"]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn o003_unbalanced_span() {
+    let diags = profile::check_spans_str("golden", r#"{"ev":"close","name":"run","t":0}"#);
+    assert_eq!(codes(&diags), ["CS-O003"]);
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn o004_span_timestamp_regression() {
+    let text = concat!(
+        r#"{"ev":"open","name":"a","t":10}"#,
+        "\n",
+        r#"{"ev":"close","name":"a","t":4}"#,
+        "\n",
+    );
+    let diags = profile::check_spans_str("golden", text);
+    assert!(codes(&diags).contains(&"CS-O004"), "{diags:?}");
+}
+
+// --- CS-F: fuzz artifacts ---------------------------------------------
+
+fn fuzz_codes(body: &str) -> Vec<&'static str> {
+    let v = json::parse(body).expect("golden fuzz JSON parses");
+    codes(&fuzz::check_fuzz_json(&v, "golden"))
+}
+
+#[test]
+fn f001_unknown_artifact_kind() {
+    assert_eq!(fuzz_codes(r#"{"kind":"banana"}"#), ["CS-F001"]);
+}
+
+#[test]
+fn f002_verdict_missing_findings() {
+    let body = r#"{"kind":"fuzz_verdict","v":1,"seed_base":0,"seeds":1,
+        "budget_refs":1000,"scenarios":1,"new_silent":0}"#;
+    assert_eq!(fuzz_codes(body), ["CS-F002"]);
+}
+
+#[test]
+fn f003_golden_with_invalid_scenario() {
+    let body = r#"{"kind":"fuzz_golden","v":1,"name":"g","technique":"sample+h",
+        "level":"skid","expected":{"min_inversions":2,"max_degraded":0},
+        "scenario":{"kind":"fuzz_scenario","v":1,"name":"s","seed":1,"budget_refs":10,
+                    "targets":[],"phases":[]}}"#;
+    assert_eq!(fuzz_codes(body), ["CS-F003"]);
+}
+
+#[test]
+fn f004_silent_finding_with_degraded_objects() {
+    let body = r#"{"kind":"fuzz_verdict","v":1,"seed_base":0,"seeds":1,
+        "budget_refs":1000,"scenarios":1,"new_silent":0,"findings":[
+          {"scenario":"fuzz:0:1000","technique":"sample+h","level":"skid",
+           "inversions":3,"baseline_inversions":1,"degraded":2,"silent":true}]}"#;
+    assert_eq!(fuzz_codes(body), ["CS-F004"]);
+}
+
+#[test]
+fn f005_unresolved_silent_inversion_warns() {
+    let body = r#"{"kind":"fuzz_verdict","v":1,"seed_base":0,"seeds":1,
+        "budget_refs":1000,"scenarios":1,"new_silent":1,"findings":[]}"#;
+    assert_eq!(fuzz_codes(body), ["CS-F005"]);
+}
+
+// --- CS-A: static bounds oracle ---------------------------------------
+
+/// Line stride that stays in one set of the default monitored cache
+/// (2 MiB, 64 B lines, 4-way: 8192 sets, so one way is 512 KiB).
+const SET_STRIDE: u64 = 8192 * 64;
+
+fn sweep(a: &mut Analyzer, base: u64, lines: u64, rounds: u64) {
+    for r in 0..rounds {
+        a.access(&MemRef::read(base + (r % lines) * SET_STRIDE, 8));
+    }
+}
+
+#[test]
+fn a001_provable_thrash() {
+    // Five same-set lines round-robin in a 4-way set: every access past
+    // the warmup has stack distance 4 and is a certain miss.
+    let mut a = Analyzer::new("golden", AnalyzeConfig::default());
+    a.declare_static(&ObjectDecl::global("spin", 0x1_0000, 4 * SET_STRIDE + 64));
+    sweep(&mut a, 0x1_0000, 5, 1200);
+    let diags = bounds::pathology_diagnostics(&a.finish(), "golden");
+    assert_eq!(codes(&diags), ["CS-A001"]);
+}
+
+#[test]
+fn a002_provable_set_alias() {
+    // Two disjoint hot objects whose lines all land in the same set;
+    // accessed one after the other so neither thrashes on its own.
+    let mut a = Analyzer::new("golden", AnalyzeConfig::default());
+    let (base_a, base_b) = (0x1_0000, 0x1_0000 + 3 * SET_STRIDE);
+    a.declare_static(&ObjectDecl::global("left", base_a, 2 * SET_STRIDE + 64));
+    a.declare_static(&ObjectDecl::global("right", base_b, 2 * SET_STRIDE + 64));
+    sweep(&mut a, base_a, 3, 1200);
+    sweep(&mut a, base_b, 3, 1200);
+    let diags = bounds::pathology_diagnostics(&a.finish(), "golden");
+    assert_eq!(codes(&diags), ["CS-A002"]);
+}
+
+#[test]
+fn a003_phase_working_set_over_capacity() {
+    // One more distinct line than the cache holds, then enough cheap
+    // re-hits that the compulsory misses stay under the thrash ratio.
+    let mut a = Analyzer::new("golden", AnalyzeConfig::default());
+    let lines = 2 * 1024 * 1024 / 64 + 1;
+    a.declare_static(&ObjectDecl::global("wide", 0x1_0000, lines * 64));
+    for i in 0..lines {
+        a.access(&MemRef::read(0x1_0000 + i * 64, 8));
+    }
+    for _ in 0..2 * lines {
+        a.access(&MemRef::read(0x1_0000 + (lines - 1) * 64, 8));
+    }
+    let diags = bounds::pathology_diagnostics(&a.finish(), "golden");
+    assert_eq!(codes(&diags), ["CS-A003"]);
+}
+
+fn cold_sweep_bounds() -> cachescope_analyze::BoundsReport {
+    let mut a = Analyzer::new("golden", AnalyzeConfig::default());
+    a.declare_static(&ObjectDecl::global("arr", 0x1000, 64 * 64));
+    for i in 0..64u64 {
+        a.access(&MemRef::read(0x1000 + i * 64, 8));
+    }
+    a.finish()
+}
+
+#[test]
+fn a004_report_outside_provable_bounds() {
+    // 64 cold misses are provable; a report attributing only half of
+    // them to the object is a corrupted engine result.
+    let b = cold_sweep_bounds();
+    let report = Json::obj(vec![
+        (
+            "rows",
+            Json::Arr(vec![Json::obj(vec![
+                ("object", Json::str("arr")),
+                ("actual_pct", Json::Float(50.0)),
+            ])]),
+        ),
+        (
+            "costs",
+            Json::obj(vec![
+                ("app_misses", Json::Uint(64)),
+                ("unmapped_misses", Json::Uint(0)),
+            ]),
+        ),
+    ]);
+    let diags = bounds::check_report_bounds(&report, &b, "golden");
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.code == "CS-A004"), "{diags:?}");
+}
+
+#[test]
+fn a005_provably_unattributable_stream() {
+    let mut a = Analyzer::new("golden", AnalyzeConfig::default());
+    a.access(&MemRef::read(0xdead_0000, 8));
+    let d = bounds::unattributable(&a.finish(), "golden").expect("unattributable");
+    assert_eq!(d.code, "CS-A005");
+    assert!(bounds::unattributable(&cold_sweep_bounds(), "golden").is_none());
 }

@@ -1,0 +1,151 @@
+//! Registry drift: the diagnostic-code registry, the README code table,
+//! the emitting sources and the golden suite must all agree.
+//!
+//! [`REGISTRY`] is the single source of truth for stable `CS-*` codes.
+//! This suite fails the build when any of the four legs drifts:
+//!
+//! 1. a code is duplicated or malformed in the registry itself;
+//! 2. a code is missing from (or stale in) README's code table;
+//! 3. a code is never emitted by the checker or analyzer sources;
+//! 4. a code has no golden test pinning a minimal failing input.
+//!
+//! [`REGISTRY`]: cachescope_check::diag::REGISTRY
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use cachescope_check::diag::REGISTRY;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// All `.rs` sources directly under `dir` (the checker keeps flat crate
+/// layouts, so one level is the whole crate).
+fn rust_sources(dir: &Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            out.push((name, text));
+        }
+    }
+    assert!(!out.is_empty(), "no .rs files under {}", dir.display());
+    out
+}
+
+fn registry_codes() -> Vec<&'static str> {
+    REGISTRY.iter().map(|(code, _)| *code).collect()
+}
+
+/// Is `code` a well-formed `CS-<letter><3 digits>`?
+fn well_formed(code: &str) -> bool {
+    let Some(rest) = code.strip_prefix("CS-") else {
+        return false;
+    };
+    let bytes = rest.as_bytes();
+    bytes.len() == 4 && bytes[0].is_ascii_uppercase() && bytes[1..].iter().all(u8::is_ascii_digit)
+}
+
+#[test]
+fn registry_codes_are_unique_and_well_formed() {
+    let mut seen = BTreeSet::new();
+    for (code, meaning) in REGISTRY {
+        assert!(well_formed(code), "malformed registry code {code:?}");
+        assert!(seen.insert(*code), "duplicate registry code {code}");
+        assert!(!meaning.trim().is_empty(), "{code} has an empty meaning");
+    }
+}
+
+/// Expand one backticked README table token: either a single code
+/// (`CS-W001`) or a range (`CS-W001…W006`, right side without the
+/// `CS-` prefix).
+fn expand_readme_token(token: &str) -> Vec<String> {
+    let (lo, hi) = match token.split_once('…') {
+        None => return vec![token.to_string()],
+        Some(pair) => pair,
+    };
+    assert!(well_formed(lo), "README range start {lo:?} is malformed");
+    let family = &lo[..4]; // "CS-X"
+    let start: u32 = lo[4..].parse().expect("range start number");
+    let hi = hi.trim_start_matches(|c: char| c.is_ascii_uppercase());
+    let end: u32 = hi.parse().expect("range end number");
+    assert!(start <= end, "inverted README range {token:?}");
+    (start..=end).map(|n| format!("{family}{n:03}")).collect()
+}
+
+/// The set of codes README's `| codes | checker |` table documents.
+fn readme_documented_codes() -> BTreeSet<String> {
+    let readme = repo_root().join("README.md");
+    let text = std::fs::read_to_string(&readme)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", readme.display()));
+    let mut codes = BTreeSet::new();
+    for line in text.lines() {
+        // Table rows look like: | `CS-W001…W006` | allocation lifecycle … |
+        let Some(rest) = line.trim().strip_prefix("| `CS-") else {
+            continue;
+        };
+        let Some(token) = rest.split('`').next() else {
+            continue;
+        };
+        for code in expand_readme_token(&format!("CS-{token}")) {
+            assert!(codes.insert(code.clone()), "README documents {code} twice");
+        }
+    }
+    assert!(!codes.is_empty(), "README code table not found");
+    codes
+}
+
+#[test]
+fn readme_code_table_matches_registry() {
+    let documented = readme_documented_codes();
+    let registry: BTreeSet<String> = registry_codes().iter().map(ToString::to_string).collect();
+    let missing: Vec<_> = registry.difference(&documented).collect();
+    assert!(
+        missing.is_empty(),
+        "registry codes missing from README's code table: {missing:?}"
+    );
+    let stale: Vec<_> = documented.difference(&registry).collect();
+    assert!(
+        stale.is_empty(),
+        "README documents codes the registry does not know: {stale:?}"
+    );
+}
+
+#[test]
+fn every_code_is_emitted_somewhere() {
+    // The registry file itself lists every code, so it cannot vouch for
+    // emission; the analyzer sources count because CS-A001..A003 are
+    // minted by `Pathology::code()` over there.
+    let mut sources = rust_sources(&repo_root().join("crates/check/src"));
+    sources.retain(|(name, _)| name != "diag.rs");
+    sources.extend(rust_sources(&repo_root().join("crates/analyze/src")));
+    for code in registry_codes() {
+        let needle = format!("\"{code}\"");
+        assert!(
+            sources.iter().any(|(_, text)| text.contains(&needle)),
+            "{code} is registered but never emitted (no {needle} literal \
+             in crates/check/src or crates/analyze/src)"
+        );
+    }
+}
+
+#[test]
+fn every_code_has_a_golden_test() {
+    // This file names codes only in prose, never as quoted literals, so
+    // it is excluded to keep the check honest.
+    let mut tests = rust_sources(&repo_root().join("crates/check/tests"));
+    tests.retain(|(name, _)| name != "registry.rs");
+    for code in registry_codes() {
+        let needle = format!("\"{code}\"");
+        assert!(
+            tests.iter().any(|(_, text)| text.contains(&needle)),
+            "{code} has no golden coverage under crates/check/tests/"
+        );
+    }
+}

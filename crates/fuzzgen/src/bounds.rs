@@ -1,0 +1,145 @@
+//! Static-bounds cross-check for fuzz scenarios.
+//!
+//! Differential fuzzing compares techniques *against each other* and
+//! against the simulator's ground truth — but if the engine itself
+//! miscounts, every column is wrong by the same amount and the
+//! differential sees nothing. The static oracle (`crates/analyze`)
+//! closes that hole: it computes provable per-object miss bounds from
+//! the scenario's IR alone, with no simulation, so a ground-truth value
+//! outside the bounds (`CS-A004`) is an engine or analyzer bug that no
+//! amount of differential scoring could have surfaced.
+//!
+//! Every differential cell runs under `RunLimit::AppAccesses`, the
+//! bounds-exact regime: the analyzer interprets the identical access
+//! prefix the simulator executes, so the bounds need no widening and
+//! violations are sharp. A violating scenario is minimizer-eligible
+//! through the same predicate-driven shrink core as silent inversions
+//! ([`minimize_violation`]).
+
+use cachescope_analyze::{analyze_program, AnalysisLimit, AnalyzeConfig, BoundsReport};
+use cachescope_check::Diagnostic;
+use cachescope_core::export::report_to_json;
+use cachescope_core::Experiment;
+use cachescope_obs::Obs;
+use cachescope_sim::RunLimit;
+use cachescope_workloads::fuzz::{FuzzWorkload, Scenario};
+
+use crate::differential::{technique_config, COUNTERS};
+use crate::minimize::{shrink_while, Property};
+
+/// Static bounds for a fuzz scenario under the exact access budget its
+/// differential cells run with. Scenario streams are finite but the
+/// cells stop at `budget_refs` anyway, so analysis pins the same
+/// prefix.
+pub fn scenario_bounds(scenario: &Scenario) -> Result<BoundsReport, String> {
+    let mut workload = FuzzWorkload::new(scenario.clone())?;
+    let cfg = AnalyzeConfig {
+        limit: AnalysisLimit::Accesses(scenario.budget_refs),
+        ..AnalyzeConfig::default()
+    };
+    Ok(analyze_program(&mut workload, &cfg))
+}
+
+/// Run the exact experiment a differential cell runs (same technique
+/// config, counters, faults and access limit) and gate its ground truth
+/// against the static oracle. Empty means consistent; any diagnostic is
+/// a `CS-A004` engine/analyzer bug.
+pub fn violation_diagnostics(
+    scenario: &Scenario,
+    prop: &Property,
+) -> Result<Vec<Diagnostic>, String> {
+    let bounds = scenario_bounds(scenario)?;
+    let workload = FuzzWorkload::new(scenario.clone())?;
+    let tech = technique_config(&prop.technique, scenario.budget_refs)
+        .ok_or_else(|| format!("unknown technique '{}'", prop.technique))?;
+    let report = Experiment::new(workload)
+        .technique(tech)
+        .counters(COUNTERS)
+        .limit(RunLimit::AppAccesses(scenario.budget_refs))
+        .faults(prop.faults.clone())
+        .run();
+    let json = report_to_json(&report);
+    let source = format!("{}/{}@{}", scenario.name, prop.technique, prop.level);
+    Ok(cachescope_check::bounds::check_report_bounds(
+        &json, &bounds, &source,
+    ))
+}
+
+/// Delta-debug a bounds-violating scenario to the smallest one whose
+/// ground truth still falls outside its own static bounds. Returns the
+/// shrunken scenario and the accepted step count.
+///
+/// Errors if the starting scenario does not violate (nothing to
+/// minimize) or is invalid.
+pub fn minimize_violation(
+    scenario: &Scenario,
+    prop: &Property,
+    obs: &mut Obs,
+) -> Result<(Scenario, u64), String> {
+    scenario.validate()?;
+    if violation_diagnostics(scenario, prop)?.is_empty() {
+        return Err(format!(
+            "scenario '{}' stays within static bounds under {}@{} — nothing to minimize",
+            scenario.name, prop.technique, prop.level
+        ));
+    }
+    Ok(shrink_while(
+        scenario,
+        |c| matches!(violation_diagnostics(c, prop), Ok(d) if !d.is_empty()),
+        obs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_scenarios_stay_within_their_own_bounds() {
+        // The fundamental soundness fixture: for a healthy engine, no
+        // generated scenario's ground truth can escape the oracle.
+        for seed in 0..3u64 {
+            let scenario = Scenario::generate(seed, 5_000);
+            let prop = Property::named("sample", "skid").expect("known property");
+            let diags = violation_diagnostics(&scenario, &prop).expect("measurable");
+            assert!(diags.is_empty(), "seed {seed}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn bounds_pin_the_exact_cell_prefix() {
+        let scenario = Scenario::generate(1, 4_000);
+        let b = scenario_bounds(&scenario).expect("analyzes");
+        assert_eq!(b.total_accesses, scenario.budget_refs.min(b.total_accesses));
+        assert!(b.total_accesses > 0);
+        // Same scenario, same bounds: the oracle is deterministic.
+        let b2 = scenario_bounds(&scenario).expect("analyzes");
+        assert_eq!(b.to_json().render(), b2.to_json().render());
+    }
+
+    #[test]
+    fn minimize_refuses_a_healthy_scenario() {
+        let scenario = Scenario::generate(2, 4_000);
+        let prop = Property::named("search", "none").expect("known property");
+        let mut obs = Obs::disabled();
+        let err = minimize_violation(&scenario, &prop, &mut obs)
+            .expect_err("a consistent scenario has nothing to minimize");
+        assert!(err.contains("nothing to minimize"), "{err}");
+    }
+
+    #[test]
+    fn shrink_while_converges_under_a_synthetic_predicate() {
+        // The generic core, decoupled from any measurement: an
+        // always-true predicate must shrink to the smallest
+        // structurally clean scenario and terminate.
+        let scenario = Scenario::generate(3, 8_000);
+        let mut obs = Obs::disabled();
+        let (small, steps) = shrink_while(&scenario, |_| true, &mut obs);
+        small.validate().expect("shrunken scenario stays valid");
+        assert!(steps > 0, "a generated scenario has slack to shrink");
+        assert!(small.budget_refs <= scenario.budget_refs);
+        assert!(small.phases.len() <= scenario.phases.len());
+        assert!(small.targets.len() <= scenario.targets.len());
+        assert_eq!(small.phases.len(), 1, "phases shrink to one");
+    }
+}

@@ -212,11 +212,27 @@ pub struct Finding {
     pub silent: bool,
 }
 
+/// One cell whose simulated ground truth fell outside the static
+/// miss-bound oracle (`CS-A004`). The bounds are sound by construction,
+/// so this is an engine or analyzer bug — the class differential
+/// scoring is structurally blind to, because a miscounting simulator
+/// fools every technique column equally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsViolation {
+    pub scenario: String,
+    pub seed: u64,
+    pub budget_refs: u64,
+    pub technique: String,
+    pub level: String,
+    pub message: String,
+}
+
 /// Everything a differential sweep produced.
 #[derive(Debug)]
 pub struct DifferentialReport {
     pub scores: Vec<ScenarioScore>,
     pub findings: Vec<Finding>,
+    pub bounds_violations: Vec<BoundsViolation>,
     pub scenarios: u64,
     pub cells: usize,
     pub cache_hits: usize,
@@ -305,7 +321,11 @@ pub fn run_differential(
     }
 
     let mut scores = Vec::new();
+    let mut bounds_violations = Vec::new();
     for (seed, scenario) in &scenarios {
+        // One static oracle per scenario: the bounds depend only on the
+        // access stream and the budget, never on the technique column.
+        let bounds = crate::bounds::scenario_bounds(scenario)?;
         for (level, _) in &fault_levels() {
             for technique in TECHNIQUES {
                 let outcome = run
@@ -313,6 +333,19 @@ pub fn run_differential(
                     .ok_or_else(|| {
                         format!("campaign lost cell {}/{technique}@{level}", scenario.name)
                     })?;
+                let source = format!("{}/{technique}@{level}", scenario.name);
+                for d in
+                    cachescope_check::bounds::check_report_bounds(&outcome.report, &bounds, &source)
+                {
+                    bounds_violations.push(BoundsViolation {
+                        scenario: scenario.name.clone(),
+                        seed: *seed,
+                        budget_refs: cfg.budget_refs,
+                        technique: technique.to_string(),
+                        level: level.to_string(),
+                        message: d.message,
+                    });
+                }
                 scores.push(ScenarioScore {
                     scenario: scenario.name.clone(),
                     seed: *seed,
@@ -362,6 +395,7 @@ pub fn run_differential(
     Ok(DifferentialReport {
         scores,
         findings,
+        bounds_violations,
         scenarios: cfg.seeds,
         cells: scenarios.len() * fault_levels().len() * TECHNIQUES.len(),
         cache_hits: run.cache_hits(),
@@ -436,6 +470,11 @@ mod tests {
         assert_eq!(report.cells, 2 * 5 * 4);
         assert_eq!(report.scores.len(), report.cells);
         assert_eq!(obs.metrics.counter("fuzz.scenarios"), 2);
+        assert!(
+            report.bounds_violations.is_empty(),
+            "a healthy engine never escapes the static oracle: {:?}",
+            report.bounds_violations
+        );
         for f in &report.findings {
             assert!(technique_is_hardened(&f.technique));
             assert!(f.inversions > f.baseline_inversions);

@@ -24,23 +24,33 @@
 //!    property at every step, and [`golden`] commits the shrunken
 //!    reproducer with a pinned verdict so CI replays it forever.
 //!
+//! Orthogonally, [`bounds`] cross-checks every cell's ground truth
+//! against the static miss-bound oracle (`crates/analyze`): differential
+//! scoring compares techniques to the simulator, so a simulator that
+//! miscounts fools every column equally — a `CS-A004` bounds violation
+//! is the one signal that catches it, and violating scenarios minimize
+//! through the same shrink core as silent inversions.
+//!
 //! [`verdict`] renders the whole run as the `fuzz_verdict` JSON that
 //! `cachescope check` knows how to audit (`CS-F00x`).
 //!
 //! [`Scenario::generate`]: cachescope_workloads::fuzz::Scenario::generate
 
+pub mod bounds;
 pub mod differential;
 pub mod golden;
 pub mod minimize;
 pub mod verdict;
 
+pub use bounds::{minimize_violation, scenario_bounds, violation_diagnostics};
 pub use differential::{
     fault_level, fault_levels, fuzz_search_interval, rerun_cache_stats, run_differential,
-    technique_config, DifferentialConfig, DifferentialReport, Finding, ScenarioScore, COUNTERS,
-    FAULT_SEED, SAMPLE_PERIOD, TECHNIQUES, TOP_N,
+    technique_config, BoundsViolation, DifferentialConfig, DifferentialReport, Finding,
+    ScenarioScore, COUNTERS, FAULT_SEED, SAMPLE_PERIOD, TECHNIQUES, TOP_N,
 };
 pub use golden::{Expected, Golden, Provenance};
 pub use minimize::{
-    is_silent, measure, minimize, planted_inversion, Measurement, MinimizeOutcome, Property,
+    is_silent, measure, minimize, planted_inversion, shrink_while, Measurement, MinimizeOutcome,
+    Property,
 };
 pub use verdict::Verdict;

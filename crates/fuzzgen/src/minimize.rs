@@ -106,19 +106,17 @@ pub struct MinimizeOutcome {
     pub steps: u64,
 }
 
-/// Does this candidate still validate, check clean, and fail silently?
-fn still_fails(candidate: &Scenario, prop: &Property) -> bool {
+/// Does this candidate still validate and check clean? Shared by every
+/// minimization predicate — a shrink step must never trade the failure
+/// for a structurally broken scenario.
+fn structurally_clean(candidate: &Scenario) -> bool {
     if candidate.validate().is_err() {
         return false;
     }
     let diags = cachescope_check::fuzz::check_scenario_default(candidate, &candidate.name);
-    if diags
+    !diags
         .iter()
         .any(|d| d.severity == cachescope_check::Severity::Error)
-    {
-        return false;
-    }
-    matches!(measure(candidate, prop), Ok(m) if is_silent(&m))
 }
 
 /// Recompute the budget from the phases (every shrink keeps the
@@ -196,7 +194,31 @@ pub fn minimize(
             start.degraded
         ));
     }
+    let (current, steps) = shrink_while(
+        scenario,
+        |c| matches!(measure(c, prop), Ok(m) if is_silent(&m)),
+        obs,
+    );
+    let measurement = measure(&current, prop)?;
+    Ok(MinimizeOutcome {
+        scenario: current,
+        measurement,
+        steps,
+    })
+}
 
+/// The predicate-driven shrink core: greedily apply the coarse-to-fine
+/// operators while `pred` keeps holding. `pred` only ever sees
+/// structurally clean candidates (valid + zero `CS-W*`/`CS-C*` errors),
+/// so any failing property expressible as a scenario predicate — silent
+/// inversions, static-bounds violations — minimizes through the same
+/// machinery.
+pub fn shrink_while<P: Fn(&Scenario) -> bool>(
+    scenario: &Scenario,
+    pred: P,
+    obs: &mut Obs,
+) -> (Scenario, u64) {
+    let still_fails = |cand: &Scenario| structurally_clean(cand) && pred(cand);
     let mut current = scenario.clone();
     let mut steps = 0u64;
     let accept = |cand: Scenario, action: &str, steps: &mut u64, obs: &mut Obs| {
@@ -219,7 +241,7 @@ pub fn minimize(
                 let mut cand = current.clone();
                 cand.phases.remove(p);
                 rebudget(&mut cand);
-                if still_fails(&cand, prop) {
+                if still_fails(&cand) {
                     current = accept(cand, "drop_phase", &mut steps, obs);
                     changed = true;
                 } else {
@@ -233,7 +255,7 @@ pub fn minimize(
             if current.phases[p].churn.is_some() {
                 let mut cand = current.clone();
                 cand.phases[p].churn = None;
-                if still_fails(&cand, prop) {
+                if still_fails(&cand) {
                     current = accept(cand, "drop_churn", &mut steps, obs);
                     changed = true;
                 }
@@ -244,7 +266,7 @@ pub fn minimize(
         let mut t = 0;
         while current.targets.len() > 1 && t < current.targets.len() {
             match drop_target(&current, t) {
-                Some(cand) if still_fails(&cand, prop) => {
+                Some(cand) if still_fails(&cand) => {
                     current = accept(cand, "drop_target", &mut steps, obs);
                     changed = true;
                 }
@@ -264,7 +286,7 @@ pub fn minimize(
                     {
                         slots.truncate(slots.len() / 2);
                     }
-                    if still_fails(&cand, prop) {
+                    if still_fails(&cand) {
                         current = accept(cand, "shrink_pattern", &mut steps, obs);
                         changed = true;
                     }
@@ -278,7 +300,7 @@ pub fn minimize(
                 let mut cand = current.clone();
                 cand.phases[p].refs /= 2;
                 rebudget(&mut cand);
-                if still_fails(&cand, prop) {
+                if still_fails(&cand) {
                     current = accept(cand, "halve_refs", &mut steps, obs);
                     changed = true;
                 }
@@ -292,7 +314,7 @@ pub fn minimize(
             if half < size {
                 let mut cand = current.clone();
                 cand.targets[t].size = half;
-                if still_fails(&cand, prop) {
+                if still_fails(&cand) {
                     current = accept(cand, "halve_size", &mut steps, obs);
                     changed = true;
                 }
@@ -303,13 +325,7 @@ pub fn minimize(
             break;
         }
     }
-
-    let measurement = measure(&current, prop)?;
-    Ok(MinimizeOutcome {
-        scenario: current,
-        measurement,
-        steps,
-    })
+    (current, steps)
 }
 
 /// A planted silent-inversion fixture for the convergence test: an

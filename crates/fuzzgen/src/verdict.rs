@@ -8,7 +8,7 @@
 
 use cachescope_obs::Json;
 
-use crate::differential::{DifferentialConfig, DifferentialReport, Finding};
+use crate::differential::{BoundsViolation, DifferentialConfig, DifferentialReport, Finding};
 use crate::golden::Golden;
 
 /// A rendered sweep verdict.
@@ -18,6 +18,9 @@ pub struct Verdict {
     pub seeds: u64,
     pub budget_refs: u64,
     pub scenarios: u64,
+    /// `CS-A004` static-bounds violations — engine bugs, never workload
+    /// properties; any entry fails the sweep.
+    pub bounds_violations: Vec<BoundsViolation>,
     pub findings: Vec<Finding>,
     /// `(name, passed)` for every replayed golden.
     pub goldens: Vec<(String, bool)>,
@@ -36,6 +39,7 @@ impl Verdict {
             seeds: cfg.seeds,
             budget_refs: cfg.budget_refs,
             scenarios: report.scenarios,
+            bounds_violations: report.bounds_violations.clone(),
             findings: report.findings.clone(),
             goldens: goldens
                 .iter()
@@ -91,6 +95,18 @@ impl Verdict {
                 ])
             })
             .collect();
+        let violation_rows = self
+            .bounds_violations
+            .iter()
+            .map(|v| {
+                Json::obj(vec![
+                    ("scenario", Json::str(v.scenario.clone())),
+                    ("technique", Json::str(v.technique.clone())),
+                    ("level", Json::str(v.level.clone())),
+                    ("message", Json::str(v.message.clone())),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("kind", Json::str("fuzz_verdict")),
             ("v", Json::Uint(1)),
@@ -102,6 +118,7 @@ impl Verdict {
                 "new_silent",
                 Json::Uint(self.new_silent(goldens).len() as u64),
             ),
+            ("bounds_violations", Json::Arr(violation_rows)),
             ("findings", Json::Arr(findings)),
             ("goldens", Json::Arr(golden_rows)),
         ])
@@ -134,6 +151,7 @@ mod tests {
             seeds: 4,
             budget_refs: 1000,
             scenarios: 4,
+            bounds_violations: vec![],
             findings,
             goldens,
         }
@@ -164,6 +182,49 @@ mod tests {
         let new = v.new_silent(&goldens);
         assert_eq!(new.len(), 1, "seed 1 is known, seed 3 is flagged");
         assert_eq!(new[0].seed, 2);
+    }
+
+    #[test]
+    fn recorded_bounds_violations_surface_through_the_checker() {
+        let mut v = verdict(vec![], vec![]);
+        v.bounds_violations.push(BoundsViolation {
+            scenario: "fuzz:1:1000".to_string(),
+            seed: 1,
+            budget_refs: 1000,
+            technique: "sample".to_string(),
+            level: "skid".to_string(),
+            message: "object 'a': measured 9 misses outside provable bounds [10, 20]".to_string(),
+        });
+        let j = v.to_json(&[]);
+        let rows = j.get("bounds_violations").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 1);
+        let diags = cachescope_check::fuzz::check_fuzz_json(&j, "t");
+        assert!(
+            diags.iter().any(|d| d.code == "CS-A004"
+                && d.severity == cachescope_check::Severity::Warning
+                && d.message.contains("outside provable bounds")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_bounds_violation_rows_are_cs_f002() {
+        let v = verdict(vec![], vec![]);
+        let mut j = v.to_json(&[]);
+        if let Json::Obj(fields) = &mut j {
+            for (k, val) in fields.iter_mut() {
+                if *k == "bounds_violations" {
+                    *val = Json::Arr(vec![Json::obj(vec![("scenario", Json::str("x"))])]);
+                }
+            }
+        }
+        let diags = cachescope_check::fuzz::check_fuzz_json(&j, "t");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "CS-F002" && d.message.contains("bounds violation 0")),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -141,6 +141,7 @@ impl ObjectMap {
         let mut objects = Vec::with_capacity(decls.len());
         let mut extents = Vec::with_capacity(decls.len());
         for decl in decls {
+            // check:allow(ObjectId is u32 by design; a map holds far fewer than 2^32 objects)
             let id = ObjectId(objects.len() as u32);
             objects.push(MemoryObject {
                 id,
@@ -233,6 +234,7 @@ impl ObjectMap {
                 }
             }
         }
+        // check:allow(ObjectId is u32 by design; a map holds far fewer than 2^32 objects)
         let id = ObjectId(self.objects.len() as u32);
         self.objects.push(MemoryObject {
             id,

@@ -120,6 +120,7 @@ impl RbTree {
 
     /// Arena segments currently backed (1 base + spill).
     pub fn segments(&self) -> u32 {
+        // check:allow(node indices are u32 by construction; the arena caps at max_segments << SEG_SHIFT)
         ((self.nodes.len() as u32).saturating_sub(1) >> SEG_SHIFT) + 1
     }
 
@@ -167,6 +168,7 @@ impl RbTree {
             n
         } else {
             self.nodes.push(node);
+            // check:allow(node indices are u32 by construction; the arena caps at max_segments << SEG_SHIFT)
             (self.nodes.len() - 1) as u32
         }
     }

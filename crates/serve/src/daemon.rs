@@ -64,6 +64,14 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// JSONL event-feed path (`None` keeps events in memory only).
     pub events_path: Option<PathBuf>,
+    /// Refuse provably unattributable streams (`CS-A005`) before
+    /// simulating them: the static analyzer walks the decoded trace at
+    /// ingest, and a stream whose every access resolves to no declared
+    /// or allocated object is rejected instead of paying for a
+    /// simulation that can only produce an empty report. Opt-in — the
+    /// default path answers every admissible stream with a report,
+    /// byte-identical to the batch pipeline.
+    pub analyze_reject: bool,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +84,7 @@ impl Default for ServeConfig {
             workers: None,
             cache_dir: None,
             events_path: None,
+            analyze_reject: false,
         }
     }
 }
@@ -444,6 +453,38 @@ fn handle_conn<S: Read + Write>(shared: &Arc<Shared>, mut stream: S, peer: &str)
     }
 }
 
+/// The `CS-A005` fast-reject: abstract-interpret the decoded trace
+/// under the session's own miss budget; a stream with traffic but no
+/// access resolving to any declared or allocated object is provably
+/// unattributable — the simulation it would buy can only produce an
+/// empty report, so refuse before paying for it.
+fn unattributable_refusal(fin: &FinishedStream, config: &SessionConfig) -> Option<Refusal> {
+    let mut a = cachescope_analyze::Analyzer::new(
+        fin.name.clone(),
+        cachescope_analyze::AnalyzeConfig {
+            limit: cachescope_analyze::AnalysisLimit::Misses(config.misses),
+            ..Default::default()
+        },
+    );
+    for d in &fin.objects {
+        a.declare_static(d);
+    }
+    for e in &fin.events {
+        if a.at_limit() {
+            break;
+        }
+        a.event(e);
+    }
+    let source = fin.name.clone();
+    cachescope_check::bounds::unattributable(&a.finish(), &source).map(|d| {
+        Refusal::new(
+            "unattributable",
+            format!("{} ({})", d.message, d.code),
+            false,
+        )
+    })
+}
+
 /// The Data/End loop for an admitted session. `Err(None)` means the
 /// peer disappeared mid-stream (nothing to reply to); `Err(Some)` is a
 /// refusal to send.
@@ -487,6 +528,11 @@ fn session_body<S: Read + Write>(
     }
 
     let fin = ingest.finish().map_err(Some)?;
+    if shared.config.analyze_reject {
+        if let Some(refusal) = unattributable_refusal(&fin, config) {
+            return Err(Some(refusal));
+        }
+    }
     let (bytes, events) = (fin.bytes, fin.events.len() as u64);
     let canonical = config.canonical().map_err(Some)?;
     let key = stable_hash(&format!("{}|{}", fin.trace_digest, canonical.render()));

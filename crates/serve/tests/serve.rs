@@ -266,6 +266,53 @@ fn byte_budget_rejects_oversized_sessions() {
     daemon.shutdown(Duration::from_secs(5));
 }
 
+/// A trace whose every access lands outside every declared object:
+/// provably unattributable, the CS-A005 fast-reject fixture.
+fn unattributable_trace() -> Vec<u8> {
+    let objects = vec![ObjectDecl::global("grid", 0x10_000, 4 * 1024)];
+    let events = (0..200u64)
+        .map(|i| Event::Access(MemRef::read(0xdead_0000 + i * 64, 8)))
+        .collect();
+    let p = TraceProgram::new("stray".to_string(), objects, events);
+    let mut rec = RecordingProgram::with_format(p, Vec::new(), TraceFormat::Bin);
+    while rec.next_event().is_some() {}
+    rec.into_writer()
+}
+
+#[test]
+fn analyze_reject_refuses_provably_unattributable_streams() {
+    let (daemon, addr) = tcp_daemon(ServeConfig {
+        analyze_reject: true,
+        ..ServeConfig::default()
+    });
+    // The unattributable stream is refused before any simulation...
+    let r =
+        expect_reject(submit_bytes(&addr, &unattributable_trace(), &session_config(), 0).unwrap());
+    assert_eq!(r.code, "unattributable");
+    assert!(r.message.contains("CS-A005"), "{}", r.message);
+    assert!(!r.retryable);
+    // ...while an attributable one on the same daemon still serves the
+    // batch-identical report: the gate only fires on provable emptiness.
+    let cfg = session_config();
+    let trace = bin_trace(11);
+    let report = expect_report(submit_bytes(&addr, &trace, &cfg, 0).unwrap());
+    assert_eq!(report, batch_report(&trace, &cfg));
+    daemon.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn default_config_still_serves_unattributable_streams() {
+    // Opt-in means opt-in: without the flag the daemon answers with an
+    // (empty) report, byte-identical to the batch pipeline, exactly as
+    // before the fast-reject existed.
+    let (daemon, addr) = tcp_daemon(ServeConfig::default());
+    let cfg = session_config();
+    let trace = unattributable_trace();
+    let report = expect_report(submit_bytes(&addr, &trace, &cfg, 0).unwrap());
+    assert_eq!(report, batch_report(&trace, &cfg));
+    daemon.shutdown(Duration::from_secs(5));
+}
+
 #[test]
 fn admission_control_rejects_excess_sessions_as_busy() {
     let (daemon, addr) = tcp_daemon(ServeConfig {

@@ -70,6 +70,7 @@ impl GroundTruth {
         size: u64,
         kind: ObjectKind,
     ) -> Result<u32, crate::epoch::ExtentOverlap> {
+        // check:allow(object ids are u32 by construction; a run registers far fewer than 2^32 objects)
         let id = self.objects.len() as u32;
         self.index.insert(base, base + size, id)?;
         self.objects.push(ObjectStats {

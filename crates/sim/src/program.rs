@@ -204,6 +204,7 @@ impl EventChunk {
     pub fn push_mark(&mut self, e: Event) {
         debug_assert!(!self.is_full());
         debug_assert!(!matches!(e, Event::Access(_)), "accesses go in refs");
+        // check:allow(refs.len() is bounded by the chunk capacity, far below 2^32)
         self.marks.push((self.refs.len() as u32, e));
     }
 

@@ -86,7 +86,7 @@ fn write_bin_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
     match ev {
         Event::Access(r) => {
             rec[0] = 1;
-            rec[1] = (r.kind == AccessKind::Write) as u8;
+            rec[1] = u8::from(r.kind == AccessKind::Write);
             rec[4..8].copy_from_slice(&r.size.to_le_bytes());
             rec[8..16].copy_from_slice(&r.addr.to_le_bytes());
             w.write_all(&rec)
@@ -98,7 +98,7 @@ fn write_bin_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
         }
         Event::Alloc { base, size, name } => {
             rec[0] = 3;
-            rec[1] = name.is_some() as u8;
+            rec[1] = u8::from(name.is_some());
             let nb = name.as_deref().unwrap_or("").as_bytes();
             // check:allow(names come from in-repo workloads, far below 64 KiB)
             let len = u16::try_from(nb.len()).expect("alloc name too long for binary trace");

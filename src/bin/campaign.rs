@@ -17,6 +17,10 @@
 //!   --trace-out FILE    write the campaign's event stream as JSONL
 //!   --assert-all-cached exit 1 unless every cell was served from cache
 //!                       (CI uses this to prove cache round-trips)
+//!   --bounds            gate every settled cell's ground truth against
+//!                       the static bounds oracle: a per-object miss
+//!                       count outside the provable bounds (CS-A004) is
+//!                       an engine/analyzer bug and fails the run
 //! ```
 //!
 //! Spec files live in `campaigns/*.json`; see `campaigns/smoke.json` for
@@ -38,7 +42,7 @@ fn usage() -> ! {
         "usage: campaign <spec.json> [options]\n\
          \x20 --jobs N --retries N --cache-dir DIR --manifest-dir DIR\n\
          \x20 --force --dry-run --metrics --profile --trace-out FILE\n\
-         \x20 --assert-all-cached"
+         \x20 --assert-all-cached --bounds"
     );
     std::process::exit(2);
 }
@@ -62,6 +66,7 @@ fn main() {
     let mut show_metrics = false;
     let mut profile = false;
     let mut assert_all_cached = false;
+    let mut bounds_gate = false;
     let mut trace_out: Option<String> = None;
 
     let mut it = args[1..].iter();
@@ -88,6 +93,7 @@ fn main() {
             }
             "--trace-out" => trace_out = Some(value("--trace-out")),
             "--assert-all-cached" => assert_all_cached = true,
+            "--bounds" => bounds_gate = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -191,6 +197,55 @@ fn main() {
                 );
             }
         }
+    }
+
+    if bounds_gate {
+        use std::collections::HashMap;
+        // One oracle per distinct (workload, scale, limit): the static
+        // bounds depend only on those, never on the technique column.
+        let mut oracle: HashMap<String, Result<cachescope::analyze::BoundsReport, String>> =
+            HashMap::new();
+        let mut violations = 0usize;
+        for o in &run.outcomes {
+            let cell = &o.cell;
+            let key = format!("{}|{:?}|{:?}", cell.workload, cell.scale, cell.limit);
+            let bounds = oracle.entry(key).or_insert_with(|| {
+                cachescope::check::bounds::bounds_for_workload(
+                    &cell.workload,
+                    cell.scale,
+                    cachescope::check::bounds::analysis_limit(cell.limit),
+                )
+            });
+            match bounds {
+                Err(e) => {
+                    eprintln!("  {:<28} bounds oracle failed: {e}", cell.describe());
+                    violations += 1;
+                }
+                Ok(b) => {
+                    let diags = cachescope::check::bounds::check_report_bounds(
+                        &o.report,
+                        b,
+                        &cell.describe(),
+                    );
+                    for d in &diags {
+                        eprintln!("  {}", d.render());
+                    }
+                    violations += diags.len();
+                }
+            }
+        }
+        if violations > 0 {
+            eprintln!(
+                "--bounds: {violations} ground-truth value(s) outside the provable \
+                 static bounds (CS-A004)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bounds gate: {} cell(s) checked against {} static oracle(s), all within bounds",
+            run.outcomes.len(),
+            oracle.len(),
+        );
     }
 
     if assert_all_cached {

@@ -17,10 +17,15 @@
 //!   --fuzz FILE       verify a fuzz artifact: a fuzz_verdict report or
 //!                     a fuzz_golden reproducer (embedded scenarios get
 //!                     the full lifecycle/chunk passes)
+//!   --bounds NAME     run the static bounds oracle over a registry
+//!                     workload: provable pathologies surface as
+//!                     CS-A001..A003 warnings, a provably
+//!                     unattributable stream as a CS-A005 error
 //!   --self-lint       lint the repo's own sources (no-panic library
 //!                     code, seed-only determinism)
-//!   --all             every campaigns/*.json, every registry workload,
-//!                     every results/*.timeline.jsonl,
+//!   --all             every campaigns/*.json, every registry workload
+//!                     (stream checks and static bounds), every
+//!                     results/*.timeline.jsonl,
 //!                     results/*.spans.jsonl and results/*.wire.bin,
 //!                     every goldens/fuzz/*.json and any
 //!                     results/fuzz_verdict.json, and the self-lint
@@ -43,7 +48,8 @@ fn usage() -> ! {
         "usage: cachescope check [--all] [--trace FILE]... [--campaign FILE]...\n\
          \x20                       [--workload NAME]... [--timeline FILE]...\n\
          \x20                       [--spans FILE]... [--wire FILE]... [--fuzz FILE]...\n\
-         \x20                       [--self-lint] [--root DIR] [--json] [--deny-warnings]"
+         \x20                       [--bounds NAME]... [--self-lint] [--root DIR]\n\
+         \x20                       [--json] [--deny-warnings]"
     );
     std::process::exit(2);
 }
@@ -56,6 +62,7 @@ pub fn run(args: &[String]) -> ! {
     let mut spans: Vec<String> = Vec::new();
     let mut wires: Vec<String> = Vec::new();
     let mut fuzzes: Vec<String> = Vec::new();
+    let mut bounds: Vec<String> = Vec::new();
     let mut self_lint = false;
     let mut all = false;
     let mut json = false;
@@ -78,6 +85,7 @@ pub fn run(args: &[String]) -> ! {
             "--spans" => spans.push(value("--spans")),
             "--wire" => wires.push(value("--wire")),
             "--fuzz" => fuzzes.push(value("--fuzz")),
+            "--bounds" => bounds.push(value("--bounds")),
             "--self-lint" => self_lint = true,
             "--all" => all = true,
             "--json" => json = true,
@@ -95,9 +103,11 @@ pub fn run(args: &[String]) -> ! {
         self_lint = true;
         for name in cachescope::campaign::registry::SPEC95 {
             workloads.push(name.to_string());
+            bounds.push(name.to_string());
         }
         for name in cachescope::campaign::registry::SPEC2000 {
             workloads.push(name.to_string());
+            bounds.push(name.to_string());
         }
         let dir = root.join("campaigns");
         let mut found = Vec::new();
@@ -166,6 +176,7 @@ pub fn run(args: &[String]) -> ! {
         && spans.is_empty()
         && wires.is_empty()
         && fuzzes.is_empty()
+        && bounds.is_empty()
         && !self_lint
     {
         eprintln!("check: nothing to check (pass inputs or --all)");
@@ -200,6 +211,22 @@ pub fn run(args: &[String]) -> ! {
     }
     for path in &fuzzes {
         report.absorb(cachescope_check::fuzz::check_fuzz_file(path));
+    }
+    for name in &bounds {
+        // A bounded prefix: spec workload streams are infinite, and the
+        // provable pathologies stabilize well within it.
+        let limit = cachescope::analyze::AnalysisLimit::Accesses(500_000);
+        let source = format!("workload:{name}");
+        match cachescope_check::bounds::bounds_for_workload(name, Scale::Test, limit) {
+            Ok(b) => {
+                let mut diags = cachescope_check::bounds::pathology_diagnostics(&b, &source);
+                diags.extend(cachescope_check::bounds::unattributable(&b, &source));
+                report.absorb(diags);
+            }
+            Err(e) => report.absorb(vec![cachescope_check::Diagnostic::error(
+                "CS-S006", source, e,
+            )]),
+        }
     }
     if self_lint {
         report.absorb(selflint::lint_repo(&root));

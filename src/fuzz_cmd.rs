@@ -9,16 +9,22 @@
 //!
 //! Generates `N` seeded scenarios, proves each clean under the static
 //! checkers, sweeps every scenario through the technique × fault matrix
-//! as one cached campaign, replays the committed golden reproducers, and
-//! renders a `fuzz_verdict` JSON. With `--minimize`, every *new* silent
-//! inversion is delta-debugged down and committed to the golden
-//! directory so the next run knows it.
+//! as one cached campaign, cross-checks every cell's ground truth
+//! against the static miss-bound oracle (a `CS-A004` violation is an
+//! engine bug and fails the run), replays the committed golden
+//! reproducers, and renders a `fuzz_verdict` JSON. With `--minimize`,
+//! every *new* silent inversion is delta-debugged down and committed to
+//! the golden directory so the next run knows it; bounds-violating
+//! scenarios are delta-debugged too, but their reproducers land under
+//! `results/` — they witness engine bugs, not technique regressions, so
+//! they must never join the replayed golden set.
 //!
-//! Exit codes: `0` clean, `1` new silent inversions or golden replay
-//! failures, `2` usage errors.
+//! Exit codes: `0` clean, `1` new silent inversions, bounds violations
+//! or golden replay failures, `2` usage errors.
 
 use cachescope::fuzzgen::{
-    golden, minimize, run_differential, DifferentialConfig, Golden, Property, Provenance, Verdict,
+    golden, minimize, minimize_violation, run_differential, DifferentialConfig, Golden, Property,
+    Provenance, Verdict,
 };
 use cachescope::obs::Obs;
 use cachescope::workloads::fuzz::Scenario;
@@ -109,6 +115,12 @@ pub fn run(args: &[String]) -> ! {
         report.findings.len(),
         report.silent_findings().count()
     );
+    for v in &report.bounds_violations {
+        println!(
+            "fuzz: BOUNDS VIOLATION (CS-A004) {} under {}@{}: {}",
+            v.scenario, v.technique, v.level, v.message
+        );
+    }
 
     if do_minimize {
         let new: Vec<_> = report
@@ -143,6 +155,38 @@ pub fn run(args: &[String]) -> ! {
                 path.display()
             );
             goldens.push(g);
+        }
+
+        // Bounds violations witness engine bugs, not technique
+        // regressions: shrink each one for the bug report, but write
+        // the reproducer under results/ — a scenario file in the golden
+        // directory would join the replayed CI set, and there is no
+        // verdict to replay for a broken engine.
+        let mut seen = std::collections::HashSet::new();
+        for v in &report.bounds_violations {
+            if !seen.insert((v.scenario.clone(), v.technique.clone(), v.level.clone())) {
+                continue;
+            }
+            println!(
+                "fuzz: minimizing bounds violation {} under {}@{} ...",
+                v.scenario, v.technique, v.level
+            );
+            let prop = Property::named(&v.technique, &v.level).unwrap_or_else(|e| fail(&e));
+            let scenario = Scenario::generate(v.seed, v.budget_refs);
+            let (min, steps) =
+                minimize_violation(&scenario, &prop, &mut obs).unwrap_or_else(|e| fail(&e));
+            std::fs::create_dir_all("results").unwrap_or_else(|e| fail(&e.to_string()));
+            let path = format!(
+                "results/bounds-violation-{}-{}-s{}.json",
+                v.technique, v.level, v.seed
+            );
+            let mut text = min.to_json().render();
+            text.push('\n');
+            std::fs::write(&path, text).unwrap_or_else(|e| fail(&e.to_string()));
+            println!(
+                "fuzz: {} steps -> {} refs, reproducer written to {}",
+                steps, min.budget_refs, path
+            );
         }
     }
 
@@ -188,13 +232,18 @@ pub fn run(args: &[String]) -> ! {
         print!("{}", obs.metrics);
     }
 
-    if new_silent > 0 || golden_failures > 0 {
+    let bounds_violations = verdict.bounds_violations.len();
+    if new_silent > 0 || golden_failures > 0 || bounds_violations > 0 {
         println!(
             "fuzz: FAIL ({new_silent} new silent inversion(s), \
-             {golden_failures} golden replay failure(s))"
+             {golden_failures} golden replay failure(s), \
+             {bounds_violations} static-bounds violation(s))"
         );
         std::process::exit(1);
     }
-    println!("fuzz: clean (no unflagged top-3 inversions beyond committed goldens)");
+    println!(
+        "fuzz: clean (no unflagged top-3 inversions beyond committed goldens, \
+         all ground truth within static bounds)"
+    );
     std::process::exit(0);
 }

@@ -33,6 +33,10 @@
 //!   lifecycle, chunk encoding, PMU-config legality, trace framing and
 //!   campaign-spec validation for inputs, plus a repo self-lint
 //!   (`cachescope check` drives it),
+//! * [`analyze`] — the static attribution oracle: simulation-free
+//!   abstract interpretation of workload IR into provable per-object
+//!   miss bounds, cross-checked against every simulated ground truth
+//!   (`cachescope analyze` drives it),
 //! * [`fuzzgen`] — adversarial workload fuzzing: a seeded generative
 //!   scenario fuzzer, the differential technique-verification harness
 //!   that hunts silent hardened-technique degradations, a delta-debug
@@ -59,6 +63,7 @@
 //! println!("{}", report);
 //! ```
 
+pub use cachescope_analyze as analyze;
 pub use cachescope_campaign as campaign;
 pub use cachescope_check as check;
 pub use cachescope_core as core;

@@ -5,6 +5,9 @@
 //! cachescope profile <app> [options]       (same run, self-profiled:
 //!                  span tree + histograms; see --flamegraph/--spans-out/
 //!                  --timeline-out)
+//! cachescope analyze <app>... [--refs N | --misses N] [--json FILE]
+//!                  (static per-object miss bounds, no simulation; see
+//!                  `cachescope analyze --help`)
 //! cachescope check [--all] [--trace F] [--campaign F] [--workload W]
 //!                  [--self-lint] [--json] [--deny-warnings]   (static checks)
 //! cachescope fuzz [--smoke] [--seeds N] [--budget-refs M] [--minimize]
@@ -64,6 +67,7 @@ use cachescope::sim::{Program, RunLimit};
 use cachescope::workloads::spec::{self, Scale};
 use cachescope::workloads::spec2000;
 
+mod analyze_cmd;
 mod check_cmd;
 mod fuzz_cmd;
 mod serve_cmd;
@@ -80,6 +84,8 @@ fn usage() -> ! {
          apps: tomcatv swim su2cor mgrid applu compress ijpeg mcf art equake\n\
          or:   cachescope profile <app> [options] [--flamegraph FILE]\n\
          \x20      [--spans-out FILE] [--timeline-out FILE]   (self-profiled run)\n\
+         or:   cachescope analyze --help (static per-object miss bounds,\n\
+         \x20      no simulation)\n\
          or:   cachescope check --help   (static input/repo verification)\n\
          or:   cachescope fuzz --help    (adversarial fuzzing + differential\n\
          \x20      technique verification)\n\
@@ -117,6 +123,9 @@ fn workload(app: &str, scale: Scale) -> Box<dyn Program> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() && args[0] == "analyze" {
+        analyze_cmd::run(&args[1..]);
+    }
     if !args.is_empty() && args[0] == "check" {
         check_cmd::run(&args[1..]);
     }

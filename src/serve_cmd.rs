@@ -4,10 +4,14 @@
 //! cachescope serve [--unix PATH] [--tcp ADDR] [--max-sessions N]
 //!                  [--byte-budget BYTES] [--jobs N] [--cache-dir DIR]
 //!                  [--events-out FILE] [--drain-timeout SECS]
+//!                  [--analyze-reject]
 //!
 //!   Runs the streaming attribution daemon until SIGTERM/SIGINT, then
 //!   drains: in-flight sessions finish (up to --drain-timeout), new
 //!   ones are refused. At least one of --unix / --tcp is required.
+//!   With --analyze-reject, a provably unattributable stream (every
+//!   access outside every declared object, CS-A005) is refused at
+//!   ingest instead of simulated into an empty report.
 //!
 //! cachescope submit (--unix PATH | --tcp ADDR) --trace FILE
 //!                   [--technique T] [--misses N] [--counters K]
@@ -40,6 +44,7 @@ fn serve_usage() -> ! {
         "usage: cachescope serve [--unix PATH] [--tcp ADDR] [--max-sessions N]\n\
          \x20                       [--byte-budget BYTES] [--jobs N] [--cache-dir DIR]\n\
          \x20                       [--events-out FILE] [--drain-timeout SECS]\n\
+         \x20                       [--analyze-reject]\n\
          (at least one of --unix / --tcp)"
     );
     std::process::exit(2);
@@ -89,6 +94,7 @@ pub fn run_serve(args: &[String]) -> ! {
             "--cache-dir" => config.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
             "--events-out" => config.events_path = Some(PathBuf::from(value("--events-out"))),
             "--drain-timeout" => drain_timeout = parse_num(&value("--drain-timeout"), "seconds"),
+            "--analyze-reject" => config.analyze_reject = true,
             "--help" | "-h" => serve_usage(),
             other => {
                 eprintln!("unknown serve option: {other}");
